@@ -1,0 +1,122 @@
+// A2 — Section V, second assumption: coupling from other signal wires
+// outside the clocktree segment.
+//
+// Paper: "how do we include the coupling effect from the other signal wires
+// outside of a clocktree segment ...?  In our efficient inductance models,
+// we can easily construct the RLC netlist for N parallel wires ...
+// Therefore the coupling effect — mainly inductive coupling — of other
+// signals next to the clocktree can be taken care of by simply adding them
+// in the clocktree simulation."
+//
+// We add an aggressor wire beyond the right shield of the Figure 8
+// structure, drive it with its own fast edge, and measure the noise and
+// delay shift induced on the quiet/switching clock — with the mutual-K
+// elements present (the paper's method) and artificially removed.
+#include <cstdio>
+
+#include "core/inductance_model.h"
+#include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+struct Outcome {
+  double clk_noise_mv;   ///< peak disturbance on a quiet clock sink
+  double delay_shift_ps; ///< 50% delay change of a switching clock
+};
+
+Outcome run(const geom::Technology& tech, bool with_mutual) {
+  // gnd | clk | gnd | aggressor — the aggressor sits outside the shields.
+  std::vector<geom::Trace> traces{
+      {geom::TraceRole::kGround, um(5), -um(9), "gnd_l"},
+      {geom::TraceRole::kSignal, um(10), 0.0, "clk"},
+      {geom::TraceRole::kGround, um(5), um(9), "gnd_r"},
+      {geom::TraceRole::kSignal, um(4), um(14), "agg"},
+  };
+  const geom::Block blk(&tech, 6, um(4000), std::move(traces),
+                        geom::PlaneConfig::kNone);
+
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(100e-12);
+  const core::DirectInductanceModel lmodel(&tech, 6,
+                                           geom::PlaneConfig::kNone, sopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(blk, lmodel);
+
+  auto simulate_case = [&](bool clk_switches) {
+    ckt::Netlist nl;
+    const ckt::NodeId clk_src = nl.add_node("clk_src");
+    const ckt::NodeId clk_in = nl.add_node("clk_in");
+    const ckt::NodeId agg_src = nl.add_node("agg_src");
+    const ckt::NodeId agg_in = nl.add_node("agg_in");
+    if (clk_switches) {
+      nl.add_vsource(clk_src, ckt::kGround,
+                     ckt::SourceWaveform::ramp(1.8, 200e-12));
+    } else {
+      nl.add_vsource(clk_src, ckt::kGround, ckt::SourceWaveform::dc(0.0));
+    }
+    nl.add_resistor(clk_src, clk_in, 25.0);
+    nl.add_vsource(agg_src, ckt::kGround,
+                   ckt::SourceWaveform::ramp(1.8, 100e-12));
+    nl.add_resistor(agg_src, agg_in, 60.0);
+
+    core::LadderOptions lopt;
+    lopt.sections = 8;
+    lopt.include_mutual = with_mutual;
+    const auto outs = core::stamp_segment(nl, blk, seg, {clk_in, agg_in},
+                                          lopt);
+    nl.add_capacitor(outs[0], ckt::kGround, 200e-15);
+    nl.add_capacitor(outs[1], ckt::kGround, 100e-15);
+
+    ckt::TransientOptions topt;
+    topt.t_stop = 2e-9;
+    topt.dt = 0.5e-12;
+    const ckt::TransientResult res = ckt::simulate(nl, topt);
+    return std::make_pair(res.waveform(clk_in), res.waveform(outs[0]));
+  };
+
+  Outcome out{};
+  {
+    const auto [buf, sink] = simulate_case(false);
+    out.clk_noise_mv =
+        1e3 * std::max(std::abs(sink.max()), std::abs(sink.min()));
+  }
+  {
+    const auto [buf, sink] = simulate_case(true);
+    out.delay_shift_ps = units::to_ps(ckt::delay_50(buf, sink, 1.8));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A2 / Section V: aggressor coupling into a shielded "
+              "clock segment ===\n\n");
+  std::printf("structure: [gnd 5 | clk 10 | gnd 5 | agg 4] um, 4000 um "
+              "long; aggressor\nswitches 1.8 V in 100 ps.  Coupling to the "
+              "clock is inductive only — the\nshield sits between them, so "
+              "there is no adjacent-trace capacitance.\n\n");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const Outcome with_m = run(tech, true);
+  const Outcome without_m = run(tech, false);
+
+  std::printf("%-38s %14s %14s\n", "", "with mutual K", "K removed");
+  std::printf("%-38s %11.1f mV %11.1f mV\n",
+              "noise on quiet clock sink", with_m.clk_noise_mv,
+              without_m.clk_noise_mv);
+  std::printf("%-38s %11.2f ps %11.2f ps\n",
+              "switching clock buf->sink delay", with_m.delay_shift_ps,
+              without_m.delay_shift_ps);
+  std::printf("\nthe paper's prescription — model neighbours by adding "
+              "their wires (with all\nmutual Lp terms) to the simulation — "
+              "is what the left column does; dropping\nthe mutuals (right) "
+              "silences the crosstalk entirely and shifts the delay.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// A6 — Section II's short-range/long-range contrast, verified numerically:
+//
+// "the capacitive effect is a short-range effect in the sense that for a
+// block, only the mutual capacitance between adjacent traces are important
+// ... we are able to reduce the n-trace capacitance problem to a number of
+// 3-trace subproblems.  The inductive effect, however, is a long-range
+// effect."
+//
+// The FD field solver provides the full n-trace capacitance matrix; the
+// PEEC solver the full inductance matrix.  Both are compared against their
+// nearest-neighbour / pairwise reductions.
+#include <cstdio>
+
+#include "cap/fd2d.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+int main() {
+  std::printf("=== A6 / Section II: capacitance is short-range, inductance "
+              "is long-range ===\n\n");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::Block arr = geom::uniform_array(tech, 6, um(1000), 5, um(4),
+                                              um(2));
+
+  // --- capacitance: full 5-trace FD solve ---
+  cap::Fd2dOptions copt;
+  copt.cell = 0.5e-6;
+  const RealMatrix c = cap::fd_block_capacitance(arr, copt);
+
+  std::printf("5-trace array (4 um wires, 2 um spacing): normalised "
+              "couplings from T3\n\n");
+  std::printf("%14s %18s %18s\n", "neighbour", "C / C(adjacent)",
+              "Lp / Lp(adjacent)");
+
+  solver::SolveOptions lopt;
+  lopt.frequency = solver::significant_frequency(100e-12);
+  const solver::PartialResult lp = solver::extract_partial(arr, lopt);
+
+  const double c_adj = -c(2, 3);
+  const double l_adj = lp.inductance(2, 3);
+  for (std::size_t j = 3; j < 5; ++j) {
+    std::printf("%11zu-hop %18.4f %18.4f\n", j - 2, -c(2, j) / c_adj,
+                lp.inductance(2, j) / l_adj);
+  }
+
+  // --- the reduction error this justifies ---
+  std::printf("\n3-trace subproblem reduction vs full 5-trace capacitance "
+              "solve:\n");
+  std::printf("%8s %16s %16s %8s\n", "trace", "cg full (fF/mm)",
+              "cg 3-trace", "err %");
+  const cap::FdCapResult red = cap::extract_cap_fd(arr, copt);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) row += c(i, j);
+    std::printf("%8zu %16.3f %16.3f %8.2f\n", i + 1, row * 1e15 * 1e-3,
+                red.cg[i] * 1e15 * 1e-3, 100.0 * (red.cg[i] - row) / row);
+  }
+
+  std::printf("\ncapacitive coupling collapses ~an order of magnitude per "
+              "hop (screening by\nthe intervening metal), so 3-trace "
+              "subproblems suffice; inductive coupling\ndecays only "
+              "logarithmically, which is why every Lp pair is kept and the\n"
+              "mutual table is the big one.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E1 — Figures 1-3: the 6000 um coplanar-waveguide clock net, simulated
+// without and with inductance.
+//
+// Paper: "The delays from the output of the clock buffer to the sink node
+// are 28.01 ps and 47.6 ps respectively without and with the inclusion of
+// inductance", with visible overshoot/undershoot in the RLC waveform.
+#include <cstdio>
+
+#include "core/inductance_model.h"
+#include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+struct RunResult {
+  double delay_ps;
+  double overshoot_mv;
+  double undershoot_mv;
+  ckt::Waveform buf;
+  ckt::Waveform sink;
+};
+
+// Driver: the paper quotes "about 40 ohm"; our extracted capacitance
+// includes the full sidewall coupling to the 1 um-spaced shields, which
+// puts the line impedance near 27 ohm.  At exactly 40 ohm the near-end
+// plateau sits within millivolts of the 50% threshold and the delay metric
+// degenerates; a slightly stronger driver (25 ohm — the paper stresses
+// "large driver and therefore smaller source impedance") restores the
+// regime the paper's Figures 2-3 show.
+constexpr double kRsource = 25.0;
+constexpr double kSinkCap = 200e-15;
+
+RunResult run(const geom::Technology& tech, const geom::Block& net,
+              const core::SegmentRlc& seg, bool with_l, double t_rise) {
+  (void)tech;
+  ckt::Netlist nl;
+  const ckt::NodeId vin = nl.add_node("vin");
+  const ckt::NodeId buf = nl.add_node("buf_out");
+  nl.add_vsource(vin, ckt::kGround, ckt::SourceWaveform::ramp(1.8, t_rise));
+  nl.add_resistor(vin, buf, kRsource);
+
+  core::LadderOptions lopt;
+  lopt.sections = 10;
+  lopt.include_inductance = with_l;
+  const auto outs = core::stamp_segment(nl, net, seg, {buf}, lopt);
+  nl.add_capacitor(outs[0], ckt::kGround, kSinkCap);
+
+  ckt::TransientOptions topt;
+  topt.t_stop = 2.0e-9;
+  topt.dt = 0.5e-12;
+  const ckt::TransientResult res = ckt::simulate(nl, topt);
+
+  RunResult r{0.0, 0.0, 0.0, res.waveform(buf), res.waveform(outs[0])};
+  r.delay_ps = units::to_ps(ckt::delay_50(r.buf, r.sink, 1.8));
+  const double over = r.sink.max() - 1.8;
+  r.overshoot_mv = over > 0.0 ? 1e3 * over : 0.0;
+  r.undershoot_mv = 1e3 * r.sink.undershoot();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E1 / Figures 1-3: inductance effect on a 6000 um "
+              "coplanar clock net ===\n\n");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::Block net =
+      geom::coplanar_waveguide(tech, 6, um(6000), um(10), um(5), um(1));
+
+  const double t_rise = 200e-12;
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(t_rise);
+  const core::DirectInductanceModel lmodel(&tech, 6,
+                                           geom::PlaneConfig::kNone, sopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(net, lmodel);
+
+  std::printf("extracted: R_sig = %.2f ohm, Lp_sig = %.3f nH, C_sig = %.3f "
+              "pF\n\n",
+              seg.resistance[1], units::to_nh(seg.inductance(1, 1)),
+              units::to_pf(seg.cap_ground[1] + seg.cap_coupling[0] +
+                           seg.cap_coupling[1]));
+
+  const RunResult rc = run(tech, net, seg, false, t_rise);
+  const RunResult rlc = run(tech, net, seg, true, t_rise);
+
+  std::printf("%-28s %12s %12s\n", "", "RC netlist", "RLC netlist");
+  std::printf("%-28s %9.2f ps %9.2f ps\n", "buffer->sink 50% delay",
+              rc.delay_ps, rlc.delay_ps);
+  std::printf("%-28s %9.1f mV %9.1f mV\n", "sink overshoot",
+              rc.overshoot_mv, rlc.overshoot_mv);
+  std::printf("%-28s %9.1f mV %9.1f mV\n", "sink undershoot",
+              rc.undershoot_mv, rlc.undershoot_mv);
+  std::printf("%-28s %12s %9.2f x\n", "delay ratio RLC/RC", "",
+              rlc.delay_ps / rc.delay_ps);
+  std::printf("\npaper (their 0.25um process + HSPICE): 28.01 ps vs 47.6 ps "
+              "(1.70x), RLC rings\n");
+
+  // Figures 2-3 as data: the two waveform pairs, sampled every 25 ps.
+  std::printf("\nwaveforms (V), every 25 ps:\n");
+  std::printf("%8s %10s %10s %10s %10s\n", "t (ps)", "buf(RC)", "sink(RC)",
+              "buf(RLC)", "sink(RLC)");
+  for (double t = 0.0; t <= 800e-12; t += 25e-12) {
+    std::printf("%8.0f %10.4f %10.4f %10.4f %10.4f\n", units::to_ps(t),
+                rc.buf.value_at(t), rc.sink.value_at(t), rlc.buf.value_at(t),
+                rlc.sink.value_at(t));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// A4 (ablation) — netlist-formulation design choices: how many pi sections
+// per segment, and what the mutual-K elements contribute.
+//
+// DESIGN.md calls out the pi-ladder section count and the PEEC
+// (shields-as-branches + mutual K) formulation as the two knobs of the
+// netlist builder; this bench shows the delay converging in sections and
+// what breaks when the mutuals are dropped.
+#include <cstdio>
+
+#include "core/inductance_model.h"
+#include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+double delay_of(const geom::Technology& tech, const geom::Block& blk,
+                const core::SegmentRlc& seg, int sections,
+                bool with_mutual) {
+  (void)tech;
+  ckt::Netlist nl;
+  const ckt::NodeId vin = nl.add_node();
+  const ckt::NodeId buf = nl.add_node();
+  nl.add_vsource(vin, ckt::kGround, ckt::SourceWaveform::ramp(1.8, 200e-12));
+  nl.add_resistor(vin, buf, 25.0);
+  core::LadderOptions lopt;
+  lopt.sections = sections;
+  lopt.include_mutual = with_mutual;
+  const auto outs = core::stamp_segment(nl, blk, seg, {buf}, lopt);
+  nl.add_capacitor(outs[0], ckt::kGround, 200e-15);
+  ckt::TransientOptions topt;
+  topt.t_stop = 2e-9;
+  topt.dt = 0.5e-12;
+  const auto res = ckt::simulate(nl, topt);
+  return units::to_ps(
+      ckt::delay_50(res.waveform(buf), res.waveform(outs[0]), 1.8));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A4 / ablation: pi-ladder sections and mutual-K elements "
+              "===\n\n");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::Block blk =
+      geom::coplanar_waveguide(tech, 6, um(6000), um(10), um(5), um(1));
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(200e-12);
+  const core::DirectInductanceModel lmodel(&tech, 6,
+                                           geom::PlaneConfig::kNone, sopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(blk, lmodel);
+
+  std::printf("RLC buffer->sink delay of the Figure-1 net vs section "
+              "count:\n");
+  std::printf("%10s %16s %20s\n", "sections", "delay (ps)",
+              "delay, K dropped (ps)");
+  double converged = 0.0;
+  for (int s : {1, 2, 4, 8, 16, 32}) {
+    const double d = delay_of(tech, blk, seg, s, true);
+    const double d_nok = delay_of(tech, blk, seg, s, false);
+    std::printf("%10d %16.2f %20.2f\n", s, d, d_nok);
+    converged = d;
+  }
+  std::printf("\nobservations:\n");
+  std::printf(" * a handful of sections suffices — the lumped ladder "
+              "converges quickly\n   toward the distributed line "
+              "(converged delay %.1f ps);\n", converged);
+  std::printf(" * dropping the mutual-K elements leaves each branch with "
+              "its huge partial\n   self inductance and no return-path "
+              "cancellation: the delay is wildly\n   wrong.  The mutuals "
+              "ARE the return-path physics in a PEEC netlist —\n   \"SPICE "
+              "determines the return path at simulation\" only works with "
+              "them.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// A5 (ablation) — delay metrics vs transient simulation on extracted nets.
+//
+// Fast moment-based metrics (Elmore, D2M) are the standard alternative to
+// simulating every net.  This bench shows they stay accurate on the RC
+// netlist but fall apart on the paper's RLC netlists once the response
+// rings — the quantitative justification for Section V's choice to run
+// full (SPICE-class) transient simulation on the extracted clocktree.
+#include <cstdio>
+
+#include "core/inductance_model.h"
+#include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+#include "core/screening.h"
+#include "ckt/moments.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+struct Row {
+  double simulated_ps;
+  double elmore_ps;
+  double d2m_ps;
+  bool d2m_valid;
+};
+
+Row run(const geom::Technology& tech, const geom::Block& blk,
+        const core::SegmentRlc& seg, bool with_l, double rs) {
+  (void)tech;
+  ckt::Netlist nl;
+  const ckt::NodeId vin = nl.add_node();
+  nl.add_vsource(vin, ckt::kGround,
+                 ckt::SourceWaveform::ramp(1.8, 1e-12));  // near-step
+  const ckt::NodeId buf = nl.add_node();
+  nl.add_resistor(vin, buf, rs);
+  core::LadderOptions lopt;
+  lopt.sections = 8;
+  lopt.include_inductance = with_l;
+  const auto outs = core::stamp_segment(nl, blk, seg, {buf}, lopt);
+  nl.add_capacitor(outs[0], ckt::kGround, 200e-15);
+
+  ckt::TransientOptions topt;
+  topt.t_stop = 3e-9;
+  topt.dt = 0.25e-12;
+  const auto res = ckt::simulate(nl, topt);
+  const auto t50 = res.waveform(outs[0]).first_rise_through(0.9);
+
+  Row row{};
+  row.simulated_ps = units::to_ps(t50.value());
+  row.elmore_ps = units::to_ps(ckt::elmore_delay(nl, outs[0]));
+  try {
+    row.d2m_ps = units::to_ps(ckt::d2m_delay(nl, outs[0]));
+    row.d2m_valid = true;
+  } catch (const std::exception&) {
+    row.d2m_valid = false;
+  }
+  return row;
+}
+
+void report(const char* label, const Row& r) {
+  std::printf("%-22s %12.2f %12.2f ", label, r.simulated_ps, r.elmore_ps);
+  if (r.d2m_valid) {
+    std::printf("%12.2f %11.1f%%\n", r.d2m_ps,
+                100.0 * (r.d2m_ps - r.simulated_ps) / r.simulated_ps);
+  } else {
+    std::printf("%12s %12s\n", "n/a (m2<0)", "-");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A5 / ablation: Elmore & D2M vs transient on extracted "
+              "nets ===\n\n");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::Block blk =
+      geom::coplanar_waveguide(tech, 6, um(6000), um(10), um(5), um(1));
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(100e-12);
+  const core::DirectInductanceModel lmodel(&tech, 6,
+                                           geom::PlaneConfig::kNone, sopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(blk, lmodel);
+
+  std::printf("50%% step-response delay of the Figure-1 net (driver 25 "
+              "ohm):\n\n");
+  std::printf("%-22s %12s %12s %12s %12s\n", "netlist", "transient",
+              "Elmore", "D2M", "D2M err");
+  report("RC", run(tech, blk, seg, false, 25.0));
+  report("RLC (paper)", run(tech, blk, seg, true, 25.0));
+  report("RLC, weak driver", run(tech, blk, seg, true, 100.0));
+
+  std::printf("\non the RC netlist the metrics behave (Elmore bounds, D2M "
+              "tracks); on the\nringing RLC netlist the moment metrics "
+              "mislead or break (negative m2) —\nwhy the paper runs "
+              "transient simulation on its extracted clocktrees.\n");
+
+  // And the screen that tells you in advance which regime you are in.
+  core::ScreeningInput si;
+  si.resistance = seg.resistance[1];
+  si.inductance = 1.6e-9;  // loop value; see bench_fig1_delay
+  si.capacitance = seg.cap_ground[1] + seg.cap_coupling[0] +
+                   seg.cap_coupling[1];
+  si.rise_time = 100e-12;
+  const core::ScreeningResult sr = core::screen_inductance(si);
+  std::printf("\nscreen_inductance: edge ratio %.2f, damping ratio %.2f -> "
+              "inductance %s\n",
+              sr.edge_ratio, sr.damping_ratio,
+              sr.inductance_significant ? "SIGNIFICANT" : "negligible");
+  return 0;
+}

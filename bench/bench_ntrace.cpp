@@ -1,0 +1,74 @@
+// A3 — the Figure 4 bus block: the n-trace inductance problem assembled
+// from 1-/2-trace table lookups vs the full n-trace field solve.
+//
+// This is the paper's central reduction ("we are able to reduce the n-trace
+// inductance problem into 1-trace subproblems to solve the self Lp, and
+// into 2-trace subproblems to solve the mutual Lp.  There is no loss of
+// accuracy during the reduction."), demonstrated on the bus-with-shields
+// structure of Figure 4.
+#include <cstdio>
+
+#include "core/rlc_extractor.h"
+#include "core/table_builder.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+int main() {
+  std::printf("=== A3 / Figure 4: n-trace bus from 1-/2-trace subproblems "
+              "===\n\n");
+  const geom::Technology tech = geom::Technology::generic_025um();
+
+  // Figure 4: T1 and Tn are dedicated AC grounds around signal traces.
+  const geom::Block bus = geom::bus_block(
+      tech, 6, um(1500),
+      {um(6), um(3), um(3), um(3), um(3), um(3), um(6)},
+      {um(1.5), um(1.5), um(1.5), um(1.5), um(1.5), um(1.5)});
+  const std::size_t n = bus.size();
+
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(100e-12);
+
+  // Full n-trace PEEC solve (what the tables replace).
+  const solver::PartialResult full = solver::extract_partial(bus, sopt);
+
+  // Table path: build tables, then assemble the same matrix from lookups.
+  core::TableGrid grid;
+  grid.widths = geomspace(um(1.5), um(12), 5);
+  grid.spacings = geomspace(um(1), um(40), 6);
+  grid.lengths = geomspace(um(500), um(3000), 4);
+  const core::InductanceTables tables = core::build_tables(
+      tech, 6, geom::PlaneConfig::kNone, grid, sopt);
+  const core::TableInductanceModel model(tables);
+  const core::SegmentRlc seg = core::extract_segment_rlc(bus, model);
+
+  std::printf("%zu-trace bus (outer 6 um grounds, 3 um signals, 1.5 um "
+              "spacing, 1500 um):\n\n", n);
+  std::printf("partial-L matrix, table-assembled vs full %zu-trace solve "
+              "(nH, err %%):\n", n);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double lt = seg.inductance(i, j);
+      const double lf = full.inductance(i, j);
+      const double err = 100.0 * (lt - lf) / lf;
+      max_err = std::max(max_err, std::abs(err));
+      std::printf(" %6.3f/%+5.1f%%", units::to_nh(lt), err);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nmax |error| across all %zu^2 entries: %.2f %%\n", n,
+              max_err);
+  std::printf("(residual is spline interpolation; the reduction itself is "
+              "lossless —\nFoundations 1 and 2)\n");
+
+  // Cost comparison the table method buys.
+  std::printf("\nproblem-size arithmetic: one %zu-trace solve vs %zu "
+              "2-trace lookups per block;\nsee bench_speed for wall-clock "
+              "numbers.\n", n, n * (n - 1) / 2);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E8 — the headline efficiency claim: table lookup replaces a field solve
+// per block.  google-benchmark timings for both paths, plus the table
+// build cost they amortise and the downstream netlist/simulation stages.
+#include <benchmark/benchmark.h>
+
+#include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+#include "core/table_builder.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+const geom::Technology& tech() {
+  static const geom::Technology t = geom::Technology::generic_025um();
+  return t;
+}
+
+solver::SolveOptions solve_options() {
+  solver::SolveOptions o;
+  o.frequency = solver::significant_frequency(100e-12);
+  return o;
+}
+
+const core::TableInductanceModel& table_model() {
+  static const core::TableInductanceModel model = [] {
+    core::TableGrid grid;
+    grid.widths = geomspace(um(1.5), um(16), 4);
+    grid.spacings = geomspace(um(0.5), um(8), 4);
+    grid.lengths = geomspace(um(200), um(4000), 4);
+    return core::TableInductanceModel(core::build_tables(
+        tech(), 6, geom::PlaneConfig::kNone, grid, solve_options()));
+  }();
+  return model;
+}
+
+void BM_TableLookupMutual(benchmark::State& state) {
+  const core::TableInductanceModel& m = table_model();
+  double w = um(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.mutual(w, um(5), um(1.3), um(1234)));
+    w = w < um(14) ? w + um(0.01) : um(3);  // defeat any caching
+  }
+}
+BENCHMARK(BM_TableLookupMutual);
+
+void BM_DirectSolveMutual(benchmark::State& state) {
+  const core::DirectInductanceModel m(&tech(), 6, geom::PlaneConfig::kNone,
+                                      solve_options());
+  double w = um(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.mutual(w, um(5), um(1.3), um(1234)));
+    w = w < um(14) ? w + um(0.01) : um(3);
+  }
+}
+BENCHMARK(BM_DirectSolveMutual)->Unit(benchmark::kMillisecond);
+
+void BM_DirectSolveMutualOverPlane(benchmark::State& state) {
+  const core::DirectInductanceModel m(&tech(), 6, geom::PlaneConfig::kBelow,
+                                      solve_options());
+  double w = um(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.mutual(w, um(5), um(1.3), um(1234)));
+    w = w < um(14) ? w + um(0.01) : um(3);
+  }
+}
+BENCHMARK(BM_DirectSolveMutualOverPlane)->Unit(benchmark::kMillisecond);
+
+void BM_TableBuild(benchmark::State& state) {
+  core::TableGrid grid;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  grid.widths = geomspace(um(1.5), um(16), n);
+  grid.spacings = geomspace(um(0.5), um(8), n);
+  grid.lengths = geomspace(um(200), um(4000), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_tables(
+        tech(), 6, geom::PlaneConfig::kNone, grid, solve_options()));
+  }
+  state.counters["entries"] = static_cast<double>(n * n * n * n + n * n);
+}
+BENCHMARK(BM_TableBuild)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_SegmentExtraction(benchmark::State& state) {
+  const geom::Block blk =
+      geom::coplanar_waveguide(tech(), 6, um(1500), um(6), um(6), um(1));
+  const core::TableInductanceModel& m = table_model();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::extract_segment_rlc(blk, m));
+}
+BENCHMARK(BM_SegmentExtraction);
+
+void BM_TransientClockNet(benchmark::State& state) {
+  const geom::Block blk =
+      geom::coplanar_waveguide(tech(), 6, um(6000), um(10), um(5), um(1));
+  const core::SegmentRlc seg =
+      core::extract_segment_rlc(blk, table_model());
+  for (auto _ : state) {
+    ckt::Netlist nl;
+    const ckt::NodeId vin = nl.add_node();
+    const ckt::NodeId buf = nl.add_node();
+    nl.add_vsource(vin, ckt::kGround,
+                   ckt::SourceWaveform::ramp(1.8, 100e-12));
+    nl.add_resistor(vin, buf, 40.0);
+    core::LadderOptions lopt;
+    lopt.sections = 8;
+    const auto outs = core::stamp_segment(nl, blk, seg, {buf}, lopt);
+    nl.add_capacitor(outs[0], ckt::kGround, 50e-15);
+    ckt::TransientOptions topt;
+    topt.t_stop = 1e-9;
+    topt.dt = 1e-12;
+    benchmark::DoNotOptimize(ckt::simulate(nl, topt));
+  }
+}
+BENCHMARK(BM_TransientClockNet)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

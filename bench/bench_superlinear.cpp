@@ -1,0 +1,57 @@
+// E6 — Section V: inductance is super-linear in segment length.
+//
+// Paper: "the inductance (self or mutual) is not scalable with length ...
+// if a segment length changes from 1000 um to 2000 um, the self- and
+// mutual-inductances increase by about [2.2] times", which is why
+// per-segment extraction underestimates unless shorter return paths exist.
+#include <cstdio>
+
+#include "numeric/units.h"
+#include "peec/partial_inductance.h"
+
+using namespace rlcx;
+using units::um;
+
+int main() {
+  std::printf("=== E6 / Section V: super-linear length dependence of Lp "
+              "===\n\n");
+  // The paper's clock wire: 10 um wide, 2 um thick; pair spacing 1 um.
+  auto self_of = [](double len) {
+    peec::Bar b;
+    b.length = len;
+    b.t_width = um(10);
+    b.z_thick = um(2);
+    return peec::self_partial(b);
+  };
+  auto mutual_of = [](double len) {
+    peec::Bar a;
+    a.length = len;
+    a.t_width = um(10);
+    a.z_thick = um(2);
+    peec::Bar b = a;
+    b.t_min = um(11);
+    return peec::mutual_partial(a, b);
+  };
+
+  std::printf("%10s %12s %14s %12s %14s\n", "len (um)", "self nH",
+              "self nH/mm", "mutual nH", "mutual nH/mm");
+  for (double l : {250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+    const double ls = self_of(um(l));
+    const double lm = mutual_of(um(l));
+    std::printf("%10.0f %12.4f %14.4f %12.4f %14.4f\n", l, units::to_nh(ls),
+                units::to_nh(ls) / (l / 1000.0), units::to_nh(lm),
+                units::to_nh(lm) / (l / 1000.0));
+  }
+
+  const double r_self = self_of(um(2000)) / self_of(um(1000));
+  const double r_mut = mutual_of(um(2000)) / mutual_of(um(1000));
+  std::printf("\n1000 um -> 2000 um: self x%.3f, mutual x%.3f (paper: "
+              "\"about 2.2 times\"; linear\nscaling would be exactly "
+              "2.000)\n",
+              r_self, r_mut);
+  std::printf("\nconsequence (Section V): extracting each cascaded segment "
+              "separately\nunderestimates L unless shielding provides the "
+              "shorter return paths —\nwhich is exactly what the Section IV "
+              "guard-wire condition ensures.\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+// E3 — Table I: linear cascading comparisons.
+//
+// Paper: the loop inductance of the interconnect trees of Figure 6,
+// extracted for the whole structure at once, against the series/parallel
+// combination of independently extracted per-segment loop inductances:
+//   Fig 6(a): full vs L_ab + (L_bc + L_ce) || (L_bd + L_df), error 3.57 %
+//   Fig 6(b): full vs the analogous combination,            error 1.55 %
+// Each segment is a three-wire system (signal guarded by equal-width
+// grounds, w = 1.2 um).  The figure's exact branch layout is only sketched
+// in the paper; the segment lengths below follow its labels, with branches
+// leaving the trunk perpendicularly as drawn.
+#include <cstdio>
+#include <vector>
+
+#include "core/cascade.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "peec/mesh.h"
+#include "solver/block_solver.h"
+#include "solver/frequency.h"
+#include "solver/network.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+constexpr double kW = 1.2e-6;      // wire width (paper: w = 1.2 um)
+constexpr double kSpace = 1.2e-6;  // signal-shield spacing
+
+struct SegmentSpec {
+  peec::Axis axis;
+  double a0;        // start along the axis [m]
+  double len;       // [m]
+  double t_center;  // transverse position of the signal center [m]
+  int n_from_sig, n_from_gnd;
+  int n_to_sig, n_to_gnd;
+};
+
+// Per-segment loop inductance, extracted independently (the table method).
+double segment_loop(const geom::Technology& tech, double len, double freq) {
+  const geom::Block blk =
+      geom::coplanar_waveguide(tech, 6, len, kW, kW, kSpace);
+  solver::SolveOptions opt;
+  opt.frequency = freq;
+  return solver::extract_loop(blk, opt).inductance(0, 0);
+}
+
+// Whole-structure loop inductance: all segments in one PEEC system.
+double full_loop(const geom::Technology& tech,
+                 const std::vector<SegmentSpec>& segs, solver::Network& net,
+                 int port_pos, int port_neg, double freq) {
+  const geom::Layer& layer = tech.layer(6);
+  peec::MeshOptions mesh;
+  mesh.nw = 2;
+  mesh.nt = 2;
+  const double pitch = kW + kSpace;
+  for (const SegmentSpec& s : segs) {
+    auto bar = [&](double t_off) {
+      peec::Bar b;
+      b.axis = s.axis;
+      b.a_min = s.a0;
+      b.length = s.len;
+      b.t_min = s.t_center + t_off - 0.5 * kW;
+      b.t_width = kW;
+      b.z_min = layer.z_bottom;
+      b.z_thick = layer.thickness;
+      return b;
+    };
+    net.add_segment(s.n_from_sig, s.n_to_sig, bar(0.0), layer.rho, mesh);
+    net.add_segment(s.n_from_gnd, s.n_to_gnd, bar(-pitch), layer.rho, mesh);
+    net.add_segment(s.n_from_gnd, s.n_to_gnd, bar(pitch), layer.rho, mesh);
+  }
+  return net.loop_impedance(port_pos, port_neg, freq).inductance;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E3 / Table I: linear cascading comparisons ===\n\n");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const double freq = solver::significant_frequency(100e-12);
+
+  // ---- Tree (a): trunk ab = 100 um (+y); the two branches run upward in
+  //      parallel, 24 um apart — "significant portions of the systems are
+  //      close-by", the situation the paper flags as the error source:
+  //      branch 1: bc = 150 -> ce = 250; branch 2: bd = 250 -> df = 100. ----
+  double full_a, casc_a;
+  {
+    solver::Network net;
+    const int as = net.add_node(), ag = net.add_node();
+    const int bs = net.add_node(), bg = net.add_node();
+    const int cs = net.add_node(), cg = net.add_node();
+    const int ds = net.add_node(), dg = net.add_node();
+    const int e = net.add_node();  // far end of branch 1 (shorted)
+    const int f = net.add_node();  // far end of branch 2 (shorted)
+    std::vector<SegmentSpec> segs{
+        {peec::Axis::kY, 0.0, um(100), 0.0, as, ag, bs, bg},
+        {peec::Axis::kY, um(100), um(150), -um(4), bs, bg, cs, cg},
+        {peec::Axis::kY, um(250), um(250), -um(4), cs, cg, e, e},
+        {peec::Axis::kY, um(100), um(250), um(4), bs, bg, ds, dg},
+        {peec::Axis::kY, um(350), um(100), um(4), ds, dg, f, f},
+    };
+    full_a = full_loop(tech, segs, net, as, ag, freq);
+
+    const double l_ab = segment_loop(tech, um(100), freq);
+    const double l_bc = segment_loop(tech, um(150), freq);
+    const double l_ce = segment_loop(tech, um(250), freq);
+    const double l_bd = segment_loop(tech, um(250), freq);
+    const double l_df = segment_loop(tech, um(100), freq);
+    core::CascadeNode root{l_ab,
+                           {{l_bc, {{l_ce, {}}}}, {l_bd, {{l_df, {}}}}}};
+    casc_a = core::cascade_tree(root);
+  }
+
+  // ---- Tree (b): trunk ab = 600 um (+y); branch 1: bc = 300 um then a
+  //      20 um jog (cd) and de = 600 um, all continuing upward; branch 2:
+  //      bf = 600 um running parallel on the other side.  Longer segments,
+  //      proportionally less close-by overlap than (a). ----
+  double full_b, casc_b;
+  {
+    solver::Network net;
+    const int as = net.add_node(), ag = net.add_node();
+    const int bs = net.add_node(), bg = net.add_node();
+    const int cs = net.add_node(), cg = net.add_node();
+    const int ds = net.add_node(), dg = net.add_node();
+    const int e = net.add_node();
+    const int f = net.add_node();
+    std::vector<SegmentSpec> segs{
+        {peec::Axis::kY, 0.0, um(600), 0.0, as, ag, bs, bg},
+        {peec::Axis::kY, um(600), um(300), -um(4), bs, bg, cs, cg},
+        {peec::Axis::kX, -um(12), um(20), um(910), cs, cg, ds, dg},
+        {peec::Axis::kY, um(910), um(600), -um(24), ds, dg, e, e},
+        {peec::Axis::kY, um(600), um(600), um(4), bs, bg, f, f},
+    };
+    full_b = full_loop(tech, segs, net, as, ag, freq);
+
+    const double l_ab = segment_loop(tech, um(600), freq);
+    const double l_bc = segment_loop(tech, um(300), freq);
+    const double l_cd = segment_loop(tech, um(20), freq);
+    const double l_de = segment_loop(tech, um(600), freq);
+    const double l_bf = segment_loop(tech, um(600), freq);
+    core::CascadeNode root{
+        l_ab, {{l_bc, {{l_cd, {{l_de, {}}}}}}, {l_bf, {}}}};
+    casc_b = core::cascade_tree(root);
+  }
+
+  std::printf("%-10s %16s %22s %8s\n", "tree", "loop L full (nH)",
+              "eff. L from S/P (nH)", "err %");
+  std::printf("%-10s %16.4f %22.4f %8.2f\n", "Fig 6(a)",
+              units::to_nh(full_a), units::to_nh(casc_a),
+              100.0 * (casc_a - full_a) / full_a);
+  std::printf("%-10s %16.4f %22.4f %8.2f\n", "Fig 6(b)",
+              units::to_nh(full_b), units::to_nh(casc_b),
+              100.0 * (casc_b - full_b) / full_b);
+  std::printf("\npaper Table I: errors 3.57 %% and 1.55 %% — \"the "
+              "discrepancy is small ... hence\nthe linearly cascadable "
+              "conclusion\".  Our full-structure reference merges junction\n"
+              "nodes ideally and keeps shields continuous, which shields "
+              "better than the\npaper's testcases; the conclusion is the "
+              "same.\n");
+
+  // The error mechanism: residual coupling between close-by systems.
+  // Sweep the branch-to-branch gap of tree (a).
+  std::printf("\ncascading error vs branch separation (tree (a) layout):\n");
+  std::printf("%16s %10s\n", "separation (um)", "err %");
+  const double l_ab = segment_loop(tech, um(100), freq);
+  const double l_bc = segment_loop(tech, um(150), freq);
+  const double l_ce = segment_loop(tech, um(250), freq);
+  const double l_bd = segment_loop(tech, um(250), freq);
+  const double l_df = segment_loop(tech, um(100), freq);
+  core::CascadeNode root{l_ab,
+                         {{l_bc, {{l_ce, {}}}}, {l_bd, {{l_df, {}}}}}};
+  const double casc = core::cascade_tree(root);
+  for (double half_gap_um : {4.0, 8.0, 16.0, 64.0}) {
+    solver::Network net;
+    const int as = net.add_node(), ag = net.add_node();
+    const int bs = net.add_node(), bg = net.add_node();
+    const int cs = net.add_node(), cg = net.add_node();
+    const int ds = net.add_node(), dg = net.add_node();
+    const int e = net.add_node();
+    const int f = net.add_node();
+    const double x = um(half_gap_um);
+    std::vector<SegmentSpec> segs{
+        {peec::Axis::kY, 0.0, um(100), 0.0, as, ag, bs, bg},
+        {peec::Axis::kY, um(100), um(150), -x, bs, bg, cs, cg},
+        {peec::Axis::kY, um(250), um(250), -x, cs, cg, e, e},
+        {peec::Axis::kY, um(100), um(250), x, bs, bg, ds, dg},
+        {peec::Axis::kY, um(350), um(100), x, ds, dg, f, f},
+    };
+    const double full = full_loop(tech, segs, net, as, ag, freq);
+    std::printf("%16.0f %10.2f\n", 2.0 * half_gap_um,
+                100.0 * (casc - full) / full);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E4 — Section III: table lookup with bi-cubic spline interpolation vs the
+// direct field solve ("There is no loss of accuracy during the reduction";
+// any residual is interpolation error).
+#include <cstdio>
+#include <random>
+
+#include "core/table_builder.h"
+#include "numeric/stats.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+void sweep(const geom::Technology& tech, geom::PlaneConfig planes,
+           const char* label) {
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(100e-12);
+
+  core::TableGrid grid;
+  grid.widths = geomspace(um(1.5), um(16), 5);
+  grid.spacings = geomspace(um(0.5), um(8), 4);
+  grid.lengths = geomspace(um(200), um(4000), 4);
+
+  const core::InductanceTables tables =
+      core::build_tables(tech, 6, planes, grid, sopt);
+  const core::TableInductanceModel model(tables);
+  const core::DirectInductanceModel direct(&tech, 6, planes, sopt);
+
+  std::printf("---- %s tables (%zu self, %zu mutual entries) ----\n", label,
+              tables.self.values().size(), tables.mutual.values().size());
+  std::printf("%-36s %10s %10s %8s\n", "off-grid query (um)", "table",
+              "direct", "err %");
+
+  std::mt19937_64 rng(12345);
+  auto uni = [&](double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(rng);
+  };
+
+  RunningStats self_err, mut_err;
+  for (int q = 0; q < 8; ++q) {
+    const double w1 = uni(um(2), um(14));
+    const double w2 = uni(um(2), um(14));
+    const double s = uni(um(0.7), um(7));
+    const double l = uni(um(300), um(3500));
+
+    const double st = model.self(w1, l);
+    const double sd = direct.self(w1, l);
+    const double se = 100.0 * (st - sd) / sd;
+    self_err.add(std::abs(se));
+    std::printf("L(w=%5.2f, l=%7.1f)               %10.4f %10.4f %8.2f\n",
+                units::to_um(w1), units::to_um(l), units::to_nh(st),
+                units::to_nh(sd), se);
+
+    const double mt = model.mutual(w1, w2, s, l);
+    const double md = direct.mutual(w1, w2, s, l);
+    const double me = 100.0 * (mt - md) / md;
+    mut_err.add(std::abs(me));
+    std::printf("M(w1=%5.2f,w2=%5.2f,s=%4.2f,l=%7.1f) %10.4f %10.4f %8.2f\n",
+                units::to_um(w1), units::to_um(w2), units::to_um(s),
+                units::to_um(l), units::to_nh(mt), units::to_nh(md), me);
+  }
+  std::printf("|err| self: mean %.2f %%, max %.2f %%;  mutual: mean %.2f "
+              "%%, max %.2f %%\n\n",
+              self_err.mean(), self_err.max(), mut_err.mean(),
+              mut_err.max());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4 / Section III: table + spline lookup vs direct field "
+              "solve ===\n\n");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  sweep(tech, geom::PlaneConfig::kNone, "coplanar / partial-L");
+  sweep(tech, geom::PlaneConfig::kBelow, "microstrip / loop-L");
+  std::printf("the reduction to 1-/2-trace subproblems is lossless; the "
+              "residual above is\nbi-cubic spline interpolation on the "
+              "sparse grid (paper Section III).\n");
+  return 0;
+}

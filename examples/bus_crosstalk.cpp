@@ -1,0 +1,120 @@
+// Bus crosstalk: switching-pattern-dependent delay in a shielded bus
+// (the paper's Figure 4 structure with several live signals).
+//
+// The victim's delay depends on what its neighbours do: switching in the
+// same direction the return currents cancel (higher effective inductance,
+// capacitive coupling relaxed); switching opposite, the coupling caps
+// double-charge and the mutual inductance aids the return.  An RC-only
+// model sees only the capacitive half of this story.
+#include <cstdio>
+
+#include "core/inductance_model.h"
+#include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+enum class Pattern { kQuiet, kSame, kOpposite };
+
+const char* name(Pattern p) {
+  switch (p) {
+    case Pattern::kQuiet: return "neighbours quiet";
+    case Pattern::kSame: return "neighbours same direction";
+    case Pattern::kOpposite: return "neighbours opposite";
+  }
+  return "?";
+}
+
+double victim_delay(const geom::Technology& tech, const geom::Block& bus,
+                    const core::SegmentRlc& seg, Pattern pattern,
+                    bool with_l) {
+  const double vdd = 1.8, tr = 100e-12;
+  ckt::Netlist nl;
+
+  // Three signal traces: aggressor, victim (middle), aggressor.
+  std::vector<ckt::NodeId> ins;
+  std::vector<ckt::NodeId> srcs;
+  for (int k = 0; k < 3; ++k) {
+    const ckt::NodeId src = nl.add_node();
+    const ckt::NodeId in = nl.add_node();
+    nl.add_resistor(src, in, 40.0);
+    srcs.push_back(src);
+    ins.push_back(in);
+  }
+  // Victim rises 0 -> vdd.
+  nl.add_vsource(srcs[1], ckt::kGround, ckt::SourceWaveform::ramp(vdd, tr));
+  // Aggressors per pattern (opposite = start high, fall to 0).
+  for (int k : {0, 2}) {
+    switch (pattern) {
+      case Pattern::kQuiet:
+        nl.add_vsource(srcs[static_cast<std::size_t>(k)], ckt::kGround,
+                       ckt::SourceWaveform::dc(0.0));
+        break;
+      case Pattern::kSame:
+        nl.add_vsource(srcs[static_cast<std::size_t>(k)], ckt::kGround,
+                       ckt::SourceWaveform::ramp(vdd, tr));
+        break;
+      case Pattern::kOpposite:
+        nl.add_vsource(srcs[static_cast<std::size_t>(k)], ckt::kGround,
+                       ckt::SourceWaveform::pwl({{0.0, vdd}, {tr, 0.0}}));
+        break;
+    }
+  }
+
+  core::LadderOptions lopt;
+  lopt.sections = 6;
+  lopt.include_inductance = with_l;
+  const auto outs = core::stamp_segment(nl, bus, seg, ins, lopt);
+  for (const ckt::NodeId out : outs)
+    nl.add_capacitor(out, ckt::kGround, 100e-15);
+
+  ckt::TransientOptions topt;
+  topt.t_stop = 2.5e-9;
+  topt.dt = 0.5e-12;
+  const auto res = ckt::simulate(nl, topt);
+  const auto t50 = res.waveform(outs[1]).first_rise_through(0.5 * vdd);
+  (void)tech;
+  return t50 ? units::to_ps(*t50) : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  // Figure 4: outer grounds shield a 3-signal bus.
+  const geom::Block bus = geom::bus_block(
+      tech, 6, um(3000), {um(6), um(3), um(3), um(3), um(6)},
+      {um(1), um(1), um(1), um(1)});
+
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(100e-12);
+  const core::DirectInductanceModel lmodel(&tech, 6,
+                                           geom::PlaneConfig::kNone, sopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(bus, lmodel);
+
+  std::printf("== Figure 4 bus: victim 50%% arrival vs neighbour switching "
+              "pattern ==\n\n");
+  std::printf("3 mm bus, 3 um signals at 1 um spacing between 6 um "
+              "shields\n\n");
+  std::printf("%-30s %14s %14s %10s\n", "pattern", "RLC (ps)", "RC (ps)",
+              "spread");
+  for (Pattern p :
+       {Pattern::kQuiet, Pattern::kSame, Pattern::kOpposite}) {
+    const double rlc = victim_delay(tech, bus, seg, p, true);
+    const double rc = victim_delay(tech, bus, seg, p, false);
+    std::printf("%-30s %14.2f %14.2f %9.1f%%\n", name(p), rlc, rc,
+                100.0 * (rlc - rc) / rc);
+  }
+  std::printf("\nthe pattern dependence is the inductive+capacitive "
+              "crosstalk the paper's\ntable-based RLC netlists capture; an "
+              "RC extraction sees only the capacitive\npart and badly "
+              "misjudges the pattern spread (and the absolute delays).\n");
+  return 0;
+}

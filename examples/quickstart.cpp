@@ -1,0 +1,92 @@
+// Quickstart: extract RLC for the paper's Figure 1 clock net and show what
+// inductance does to the delay.
+//
+// The structure: a 6000 um coplanar waveguide on the 2-um-thick clock
+// layer — 10 um signal, 5 um grounds, 1 um spacing — driven by a buffer
+// with 40 ohm output resistance.
+#include <cstdio>
+
+#include "cap/extractor.h"
+#include "core/inductance_model.h"
+#include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+int main() {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::Block net =
+      geom::coplanar_waveguide(tech, 6, um(6000), um(10), um(5), um(1));
+
+  // The paper extracts at the significant frequency 0.32 / t_rise.
+  const double t_rise = 200e-12;
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(t_rise);
+
+  std::printf("== rlcx quickstart: Figure 1 coplanar clock net ==\n");
+  std::printf("significant frequency: %.2f GHz\n",
+              units::to_ghz(sopt.frequency));
+
+  // --- Extraction ---
+  const core::DirectInductanceModel lmodel(&tech, 6,
+                                           geom::PlaneConfig::kNone, sopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(net, lmodel);
+
+  std::printf("\nsignal trace:  R = %.2f ohm,  Lp(self) = %.3f nH\n",
+              seg.resistance[1], units::to_nh(seg.inductance(1, 1)));
+  std::printf("shield trace:  R = %.2f ohm,  Lp(self) = %.3f nH\n",
+              seg.resistance[0], units::to_nh(seg.inductance(0, 0)));
+  std::printf("sig-shield mutual Lp = %.3f nH\n",
+              units::to_nh(seg.inductance(0, 1)));
+  std::printf("signal capacitance = %.3f pF total\n",
+              units::to_pf(seg.cap_ground[1] + seg.cap_coupling[0] +
+                           seg.cap_coupling[1]));
+  const solver::LoopResult loop = solver::extract_loop(net, sopt);
+  std::printf("loop inductance (shields as return) = %.3f nH\n",
+              units::to_nh(loop.inductance(0, 0)));
+
+  // --- Simulation: RC-only vs full RLC ---
+  auto run = [&](bool with_l) {
+    ckt::Netlist nl;
+    const ckt::NodeId vin = nl.add_node("vin");
+    const ckt::NodeId buf = nl.add_node("buf_out");
+    nl.add_vsource(vin, ckt::kGround, ckt::SourceWaveform::ramp(1.8, t_rise));
+    // Strong clock driver; see bench_fig1_delay.cpp for why 25 ohm rather
+    // than the paper's nominal 40 (our extracted C puts Z0 near 27 ohm).
+    nl.add_resistor(vin, buf, 25.0);
+    core::LadderOptions lopt;
+    lopt.sections = 8;
+    lopt.include_inductance = with_l;
+    const auto outs = core::stamp_segment(nl, net, seg, {buf}, lopt);
+    nl.add_capacitor(outs[0], ckt::kGround, 50e-15);  // sink buffer input
+
+    ckt::TransientOptions topt;
+    topt.t_stop = 1.5e-9;
+    topt.dt = 1e-12;
+    const ckt::TransientResult res = ckt::simulate(nl, topt);
+    struct Out {
+      double delay, overshoot;
+    };
+    const ckt::Waveform wbuf = res.waveform(buf);
+    const ckt::Waveform wsink = res.waveform(outs[0]);
+    return Out{ckt::delay_50(wbuf, wsink, 1.8), wsink.max() - 1.8};
+  };
+
+  const auto rc = run(false);
+  const auto rlc = run(true);
+  std::printf("\nbuffer-to-sink 50%% delay, RC netlist : %6.2f ps\n",
+              units::to_ps(rc.delay));
+  std::printf("buffer-to-sink 50%% delay, RLC netlist: %6.2f ps\n",
+              units::to_ps(rlc.delay));
+  std::printf("RLC overshoot above Vdd: %.2f mV\n",
+              1e3 * (rlc.overshoot > 0 ? rlc.overshoot : 0.0));
+  std::printf("\n(paper, different process/solver: 28.01 ps vs 47.6 ps —\n"
+              " the point is the RLC delay is much larger and rings)\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Shielding explorer: how shield width and spacing shape the loop
+// inductance, and why the paper's "at least equal width" rule makes
+// segments linearly cascadable (Section IV).
+#include <cstdio>
+
+#include "core/cascade.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "peec/mesh.h"
+#include "solver/block_solver.h"
+#include "solver/frequency.h"
+#include "solver/network.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+// Both extraction paths below must mesh conductors identically, or the
+// full-vs-cascade comparison picks up discretisation mismatch instead of
+// physics.
+peec::MeshOptions common_mesh() {
+  peec::MeshOptions m;
+  m.nw = 4;
+  m.nt = 2;
+  return m;
+}
+
+// Loop inductance of a 3-wire segment (w_sig signal, w_gnd shields).
+double segment_loop_l(const geom::Technology& tech, double len, double w_sig,
+                      double w_gnd, double spacing, double freq) {
+  const geom::Block blk =
+      geom::coplanar_waveguide(tech, 6, len, w_sig, w_gnd, spacing);
+  solver::SolveOptions opt;
+  opt.frequency = freq;
+  opt.auto_mesh = false;
+  opt.mesh = common_mesh();
+  return solver::extract_loop(blk, opt).inductance(0, 0);
+}
+
+// Full two-segment structure solved as one system (ground truth for the
+// cascading comparison).
+double two_segment_full(const geom::Technology& tech, double len1,
+                        double len2, double w_sig, double w_gnd,
+                        double spacing, double freq) {
+  solver::Network net;
+  const int in = net.add_node();
+  const int gnd_in = net.add_node();
+  const int mid_s = net.add_node();
+  const int mid_g = net.add_node();
+  const int far = net.add_node();
+
+  const geom::Layer& layer = tech.layer(6);
+  const peec::MeshOptions mesh = common_mesh();
+  const double pitch = 0.5 * w_sig + spacing + 0.5 * w_gnd;
+
+  auto add3 = [&](int ns_a, int ng_a, int ns_b, int ng_b, double y0,
+                  double len) {
+    auto bar = [&](double xc, double w) {
+      peec::Bar b;
+      b.a_min = y0;
+      b.length = len;
+      b.t_min = xc - 0.5 * w;
+      b.t_width = w;
+      b.z_min = layer.z_bottom;
+      b.z_thick = layer.thickness;
+      return b;
+    };
+    net.add_segment(ns_a, ns_b, bar(0.0, w_sig), layer.rho, mesh);
+    net.add_segment(ng_a, ng_b, bar(-pitch, w_gnd), layer.rho, mesh);
+    net.add_segment(ng_a, ng_b, bar(pitch, w_gnd), layer.rho, mesh);
+  };
+  add3(in, gnd_in, mid_s, mid_g, 0.0, len1);
+  add3(mid_s, mid_g, far, far, len1, len2);  // far ends shorted
+  return net.loop_impedance(in, gnd_in, freq).inductance;
+}
+
+}  // namespace
+
+int main() {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const double freq = solver::significant_frequency(100e-12);
+  const double w_sig = um(4), len = um(1000);
+
+  std::printf("== loop inductance vs shield geometry (1000 um, 4 um signal) "
+              "==\n\n");
+  std::printf("%-14s %-14s %s\n", "shield w (um)", "spacing (um)",
+              "loop L (nH)");
+  for (double wg : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    for (double s : {0.5, 1.0, 2.0}) {
+      const double l =
+          segment_loop_l(tech, len, w_sig, um(wg), um(s), freq);
+      std::printf("%-14.1f %-14.1f %.4f\n", wg, s, units::to_nh(l));
+    }
+  }
+
+  std::printf("\n== linear cascading error vs shield width (Section IV) "
+              "==\n\n");
+  std::printf("%-14s %-12s %-12s %-9s %s\n", "shield w (um)", "full nH",
+              "cascade nH", "err %", "precondition");
+  for (double wg : {1.0, 2.0, 4.0, 8.0}) {
+    const double l1 =
+        segment_loop_l(tech, um(600), w_sig, um(wg), um(1), freq);
+    const double l2 =
+        segment_loop_l(tech, um(400), w_sig, um(wg), um(1), freq);
+    const double cascade = core::series_inductance({l1, l2});
+    const double full =
+        two_segment_full(tech, um(600), um(400), w_sig, um(wg), um(1), freq);
+    const bool ok = core::cascade_precondition(w_sig, um(wg), um(wg));
+    std::printf("%-14.1f %-12.4f %-12.4f %-9.2f %s\n", wg,
+                units::to_nh(full), units::to_nh(cascade),
+                100.0 * (cascade - full) / full, ok ? "met" : "NOT met");
+  }
+  std::printf("\nWider shields confine the return current, so independently "
+              "extracted\nsegments combine almost exactly — the paper's "
+              "\"at least equal width\" rule.\n");
+  return 0;
+}

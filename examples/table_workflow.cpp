@@ -1,0 +1,74 @@
+// Table workflow: pre-characterise inductance tables with the field solver,
+// persist them, reload, and compare spline lookups against direct solves —
+// the complete Section III flow.
+#include <cstdio>
+#include <sstream>
+
+#include "core/table_builder.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+int main() {
+  const geom::Technology tech = geom::Technology::generic_025um();
+
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(100e-12);
+
+  // A compact grid keeps this example fast; production tables just use a
+  // denser TableGrid.
+  core::TableGrid grid;
+  grid.widths = geomspace(um(2), um(16), 4);
+  grid.spacings = geomspace(um(0.5), um(8), 4);
+  grid.lengths = geomspace(um(250), um(4000), 4);
+
+  std::printf("building coplanar (partial-L) tables: %zux%zux%zu grid...\n",
+              grid.widths.size(), grid.spacings.size(), grid.lengths.size());
+  const core::InductanceTables tables = core::build_tables(
+      tech, 6, geom::PlaneConfig::kNone, grid, sopt);
+
+  // Persist and reload (round-trip through a stream; a file works the same
+  // via save_file/load_file).
+  std::stringstream buf;
+  tables.self.save(buf);
+  tables.mutual.save(buf);
+  core::InductanceTables reloaded = tables;
+  reloaded.self = core::NdTable::load(buf);
+  reloaded.mutual = core::NdTable::load(buf);
+  const core::TableInductanceModel model(reloaded);
+  std::printf("tables saved and reloaded (%zu + %zu entries)\n",
+              tables.self.values().size(), tables.mutual.values().size());
+
+  // Off-grid queries vs direct field solves.
+  const core::DirectInductanceModel direct(
+      &tech, 6, geom::PlaneConfig::kNone, sopt);
+  struct Q {
+    double w1, w2, s, l;
+  };
+  const Q queries[] = {
+      {um(3), um(3), um(1), um(1000)},
+      {um(10), um(5), um(1), um(3000)},
+      {um(6), um(12), um(3), um(500)},
+  };
+  std::printf("\n%-34s %12s %12s %8s\n", "query (w1,w2,s,l um)",
+              "table nH", "solver nH", "err %");
+  for (const Q& q : queries) {
+    const double mt = model.mutual(q.w1, q.w2, q.s, q.l);
+    const double md = direct.mutual(q.w1, q.w2, q.s, q.l);
+    std::printf("M  (%4.1f,%4.1f,%4.1f,%6.0f)        %12.4f %12.4f %7.2f\n",
+                units::to_um(q.w1), units::to_um(q.w2), units::to_um(q.s),
+                units::to_um(q.l), units::to_nh(mt), units::to_nh(md),
+                100.0 * (mt - md) / md);
+    const double st = model.self(q.w1, q.l);
+    const double sd = direct.self(q.w1, q.l);
+    std::printf("L  (%4.1f,          %6.0f)        %12.4f %12.4f %7.2f\n",
+                units::to_um(q.w1), units::to_um(q.l), units::to_nh(st),
+                units::to_nh(sd), 100.0 * (st - sd) / sd);
+  }
+  std::printf("\nSection III claim: reduction to 1-/2-trace subproblems "
+              "loses no accuracy;\nresidual error is spline interpolation "
+              "only.\n");
+  return 0;
+}

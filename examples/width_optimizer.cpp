@@ -1,0 +1,77 @@
+// Clocktree width optimization under the RLC model.
+//
+// The paper's point is that RC-only models mislead clocktree design; this
+// example makes that concrete: sweep the trunk width of an H-tree and pick
+// the width that minimises the worst sink delay.  The RC model always says
+// "wider is better" (less resistance); the RLC model knows wider trunks
+// also mean more capacitance into an inductive line and a weaker
+// wave-launch, so its optimum is finite — and the two models disagree.
+#include <cstdio>
+#include <vector>
+
+#include "clocktree/skew.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+using units::um;
+
+int main() {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  clocktree::HTreeSpec spec = clocktree::example_cpw_tree();
+  spec.levels.resize(2);  // keep the sweep quick: 2 levels, 2 sinks
+
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(spec.driver.t_rise);
+  core::InductanceLibrary lib;
+  lib.add(spec.layer, geom::PlaneConfig::kNone,
+          std::make_shared<core::DirectInductanceModel>(
+              &tech, spec.layer, geom::PlaneConfig::kNone, sopt));
+
+  clocktree::AnalysisOptions aopt;
+  aopt.ladder.sections = 4;
+
+  // Optimise worst-case clock *latency* (absolute 50% arrival at the worst
+  // sink): unlike the buffer-relative delay, it stays well-defined even
+  // when the buffer output rings around the threshold.
+  std::printf("== trunk width sweep: worst sink arrival under RLC vs RC "
+              "==\n\n");
+  std::printf("%14s %18s %18s %12s\n", "trunk w (um)", "RLC arrival (ps)",
+              "RC arrival (ps)", "RLC skew ps");
+
+  const std::vector<double> widths{4.0, 6.0, 8.0, 12.0, 16.0, 24.0};
+  double best_rlc = 1e9, best_rlc_w = 0.0;
+  double best_rc = 1e9, best_rc_w = 0.0;
+  for (double w : widths) {
+    spec.levels[0].signal_width = um(w);
+    spec.levels[0].ground_width = um(w);  // keep the Section IV guard rule
+    const clocktree::RcVsRlc cmp =
+        clocktree::compare_rc_rlc(tech, spec, lib, aopt);
+    std::printf("%14.1f %18.2f %18.2f %12.2f\n", w,
+                units::to_ps(cmp.rlc.max_arrival),
+                units::to_ps(cmp.rc.max_arrival),
+                units::to_ps(cmp.rlc.skew));
+    if (cmp.rlc.max_arrival < best_rlc) {
+      best_rlc = cmp.rlc.max_arrival;
+      best_rlc_w = w;
+    }
+    if (cmp.rc.max_arrival < best_rc) {
+      best_rc = cmp.rc.max_arrival;
+      best_rc_w = w;
+    }
+  }
+
+  std::printf("\noptimum trunk width:  RLC model -> %.1f um (%.2f ps "
+              "arrival);  RC model -> %.1f um (%.2f ps arrival)\n",
+              best_rlc_w, units::to_ps(best_rlc), best_rc_w,
+              units::to_ps(best_rc));
+  if (best_rlc_w != best_rc_w) {
+    std::printf("the models disagree: sizing a clocktree with an RC-only "
+                "extractor picks the\nwrong width — the paper's case for "
+                "RLC extraction in the clock flow.\n");
+  } else {
+    std::printf("the models happen to agree here; rerun with faster edges "
+                "(--trise) to see\nthem diverge.\n");
+  }
+  return 0;
+}

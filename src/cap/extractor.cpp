@@ -1,0 +1,92 @@
+#include "cap/extractor.h"
+
+#include <stdexcept>
+
+#include "cap/models.h"
+
+namespace rlcx::cap {
+
+double CapResult::total(std::size_t i) const {
+  double c = cg.at(i);
+  if (i > 0) c += cc.at(i - 1);
+  if (i < cc.size()) c += cc.at(i);
+  return c;
+}
+
+double ground_height(const geom::Block& block) {
+  const geom::PlaneConfig pc = block.planes();
+  if (pc == geom::PlaneConfig::kBelow || pc == geom::PlaneConfig::kBothSides)
+    return block.height_above_plane();
+  // No plane: the orthogonal routing layer below (N-1) is dense enough to
+  // act as an AC ground for capacitance (it cannot for inductance — that is
+  // the whole point of the paper's Section II).
+  const int below = block.layer_index() - 1;
+  if (block.tech().has_layer(below))
+    return block.tech().dielectric_gap(below, block.layer_index());
+  // Bottom layer: fall back to the full stack height to the substrate.
+  return block.layer().z_bottom;
+}
+
+CapResult extract_cap(const geom::Block& block) {
+  const double h_down = ground_height(block);
+  if (h_down <= 0.0) throw std::logic_error("extract_cap: no dielectric below");
+  const double t = block.layer().thickness;
+  const double eps_r = block.tech().eps_r();
+  const std::size_t n = block.size();
+  const bool has_plane_above =
+      block.planes() == geom::PlaneConfig::kAbove ||
+      block.planes() == geom::PlaneConfig::kBothSides;
+
+  CapResult res;
+  res.cg.resize(n);
+  res.cc.resize(n > 0 ? n - 1 : 0);
+
+  // Area + fringe toward a ground at distance h, with each side's fringe
+  // shielded by a close neighbour: the neighbour intercepts field lines
+  // that would have reached the ground, scaling that side's fringe by
+  // s/(s+h).
+  auto ground_cap = [&](std::size_t i, double h) {
+    const double w = block.trace(i).width;
+    const double area = 1.15 * parallel_plate_cul(w, h, eps_r);
+    const double fringe_half =
+        0.5 * (sakurai_total_cul(w, t, h, eps_r) - area);
+    double fringe = 0.0;
+    if (i == 0) {
+      fringe += fringe_half;
+    } else {
+      const double s = block.spacing(i - 1, i);
+      fringe += fringe_half * s / (s + h);
+    }
+    if (i + 1 == n) {
+      fringe += fringe_half;
+    } else {
+      const double s = block.spacing(i, i + 1);
+      fringe += fringe_half * s / (s + h);
+    }
+    return area + fringe;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    res.cg[i] = ground_cap(i, h_down);
+    if (has_plane_above) {
+      const double h_up = block.tech().dielectric_gap(
+          block.layer_index(), block.plane_layer_above());
+      res.cg[i] += ground_cap(i, h_up);
+    }
+  }
+
+  const bool over_plane =
+      block.planes() == geom::PlaneConfig::kBelow ||
+      block.planes() == geom::PlaneConfig::kBothSides;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double s = block.spacing(i, i + 1);
+    const double w_avg =
+        0.5 * (block.trace(i).width + block.trace(i + 1).width);
+    res.cc[i] = over_plane
+                    ? sakurai_coupling_cul(w_avg, t, h_down, s, eps_r)
+                    : coplanar_coupling_cul(t, s, eps_r);
+  }
+  return res;
+}
+
+}  // namespace rlcx::cap

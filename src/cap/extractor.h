@@ -1,0 +1,35 @@
+// Block-level capacitance extraction via the paper's short-range argument:
+// "for a block, only the mutual capacitance between adjacent traces are
+// important, and the rest of the mutual capacitance can be ignored", so the
+// n-trace problem reduces to 3-trace subproblems (Section II).
+#pragma once
+
+#include <vector>
+
+#include "geom/block.h"
+
+namespace rlcx::cap {
+
+/// Per-unit-length capacitances of every trace in a block.
+struct CapResult {
+  /// Ground capacitance per trace [F/m]: to the plane below (microstrip) or
+  /// to the orthogonal routing layer below treated as AC ground (Figure 1's
+  /// "orthogonal signal layer is assumed to be below").
+  std::vector<double> cg;
+  /// Coupling capacitance to the right-hand neighbour [F/m]; entry i couples
+  /// trace i and i+1 (size n-1).  Longer-range couplings are dropped.
+  std::vector<double> cc;
+
+  /// Total capacitance of trace i (ground + both neighbours) [F/m].
+  double total(std::size_t i) const;
+};
+
+/// Extract per-unit-length capacitance for the block.
+CapResult extract_cap(const geom::Block& block);
+
+/// The effective "ground below" distance used for the ground capacitance:
+/// plane gap when the block is a microstrip/stripline, otherwise the gap to
+/// the orthogonal layer N-1.
+double ground_height(const geom::Block& block);
+
+}  // namespace rlcx::cap

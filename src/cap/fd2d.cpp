@@ -1,0 +1,232 @@
+#include "cap/fd2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cap/extractor.h"
+#include "numeric/units.h"
+
+namespace rlcx::cap {
+
+namespace {
+
+constexpr double kNoPlane = -1e18;
+
+struct Grid {
+  int nx = 0, nz = 0;
+  double x0 = 0.0, z0 = 0.0, h = 0.0;
+  bool plane_bottom = false;
+  std::vector<int> owner;       // conductor index per node, -1 = free
+  std::vector<double> phi;
+
+  int idx(int ix, int iz) const { return iz * nx + ix; }
+};
+
+Grid build_grid(const std::vector<FdConductor>& conductors, double plane_z,
+                const Fd2dOptions& opt) {
+  if (conductors.empty())
+    throw std::invalid_argument("fd2d: no conductors");
+  if (opt.cell <= 0.0) throw std::invalid_argument("fd2d: cell size");
+  if (opt.margin < opt.cell) throw std::invalid_argument("fd2d: margin");
+
+  double x_lo = conductors[0].x_min, x_hi = conductors[0].x_max;
+  double z_lo = conductors[0].z_min, z_hi = conductors[0].z_max;
+  for (const FdConductor& c : conductors) {
+    if (c.x_max <= c.x_min || c.z_max <= c.z_min)
+      throw std::invalid_argument("fd2d: degenerate conductor");
+    x_lo = std::min(x_lo, c.x_min);
+    x_hi = std::max(x_hi, c.x_max);
+    z_lo = std::min(z_lo, c.z_min);
+    z_hi = std::max(z_hi, c.z_max);
+  }
+
+  Grid g;
+  g.h = opt.cell;
+  g.plane_bottom = plane_z > kNoPlane;
+  if (g.plane_bottom && plane_z > z_lo)
+    throw std::invalid_argument("fd2d: plane above conductors");
+  g.x0 = x_lo - opt.margin;
+  g.z0 = g.plane_bottom ? plane_z : z_lo - opt.margin;
+  g.nx = static_cast<int>(std::ceil((x_hi + opt.margin - g.x0) / g.h)) + 1;
+  g.nz = static_cast<int>(std::ceil((z_hi + opt.margin - g.z0) / g.h)) + 1;
+  if (static_cast<long long>(g.nx) * g.nz > 4'000'000)
+    throw std::invalid_argument("fd2d: grid too large; coarsen the cell");
+
+  g.owner.assign(static_cast<std::size_t>(g.nx) * g.nz, -1);
+  g.phi.assign(g.owner.size(), 0.0);
+  for (std::size_t c = 0; c < conductors.size(); ++c) {
+    const FdConductor& k = conductors[c];
+    int ix0 = static_cast<int>(std::lround((k.x_min - g.x0) / g.h));
+    int ix1 = static_cast<int>(std::lround((k.x_max - g.x0) / g.h));
+    int iz0 = static_cast<int>(std::lround((k.z_min - g.z0) / g.h));
+    int iz1 = static_cast<int>(std::lround((k.z_max - g.z0) / g.h));
+    if (ix1 <= ix0) ix1 = ix0 + 1;  // at least one cell across
+    if (iz1 <= iz0) iz1 = iz0 + 1;
+    for (int iz = iz0; iz <= iz1; ++iz)
+      for (int ix = ix0; ix <= ix1; ++ix) {
+        if (ix < 0 || ix >= g.nx || iz < 0 || iz >= g.nz)
+          throw std::logic_error("fd2d: conductor outside grid");
+        if (g.owner[static_cast<std::size_t>(g.idx(ix, iz))] >= 0)
+          throw std::invalid_argument("fd2d: overlapping conductors");
+        g.owner[static_cast<std::size_t>(g.idx(ix, iz))] =
+            static_cast<int>(c);
+      }
+  }
+  return g;
+}
+
+/// One SOR solve with conductor `drive` at 1 V.  Returns max update of the
+/// final sweep (for convergence checking in tests).
+void solve(Grid& g, int drive, const Fd2dOptions& opt) {
+  // Initialise potentials: conductors fixed, free space 0.
+  for (int iz = 0; iz < g.nz; ++iz)
+    for (int ix = 0; ix < g.nx; ++ix) {
+      const int o = g.owner[static_cast<std::size_t>(g.idx(ix, iz))];
+      g.phi[static_cast<std::size_t>(g.idx(ix, iz))] =
+          (o == drive) ? 1.0 : 0.0;
+    }
+
+  // Boundary handling: bottom row is Dirichlet 0 when a plane is present,
+  // otherwise all four box edges are the far ground (Dirichlet 0).  With a
+  // plane, sides and top are Neumann (mirror).
+  const bool neumann_sides = g.plane_bottom;
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    double max_delta = 0.0;
+    for (int iz = 0; iz < g.nz; ++iz) {
+      const bool bottom = iz == 0;
+      const bool top = iz == g.nz - 1;
+      if (bottom) continue;  // Dirichlet 0 (plane or far box)
+      if (top && !neumann_sides) continue;
+      for (int ix = 0; ix < g.nx; ++ix) {
+        const bool left = ix == 0;
+        const bool right = ix == g.nx - 1;
+        if ((left || right) && !neumann_sides) continue;
+        const std::size_t at = static_cast<std::size_t>(g.idx(ix, iz));
+        if (g.owner[at] >= 0) continue;
+        // Mirror out-of-range neighbours (Neumann) where applicable.
+        const double pw = g.phi[static_cast<std::size_t>(
+            g.idx(left ? ix + 1 : ix - 1, iz))];
+        const double pe = g.phi[static_cast<std::size_t>(
+            g.idx(right ? ix - 1 : ix + 1, iz))];
+        const double ps =
+            g.phi[static_cast<std::size_t>(g.idx(ix, iz - 1))];
+        const double pn = g.phi[static_cast<std::size_t>(
+            g.idx(ix, top ? iz - 1 : iz + 1))];
+        const double target = 0.25 * (pw + pe + ps + pn);
+        const double next =
+            (1.0 - opt.omega) * g.phi[at] + opt.omega * target;
+        max_delta = std::max(max_delta, std::abs(next - g.phi[at]));
+        g.phi[at] = next;
+      }
+    }
+    if (max_delta < opt.tolerance) return;
+  }
+  // Not converged to tolerance: accept the result; accuracy tests guard it.
+}
+
+/// Boundary charge of every conductor for the current potential field.
+std::vector<double> charges(const Grid& g, std::size_t n, double eps_r) {
+  std::vector<double> q(n, 0.0);
+  const double eps = kEps0 * eps_r;
+  auto phi_at = [&](int ix, int iz) {
+    return g.phi[static_cast<std::size_t>(g.idx(ix, iz))];
+  };
+  for (int iz = 0; iz < g.nz; ++iz)
+    for (int ix = 0; ix < g.nx; ++ix) {
+      const int o = g.owner[static_cast<std::size_t>(g.idx(ix, iz))];
+      if (o < 0) continue;
+      const double pc = phi_at(ix, iz);
+      const int nb[4][2] = {
+          {ix - 1, iz}, {ix + 1, iz}, {ix, iz - 1}, {ix, iz + 1}};
+      for (const auto& [jx, jz] : nb) {
+        if (jx < 0 || jx >= g.nx || jz < 0 || jz >= g.nz) continue;
+        if (g.owner[static_cast<std::size_t>(g.idx(jx, jz))] >= 0) continue;
+        // Flux through the face toward the free node: eps * (phi_nb - phi_c)
+        // (face length h over node distance h cancels).
+        q[static_cast<std::size_t>(o)] += eps * (phi_at(jx, jz) - pc);
+      }
+    }
+  for (double& v : q) v = -v;  // charge = -eps * dphi/dn outward
+  return q;
+}
+
+}  // namespace
+
+RealMatrix fd_capacitance_matrix(const std::vector<FdConductor>& conductors,
+                                 double eps_r, double ground_plane_z,
+                                 const Fd2dOptions& opt) {
+  if (eps_r <= 0.0) throw std::invalid_argument("fd2d: eps_r");
+  Grid g = build_grid(conductors, ground_plane_z, opt);
+  const std::size_t n = conductors.size();
+  RealMatrix c(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    solve(g, static_cast<int>(j), opt);
+    const std::vector<double> q = charges(g, n, eps_r);
+    for (std::size_t i = 0; i < n; ++i) c(i, j) = q[i];
+  }
+  // Symmetrise (discretisation leaves ~1e-3 asymmetry).
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double m = 0.5 * (c(i, j) + c(j, i));
+      c(i, j) = m;
+      c(j, i) = m;
+    }
+  return c;
+}
+
+namespace {
+
+std::vector<FdConductor> block_conductors(const geom::Block& block) {
+  std::vector<FdConductor> out;
+  const geom::Layer& layer = block.layer();
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const geom::Trace& t = block.trace(i);
+    out.push_back({t.x_left(), t.x_right(), layer.z_bottom, layer.z_top()});
+  }
+  return out;
+}
+
+}  // namespace
+
+RealMatrix fd_block_capacitance(const geom::Block& block,
+                                const Fd2dOptions& opt) {
+  const double h = ground_height(block);
+  const double plane_z = block.layer().z_bottom - h;
+  return fd_capacitance_matrix(block_conductors(block),
+                               block.tech().eps_r(), plane_z, opt);
+}
+
+FdCapResult extract_cap_fd(const geom::Block& block,
+                           const Fd2dOptions& opt) {
+  const std::size_t n = block.size();
+  FdCapResult res;
+  res.cg.assign(n, 0.0);
+  res.cc.assign(n > 0 ? n - 1 : 0, 0.0);
+
+  // The paper's short-range reduction: each trace with its two adjacent
+  // neighbours forms a 3-trace subproblem.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> keep;
+    if (i > 0) keep.push_back(i - 1);
+    keep.push_back(i);
+    if (i + 1 < n) keep.push_back(i + 1);
+    const geom::Block sub = block.subproblem(keep);
+    const RealMatrix c = fd_block_capacitance(sub, opt);
+    // Position of trace i within the subproblem.
+    std::size_t mid = 0;
+    while (keep[mid] != i) ++mid;
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < keep.size(); ++j) row_sum += c(mid, j);
+    res.cg[i] = row_sum;
+    // Coupling to the right-hand neighbour, from this subproblem.
+    if (i + 1 < n) {
+      const std::size_t right = mid + 1;
+      res.cc[i] = -c(mid, right);
+    }
+  }
+  return res;
+}
+
+}  // namespace rlcx::cap

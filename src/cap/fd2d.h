@@ -1,0 +1,60 @@
+// 2-D finite-difference capacitance solver — the numerical reference the
+// closed-form models approximate, standing in for the Raphael capacitance
+// solves behind the paper's pre-characterised tables [4].
+//
+// Cross-sections are x-z rectangles of conductors in a uniform dielectric.
+// The Laplace equation is solved by SOR on a regular grid; conductor k is
+// driven to 1 V with the rest grounded, and the Maxwell capacitance matrix
+// follows from the boundary charge of every conductor.  Per-unit-length
+// values [F/m], like everything else in rlcx_cap.
+#pragma once
+
+#include <vector>
+
+#include "geom/block.h"
+#include "numeric/matrix.h"
+
+namespace rlcx::cap {
+
+/// A conductor rectangle in the cross-section plane.
+struct FdConductor {
+  double x_min = 0.0, x_max = 0.0;  ///< [m]
+  double z_min = 0.0, z_max = 0.0;  ///< [m]
+};
+
+struct Fd2dOptions {
+  /// Grid cell size [m].  Must be several times smaller than the narrowest
+  /// conductor gap, or the sidewall field between close traces is
+  /// unresolved and the coupling comes out badly low.
+  double cell = 0.25e-6;
+  double margin = 8e-6;      ///< simulation margin around the conductors [m]
+  int max_iterations = 40000;
+  double tolerance = 1e-7;   ///< max potential update per sweep [V]
+  double omega = 1.92;       ///< SOR relaxation factor
+};
+
+/// Maxwell capacitance matrix [F/m] of the conductor set.
+/// `ground_plane_z`: if finite (>= -1e17), a grounded plane forms the
+/// bottom boundary at that height; otherwise the far box is the ground.
+RealMatrix fd_capacitance_matrix(const std::vector<FdConductor>& conductors,
+                                 double eps_r, double ground_plane_z,
+                                 const Fd2dOptions& options = {});
+
+/// Convenience: run the solver on a geometry Block (all traces), with the
+/// ground plane at the block's capacitive ground height (plane below or the
+/// orthogonal layer N-1, as in extract_cap).
+RealMatrix fd_block_capacitance(const geom::Block& block,
+                                const Fd2dOptions& options = {});
+
+/// Signal-oriented summary like extract_cap's CapResult: ground capacitance
+/// per trace and adjacent coupling, derived from the Maxwell matrix of the
+/// 3-trace subproblems (the paper's short-range reduction).
+struct FdCapResult {
+  std::vector<double> cg;  ///< [F/m]
+  std::vector<double> cc;  ///< adjacent couplings, size n-1 [F/m]
+};
+
+FdCapResult extract_cap_fd(const geom::Block& block,
+                           const Fd2dOptions& options = {});
+
+}  // namespace rlcx::cap

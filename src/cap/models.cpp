@@ -1,0 +1,81 @@
+#include "cap/models.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "numeric/elliptic.h"
+#include "numeric/units.h"
+
+namespace rlcx::cap {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (v <= 0.0) throw std::invalid_argument(std::string("cap model: ") + what);
+}
+}  // namespace
+
+double parallel_plate_cul(double width, double height, double eps_r) {
+  require_positive(width, "width");
+  require_positive(height, "height");
+  require_positive(eps_r, "eps_r");
+  return kEps0 * eps_r * width / height;
+}
+
+double sakurai_total_cul(double width, double thickness, double height,
+                         double eps_r) {
+  require_positive(width, "width");
+  require_positive(thickness, "thickness");
+  require_positive(height, "height");
+  require_positive(eps_r, "eps_r");
+  const double wh = width / height;
+  const double th = thickness / height;
+  return kEps0 * eps_r * (1.15 * wh + 2.80 * std::pow(th, 0.222));
+}
+
+double sakurai_coupling_cul(double width, double thickness, double height,
+                            double spacing, double eps_r) {
+  require_positive(width, "width");
+  require_positive(thickness, "thickness");
+  require_positive(height, "height");
+  require_positive(spacing, "spacing");
+  require_positive(eps_r, "eps_r");
+  const double wh = width / height;
+  const double th = thickness / height;
+  const double base =
+      0.03 * wh + 0.83 * th - 0.07 * std::pow(th, 0.222);
+  return kEps0 * eps_r * base * std::pow(spacing / height, -1.34);
+}
+
+double cpw_total_cul(double signal_width, double spacing, double eps_r) {
+  require_positive(signal_width, "width");
+  require_positive(spacing, "spacing");
+  require_positive(eps_r, "eps_r");
+  const double k = signal_width / (signal_width + 2.0 * spacing);
+  const double eps_eff = 0.5 * (eps_r + 1.0);
+  return 4.0 * kEps0 * eps_eff * elliptic_k_ratio(k);
+}
+
+double coplanar_coupling_cul(double thickness, double spacing, double eps_r) {
+  require_positive(thickness, "thickness");
+  require_positive(spacing, "spacing");
+  require_positive(eps_r, "eps_r");
+  // Sidewall plate term plus a near-constant fringing allowance per edge
+  // pair (~1.2 eps), the standard first-order coplanar coupling estimate.
+  return kEps0 * eps_r * (thickness / spacing) + 1.2 * kEps0 * eps_r;
+}
+
+double resistance_pul(double width, double thickness, double rho) {
+  require_positive(width, "width");
+  require_positive(thickness, "thickness");
+  require_positive(rho, "rho");
+  return rho / (width * thickness);
+}
+
+double segment_resistance(double width, double thickness, double length,
+                          double rho) {
+  require_positive(length, "length");
+  return resistance_pul(width, thickness, rho) * length;
+}
+
+}  // namespace rlcx::cap

@@ -1,0 +1,45 @@
+// Closed-form per-unit-length capacitance and resistance models.
+//
+// The paper extracts capacitance with a numerical solver (Raphael) through
+// pre-characterised tables [4]; the substitution here uses published
+// closed forms that reproduce the same magnitudes and sensitivities:
+//   * Sakurai-Tamaru for a line over a ground plane (area + fringe),
+//   * an empirical (s/h)^-1.34 coupling law for parallel lines over a plane,
+//   * conformal mapping (elliptic integrals) for the coplanar waveguide,
+//   * rho*l/(w*t) for resistance, as the paper itself does analytically.
+// All results are per unit length [F/m], [ohm/m]; multiply by segment length.
+#pragma once
+
+namespace rlcx::cap {
+
+/// Plain parallel-plate capacitance per unit length: eps * w / h.
+double parallel_plate_cul(double width, double height, double eps_r);
+
+/// Sakurai-Tamaru single line over a plane: area term plus edge fringe,
+/// C = eps (1.15 w/h + 2.80 (t/h)^0.222).  Accurate to ~6 % for
+/// 0.3 < w/h < 30 and 0.3 < t/h < 10.
+double sakurai_total_cul(double width, double thickness, double height,
+                         double eps_r);
+
+/// Coupling capacitance between two parallel lines over a plane, spacing s:
+/// C = eps (0.03 w/h + 0.83 t/h - 0.07 (t/h)^0.222) (s/h)^-1.34.
+double sakurai_coupling_cul(double width, double thickness, double height,
+                            double spacing, double eps_r);
+
+/// Coplanar waveguide (G-S-G, no plane): total signal capacitance to the
+/// two grounds via conformal mapping, C = 4 eps0 eps_eff K(k)/K(k') with
+/// k = w/(w+2s) and eps_eff = (eps_r+1)/2 for a thick substrate.
+double cpw_total_cul(double signal_width, double spacing, double eps_r);
+
+/// Edge-to-edge coupling of two coplanar traces without a plane:
+/// parallel-plate sidewall term t/s plus a constant fringe allowance.
+double coplanar_coupling_cul(double thickness, double spacing, double eps_r);
+
+/// Series resistance per unit length, rho / (w t).
+double resistance_pul(double width, double thickness, double rho);
+
+/// Sheet-style lumped resistance of a segment, rho l / (w t).
+double segment_resistance(double width, double thickness, double length,
+                          double rho);
+
+}  // namespace rlcx::cap

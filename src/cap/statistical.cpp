@@ -1,0 +1,96 @@
+#include "cap/statistical.h"
+
+#include <stdexcept>
+
+#include "cap/models.h"
+
+namespace rlcx::cap {
+
+RcPoint evaluate_rc(double w, double t, double h, double s, double rho,
+                    double eps_r, const GeometrySample& g) {
+  const double ws = w * g.w_scale;
+  const double ts = t * g.t_scale;
+  const double hs = h * g.h_scale;
+  // Constant pitch: what width gains, spacing loses.
+  const double ss = s - (ws - w);
+  if (ss <= 0.0)
+    throw std::invalid_argument("evaluate_rc: width bias closes the gap");
+  RcPoint p;
+  p.r_pul = resistance_pul(ws, ts, rho);
+  p.c_pul = sakurai_total_cul(ws, ts, hs, eps_r) +
+            2.0 * sakurai_coupling_cul(ws, ts, hs, ss, eps_r);
+  return p;
+}
+
+RcCorners rc_corners(double w, double t, double h, double s, double rho,
+                     double eps_r, const ProcessVariation& pv,
+                     double nsigma) {
+  RcCorners c;
+  c.nominal = evaluate_rc(w, t, h, s, rho, eps_r, {});
+
+  // Delay ~ R*C.  R falls with w and t; C rises with w and t and falls
+  // with h.  The worst R*C corner is not a single monotone direction, so
+  // probe all 2^3 sign corners and keep the extremes — cheap and robust,
+  // exactly what [4]'s corner generation converges to.
+  double worst = -1.0, best = -1.0;
+  for (int sw : {-1, +1}) {
+    for (int st : {-1, +1}) {
+      for (int sh : {-1, +1}) {
+        GeometrySample g;
+        g.w_scale = 1.0 + sw * nsigma * pv.sigma_w;
+        g.t_scale = 1.0 + st * nsigma * pv.sigma_t;
+        g.h_scale = 1.0 + sh * nsigma * pv.sigma_h;
+        const RcPoint p = evaluate_rc(w, t, h, s, rho, eps_r, g);
+        const double rc = p.r_pul * p.c_pul;
+        if (worst < 0.0 || rc > worst) {
+          worst = rc;
+          c.worst = p;
+        }
+        if (best < 0.0 || rc < best) {
+          best = rc;
+          c.best = p;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+RcDistribution monte_carlo_rc(double w, double t, double h, double s,
+                              double rho, double eps_r,
+                              const ProcessVariation& pv, int samples,
+                              std::uint64_t seed) {
+  if (samples < 1) throw std::invalid_argument("monte_carlo_rc: samples");
+  GaussianSampler rng(seed);
+  RcDistribution d;
+  for (int i = 0; i < samples; ++i) {
+    GeometrySample g;
+    g.w_scale = rng.sample_truncated(1.0, pv.sigma_w);
+    g.t_scale = rng.sample_truncated(1.0, pv.sigma_t);
+    g.h_scale = rng.sample_truncated(1.0, pv.sigma_h);
+    const RcPoint p = evaluate_rc(w, t, h, s, rho, eps_r, g);
+    d.r.add(p.r_pul);
+    d.c.add(p.c_pul);
+  }
+  return d;
+}
+
+RunningStats monte_carlo_metric(const ProcessVariation& pv, int samples,
+                                const std::function<double(
+                                    const GeometrySample&)>& metric,
+                                std::uint64_t seed) {
+  if (samples < 1) throw std::invalid_argument("monte_carlo_metric: samples");
+  if (!metric) throw std::invalid_argument("monte_carlo_metric: metric");
+  GaussianSampler rng(seed);
+  RunningStats stats;
+  for (int i = 0; i < samples; ++i) {
+    GeometrySample g;
+    g.w_scale = rng.sample_truncated(1.0, pv.sigma_w);
+    g.t_scale = rng.sample_truncated(1.0, pv.sigma_t);
+    g.h_scale = rng.sample_truncated(1.0, pv.sigma_h);
+    stats.add(metric(g));
+  }
+  return stats;
+}
+
+}  // namespace rlcx::cap

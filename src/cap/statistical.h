@@ -1,0 +1,77 @@
+// Statistically-based RC modeling under process variation (paper ref. [4],
+// "Fast Generation of Statistically-based Worst-Case Modeling of On-Chip
+// Interconnect").
+//
+// Geometry parameters (width bias, metal thickness, dielectric height) vary
+// as independent Gaussians.  The module generates worst/best-case corners
+// and Monte-Carlo distributions of per-unit-length R and C.  Section V of
+// the paper combines the *nominal* inductance with this statistical RC,
+// because L is insensitive to these variations — bench E7 quantifies that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "geom/block.h"
+#include "numeric/stats.h"
+
+namespace rlcx::cap {
+
+/// 1-sigma process variation, as fractions of the nominal values.
+struct ProcessVariation {
+  double sigma_w = 0.05;  ///< line-width bias
+  double sigma_t = 0.05;  ///< metal thickness
+  double sigma_h = 0.08;  ///< dielectric height below
+};
+
+/// One sampled/cornered geometry, as multipliers on the nominal.
+struct GeometrySample {
+  double w_scale = 1.0;
+  double t_scale = 1.0;
+  double h_scale = 1.0;
+};
+
+/// RC of a trace geometry under a sample, per unit length.
+struct RcPoint {
+  double r_pul = 0.0;  ///< [ohm/m]
+  double c_pul = 0.0;  ///< [F/m]
+};
+
+/// Evaluate per-unit-length R and total C of a signal trace (width w,
+/// thickness t, ground height h, neighbour spacing s) under a geometry
+/// sample.  Width grows at the expense of spacing (constant pitch), as in
+/// real lithographic bias.
+RcPoint evaluate_rc(double w, double t, double h, double s, double rho,
+                    double eps_r, const GeometrySample& g);
+
+/// +/- n-sigma delay corners: worst = max R*C, best = min R*C.
+struct RcCorners {
+  RcPoint nominal;
+  RcPoint worst;
+  RcPoint best;
+};
+
+RcCorners rc_corners(double w, double t, double h, double s, double rho,
+                     double eps_r, const ProcessVariation& pv,
+                     double nsigma = 3.0);
+
+/// Monte-Carlo distribution of R and C (and anything else via the callback).
+struct RcDistribution {
+  RunningStats r;
+  RunningStats c;
+};
+
+RcDistribution monte_carlo_rc(double w, double t, double h, double s,
+                              double rho, double eps_r,
+                              const ProcessVariation& pv, int samples,
+                              std::uint64_t seed = 1);
+
+/// Run a user metric over Monte-Carlo geometry samples — the hook bench E7
+/// uses to push sampled geometry through the *inductance* solver and show
+/// the paper's "L is insensitive to process variation" claim.
+RunningStats monte_carlo_metric(const ProcessVariation& pv, int samples,
+                                const std::function<double(
+                                    const GeometrySample&)>& metric,
+                                std::uint64_t seed = 1);
+
+}  // namespace rlcx::cap

@@ -1,0 +1,33 @@
+// Moment analysis of linear RLC netlists: Elmore delay and the D2M
+// two-moment delay metric.
+//
+// Moments are the Taylor coefficients of each node's voltage transfer
+// H(s) = sum_k m_k s^k around s = 0, computed by the classic recursion
+// x_0 = G^{-1} b,  x_{k+1} = -G^{-1} C x_k over the MNA matrices.  Elmore
+// delay is -m_1; D2M = ln2 * m1^2 / sqrt(m2) is exact for a single pole
+// and far tighter than Elmore for RC trees.  For ringing RLC nets moment
+// metrics degrade — which is precisely why the paper runs full transient
+// simulation on its extracted netlists; bench_moments quantifies that.
+#pragma once
+
+#include <vector>
+
+#include "ckt/netlist.h"
+
+namespace rlcx::ckt {
+
+/// Transfer-function moments m_0..m_order of every node, with voltage
+/// source `active_source` as the input (value 1, other sources 0).
+/// Result: moments[k][node].
+std::vector<std::vector<double>> transfer_moments(
+    const Netlist& netlist, int order, std::size_t active_source = 0);
+
+/// Elmore delay of a node: -m_1 (exact mean of the impulse response).
+double elmore_delay(const Netlist& netlist, NodeId node,
+                    std::size_t active_source = 0);
+
+/// D2M two-moment 50% delay estimate: ln2 * m1^2 / sqrt(m2).
+double d2m_delay(const Netlist& netlist, NodeId node,
+                 std::size_t active_source = 0);
+
+}  // namespace rlcx::ckt

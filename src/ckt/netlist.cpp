@@ -1,0 +1,83 @@
+#include "ckt/netlist.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcx::ckt {
+
+NodeId Netlist::add_node() {
+  return add_node("n" + std::to_string(next_node_));
+}
+
+NodeId Netlist::add_node(const std::string& name) {
+  names_.push_back(name);
+  return next_node_++;
+}
+
+NodeId Netlist::node(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<NodeId>(i);
+  throw std::out_of_range("netlist: unknown node name " + name);
+}
+
+const std::string& Netlist::node_name(NodeId n) const {
+  check_node(n);
+  return names_[static_cast<std::size_t>(n)];
+}
+
+void Netlist::check_node(NodeId n) const {
+  if (n < 0 || n >= next_node_)
+    throw std::out_of_range("netlist: bad node id");
+}
+
+void Netlist::add_resistor(NodeId a, NodeId b, double ohms) {
+  check_node(a);
+  check_node(b);
+  if (ohms <= 0.0) throw std::invalid_argument("resistor value");
+  if (a == b) throw std::invalid_argument("resistor shorted to itself");
+  resistors_.push_back({a, b, ohms});
+}
+
+void Netlist::add_capacitor(NodeId a, NodeId b, double farads) {
+  check_node(a);
+  check_node(b);
+  if (farads <= 0.0) throw std::invalid_argument("capacitor value");
+  if (a == b) throw std::invalid_argument("capacitor shorted to itself");
+  capacitors_.push_back({a, b, farads});
+}
+
+std::size_t Netlist::add_inductor(NodeId a, NodeId b, double henries) {
+  check_node(a);
+  check_node(b);
+  if (henries <= 0.0) throw std::invalid_argument("inductor value");
+  if (a == b) throw std::invalid_argument("inductor shorted to itself");
+  inductors_.push_back({a, b, henries});
+  return inductors_.size() - 1;
+}
+
+void Netlist::add_mutual(std::size_t l1, std::size_t l2, double m) {
+  if (l1 >= inductors_.size() || l2 >= inductors_.size())
+    throw std::out_of_range("mutual: bad inductor index");
+  if (l1 == l2) throw std::invalid_argument("mutual: same inductor");
+  const double lim =
+      std::sqrt(inductors_[l1].henries * inductors_[l2].henries);
+  if (std::abs(m) >= lim)
+    throw std::invalid_argument("mutual: |k| must be < 1");
+  mutuals_.push_back({l1, l2, m});
+}
+
+void Netlist::add_coupling(std::size_t l1, std::size_t l2, double k) {
+  if (l1 >= inductors_.size() || l2 >= inductors_.size())
+    throw std::out_of_range("coupling: bad inductor index");
+  add_mutual(l1, l2,
+             k * std::sqrt(inductors_[l1].henries * inductors_[l2].henries));
+}
+
+void Netlist::add_vsource(NodeId a, NodeId b, SourceWaveform w) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("vsource shorted to itself");
+  vsources_.push_back({a, b, std::move(w)});
+}
+
+}  // namespace rlcx::ckt

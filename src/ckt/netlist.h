@@ -1,0 +1,78 @@
+// Linear circuit netlist: R, C, L (with mutual coupling), V sources.
+//
+// This is the subset of SPICE the paper's experiments exercise: passive RLC
+// interconnect driven by buffers modeled as a ramp source behind a source
+// resistance (Figure 1: "clock buffer driving strength has about 40 ohm as
+// source resistance").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ckt/sources.h"
+
+namespace rlcx::ckt {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  NodeId a, b;
+  double ohms;
+};
+struct Capacitor {
+  NodeId a, b;
+  double farads;
+};
+struct Inductor {
+  NodeId a, b;
+  double henries;
+};
+struct MutualInductance {
+  std::size_t l1, l2;  ///< inductor indices
+  double henries;      ///< mutual M (not the coupling coefficient)
+};
+struct VoltageSource {
+  NodeId a, b;  ///< v(a) - v(b) = waveform(t)
+  SourceWaveform waveform;
+};
+
+class Netlist {
+ public:
+  /// Node 0 is ground and always exists.
+  NodeId add_node();
+  NodeId add_node(const std::string& name);
+  NodeId node(const std::string& name) const;  ///< throws if unknown
+  int node_count() const { return next_node_; }
+  const std::string& node_name(NodeId n) const;
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  /// Returns the inductor index for mutual coupling.
+  std::size_t add_inductor(NodeId a, NodeId b, double henries);
+  /// Couple two inductors with mutual inductance M [H]; |k| must be < 1.
+  void add_mutual(std::size_t l1, std::size_t l2, double m);
+  /// Couple via coupling coefficient k: M = k sqrt(L1 L2).
+  void add_coupling(std::size_t l1, std::size_t l2, double k);
+  void add_vsource(NodeId a, NodeId b, SourceWaveform w);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Inductor>& inductors() const { return inductors_; }
+  const std::vector<MutualInductance>& mutuals() const { return mutuals_; }
+  const std::vector<VoltageSource>& vsources() const { return vsources_; }
+
+ private:
+  void check_node(NodeId n) const;
+
+  int next_node_ = 1;  // 0 = ground
+  std::vector<std::string> names_{"gnd"};
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<MutualInductance> mutuals_;
+  std::vector<VoltageSource> vsources_;
+};
+
+}  // namespace rlcx::ckt

@@ -1,0 +1,58 @@
+#include "ckt/sources.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcx::ckt {
+
+SourceWaveform SourceWaveform::ramp(double level, double rise, double t0) {
+  if (rise <= 0.0) throw std::invalid_argument("ramp: rise time");
+  return pwl({{t0, 0.0}, {t0 + rise, level}});
+}
+
+SourceWaveform SourceWaveform::clock(double level, double period,
+                                     double rise) {
+  if (period <= 0.0) throw std::invalid_argument("clock: period");
+  if (rise <= 0.0 || rise >= period / 2.0)
+    throw std::invalid_argument("clock: rise time");
+  SourceWaveform w = pwl({{0.0, 0.0},
+                          {rise, level},
+                          {period / 2.0, level},
+                          {period / 2.0 + rise, 0.0},
+                          {period, 0.0}});
+  w.period_ = period;
+  return w;
+}
+
+SourceWaveform SourceWaveform::pwl(
+    std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::invalid_argument("pwl: empty");
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].first < points[i - 1].first)
+      throw std::invalid_argument("pwl: time must not decrease");
+  SourceWaveform w;
+  w.points_ = std::move(points);
+  return w;
+}
+
+SourceWaveform SourceWaveform::dc(double level) {
+  return pwl({{0.0, level}});
+}
+
+double SourceWaveform::eval(double t) const {
+  if (points_.empty()) return 0.0;
+  if (period_ > 0.0) t = std::fmod(t, period_);
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double v, const std::pair<double, double>& p) { return v < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (hi.first == lo.first) return hi.second;
+  const double f = (t - lo.first) / (hi.first - lo.first);
+  return lo.second * (1.0 - f) + hi.second * f;
+}
+
+}  // namespace rlcx::ckt

@@ -1,0 +1,41 @@
+// Time-domain source waveforms for the transient simulator.
+#pragma once
+
+#include <vector>
+
+namespace rlcx::ckt {
+
+/// A piecewise-linear voltage-vs-time description.  Step, ramp and pulse
+/// sources are factory shorthands for common PWL shapes.
+class SourceWaveform {
+ public:
+  SourceWaveform() = default;
+
+  /// 0 before t0, then a linear rise over `rise` to `level`.
+  static SourceWaveform ramp(double level, double rise, double t0 = 0.0);
+
+  /// Periodic trapezoid (a clock): period, high level, rise/fall time,
+  /// 50 % duty, starting low at t = 0.
+  static SourceWaveform clock(double level, double period, double rise);
+
+  /// Arbitrary PWL; points must have non-decreasing time.
+  static SourceWaveform pwl(std::vector<std::pair<double, double>> points);
+
+  static SourceWaveform dc(double level);
+
+  double eval(double t) const;
+
+  /// Period for periodic sources (0 = aperiodic).
+  double period() const { return period_; }
+
+  /// The underlying PWL points (used by the SPICE exporter).
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> points_;  // (t, v)
+  double period_ = 0.0;
+};
+
+}  // namespace rlcx::ckt

@@ -1,0 +1,80 @@
+#include "ckt/spice_export.h"
+
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace rlcx::ckt {
+
+namespace {
+
+// SPICE node token: ground is "0"; otherwise the netlist name with
+// whitespace squashed (names default to n<k>, which is already clean).
+std::string node_token(const Netlist& nl, NodeId n) {
+  if (n == kGround) return "0";
+  std::string s = nl.node_name(n);
+  for (char& c : s)
+    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+}  // namespace
+
+void write_spice(std::ostream& os, const Netlist& nl,
+                 const SpiceExportOptions& opt) {
+  os << "* " << opt.title << "\n";
+  os.precision(9);
+
+  std::size_t idx = 1;
+  for (const Resistor& r : nl.resistors())
+    os << "R" << idx++ << " " << node_token(nl, r.a) << " "
+       << node_token(nl, r.b) << " " << r.ohms << "\n";
+
+  idx = 1;
+  for (const Capacitor& c : nl.capacitors())
+    os << "C" << idx++ << " " << node_token(nl, c.a) << " "
+       << node_token(nl, c.b) << " " << c.farads << "\n";
+
+  idx = 1;
+  for (const Inductor& l : nl.inductors())
+    os << "L" << idx++ << " " << node_token(nl, l.a) << " "
+       << node_token(nl, l.b) << " " << l.henries << "\n";
+
+  idx = 1;
+  for (const MutualInductance& m : nl.mutuals()) {
+    const double k =
+        m.henries / std::sqrt(nl.inductors()[m.l1].henries *
+                              nl.inductors()[m.l2].henries);
+    os << "K" << idx++ << " L" << (m.l1 + 1) << " L" << (m.l2 + 1) << " "
+       << k << "\n";
+  }
+
+  idx = 1;
+  for (const VoltageSource& v : nl.vsources()) {
+    os << "V" << idx++ << " " << node_token(nl, v.a) << " "
+       << node_token(nl, v.b) << " PWL(";
+    bool first = true;
+    for (const auto& [t, val] : v.waveform.points()) {
+      if (!first) os << " ";
+      first = false;
+      os << t << " " << val;
+    }
+    os << ")";
+    if (v.waveform.period() > 0.0)
+      os << " $ periodic, T=" << v.waveform.period();
+    os << "\n";
+  }
+
+  if (opt.tran_stop > 0.0 && opt.tran_step > 0.0)
+    os << ".TRAN " << opt.tran_step << " " << opt.tran_stop << "\n";
+  os << ".END\n";
+}
+
+std::string to_spice(const Netlist& nl, const SpiceExportOptions& opt) {
+  std::ostringstream os;
+  write_spice(os, nl, opt);
+  return os.str();
+}
+
+}  // namespace rlcx::ckt

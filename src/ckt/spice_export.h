@@ -1,0 +1,29 @@
+// SPICE deck export: the interoperability path a production flow needs —
+// extract with rlcx, hand the netlist to HSPICE/ngspice, exactly as the
+// paper's flow handed Raphael output to HSPICE.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ckt/netlist.h"
+
+namespace rlcx::ckt {
+
+struct SpiceExportOptions {
+  std::string title = "rlcx extracted netlist";
+  /// Emit a .TRAN card with this stop time / step (0 = no analysis card).
+  double tran_stop = 0.0;
+  double tran_step = 0.0;
+};
+
+/// Write a flat SPICE deck: R/C/L elements, K coupling cards (coefficient
+/// form), V sources as PWL, node names preserved where set.
+void write_spice(std::ostream& os, const Netlist& netlist,
+                 const SpiceExportOptions& options = {});
+
+/// Convenience: deck as a string.
+std::string to_spice(const Netlist& netlist,
+                     const SpiceExportOptions& options = {});
+
+}  // namespace rlcx::ckt

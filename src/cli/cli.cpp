@@ -1,0 +1,340 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ckt/spice_export.h"
+#include "ckt/transient.h"
+#include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+#include "core/screening.h"
+#include "core/table_builder.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+#include "solver/frequency.h"
+
+namespace rlcx::cli {
+
+namespace {
+
+using units::um;
+
+geom::PlaneConfig parse_planes(const std::string& s) {
+  if (s == "none") return geom::PlaneConfig::kNone;
+  if (s == "below") return geom::PlaneConfig::kBelow;
+  if (s == "above") return geom::PlaneConfig::kAbove;
+  if (s == "both") return geom::PlaneConfig::kBothSides;
+  throw std::invalid_argument("unknown plane config: " + s);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+// Custom structure: --traces "g:5,s:10,g:5" --spacings "1,1" (widths in um,
+// g = dedicated ground/shield, s = signal).
+geom::Block make_custom(const geom::Technology& tech, const Args& args,
+                        int layer, double len, geom::PlaneConfig planes) {
+  std::vector<geom::Trace> traces;
+  std::vector<double> widths;
+  for (const std::string& tok : split_commas(args.get("traces", ""))) {
+    if (tok.size() < 3 || tok[1] != ':' || (tok[0] != 'g' && tok[0] != 's'))
+      throw std::invalid_argument("bad --traces token: " + tok +
+                                  " (expected g:W or s:W)");
+    geom::Trace t;
+    t.role = tok[0] == 'g' ? geom::TraceRole::kGround
+                           : geom::TraceRole::kSignal;
+    t.width = um(std::stod(tok.substr(2)));
+    t.name = std::string(1, tok[0]) + std::to_string(traces.size());
+    traces.push_back(t);
+    widths.push_back(t.width);
+  }
+  std::vector<double> spacings;
+  if (args.has("spacings"))
+    for (const std::string& tok : split_commas(args.get("spacings", "")))
+      spacings.push_back(um(std::stod(tok)));
+  else
+    spacings.assign(traces.size() > 0 ? traces.size() - 1 : 0,
+                    um(args.get_num("spacing-um", 1.0)));
+  if (spacings.size() + 1 != traces.size())
+    throw std::invalid_argument("--spacings needs one fewer entry than "
+                                "--traces");
+  double x = 0.0;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) x += spacings[i - 1];
+    traces[i].x_center = x + 0.5 * widths[i];
+    x += widths[i];
+  }
+  return geom::Block(&tech, layer, len, std::move(traces), planes);
+}
+
+geom::Block make_structure(const geom::Technology& tech, const Args& args) {
+  const std::string kind = args.get("structure", "cpw");
+  const int layer = static_cast<int>(args.get_num("layer", 6));
+  const double len = um(args.get_num("length-um", 1000.0));
+  const double ws = um(args.get_num("signal-um", 10.0));
+  const double wg = um(args.get_num("ground-um", 5.0));
+  const double sp = um(args.get_num("spacing-um", 1.0));
+  if (args.has("traces")) {
+    geom::PlaneConfig planes = geom::PlaneConfig::kNone;
+    if (kind == "microstrip") planes = geom::PlaneConfig::kBelow;
+    if (kind == "stripline") planes = geom::PlaneConfig::kBothSides;
+    return make_custom(tech, args, layer, len, planes);
+  }
+  if (kind == "cpw")
+    return geom::coplanar_waveguide(tech, layer, len, ws, wg, sp);
+  if (kind == "microstrip")
+    return geom::microstrip(tech, layer, len, ws, wg, sp);
+  if (kind == "stripline")
+    return geom::stripline(tech, layer, len, ws, wg, sp);
+  throw std::invalid_argument("unknown structure: " + kind);
+}
+
+solver::SolveOptions solve_options(const Args& args) {
+  solver::SolveOptions opt;
+  const double tr = args.get_num("trise-ps", 200.0) * 1e-12;
+  opt.frequency = solver::significant_frequency(tr);
+  return opt;
+}
+
+int cmd_help(std::ostream& out) {
+  out << "rlcx — clocktree RLC extraction (DATE 2000 reproduction)\n\n"
+         "commands:\n"
+         "  extract   extract R, L, C of a shielded wire structure\n"
+         "  tables    pre-characterise inductance tables and save them\n"
+         "  delay     simulate buffer->sink delay of the structure\n"
+         "  help      this text\n\n"
+         "common flags: --structure cpw|microstrip|stripline --layer N\n"
+         "  --length-um N --signal-um N --ground-um N --spacing-um N\n"
+         "  --trise-ps N (sets the significant frequency 0.32/t_rise)\n\n"
+         "extract: [--spice FILE] [--ac-resistance]\n"
+         "tables:  --out FILE [--planes none|below|above|both] [--points N]\n"
+         "         [--threads N]  (0 = all cores)\n"
+         "delay:   [--rs OHM] [--sink-ff N] [--vdd V] [--sections N]\n"
+         "         [--no-inductance] [--csv FILE]\n";
+  return 0;
+}
+
+int cmd_extract(const Args& args, std::ostream& out) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::Block blk = make_structure(tech, args);
+  const solver::SolveOptions sopt = solve_options(args);
+  const core::DirectInductanceModel model(&tech, blk.layer_index(),
+                                          blk.planes(), sopt);
+  core::ExtractOptions eopt;
+  eopt.ac_resistance = args.has("ac-resistance");
+  const core::SegmentRlc seg = core::extract_segment_rlc(blk, model, eopt);
+
+  out << "structure: " << args.get("structure", "cpw") << ", layer "
+      << blk.layer_index() << ", length "
+      << units::to_um(blk.length()) << " um, planes "
+      << geom::to_string(blk.planes()) << "\n";
+  out << "extraction frequency: " << units::to_ghz(sopt.frequency)
+      << " GHz\n\n";
+  for (std::size_t i = 0; i < blk.size(); ++i) {
+    out << "trace " << blk.trace(i).name << " (w="
+        << units::to_um(blk.trace(i).width) << " um): R = "
+        << seg.resistance[i] << " ohm";
+    // Inductance rows may cover a subset of traces (loop mode).
+    for (std::size_t r = 0; r < seg.l_traces.size(); ++r) {
+      if (seg.l_traces[r] != i) continue;
+      out << ", L = " << units::to_nh(seg.inductance(r, r)) << " nH";
+    }
+    out << ", Cg = " << units::to_ff(seg.cap_ground[i]) << " fF\n";
+  }
+  for (std::size_t r = 0; r < seg.l_traces.size(); ++r)
+    for (std::size_t q = r + 1; q < seg.l_traces.size(); ++q)
+      out << "mutual L(" << blk.trace(seg.l_traces[r]).name << ","
+          << blk.trace(seg.l_traces[q]).name << ") = "
+          << units::to_nh(seg.inductance(r, q)) << " nH\n";
+  for (std::size_t i = 0; i + 1 < blk.size(); ++i)
+    out << "coupling C(" << blk.trace(i).name << "," << blk.trace(i + 1).name
+        << ") = " << units::to_ff(seg.cap_coupling[i]) << " fF\n";
+
+  // Inductance-significance screen for the first signal, when the block
+  // offers a return path for a loop-L estimate.
+  const auto signals = blk.signal_indices();
+  if (!signals.empty() &&
+      (blk.planes() != geom::PlaneConfig::kNone ||
+       !blk.ground_indices().empty())) {
+    const solver::LoopResult loop = solver::extract_loop(blk, sopt);
+    core::ScreeningInput si;
+    const std::size_t sig = signals.front();
+    si.resistance = seg.resistance[sig];
+    si.inductance = loop.inductance(0, 0);
+    si.capacitance = seg.cap_ground[sig];
+    if (sig > 0) si.capacitance += seg.cap_coupling[sig - 1];
+    if (sig < seg.cap_coupling.size()) si.capacitance += seg.cap_coupling[sig];
+    si.rise_time = args.get_num("trise-ps", 200.0) * 1e-12;
+    const core::ScreeningResult sr = core::screen_inductance(si);
+    out << "\nscreen: loop L = " << units::to_nh(si.inductance)
+        << " nH, Z0 = " << sr.line_impedance << " ohm, edge ratio "
+        << sr.edge_ratio << ", damping ratio " << sr.damping_ratio
+        << "\n        -> inductance "
+        << (sr.inductance_significant ? "SIGNIFICANT: use the RLC netlist"
+                                      : "negligible: RC extraction suffices")
+        << "\n";
+  }
+
+  if (args.has("spice")) {
+    ckt::Netlist nl;
+    const ckt::NodeId in = nl.add_node("in");
+    core::LadderOptions lopt;
+    lopt.sections = static_cast<int>(args.get_num("sections", 4));
+    core::stamp_segment(nl, blk, seg, {in}, lopt);
+    ckt::SpiceExportOptions xopt;
+    xopt.title = "rlcx extract deck";
+    std::ofstream f(args.get("spice", ""));
+    if (!f) throw std::runtime_error("cannot open spice output file");
+    ckt::write_spice(f, nl, xopt);
+    out << "\nSPICE deck written to " << args.get("spice", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_tables(const Args& args, std::ostream& out) {
+  if (!args.has("out"))
+    throw std::invalid_argument("tables: --out FILE is required");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::PlaneConfig planes =
+      parse_planes(args.get("planes", "none"));
+  const int layer = static_cast<int>(args.get_num("layer", 6));
+  const auto n = static_cast<std::size_t>(args.get_num("points", 4));
+  if (n < 2) throw std::invalid_argument("tables: --points must be >= 2");
+
+  core::TableGrid grid;
+  grid.widths = geomspace(um(1), um(20), n);
+  grid.spacings = geomspace(um(0.5), um(10), n);
+  grid.lengths = geomspace(um(100), um(6000), n);
+  const int threads = static_cast<int>(args.get_num("threads", 1));
+  const core::InductanceTables tables = core::build_tables(
+      tech, layer, planes, grid, solve_options(args), threads);
+  tables.save_file(args.get("out", ""));
+  out << "built " << tables.self.values().size() << " self + "
+      << tables.mutual.values().size() << " mutual entries at "
+      << units::to_ghz(tables.frequency) << " GHz; saved to "
+      << args.get("out", "") << "\n";
+  return 0;
+}
+
+int cmd_delay(const Args& args, std::ostream& out) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::Block blk = make_structure(tech, args);
+  const solver::SolveOptions sopt = solve_options(args);
+  const core::DirectInductanceModel model(&tech, blk.layer_index(),
+                                          blk.planes(), sopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(blk, model);
+
+  const double vdd = args.get_num("vdd", 1.8);
+  const double tr = args.get_num("trise-ps", 200.0) * 1e-12;
+
+  ckt::Netlist nl;
+  const ckt::NodeId vin = nl.add_node("vin");
+  const ckt::NodeId buf = nl.add_node("buf");
+  nl.add_vsource(vin, ckt::kGround, ckt::SourceWaveform::ramp(vdd, tr));
+  nl.add_resistor(vin, buf, args.get_num("rs", 25.0));
+  core::LadderOptions lopt;
+  lopt.sections = static_cast<int>(args.get_num("sections", 8));
+  lopt.include_inductance = !args.has("no-inductance");
+  const auto outs = core::stamp_segment(nl, blk, seg, {buf}, lopt);
+  nl.add_capacitor(outs[0], ckt::kGround,
+                   args.get_num("sink-ff", 200.0) * 1e-15);
+
+  ckt::TransientOptions topt;
+  topt.t_stop = 10.0 * tr + 1e-9;
+  topt.dt = tr / 200.0;
+  const ckt::TransientResult res = ckt::simulate(nl, topt);
+  const ckt::Waveform wbuf = res.waveform(buf);
+  const ckt::Waveform wsink = res.waveform(outs[0]);
+
+  out << "netlist: " << (lopt.include_inductance ? "RLC" : "RC-only")
+      << ", " << lopt.sections << " sections\n";
+  out << "buffer->sink 50% delay: "
+      << units::to_ps(ckt::delay_50(wbuf, wsink, vdd)) << " ps\n";
+  out << "sink overshoot: "
+      << 1e3 * std::max(0.0, wsink.max() - vdd) << " mV, undershoot: "
+      << 1e3 * wsink.undershoot() << " mV\n";
+
+  if (args.has("csv")) {
+    std::ofstream f(args.get("csv", ""));
+    if (!f) throw std::runtime_error("cannot open csv output file");
+    ckt::write_csv(f, {{"buf", wbuf}, {"sink", wsink}});
+    out << "waveforms written to " << args.get("csv", "") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+double Args::get_num(const std::string& key, double fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::invalid_argument("bad numeric value for --" + key + ": " +
+                                it->second);
+  return v;
+}
+
+Args parse_args(const std::vector<std::string>& argv) {
+  Args args;
+  if (argv.empty()) {
+    args.command = "help";
+    return args;
+  }
+  args.command = argv[0];
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& tok = argv[i];
+    if (tok.rfind("--", 0) != 0)
+      throw std::invalid_argument("expected --flag, got: " + tok);
+    const std::string key = tok.substr(2);
+    if (key.empty()) throw std::invalid_argument("empty flag");
+    // Boolean flags: next token missing or looks like another flag.
+    if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+      args.options[key] = argv[i + 1];
+      ++i;
+    } else {
+      args.options[key] = "";
+    }
+  }
+  return args;
+}
+
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err) {
+  try {
+    const Args args = parse_args(argv);
+    if (args.command == "help" || args.command == "--help")
+      return cmd_help(out);
+    if (args.command == "extract") return cmd_extract(args, out);
+    if (args.command == "tables") return cmd_tables(args, out);
+    if (args.command == "delay") return cmd_delay(args, out);
+    err << "unknown command: " << args.command << " (try 'rlcx help')\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace rlcx::cli

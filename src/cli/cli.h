@@ -1,0 +1,45 @@
+// Command-line front end: extract / tables / delay as one-shot commands.
+//
+// The logic lives in run() so tests can drive it with argument vectors and
+// captured streams; src/cli/main.cpp is a thin shell around it.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rlcx::cli {
+
+/// Parsed command line: a command word plus --key value pairs.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const;
+  double get_num(const std::string& key, double fallback) const;
+};
+
+/// Parse ["extract", "--length-um", "6000", ...]; throws
+/// std::invalid_argument on malformed input (flag without value, unknown
+/// shape).
+Args parse_args(const std::vector<std::string>& argv);
+
+/// Execute.  Returns a process exit code; normal output goes to `out`,
+/// diagnostics to `err`.
+///
+/// Commands:
+///   help
+///   extract --structure cpw|microstrip|stripline --length-um N
+///           [--signal-um N --ground-um N --spacing-um N --layer N
+///            --trise-ps N --spice FILE --ac-resistance]
+///           [--traces g:W,s:W,... --spacings S,S,...]  (custom bus, um)
+///   tables  --planes none|below|above|both --out FILE
+///           [--layer N --trise-ps N --points N]
+///   delay   (extract flags) [--rs N --sink-ff N --vdd N --sections N
+///            --no-inductance --csv FILE]
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace rlcx::cli

@@ -1,0 +1,84 @@
+#include "clocktree/htree.h"
+
+#include <stdexcept>
+
+#include "geom/builders.h"
+#include "numeric/units.h"
+
+namespace rlcx::clocktree {
+
+using units::um;
+
+std::size_t HTreeSpec::sink_count() const {
+  // The root segment does not branch; every later level doubles the count.
+  if (levels.empty()) return 0;
+  return static_cast<std::size_t>(1) << (levels.size() - 1);
+}
+
+double HTreeSpec::root_to_leaf_length() const {
+  double total = 0.0;
+  for (const LevelSpec& l : levels) total += l.length;
+  return total;
+}
+
+HTreeSpec example_cpw_tree() {
+  HTreeSpec spec;
+  spec.layer = 6;
+  // Widths taper down the tree; shields at least as wide as the signal so
+  // the linear-cascading precondition (Section IV) holds.
+  spec.levels = {
+      {um(3000), um(10), um(10), um(1), geom::PlaneConfig::kNone},
+      {um(1500), um(6), um(6), um(1), geom::PlaneConfig::kNone},
+      {um(800), um(4), um(4), um(1), geom::PlaneConfig::kNone},
+  };
+  spec.driver.vdd = 1.8;
+  // The root buffer drives the whole subtree; its impedance must sit below
+  // the tree's input impedance for clean incident-wave switching (see the
+  // driver note in bench_fig1_delay.cpp).
+  spec.driver.r_source = 20.0;
+  spec.driver.t_rise = 150e-12;
+  spec.sink_cap = 200e-15;
+  spec.sink_cap_mismatch = 1.0;
+  return spec;
+}
+
+HTreeSpec example_microstrip_tree() {
+  HTreeSpec spec = example_cpw_tree();
+  for (LevelSpec& l : spec.levels) l.planes = geom::PlaneConfig::kBelow;
+  return spec;
+}
+
+HTreeSpec example_two_layer_tree() {
+  HTreeSpec spec = example_cpw_tree();
+  // Even levels on the default layer 6, odd levels one layer down —
+  // matching the direction alternation of the physical H layout.
+  for (std::size_t i = 0; i < spec.levels.size(); ++i)
+    spec.levels[i].layer = (i % 2 == 0) ? 6 : 5;
+  spec.via.resistance = 0.8;  // stacked via array under a wide clock wire
+  return spec;
+}
+
+int HTreeSpec::level_layer(std::size_t level) const {
+  if (level >= levels.size())
+    throw std::out_of_range("level_layer: level");
+  const int l = levels[level].layer;
+  return l == 0 ? layer : l;
+}
+
+geom::Block level_block(const geom::Technology& tech, const HTreeSpec& spec,
+                        std::size_t level) {
+  if (level >= spec.levels.size())
+    throw std::out_of_range("level_block: level");
+  const LevelSpec& l = spec.levels[level];
+  std::vector<geom::Trace> traces{
+      {geom::TraceRole::kGround, l.ground_width,
+       -(0.5 * l.signal_width + l.spacing + 0.5 * l.ground_width), "gnd_l"},
+      {geom::TraceRole::kSignal, l.signal_width, 0.0, "sig"},
+      {geom::TraceRole::kGround, l.ground_width,
+       0.5 * l.signal_width + l.spacing + 0.5 * l.ground_width, "gnd_r"},
+  };
+  return geom::Block(&tech, spec.level_layer(level), l.length,
+                     std::move(traces), l.planes);
+}
+
+}  // namespace rlcx::clocktree

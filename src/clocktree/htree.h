@@ -1,0 +1,70 @@
+// H-tree clock distribution description (paper Figure 7).
+//
+// The tree is a binary H-tree: a driver at the root, a shielded segment per
+// level, a 2-way split at each junction, and a buffer input capacitance at
+// every leaf.  Each level chooses its own wire geometry and shielding
+// configuration (coplanar waveguide, Figure 8, or microstrip over a local
+// ground plane, Figure 9).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/block.h"
+
+namespace rlcx::clocktree {
+
+struct LevelSpec {
+  double length = 0.0;        ///< segment length at this level [m]
+  double signal_width = 0.0;  ///< [m]
+  double ground_width = 0.0;  ///< shield width [m]
+  double spacing = 0.0;       ///< signal-to-shield spacing [m]
+  geom::PlaneConfig planes = geom::PlaneConfig::kNone;
+  /// Routing layer of this level (0 = the tree's default layer).  Real
+  /// H-trees alternate layers as they alternate direction; a layer change
+  /// between parent and child inserts a via.
+  int layer = 0;
+};
+
+/// Via between routing layers (stacked via array for wide clock wires).
+struct ViaSpec {
+  double resistance = 0.5;  ///< effective R of the via array [ohm]
+};
+
+struct DriverSpec {
+  double vdd = 1.8;          ///< swing [V]
+  double r_source = 40.0;    ///< buffer output resistance [ohm] (Figure 1)
+  double t_rise = 100e-12;   ///< input ramp rise time [s]
+};
+
+struct HTreeSpec {
+  int layer = 6;                    ///< default clock routing layer
+  std::vector<LevelSpec> levels;    ///< root segment first
+  DriverSpec driver;
+  ViaSpec via;                      ///< used where levels change layers
+  double sink_cap = 50e-15;         ///< leaf buffer input capacitance [F]
+  /// Fractional extra load on the last sink, graded linearly across sinks —
+  /// the load imbalance that turns delay error into visible skew.
+  double sink_cap_mismatch = 0.0;
+
+  std::size_t sink_count() const;
+  /// Wire length from root to any leaf (H-trees are path-balanced).
+  double root_to_leaf_length() const;
+  /// Effective routing layer of a level (resolves the 0 default).
+  int level_layer(std::size_t level) const;
+};
+
+/// The paper's two reference configurations with sensible defaults:
+/// a 3-level coplanar-waveguide tree and a 3-level microstrip tree.
+HTreeSpec example_cpw_tree();
+HTreeSpec example_microstrip_tree();
+
+/// A realistic variant routing alternate levels on layers 6 and 5 (matching
+/// the direction alternation), with vias at every layer change.
+HTreeSpec example_two_layer_tree();
+
+/// The block describing one segment at a level.
+geom::Block level_block(const geom::Technology& tech, const HTreeSpec& spec,
+                        std::size_t level);
+
+}  // namespace rlcx::clocktree

@@ -1,0 +1,172 @@
+#include "clocktree/layout.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cascade.h"
+#include "geom/builders.h"
+#include "peec/mesh.h"
+#include "solver/block_solver.h"
+#include "solver/network.h"
+
+namespace rlcx::clocktree {
+
+namespace {
+
+struct Cursor {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+void place(const HTreeSpec& spec, std::size_t level, Cursor at, double dir,
+           int parent, std::vector<PlacedSegment>& out) {
+  if (level >= spec.levels.size()) return;
+  const double len = spec.levels[level].length;
+  PlacedSegment seg;
+  seg.level = level;
+  seg.parent = parent;
+  // Levels alternate: even levels route along y, odd along x.
+  const bool along_y = (level % 2 == 0);
+  seg.axis = along_y ? peec::Axis::kY : peec::Axis::kX;
+  if (along_y) {
+    seg.t_center = at.x;
+    seg.a_start = at.y;
+    seg.a_end = at.y + dir * len;
+    at.y = seg.a_end;
+  } else {
+    seg.t_center = at.y;
+    seg.a_start = at.x;
+    seg.a_end = at.x + dir * len;
+    at.x = seg.a_end;
+  }
+  out.push_back(seg);
+  const int me = static_cast<int>(out.size()) - 1;
+  // Children leave the tip in both perpendicular directions.
+  place(spec, level + 1, at, +1.0, me, out);
+  place(spec, level + 1, at, -1.0, me, out);
+}
+
+}  // namespace
+
+std::vector<PlacedSegment> htree_layout(const HTreeSpec& spec) {
+  if (spec.levels.empty())
+    throw std::invalid_argument("htree_layout: no levels");
+  std::vector<PlacedSegment> out;
+  place(spec, 0, {0.0, 0.0}, +1.0, -1, out);
+  return out;
+}
+
+double total_wirelength(const std::vector<PlacedSegment>& layout) {
+  double total = 0.0;
+  for (const PlacedSegment& s : layout) total += std::abs(s.a_end - s.a_start);
+  return total;
+}
+
+std::pair<double, double> bounding_box(
+    const std::vector<PlacedSegment>& layout) {
+  double x = 0.0, y = 0.0;
+  for (const PlacedSegment& s : layout) {
+    const double lo = std::min(s.a_start, s.a_end);
+    const double hi = std::max(s.a_start, s.a_end);
+    if (s.axis == peec::Axis::kY) {
+      y = std::max({y, std::abs(lo), std::abs(hi)});
+      x = std::max(x, std::abs(s.t_center));
+    } else {
+      x = std::max({x, std::abs(lo), std::abs(hi)});
+      y = std::max(y, std::abs(s.t_center));
+    }
+  }
+  return {x, y};
+}
+
+double full_tree_loop_inductance(const geom::Technology& tech,
+                                 const HTreeSpec& spec,
+                                 const solver::SolveOptions& options) {
+  const std::vector<PlacedSegment> layout = htree_layout(spec);
+
+  solver::Network net;
+  // Node pair (signal, ground) per segment tip; root gets its own pair.
+  const int root_s = net.add_node();
+  const int root_g = net.add_node();
+  std::vector<std::pair<int, int>> tip(layout.size());
+
+  peec::MeshOptions mesh = options.mesh;
+  if (options.auto_mesh) {
+    mesh.nw = 2;
+    mesh.nt = 2;
+  }
+
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    const PlacedSegment& seg = layout[i];
+    const LevelSpec& lv = spec.levels[seg.level];
+    const geom::Layer& layer = tech.layer(spec.level_layer(seg.level));
+    const double pitch =
+        0.5 * lv.signal_width + lv.spacing + 0.5 * lv.ground_width;
+
+    const int from_s = seg.parent < 0
+                           ? root_s
+                           : tip[static_cast<std::size_t>(seg.parent)].first;
+    const int from_g = seg.parent < 0
+                           ? root_g
+                           : tip[static_cast<std::size_t>(seg.parent)].second;
+    const bool leaf = seg.level + 1 == spec.levels.size();
+    int to_s, to_g;
+    if (leaf) {
+      to_s = net.add_node();  // shared: far end shorted signal-to-ground
+      to_g = to_s;
+    } else {
+      to_s = net.add_node();
+      to_g = net.add_node();
+    }
+    tip[i] = {to_s, to_g};
+
+    const double a_lo = std::min(seg.a_start, seg.a_end);
+    const double len = std::abs(seg.a_end - seg.a_start);
+    const bool from_is_min = seg.a_end > seg.a_start;
+    auto bar = [&](double t_off, double width) {
+      peec::Bar b;
+      b.axis = seg.axis;
+      b.a_min = a_lo;
+      b.length = len;
+      b.t_min = seg.t_center + t_off - 0.5 * width;
+      b.t_width = width;
+      b.z_min = layer.z_bottom;
+      b.z_thick = layer.thickness;
+      return b;
+    };
+    net.add_segment(from_s, to_s, bar(0.0, lv.signal_width), layer.rho,
+                    mesh, from_is_min);
+    net.add_segment(from_g, to_g, bar(-pitch, lv.ground_width), layer.rho,
+                    mesh, from_is_min);
+    net.add_segment(from_g, to_g, bar(pitch, lv.ground_width), layer.rho,
+                    mesh, from_is_min);
+  }
+
+  return net.loop_impedance(root_s, root_g, options.frequency).inductance;
+}
+
+namespace {
+
+core::CascadeNode cascade_node_for(const geom::Technology& tech,
+                                   const HTreeSpec& spec, std::size_t level,
+                                   const solver::SolveOptions& options) {
+  const geom::Block blk = level_block(tech, spec, level);
+  core::CascadeNode node;
+  node.loop_l = solver::extract_loop(blk, options).inductance(0, 0);
+  if (level + 1 < spec.levels.size()) {
+    node.children.push_back(
+        cascade_node_for(tech, spec, level + 1, options));
+    node.children.push_back(node.children.back());
+  }
+  return node;
+}
+
+}  // namespace
+
+double cascaded_tree_loop_inductance(const geom::Technology& tech,
+                                     const HTreeSpec& spec,
+                                     const solver::SolveOptions& options) {
+  return core::cascade_tree(cascade_node_for(tech, spec, 0, options));
+}
+
+}  // namespace rlcx::clocktree

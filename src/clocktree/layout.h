@@ -1,0 +1,56 @@
+// Physical H-tree layout: places every segment of an HTreeSpec in the
+// plane, alternating routing direction per level (the classic H pattern,
+// adapted to the electrical model where each segment runs from its parent's
+// tip and splits at its own tip).
+//
+// The layout serves three purposes: wirelength/congestion reporting, placing
+// neighbours/aggressors relative to real tree geometry, and — most
+// importantly — driving a *full-structure* PEEC extraction of the entire
+// tree in one system, the ground truth against which the paper's
+// cascaded-segment method is validated at tree scale (Section IV applied to
+// Section V).
+#pragma once
+
+#include <vector>
+
+#include "core/inductance_model.h"
+#include "clocktree/htree.h"
+#include "peec/bar.h"
+#include "solver/options.h"
+
+namespace rlcx::clocktree {
+
+struct PlacedSegment {
+  std::size_t level = 0;
+  peec::Axis axis = peec::Axis::kY;  ///< routing direction of this segment
+  double a_start = 0.0;  ///< start coordinate along the axis [m]
+  double a_end = 0.0;    ///< end coordinate (may be < start) [m]
+  double t_center = 0.0; ///< transverse position of the signal center [m]
+  int parent = -1;       ///< index of the parent segment (-1 for root)
+};
+
+/// Lay out the tree starting at (0, 0) heading +y; children leave each tip
+/// in the two perpendicular directions.
+std::vector<PlacedSegment> htree_layout(const HTreeSpec& spec);
+
+/// Total signal wirelength of the layout [m].
+double total_wirelength(const std::vector<PlacedSegment>& layout);
+
+/// Bounding box half-widths (x, y) of the signal route [m].
+std::pair<double, double> bounding_box(
+    const std::vector<PlacedSegment>& layout);
+
+/// Full-structure loop inductance at the tree root: every segment of the
+/// laid-out tree (signal + its two shields) enters one PEEC system, far
+/// ends shorted — the whole-tree ground truth for linear cascading.
+double full_tree_loop_inductance(const geom::Technology& tech,
+                                 const HTreeSpec& spec,
+                                 const solver::SolveOptions& options);
+
+/// The cascaded estimate for the same tree: per-segment loop inductances
+/// from the provider-style extraction, combined series/parallel.
+double cascaded_tree_loop_inductance(const geom::Technology& tech,
+                                     const HTreeSpec& spec,
+                                     const solver::SolveOptions& options);
+
+}  // namespace rlcx::clocktree

@@ -1,0 +1,60 @@
+#include "clocktree/skew.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlcx::clocktree {
+
+SkewResult analyze_skew(const geom::Technology& tech, const HTreeSpec& spec,
+                        const core::InductanceLibrary& inductance,
+                        const AnalysisOptions& options) {
+  const TreeNetlist tree =
+      build_tree_netlist(tech, spec, inductance, options.ladder);
+
+  ckt::TransientOptions topt;
+  topt.dt = options.dt > 0.0 ? options.dt : spec.driver.t_rise / 50.0;
+  if (options.t_stop > 0.0) {
+    topt.t_stop = options.t_stop;
+  } else {
+    // Heuristic horizon: rise time plus several times the total wire RC and
+    // time of flight.
+    topt.t_stop = spec.driver.t_rise * 10.0 + 2e-9;
+  }
+
+  const ckt::TransientResult res = ckt::simulate(tree.netlist, topt);
+  const ckt::Waveform ref = res.waveform(tree.driver_out);
+
+  SkewResult out;
+  for (const ckt::NodeId sink : tree.sinks) {
+    const ckt::Waveform w = res.waveform(sink);
+    out.sink_delays.push_back(ckt::delay_50(ref, w, spec.driver.vdd));
+    const auto arrival = w.first_rise_through(0.5 * spec.driver.vdd);
+    if (!arrival)
+      throw std::runtime_error("analyze_skew: sink never reaches 50%");
+    out.sink_arrivals.push_back(*arrival);
+    out.max_arrival = std::max(out.max_arrival, *arrival);
+    out.max_overshoot = std::max(out.max_overshoot,
+                                 w.max() - spec.driver.vdd);
+    out.max_undershoot = std::max(out.max_undershoot, w.undershoot());
+  }
+  out.max_overshoot = std::max(out.max_overshoot, 0.0);
+  const auto [lo, hi] =
+      std::minmax_element(out.sink_delays.begin(), out.sink_delays.end());
+  out.min_delay = *lo;
+  out.max_delay = *hi;
+  out.skew = *hi - *lo;
+  return out;
+}
+
+RcVsRlc compare_rc_rlc(const geom::Technology& tech, const HTreeSpec& spec,
+                       const core::InductanceLibrary& inductance,
+                       AnalysisOptions options) {
+  RcVsRlc out;
+  options.ladder.include_inductance = true;
+  out.rlc = analyze_skew(tech, spec, inductance, options);
+  options.ladder.include_inductance = false;
+  out.rc = analyze_skew(tech, spec, inductance, options);
+  return out;
+}
+
+}  // namespace rlcx::clocktree

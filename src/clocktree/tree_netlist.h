@@ -1,0 +1,32 @@
+// Whole-tree RLC netlist formulation via cascaded segments (Section V).
+//
+// Every H-tree segment is extracted as its own block (inductance from the
+// per-segment tables, mutual couplings only within a segment — the
+// experimentally-validated linear cascading of Section IV) and stamped as a
+// pi-ladder; segments chain at junction nodes; the driver is a ramp source
+// behind its output resistance; each leaf carries a sink capacitance.
+#pragma once
+
+#include <vector>
+
+#include "ckt/netlist.h"
+#include "clocktree/htree.h"
+#include "core/inductance_model.h"
+#include "core/netlist_builder.h"
+
+namespace rlcx::clocktree {
+
+struct TreeNetlist {
+  ckt::Netlist netlist;
+  ckt::NodeId driver_out = 0;         ///< buffer output (after r_source)
+  std::vector<ckt::NodeId> sinks;     ///< leaf nodes, left to right
+};
+
+/// Build the full netlist.  The library must hold a provider for every
+/// (layer, plane-config) the tree's levels use.
+TreeNetlist build_tree_netlist(const geom::Technology& tech,
+                               const HTreeSpec& spec,
+                               const core::InductanceLibrary& inductance,
+                               const core::LadderOptions& ladder);
+
+}  // namespace rlcx::clocktree

@@ -1,0 +1,40 @@
+#include "core/cascade.h"
+
+#include <stdexcept>
+
+namespace rlcx::core {
+
+double series_inductance(const std::vector<double>& l) {
+  double sum = 0.0;
+  for (double v : l) sum += v;
+  return sum;
+}
+
+double parallel_inductance(const std::vector<double>& l) {
+  if (l.empty()) throw std::invalid_argument("parallel_inductance: empty");
+  double inv = 0.0;
+  for (double v : l) {
+    if (v <= 0.0)
+      throw std::invalid_argument("parallel_inductance: non-positive L");
+    inv += 1.0 / v;
+  }
+  return 1.0 / inv;
+}
+
+double cascade_tree(const CascadeNode& root) {
+  if (root.loop_l < 0.0)
+    throw std::invalid_argument("cascade_tree: negative loop L");
+  if (root.children.empty()) return root.loop_l;
+  std::vector<double> branch;
+  branch.reserve(root.children.size());
+  for (const CascadeNode& c : root.children) branch.push_back(cascade_tree(c));
+  return root.loop_l + parallel_inductance(branch);
+}
+
+bool cascade_precondition(double signal_width, double ground_width_left,
+                          double ground_width_right) {
+  return ground_width_left >= signal_width &&
+         ground_width_right >= signal_width;
+}
+
+}  // namespace rlcx::core

@@ -1,0 +1,38 @@
+// Linear cascading of loop inductances (paper Section IV).
+//
+// "If a signal wire is guarded by two ground wires of at least equal width
+// ... then this kind of multi-conductor system may be linearly cascaded to
+// determine the total effective loop inductance.  In other words, the total
+// loop inductance is the serial or parallel combination of the loop
+// inductances of the cascaded segments determined individually."
+#pragma once
+
+#include <vector>
+
+namespace rlcx::core {
+
+/// Series combination: sum.
+double series_inductance(const std::vector<double>& l);
+
+/// Parallel combination: 1 / sum(1/L).  Values must be positive.
+double parallel_inductance(const std::vector<double>& l);
+
+/// A segment in a cascaded interconnect tree.  Children hang off this
+/// segment's far end; siblings are electrically parallel branches.
+struct CascadeNode {
+  double loop_l = 0.0;  ///< loop inductance of this segment alone [H]
+  std::vector<CascadeNode> children;
+};
+
+/// Effective loop inductance seen at the root of the tree:
+/// eff(node) = L_node + parallel(eff(children)); a leaf contributes just its
+/// own loop L.  For Figure 6(a) this evaluates
+/// L_ab + (L_bc + L_ce) || (L_bd + L_df).
+double cascade_tree(const CascadeNode& root);
+
+/// The paper's shielding precondition for cascading: ground wires at least
+/// as wide as the signal wire on both sides.
+bool cascade_precondition(double signal_width, double ground_width_left,
+                          double ground_width_right);
+
+}  // namespace rlcx::core

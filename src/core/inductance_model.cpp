@@ -1,0 +1,139 @@
+#include "core/inductance_model.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "geom/builders.h"
+#include "solver/block_solver.h"
+
+namespace rlcx::core {
+
+TableKind table_kind_for(geom::PlaneConfig planes) {
+  return planes == geom::PlaneConfig::kNone ? TableKind::kPartial
+                                            : TableKind::kLoop;
+}
+
+void InductanceTables::save(std::ostream& os) const {
+  os << "rlcx-tables 1 " << layer << " " << static_cast<int>(planes) << " "
+     << frequency << "\n";
+  self.save(os);
+  mutual.save(os);
+  series_r.save(os);
+}
+
+InductanceTables InductanceTables::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  InductanceTables t;
+  int planes_int = 0;
+  is >> magic >> version >> t.layer >> planes_int >> t.frequency;
+  if (!is || magic != "rlcx-tables" || version != 1)
+    throw std::runtime_error("InductanceTables: bad header");
+  t.planes = static_cast<geom::PlaneConfig>(planes_int);
+  t.self = NdTable::load(is);
+  t.mutual = NdTable::load(is);
+  t.series_r = NdTable::load(is);
+  return t;
+}
+
+void InductanceTables::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("InductanceTables: cannot open " + path);
+  save(os);
+}
+
+InductanceTables InductanceTables::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("InductanceTables: cannot open " + path);
+  return load(is);
+}
+
+TableInductanceModel::TableInductanceModel(InductanceTables tables)
+    : tables_(std::move(tables)) {
+  if (tables_.self.dims() != 2)
+    throw std::invalid_argument("self table must be 2-D (width, length)");
+  if (tables_.mutual.dims() != 4)
+    throw std::invalid_argument(
+        "mutual table must be 4-D (w1, w2, spacing, length)");
+}
+
+double TableInductanceModel::self(double width, double length) const {
+  return tables_.self.lookup({width, length});
+}
+
+double TableInductanceModel::mutual(double w1, double w2, double spacing,
+                                    double length) const {
+  // Mutual inductance is symmetric in the pair; average the two orders so
+  // lookup noise never breaks the symmetry callers rely on.
+  const double a = tables_.mutual.lookup({w1, w2, spacing, length});
+  const double b = tables_.mutual.lookup({w2, w1, spacing, length});
+  return 0.5 * (a + b);
+}
+
+double TableInductanceModel::series_resistance(double width,
+                                               double length) const {
+  if (tables_.series_r.dims() != 2) return -1.0;  // table not characterised
+  return tables_.series_r.lookup({width, length});
+}
+
+DirectInductanceModel::DirectInductanceModel(const geom::Technology* tech,
+                                             int layer,
+                                             geom::PlaneConfig planes,
+                                             solver::SolveOptions options)
+    : tech_(tech), layer_(layer), planes_(planes),
+      options_(std::move(options)) {
+  if (tech_ == nullptr)
+    throw std::invalid_argument("DirectInductanceModel: technology");
+}
+
+double DirectInductanceModel::self(double width, double length) const {
+  const geom::Block blk =
+      geom::single_trace(*tech_, layer_, length, width, planes_);
+  if (table_kind_for(planes_) == TableKind::kPartial)
+    return solver::extract_partial(blk, options_).inductance(0, 0);
+  return solver::extract_loop(blk, options_).inductance(0, 0);
+}
+
+double DirectInductanceModel::series_resistance(double width,
+                                                double length) const {
+  const geom::Block blk =
+      geom::single_trace(*tech_, layer_, length, width, planes_);
+  if (table_kind_for(planes_) == TableKind::kPartial)
+    return solver::extract_partial(blk, options_).resistance[0];
+  return solver::extract_loop(blk, options_).resistance(0, 0);
+}
+
+double DirectInductanceModel::mutual(double w1, double w2, double spacing,
+                                     double length) const {
+  std::vector<geom::Trace> traces{
+      {geom::TraceRole::kSignal, w1, -0.5 * (spacing + w1), "a"},
+      {geom::TraceRole::kSignal, w2, 0.5 * (spacing + w2), "b"},
+  };
+  const geom::Block blk(tech_, layer_, length, std::move(traces), planes_);
+  if (table_kind_for(planes_) == TableKind::kPartial)
+    return solver::extract_partial(blk, options_).inductance(0, 1);
+  return solver::extract_loop(blk, options_).inductance(0, 1);
+}
+
+void InductanceLibrary::add(
+    int layer, geom::PlaneConfig planes,
+    std::shared_ptr<const InductanceProvider> provider) {
+  if (!provider) throw std::invalid_argument("InductanceLibrary: provider");
+  providers_[{layer, static_cast<int>(planes)}] = std::move(provider);
+}
+
+bool InductanceLibrary::has(int layer, geom::PlaneConfig planes) const {
+  return providers_.count({layer, static_cast<int>(planes)}) != 0;
+}
+
+const InductanceProvider& InductanceLibrary::provider(
+    int layer, geom::PlaneConfig planes) const {
+  const auto it = providers_.find({layer, static_cast<int>(planes)});
+  if (it == providers_.end())
+    throw std::out_of_range("InductanceLibrary: no provider for structure");
+  return *it->second;
+}
+
+}  // namespace rlcx::core

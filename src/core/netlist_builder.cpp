@@ -1,0 +1,156 @@
+#include "core/netlist_builder.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace rlcx::core {
+
+std::vector<ckt::NodeId> stamp_segment(ckt::Netlist& nl,
+                                       const geom::Block& block,
+                                       const SegmentRlc& seg,
+                                       const std::vector<ckt::NodeId>& inputs,
+                                       const LadderOptions& opt) {
+  if (opt.sections < 1)
+    throw std::invalid_argument("stamp_segment: sections >= 1");
+  const std::vector<std::size_t> signals = block.signal_indices();
+  if (inputs.size() != signals.size())
+    throw std::invalid_argument("stamp_segment: one input per signal trace");
+  const std::size_t nl_rows = seg.l_traces.size();
+  const int s = opt.sections;
+
+  // Node chain per inductance-carrying trace.  Signals start at their input
+  // node; ground shields (partial mode) start and end at circuit ground.
+  std::vector<std::vector<ckt::NodeId>> chain(nl_rows);
+  for (std::size_t r = 0; r < nl_rows; ++r) {
+    const std::size_t trace = seg.l_traces[r];
+    const bool is_signal =
+        block.trace(trace).role == geom::TraceRole::kSignal;
+    chain[r].resize(static_cast<std::size_t>(s) + 1);
+    if (is_signal) {
+      // Position of this trace among the signals.
+      std::size_t pos = 0;
+      while (signals[pos] != trace) ++pos;
+      chain[r][0] = inputs[pos];
+      for (int k = 1; k <= s; ++k) chain[r][static_cast<std::size_t>(k)] =
+          nl.add_node();
+    } else {
+      chain[r][0] = ckt::kGround;
+      for (int k = 1; k < s; ++k) chain[r][static_cast<std::size_t>(k)] =
+          nl.add_node();
+      chain[r][static_cast<std::size_t>(s)] = ckt::kGround;
+    }
+  }
+
+  // Series R + L per section; inductor indices kept for mutual stamping.
+  std::vector<std::vector<std::size_t>> lidx(
+      nl_rows, std::vector<std::size_t>(static_cast<std::size_t>(s)));
+  for (std::size_t r = 0; r < nl_rows; ++r) {
+    const std::size_t trace = seg.l_traces[r];
+    const bool is_signal =
+        block.trace(trace).role == geom::TraceRole::kSignal;
+    // Shield branches only matter through their inductance (they carry the
+    // induced return current); in an RC-only netlist they are dead metal.
+    if (!is_signal && !opt.include_inductance) continue;
+    const double r_sec =
+        seg.resistance[trace] / static_cast<double>(s);
+    const double l_sec = seg.inductance(r, r) / static_cast<double>(s);
+    for (int k = 0; k < s; ++k) {
+      const ckt::NodeId a = chain[r][static_cast<std::size_t>(k)];
+      const ckt::NodeId b = chain[r][static_cast<std::size_t>(k) + 1];
+      if (opt.include_inductance) {
+        const ckt::NodeId mid = nl.add_node();
+        nl.add_resistor(a, mid, r_sec);
+        lidx[r][static_cast<std::size_t>(k)] =
+            nl.add_inductor(mid, b, l_sec);
+      } else {
+        nl.add_resistor(a, b, r_sec);
+      }
+    }
+  }
+
+  // Mutual coupling between traces, section by section (totals sum to the
+  // extracted whole-segment mutuals).
+  if (opt.include_inductance && opt.include_mutual) {
+    for (std::size_t r = 0; r < nl_rows; ++r) {
+      for (std::size_t q = r + 1; q < nl_rows; ++q) {
+        const double m_sec = seg.inductance(r, q) / static_cast<double>(s);
+        if (m_sec == 0.0) continue;
+        for (int k = 0; k < s; ++k)
+          nl.add_mutual(lidx[r][static_cast<std::size_t>(k)],
+                        lidx[q][static_cast<std::size_t>(k)], m_sec);
+      }
+    }
+  }
+
+  // Shunt capacitance, pi style: C/2 at the chain ends, C at interior
+  // nodes — only on signal traces (shield nodes are at AC ground already;
+  // their capacitance does not move any voltage).
+  auto stamp_shunt = [&](ckt::NodeId node, ckt::NodeId other, double c) {
+    if (c <= 0.0 || node == ckt::kGround) return;
+    if (other == node) return;
+    nl.add_capacitor(node, other, c);
+  };
+  const std::size_t nblock = block.size();
+  for (std::size_t pos = 0; pos < signals.size(); ++pos) {
+    const std::size_t trace = signals[pos];
+    // Row of this trace in the chain array.
+    std::size_t row = SIZE_MAX;
+    for (std::size_t r = 0; r < nl_rows; ++r)
+      if (seg.l_traces[r] == trace) row = r;
+    if (row == SIZE_MAX)
+      throw std::logic_error("stamp_segment: signal missing from L rows");
+
+    // Ground capacitance, plus coupling to ground-shield neighbours
+    // (treated as perfectly grounded, per the paper).
+    double cg = seg.cap_ground[trace];
+    double cc_left = 0.0, cc_right = 0.0;
+    std::size_t left_row = SIZE_MAX, right_row = SIZE_MAX;
+    if (trace > 0) {
+      const double c = seg.cap_coupling[trace - 1];
+      if (block.trace(trace - 1).role == geom::TraceRole::kGround) {
+        cg += c;
+      } else {
+        cc_left = c;
+        for (std::size_t r = 0; r < nl_rows; ++r)
+          if (seg.l_traces[r] == trace - 1) left_row = r;
+      }
+    }
+    if (trace + 1 < nblock) {
+      const double c = seg.cap_coupling[trace];
+      if (block.trace(trace + 1).role == geom::TraceRole::kGround) {
+        cg += c;
+      } else {
+        cc_right = c;
+        for (std::size_t r = 0; r < nl_rows; ++r)
+          if (seg.l_traces[r] == trace + 1) right_row = r;
+      }
+    }
+
+    const double ds = static_cast<double>(s);
+    for (int k = 0; k <= s; ++k) {
+      const double frac = (k == 0 || k == s) ? 0.5 : 1.0;
+      const ckt::NodeId node = chain[row][static_cast<std::size_t>(k)];
+      stamp_shunt(node, ckt::kGround, frac * cg / ds);
+      // Signal-signal coupling caps connect matching ladder nodes; stamp
+      // once per pair (from the lower row).
+      if (cc_left > 0.0 && left_row != SIZE_MAX && left_row > row)
+        stamp_shunt(node, chain[left_row][static_cast<std::size_t>(k)],
+                    frac * cc_left / ds);
+      if (cc_right > 0.0 && right_row != SIZE_MAX && right_row > row)
+        stamp_shunt(node, chain[right_row][static_cast<std::size_t>(k)],
+                    frac * cc_right / ds);
+    }
+  }
+
+  // Collect far-end nodes of the signals, in signal order.
+  std::vector<ckt::NodeId> outputs;
+  for (std::size_t pos = 0; pos < signals.size(); ++pos) {
+    std::size_t row = SIZE_MAX;
+    for (std::size_t r = 0; r < nl_rows; ++r)
+      if (seg.l_traces[r] == signals[pos]) row = r;
+    outputs.push_back(chain[row][static_cast<std::size_t>(s)]);
+  }
+  return outputs;
+}
+
+}  // namespace rlcx::core

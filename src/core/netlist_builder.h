@@ -1,0 +1,38 @@
+// RLC netlist formulation for extracted segments (paper Section V).
+//
+// Each segment becomes a pi-ladder of `sections` R-L stages with shunt
+// capacitance.  In partial (PEEC) mode the ground shield traces get their
+// own branches — shorted loops from circuit ground through their R/L and
+// back — and mutual-K elements couple every inductor pair in a section, so
+// the simulator "determines the return path at simulation" exactly as the
+// paper prescribes.  In loop mode the precomputed loop inductance sits in
+// the signal branch and the return is the ideal ground.
+//
+// Capacitors to ground shields are stamped to the ideal ground node: the
+// paper's explicitly-stated (optimistic) assumption, which it argues
+// compensates the pessimism of ignoring package return paths.
+#pragma once
+
+#include "ckt/netlist.h"
+#include "core/rlc_extractor.h"
+
+namespace rlcx::core {
+
+struct LadderOptions {
+  int sections = 4;               ///< pi sections per segment
+  bool include_inductance = true; ///< false -> RC-only netlist (Figure 2)
+  bool include_mutual = true;     ///< mutual-K elements between inductors
+};
+
+/// Stamp one segment into the netlist.
+/// `inputs` holds the near-end node of every *signal* trace of the block
+/// (in block order); the far-end nodes are created and returned in the same
+/// order.  Ground-shield branches (partial mode) are tied to circuit ground
+/// at both ends internally.
+std::vector<ckt::NodeId> stamp_segment(ckt::Netlist& netlist,
+                                       const geom::Block& block,
+                                       const SegmentRlc& seg,
+                                       const std::vector<ckt::NodeId>& inputs,
+                                       const LadderOptions& options);
+
+}  // namespace rlcx::core

@@ -1,0 +1,24 @@
+#include "core/screening.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcx::core {
+
+ScreeningResult screen_inductance(const ScreeningInput& in) {
+  if (in.resistance <= 0.0 || in.inductance <= 0.0 ||
+      in.capacitance <= 0.0 || in.rise_time <= 0.0)
+    throw std::invalid_argument("screen_inductance: all inputs must be > 0");
+
+  ScreeningResult out;
+  out.time_of_flight = std::sqrt(in.inductance * in.capacitance);
+  out.line_impedance = std::sqrt(in.inductance / in.capacitance);
+  out.edge_ratio = in.rise_time / (2.0 * out.time_of_flight);
+  out.damping_ratio = in.resistance / (2.0 * out.line_impedance);
+  out.edge_fast_enough = out.edge_ratio < 1.0;
+  out.underdamped = out.damping_ratio < 1.0;
+  out.inductance_significant = out.edge_fast_enough && out.underdamped;
+  return out;
+}
+
+}  // namespace rlcx::core

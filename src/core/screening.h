@@ -1,0 +1,42 @@
+// Inductance-significance screening.
+//
+// The paper's introduction argues inductance must be extracted for clock
+// nets because of "faster clock frequencies, shorter rise times, and lower
+// resistivity metal".  This module encodes the standard screening rules
+// that quantify that argument for one net, so a flow can decide per-net
+// whether RLC extraction (this library) or plain RC suffices:
+//
+//   1. edge criterion: the rise time is shorter than twice the time of
+//      flight, t_rise < 2 * sqrt(L*C) — otherwise the line never behaves
+//      as a transmission line during the edge;
+//   2. damping criterion: the total resistance is below twice the line
+//      impedance, R < 2 * sqrt(L/C) — otherwise the response is
+//      overdamped and RC-like.
+//
+// Inductance matters when both hold (Ismail/Friedman-style window).
+#pragma once
+
+namespace rlcx::core {
+
+struct ScreeningInput {
+  double resistance = 0.0;   ///< total series R of the net [ohm]
+  double inductance = 0.0;   ///< total loop L of the net [H]
+  double capacitance = 0.0;  ///< total C of the net [F]
+  double rise_time = 0.0;    ///< driver edge [s]
+};
+
+struct ScreeningResult {
+  double time_of_flight = 0.0;  ///< sqrt(L*C) [s]
+  double line_impedance = 0.0;  ///< sqrt(L/C) [ohm]
+  /// t_rise / (2 * time_of_flight); < 1 means the edge is fast enough.
+  double edge_ratio = 0.0;
+  /// R / (2 * Z0); < 1 means underdamped.
+  double damping_ratio = 0.0;
+  bool edge_fast_enough = false;
+  bool underdamped = false;
+  bool inductance_significant = false;  ///< both criteria met
+};
+
+ScreeningResult screen_inductance(const ScreeningInput& input);
+
+}  // namespace rlcx::core

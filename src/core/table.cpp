@@ -1,0 +1,108 @@
+#include "core/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlcx::core {
+
+NdTable::NdTable(std::vector<std::string> axis_names,
+                 std::vector<std::vector<double>> axes,
+                 std::vector<double> values)
+    : names_(std::move(axis_names)), axes_(std::move(axes)),
+      values_(std::move(values)), spline_(axes_, values_) {
+  if (names_.size() != axes_.size())
+    throw std::invalid_argument("NdTable: axis name count");
+}
+
+double NdTable::lookup(const std::vector<double>& q) const {
+  if (axes_.empty()) throw std::logic_error("NdTable: empty table");
+  if (!in_range(q)) ++extrapolations_;
+  return spline_.eval(q);
+}
+
+bool NdTable::in_range(const std::vector<double>& q) const {
+  if (q.size() != axes_.size())
+    throw std::invalid_argument("NdTable: query dimension");
+  for (std::size_t d = 0; d < axes_.size(); ++d)
+    if (q[d] < axes_[d].front() || q[d] > axes_[d].back()) return false;
+  return true;
+}
+
+double NdTable::at(const std::vector<std::size_t>& idx) const {
+  if (idx.size() != axes_.size())
+    throw std::invalid_argument("NdTable: index dimension");
+  std::size_t flat = 0;
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    if (idx[d] >= axes_[d].size())
+      throw std::out_of_range("NdTable: index out of range");
+    flat = flat * axes_[d].size() + idx[d];
+  }
+  return values_[flat];
+}
+
+void NdTable::save(std::ostream& os) const {
+  os << "rlcx-table 1\n";
+  os << axes_.size() << "\n";
+  if (axes_.empty()) {
+    os << 0 << "\n";  // empty (un-characterised) table: zero values
+    return;
+  }
+  os << std::setprecision(17);
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    os << names_[d] << " " << axes_[d].size();
+    for (double v : axes_[d]) os << " " << v;
+    os << "\n";
+  }
+  os << values_.size();
+  for (double v : values_) os << " " << v;
+  os << "\n";
+}
+
+NdTable NdTable::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "rlcx-table" || version != 1)
+    throw std::runtime_error("NdTable: bad file header");
+  std::size_t dims = 0;
+  is >> dims;
+  if (!is || dims > 8)
+    throw std::runtime_error("NdTable: bad dimension count");
+  if (dims == 0) {
+    std::size_t zero = 0;
+    is >> zero;
+    if (!is || zero != 0) throw std::runtime_error("NdTable: bad empty table");
+    return NdTable();
+  }
+  std::vector<std::string> names(dims);
+  std::vector<std::vector<double>> axes(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::size_t n = 0;
+    is >> names[d] >> n;
+    if (!is || n < 2) throw std::runtime_error("NdTable: bad axis");
+    axes[d].resize(n);
+    for (double& v : axes[d]) is >> v;
+  }
+  std::size_t count = 0;
+  is >> count;
+  std::vector<double> values(count);
+  for (double& v : values) is >> v;
+  if (!is) throw std::runtime_error("NdTable: truncated file");
+  return NdTable(std::move(names), std::move(axes), std::move(values));
+}
+
+void NdTable::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("NdTable: cannot open " + path);
+  save(os);
+}
+
+NdTable NdTable::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("NdTable: cannot open " + path);
+  return load(is);
+}
+
+}  // namespace rlcx::core

@@ -1,0 +1,63 @@
+// N-dimensional inductance table with spline lookup and text persistence.
+//
+// Section III of the paper: "The self inductance table has two dimensions:
+// width and length.  The mutual inductance table has [four] dimensions:
+// widths for two traces and the spacing between them [and length] ...
+// A bi-cubic spline algorithm will be used to interpolate/extrapolate
+// inductance that is not given in the table."
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numeric/spline.h"
+
+namespace rlcx::core {
+
+class NdTable {
+ public:
+  NdTable() = default;
+
+  /// `axes[d]` is the strictly increasing grid of axis `d`; `values` is
+  /// row-major with the last axis fastest.
+  NdTable(std::vector<std::string> axis_names,
+          std::vector<std::vector<double>> axes, std::vector<double> values);
+
+  std::size_t dims() const { return axes_.size(); }
+  const std::vector<std::string>& axis_names() const { return names_; }
+  const std::vector<std::vector<double>>& axes() const { return axes_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Spline-interpolated lookup (tensor-product natural cubic — bicubic in
+  /// two dimensions).  Queries outside the grid extrapolate linearly and
+  /// bump extrapolation_count() so flows can detect grid under-coverage.
+  double lookup(const std::vector<double>& q) const;
+
+  /// Whether the query lies inside the gridded region on every axis.
+  bool in_range(const std::vector<double>& q) const;
+
+  /// How many lookups so far fell outside the grid (per-table statistic;
+  /// a healthy characterisation grid keeps this at zero).
+  std::size_t extrapolation_count() const { return extrapolations_; }
+  void reset_extrapolation_count() { extrapolations_ = 0; }
+
+  /// Grid value by multi-index (mostly for tests).
+  double at(const std::vector<std::size_t>& idx) const;
+
+  /// Plain-text round-trippable serialisation.
+  void save(std::ostream& os) const;
+  static NdTable load(std::istream& is);
+
+  void save_file(const std::string& path) const;
+  static NdTable load_file(const std::string& path);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> axes_;
+  std::vector<double> values_;
+  TensorSpline spline_;
+  mutable std::size_t extrapolations_ = 0;
+};
+
+}  // namespace rlcx::core

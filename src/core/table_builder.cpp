@@ -1,0 +1,124 @@
+#include "core/table_builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+
+namespace rlcx::core {
+
+using units::um;
+
+TableGrid default_clock_grid() {
+  TableGrid g;
+  g.widths = geomspace(um(1), um(20), 5);
+  g.spacings = geomspace(um(0.5), um(10), 5);
+  g.lengths = geomspace(um(100), um(6000), 5);
+  return g;
+}
+
+namespace {
+
+struct PairSolve {
+  double self1;
+  double mutual;
+  double r1;  ///< AC series resistance of the first trace
+};
+
+/// One 2-trace solve.
+PairSolve solve_pair(const geom::Technology& tech, int layer,
+                     geom::PlaneConfig planes, double w1, double w2,
+                     double s, double l, const solver::SolveOptions& opt) {
+  std::vector<geom::Trace> traces{
+      {geom::TraceRole::kSignal, w1, -0.5 * (s + w1), "a"},
+      {geom::TraceRole::kSignal, w2, 0.5 * (s + w2), "b"},
+  };
+  const geom::Block blk(&tech, layer, l, std::move(traces), planes);
+  if (table_kind_for(planes) == TableKind::kPartial) {
+    const solver::PartialResult r = solver::extract_partial(blk, opt);
+    return {r.inductance(0, 0), r.inductance(0, 1), r.resistance[0]};
+  }
+  const solver::LoopResult r = solver::extract_loop(blk, opt);
+  return {r.inductance(0, 0), r.inductance(0, 1), r.resistance(0, 0)};
+}
+
+}  // namespace
+
+InductanceTables build_tables(const geom::Technology& tech, int layer,
+                              geom::PlaneConfig planes, const TableGrid& grid,
+                              const solver::SolveOptions& opt, int threads) {
+  if (grid.widths.size() < 2 || grid.spacings.size() < 2 ||
+      grid.lengths.size() < 2)
+    throw std::invalid_argument("build_tables: each axis needs >= 2 points");
+  if (threads < 0) throw std::invalid_argument("build_tables: threads");
+  if (threads == 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+
+  InductanceTables out;
+  out.layer = layer;
+  out.planes = planes;
+  out.frequency = opt.frequency;
+
+  const std::size_t nw = grid.widths.size();
+  const std::size_t ns = grid.spacings.size();
+  const std::size_t nl = grid.lengths.size();
+
+  // Mutual table, last axis fastest: (w1, w2, s, l).
+  std::vector<double> mutual_vals(nw * nw * ns * nl);
+  // The self values (and the AC series resistance) fall out of the same
+  // solves (diagonal of the pair), taken at a reference spacing;
+  // Foundation 1 says the result must not depend on the companion trace,
+  // and the Foundations test suite checks that it doesn't.
+  std::vector<double> self_vals(nw * nl);
+  std::vector<double> r_vals(nw * nl);
+
+  // Every grid point is an independent solve; shard the outer width axis
+  // across threads (each thread writes disjoint slices of the tables).
+  auto worker = [&](std::size_t i_begin, std::size_t i_step) {
+    for (std::size_t i = i_begin; i < nw; i += i_step) {
+      for (std::size_t j = 0; j < nw; ++j) {
+        for (std::size_t k = 0; k < ns; ++k) {
+          for (std::size_t m = 0; m < nl; ++m) {
+            const PairSolve ps = solve_pair(
+                tech, layer, planes, grid.widths[i], grid.widths[j],
+                grid.spacings[k], grid.lengths[m], opt);
+            mutual_vals[((i * nw + j) * ns + k) * nl + m] = ps.mutual;
+            // Harvest self(w_i, l_m) from the widest-spaced solve, where
+            // the companion perturbs the loop-mode result least.
+            if (j == 0 && k + 1 == ns) {
+              self_vals[i * nl + m] = ps.self1;
+              r_vals[i * nl + m] = ps.r1;
+            }
+          }
+        }
+      }
+    }
+  };
+  if (threads == 1) {
+    worker(0, 1);
+  } else {
+    std::vector<std::thread> pool;
+    const auto nthreads = std::min<std::size_t>(
+        static_cast<std::size_t>(threads), nw);
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t)
+      pool.emplace_back(worker, t, nthreads);
+    for (std::thread& t : pool) t.join();
+  }
+
+  out.self = NdTable({"width", "length"}, {grid.widths, grid.lengths},
+                     std::move(self_vals));
+  out.mutual = NdTable(
+      {"w1", "w2", "spacing", "length"},
+      {grid.widths, grid.widths, grid.spacings, grid.lengths},
+      std::move(mutual_vals));
+  out.series_r = NdTable({"width", "length"}, {grid.widths, grid.lengths},
+                         std::move(r_vals));
+  return out;
+}
+
+}  // namespace rlcx::core

@@ -1,0 +1,37 @@
+// Pre-computation of the inductance tables (paper Section III).
+//
+// "The 3D inductance extraction tool RI3 is invoked to solve a block of two
+// traces with or without ground plane(s) in layer N+2/N-2 for different
+// combinations of lengths, widths, and spacings. ... Note that only 2-trace
+// subproblems need to be solved, because results to 1-trace subproblems are
+// parts of results to 2-trace subproblems."  Our RI3 stand-in is the
+// rlcx_solver loop/partial extractor.
+#pragma once
+
+#include "core/inductance_model.h"
+#include "geom/technology.h"
+#include "solver/options.h"
+
+namespace rlcx::core {
+
+struct TableGrid {
+  std::vector<double> widths;    ///< trace widths [m]
+  std::vector<double> spacings;  ///< edge-to-edge spacings [m]
+  std::vector<double> lengths;   ///< segment lengths [m]
+};
+
+/// A sensible default grid for clock wiring: widths 1-20 um, spacings
+/// 0.5-10 um, lengths 100-6000 um (geometric spacing, since L is closer to
+/// log-linear in geometry).
+TableGrid default_clock_grid();
+
+/// Build the self (width x length) and mutual (w1 x w2 x spacing x length)
+/// tables for the given structure class at opt.frequency (callers pass the
+/// significant frequency 0.32/t_r).  The grid solves are independent;
+/// `threads` > 1 fans them out (0 = hardware concurrency).
+InductanceTables build_tables(const geom::Technology& tech, int layer,
+                              geom::PlaneConfig planes, const TableGrid& grid,
+                              const solver::SolveOptions& opt,
+                              int threads = 1);
+
+}  // namespace rlcx::core

@@ -1,0 +1,100 @@
+#include "geom/block.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlcx::geom {
+
+const char* to_string(PlaneConfig c) {
+  switch (c) {
+    case PlaneConfig::kNone: return "none";
+    case PlaneConfig::kBelow: return "below";
+    case PlaneConfig::kAbove: return "above";
+    case PlaneConfig::kBothSides: return "both";
+  }
+  return "?";
+}
+
+Block::Block(const Technology* tech, int layer, double length,
+             std::vector<Trace> traces, PlaneConfig planes)
+    : tech_(tech), layer_(layer), length_(length),
+      traces_(std::move(traces)), planes_(planes) {
+  if (tech_ == nullptr) throw std::invalid_argument("block needs technology");
+  if (!tech_->has_layer(layer_)) throw std::invalid_argument("bad layer");
+  if (length_ <= 0.0) throw std::invalid_argument("block length");
+  if (traces_.empty()) throw std::invalid_argument("block needs traces");
+  for (const Trace& t : traces_)
+    if (t.width <= 0.0) throw std::invalid_argument("trace width");
+
+  std::sort(traces_.begin(), traces_.end(),
+            [](const Trace& a, const Trace& b) {
+              return a.x_center < b.x_center;
+            });
+  for (std::size_t i = 0; i + 1 < traces_.size(); ++i) {
+    if (traces_[i].x_right() > traces_[i + 1].x_left() + 1e-15)
+      throw std::invalid_argument("traces overlap laterally");
+  }
+
+  const bool below = planes_ == PlaneConfig::kBelow ||
+                     planes_ == PlaneConfig::kBothSides;
+  const bool above = planes_ == PlaneConfig::kAbove ||
+                     planes_ == PlaneConfig::kBothSides;
+  if (below && !tech_->has_layer(layer_ - 2))
+    throw std::invalid_argument("no layer N-2 for plane below");
+  if (above && !tech_->has_layer(layer_ + 2))
+    throw std::invalid_argument("no layer N+2 for plane above");
+}
+
+std::vector<std::size_t> Block::signal_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < traces_.size(); ++i)
+    if (traces_[i].role == TraceRole::kSignal) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> Block::ground_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < traces_.size(); ++i)
+    if (traces_[i].role == TraceRole::kGround) out.push_back(i);
+  return out;
+}
+
+double Block::spacing(std::size_t i, std::size_t j) const {
+  if (i == j) throw std::invalid_argument("spacing of a trace with itself");
+  const Trace& left = trace(traces_[i].x_center < traces_[j].x_center ? i : j);
+  const Trace& right = trace(traces_[i].x_center < traces_[j].x_center ? j : i);
+  return right.x_left() - left.x_right();
+}
+
+double Block::pitch(std::size_t i, std::size_t j) const {
+  return std::abs(trace(i).x_center - trace(j).x_center);
+}
+
+int Block::plane_layer_below() const {
+  if (planes_ != PlaneConfig::kBelow && planes_ != PlaneConfig::kBothSides)
+    throw std::logic_error("block has no plane below");
+  return layer_ - 2;
+}
+
+int Block::plane_layer_above() const {
+  if (planes_ != PlaneConfig::kAbove && planes_ != PlaneConfig::kBothSides)
+    throw std::logic_error("block has no plane above");
+  return layer_ + 2;
+}
+
+double Block::height_above_plane() const {
+  return tech_->dielectric_gap(plane_layer_below(), layer_);
+}
+
+Block Block::subproblem(const std::vector<std::size_t>& keep) const {
+  std::vector<Trace> sub;
+  sub.reserve(keep.size());
+  for (std::size_t idx : keep) sub.push_back(trace(idx));
+  return Block(tech_, layer_, length_, std::move(sub), planes_);
+}
+
+Block Block::with_length(double new_length) const {
+  return Block(tech_, layer_, new_length, traces_, planes_);
+}
+
+}  // namespace rlcx::geom

@@ -1,0 +1,76 @@
+// Block: the paper's unit of extraction.
+//
+// A block is n same-length parallel traces in one layer (Figure 4), possibly
+// with a local ground plane in layer N-2 (microstrip), N+2, or both
+// (stripline).  Traces in adjacent layers are orthogonal and therefore do
+// not couple inductively (paper Section II).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/technology.h"
+#include "geom/trace.h"
+
+namespace rlcx::geom {
+
+/// Where local ground planes sit relative to the block's layer.
+enum class PlaneConfig {
+  kNone,      ///< bare coplanar structure
+  kBelow,     ///< microstrip: plane in layer N-2
+  kAbove,     ///< inverted microstrip: plane in layer N+2
+  kBothSides, ///< stripline: planes in N-2 and N+2
+};
+
+const char* to_string(PlaneConfig c);
+
+class Block {
+ public:
+  /// Traces must be in `layer`, non-overlapping; they are sorted by x.
+  Block(const Technology* tech, int layer, double length,
+        std::vector<Trace> traces, PlaneConfig planes = PlaneConfig::kNone);
+
+  const Technology& tech() const { return *tech_; }
+  int layer_index() const { return layer_; }
+  const Layer& layer() const { return tech_->layer(layer_); }
+  double length() const { return length_; }
+  PlaneConfig planes() const { return planes_; }
+
+  std::size_t size() const { return traces_.size(); }
+  const Trace& trace(std::size_t i) const { return traces_.at(i); }
+  const std::vector<Trace>& traces() const { return traces_; }
+
+  /// Indices of signal / ground traces, in x order.
+  std::vector<std::size_t> signal_indices() const;
+  std::vector<std::size_t> ground_indices() const;
+
+  /// Edge-to-edge spacing between traces i and j (i != j).
+  double spacing(std::size_t i, std::size_t j) const;
+
+  /// Center-to-center pitch between traces i and j.
+  double pitch(std::size_t i, std::size_t j) const;
+
+  /// Layer index of the plane below / above (throws if absent).
+  int plane_layer_below() const;
+  int plane_layer_above() const;
+
+  /// Dielectric gap from the block layer bottom to the plane top (the "h" of
+  /// microstrip formulas).
+  double height_above_plane() const;
+
+  /// A copy of this block containing only the given trace indices (the
+  /// 1-trace and 2-trace subproblems of Section III).
+  Block subproblem(const std::vector<std::size_t>& keep) const;
+
+  /// A copy with a different length (tables sweep length).
+  Block with_length(double new_length) const;
+
+ private:
+  const Technology* tech_;
+  int layer_;
+  double length_;
+  std::vector<Trace> traces_;
+  PlaneConfig planes_;
+};
+
+}  // namespace rlcx::geom

@@ -1,0 +1,46 @@
+// Convenience constructors for the structures the paper uses:
+// coplanar waveguide (Figure 8), microstrip (Figure 9), stripline, and the
+// n-trace bus block of Figure 4.
+#pragma once
+
+#include <vector>
+
+#include "geom/block.h"
+
+namespace rlcx::geom {
+
+/// Ground-Signal-Ground coplanar waveguide, centered at x = 0.
+/// This is Figure 1 / Figure 8 of the paper.
+Block coplanar_waveguide(const Technology& tech, int layer, double length,
+                         double signal_width, double ground_width,
+                         double spacing);
+
+/// GSG structure over a local ground plane in layer N-2 (Figure 9).
+Block microstrip(const Technology& tech, int layer, double length,
+                 double signal_width, double ground_width, double spacing);
+
+/// GSG structure between planes in N-2 and N+2.
+Block stripline(const Technology& tech, int layer, double length,
+                double signal_width, double ground_width, double spacing);
+
+/// A single signal trace over a plane (the paper's Figure 5(b) subproblem
+/// when the ground traces are removed).
+Block single_trace(const Technology& tech, int layer, double length,
+                   double width,
+                   PlaneConfig planes = PlaneConfig::kNone);
+
+/// Figure 4: n traces of the given widths with the given edge-to-edge
+/// spacings (spacings.size() == widths.size()-1); the two outermost traces
+/// are dedicated AC grounds, everything else signal.  Centered at x = 0.
+Block bus_block(const Technology& tech, int layer, double length,
+                const std::vector<double>& widths,
+                const std::vector<double>& spacings,
+                PlaneConfig planes = PlaneConfig::kNone);
+
+/// Uniform n-trace array (equal widths, equal spacings), all signals —
+/// the Figure 5 structure when placed over a plane.
+Block uniform_array(const Technology& tech, int layer, double length,
+                    std::size_t n, double width, double spacing,
+                    PlaneConfig planes = PlaneConfig::kNone);
+
+}  // namespace rlcx::geom

@@ -1,0 +1,16 @@
+// A metal layer in the interconnect stack.
+#pragma once
+
+namespace rlcx::geom {
+
+struct Layer {
+  int index = 0;          ///< metal level (1 = closest to substrate)
+  double thickness = 0.0; ///< vertical extent [m]
+  double z_bottom = 0.0;  ///< absolute height of the layer bottom [m]
+  double rho = 0.0;       ///< resistivity [ohm*m]
+
+  double z_top() const { return z_bottom + thickness; }
+  double z_center() const { return z_bottom + 0.5 * thickness; }
+};
+
+}  // namespace rlcx::geom

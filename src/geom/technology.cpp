@@ -1,0 +1,90 @@
+#include "geom/technology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/units.h"
+
+namespace rlcx::geom {
+
+Technology::Technology(std::vector<Layer> layers, double eps_r)
+    : layers_(std::move(layers)), eps_r_(eps_r) {
+  if (layers_.empty()) throw std::invalid_argument("technology needs layers");
+  std::sort(layers_.begin(), layers_.end(),
+            [](const Layer& a, const Layer& b) { return a.index < b.index; });
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    if (layers_[i].index == layers_[i + 1].index)
+      throw std::invalid_argument("duplicate layer index");
+    if (layers_[i].z_top() > layers_[i + 1].z_bottom + 1e-12)
+      throw std::invalid_argument("layer stack overlaps vertically");
+  }
+  for (const Layer& l : layers_) {
+    if (l.thickness <= 0.0) throw std::invalid_argument("layer thickness");
+    if (l.rho <= 0.0) throw std::invalid_argument("layer resistivity");
+  }
+}
+
+Technology Technology::generic_025um() {
+  using units::um;
+  std::vector<Layer> layers;
+  // Thin lower metals, thick upper metals; ~1 um inter-layer dielectric on
+  // the clock levels.  Layer 6 is the 2-um-thick clock metal of Figure 1,
+  // layer 4 the local-ground-plane level two below it (paper: N-2).
+  double z = 0.0;
+  const struct {
+    double t_um;
+    double ild_um;  // dielectric below this layer
+  } stack[] = {
+      {0.5, 0.8},  // M1
+      {0.5, 0.8},  // M2
+      {0.9, 0.9},  // M3
+      {0.9, 0.9},  // M4  (local ground-plane level for layer-6 microstrip)
+      {1.2, 1.0},  // M5  (orthogonal signal level below the clock)
+      {2.0, 1.0},  // M6  (clock metal: 2 um thick, as in Figure 1)
+      {2.0, 1.2},  // M7
+      {2.0, 1.2},  // M8  (plane level above for stripline studies)
+  };
+  int index = 1;
+  for (const auto& s : stack) {
+    z += um(s.ild_um);
+    layers.push_back(Layer{index, um(s.t_um), z, kRhoCopper});
+    z += um(s.t_um);
+    ++index;
+  }
+  return Technology(std::move(layers), kEpsRSiO2);
+}
+
+Technology Technology::at_temperature(double celsius,
+                                      double alpha_per_kelvin) const {
+  const double scale = 1.0 + alpha_per_kelvin * (celsius - 25.0);
+  if (scale <= 0.0)
+    throw std::invalid_argument("at_temperature: resistivity would vanish");
+  std::vector<Layer> scaled = layers_;
+  for (Layer& l : scaled) l.rho *= scale;
+  return Technology(std::move(scaled), eps_r_);
+}
+
+bool Technology::has_layer(int index) const {
+  return std::any_of(layers_.begin(), layers_.end(),
+                     [index](const Layer& l) { return l.index == index; });
+}
+
+const Layer& Technology::layer(int index) const {
+  for (const Layer& l : layers_)
+    if (l.index == index) return l;
+  throw std::out_of_range("no such layer in technology");
+}
+
+int Technology::top_layer() const { return layers_.back().index; }
+
+double Technology::dielectric_gap(int lower, int upper) const {
+  const Layer& lo = layer(std::min(lower, upper));
+  const Layer& hi = layer(std::max(lower, upper));
+  return hi.z_bottom - lo.z_top();
+}
+
+double Technology::center_separation(int a, int b) const {
+  return std::abs(layer(a).z_center() - layer(b).z_center());
+}
+
+}  // namespace rlcx::geom

@@ -1,0 +1,53 @@
+// Interconnect technology description: the layer stack and dielectric.
+//
+// The paper's experiments are defined by explicit geometry (widths, spacings,
+// thicknesses), not by a foundry deck, so the Technology only needs to supply
+// the vertical stack (layer thicknesses and separations), resistivity and
+// the oxide permittivity.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "geom/layer.h"
+
+namespace rlcx::geom {
+
+class Technology {
+ public:
+  Technology(std::vector<Layer> layers, double eps_r);
+
+  /// The process used throughout the paper's experiments: a late-1990s
+  /// high-performance CPU stack with 2 um thick top-level clock metal
+  /// (matching Figure 1's "2 um thick" wires), SiO2 dielectric and
+  /// damascene-copper resistivity.
+  static Technology generic_025um();
+
+  const Layer& layer(int index) const;
+  bool has_layer(int index) const;
+  int top_layer() const;
+  std::size_t layer_count() const { return layers_.size(); }
+
+  double eps_r() const { return eps_r_; }
+
+  /// A copy of this technology with every layer's resistivity scaled to the
+  /// given temperature: rho(T) = rho25 * (1 + alpha (T - 25 C)), the linear
+  /// model with the copper coefficient by default.  Inductance and
+  /// capacitance are temperature-insensitive; resistance (and so delay and
+  /// skew) are not — the same split as the process-variation story.
+  Technology at_temperature(double celsius,
+                            double alpha_per_kelvin = 0.0039) const;
+
+  /// Vertical gap between the bottom of layer `upper` and the top of layer
+  /// `lower` — the "h" that microstrip capacitance formulas want.
+  double dielectric_gap(int lower, int upper) const;
+
+  /// Center-to-center vertical distance between two layers.
+  double center_separation(int a, int b) const;
+
+ private:
+  std::vector<Layer> layers_;  // sorted by index
+  double eps_r_;
+};
+
+}  // namespace rlcx::geom

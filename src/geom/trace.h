@@ -1,0 +1,23 @@
+// A single wire trace within a coplanar block.
+#pragma once
+
+#include <string>
+
+namespace rlcx::geom {
+
+enum class TraceRole {
+  kSignal,  ///< carries a signal; gets its own netlist branch
+  kGround,  ///< dedicated AC-grounded shield/return trace
+};
+
+struct Trace {
+  TraceRole role = TraceRole::kSignal;
+  double width = 0.0;     ///< [m]
+  double x_center = 0.0;  ///< lateral position of the trace center [m]
+  std::string name;       ///< optional label for netlists and reports
+
+  double x_left() const { return x_center - 0.5 * width; }
+  double x_right() const { return x_center + 0.5 * width; }
+};
+
+}  // namespace rlcx::geom

@@ -1,0 +1,39 @@
+#include "numeric/elliptic.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rlcx {
+
+double elliptic_k(double k) {
+  if (k < 0.0 || k >= 1.0)
+    throw std::invalid_argument("elliptic_k: modulus must be in [0,1)");
+  // AGM iteration: K(k) = pi / (2 * agm(1, k')).
+  double a = 1.0;
+  double b = std::sqrt(1.0 - k * k);
+  while (std::abs(a - b) > 1e-15 * a) {
+    const double an = 0.5 * (a + b);
+    b = std::sqrt(a * b);
+    a = an;
+  }
+  return std::numbers::pi / (2.0 * a);
+}
+
+double elliptic_k_ratio(double k) {
+  if (k <= 0.0 || k >= 1.0)
+    throw std::invalid_argument("elliptic_k_ratio: modulus must be in (0,1)");
+  // Hilberg's closed form, accurate to ~3 ppm over the full range and free of
+  // the k' cancellation that the direct ratio suffers for k -> 1.
+  const double kp = std::sqrt((1.0 - k) * (1.0 + k));
+  if (k <= std::numbers::sqrt2 / 2.0) {
+    const double num = std::numbers::pi;
+    const double den = std::log(2.0 * (1.0 + std::sqrt(kp)) /
+                                (1.0 - std::sqrt(kp)));
+    return num / den;
+  }
+  return std::log(2.0 * (1.0 + std::sqrt(k)) / (1.0 - std::sqrt(k))) /
+         std::numbers::pi;
+}
+
+}  // namespace rlcx

@@ -1,0 +1,17 @@
+// Complete elliptic integrals, used by the conformal-mapping coplanar
+// waveguide capacitance model.
+#pragma once
+
+namespace rlcx {
+
+/// Complete elliptic integral of the first kind K(k), modulus convention
+/// K(k) = \int_0^{pi/2} dt / sqrt(1 - k^2 sin^2 t), 0 <= k < 1.
+/// Computed with the arithmetic-geometric mean (converges quadratically).
+double elliptic_k(double k);
+
+/// The ratio K(k)/K(k') with k' = sqrt(1-k^2), the quantity CPW formulas
+/// actually need; evaluated stably for k near 0 and near 1 using the
+/// Hilberg approximation to avoid catastrophic cancellation in k'.
+double elliptic_k_ratio(double k);
+
+}  // namespace rlcx

@@ -1,0 +1,107 @@
+// LU decomposition with partial pivoting, templated over the scalar type so
+// the same code factors the real MNA matrices of the circuit simulator and
+// the complex filament impedance matrices of the loop solver.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace rlcx {
+
+namespace detail {
+inline double abs_of(double v) { return std::abs(v); }
+inline double abs_of(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace detail
+
+/// In-place LU factorisation of a square matrix with row pivoting.
+/// Factor once, then solve() any number of right-hand sides — the transient
+/// simulator relies on this (one factorisation per timestep size).
+template <typename T>
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix<T> a) : lu_(std::move(a)) {
+    const std::size_t n = lu_.rows();
+    if (n != lu_.cols()) throw std::invalid_argument("LU needs square matrix");
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Partial pivot: pick the largest magnitude in column k.
+      std::size_t piv = k;
+      double best = detail::abs_of(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double mag = detail::abs_of(lu_(i, k));
+        if (mag > best) {
+          best = mag;
+          piv = i;
+        }
+      }
+      if (best == 0.0) throw std::runtime_error("singular matrix in LU");
+      if (piv != k) {
+        for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+        std::swap(perm_[k], perm_[piv]);
+      }
+      const T pivot = lu_(k, k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const T m = lu_(i, k) / pivot;
+        lu_(i, k) = m;
+        if (m == T{}) continue;
+        for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+      }
+    }
+  }
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const std::size_t n = lu_.rows();
+    if (b.size() != n) throw std::invalid_argument("LU rhs size");
+    std::vector<T> x(n);
+    // Forward substitution with permutation applied.
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm_[i]];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+      x[i] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = x[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+      x[ii] = acc / lu_(ii, ii);
+    }
+    return x;
+  }
+
+  /// Solve A X = B column-by-column.
+  Matrix<T> solve(const Matrix<T>& b) const {
+    const std::size_t n = lu_.rows();
+    if (b.rows() != n) throw std::invalid_argument("LU rhs rows");
+    Matrix<T> x(n, b.cols());
+    std::vector<T> col(n);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+      const std::vector<T> xc = solve(col);
+      for (std::size_t i = 0; i < n; ++i) x(i, j) = xc[i];
+    }
+    return x;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Convenience: invert a square matrix (used for the small conductor-level
+/// reductions; prefer LuDecomposition::solve for anything large).
+template <typename T>
+Matrix<T> inverse(const Matrix<T>& a) {
+  LuDecomposition<T> lu(a);
+  return lu.solve(Matrix<T>::identity(a.rows()));
+}
+
+}  // namespace rlcx

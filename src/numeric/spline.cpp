@@ -1,0 +1,129 @@
+#include "numeric/spline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcx {
+
+CubicSpline::CubicSpline(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  const std::size_t n = x_.size();
+  if (n != y_.size()) throw std::invalid_argument("spline size mismatch");
+  if (n < 2) throw std::invalid_argument("spline needs >= 2 points");
+  for (std::size_t i = 1; i < n; ++i)
+    if (!(x_[i] > x_[i - 1]))
+      throw std::invalid_argument("spline knots must increase");
+
+  // Tridiagonal solve for natural boundary conditions (y'' = 0 at the ends).
+  y2_.assign(n, 0.0);
+  std::vector<double> u(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double sig = (x_[i] - x_[i - 1]) / (x_[i + 1] - x_[i - 1]);
+    const double p = sig * y2_[i - 1] + 2.0;
+    y2_[i] = (sig - 1.0) / p;
+    const double d1 = (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]) -
+                      (y_[i] - y_[i - 1]) / (x_[i] - x_[i - 1]);
+    u[i] = (6.0 * d1 / (x_[i + 1] - x_[i - 1]) - sig * u[i - 1]) / p;
+  }
+  for (std::size_t k = n - 1; k-- > 0;) y2_[k] = y2_[k] * y2_[k + 1] + u[k];
+}
+
+std::size_t CubicSpline::interval(double x) const {
+  // Binary search for the knot interval containing x, clamped to the range.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  if (hi == 0) hi = 1;
+  if (hi >= x_.size()) hi = x_.size() - 1;
+  return hi - 1;
+}
+
+double CubicSpline::eval(double x) const {
+  const std::size_t n = x_.size();
+  if (x < x_.front()) {
+    // Linear continuation with the boundary slope.
+    return y_.front() + derivative(x_.front()) * (x - x_.front());
+  }
+  if (x > x_.back()) {
+    return y_.back() + derivative(x_.back()) * (x - x_.back());
+  }
+  const std::size_t lo = interval(x);
+  const double h = x_[lo + 1] - x_[lo];
+  const double a = (x_[lo + 1] - x) / h;
+  const double b = (x - x_[lo]) / h;
+  return a * y_[lo] + b * y_[lo + 1] +
+         ((a * a * a - a) * y2_[lo] + (b * b * b - b) * y2_[lo + 1]) *
+             (h * h) / 6.0;
+  (void)n;
+}
+
+double CubicSpline::derivative(double x) const {
+  double xc = std::clamp(x, x_.front(), x_.back());
+  const std::size_t lo = interval(xc);
+  const double h = x_[lo + 1] - x_[lo];
+  const double a = (x_[lo + 1] - xc) / h;
+  const double b = (xc - x_[lo]) / h;
+  return (y_[lo + 1] - y_[lo]) / h -
+         (3.0 * a * a - 1.0) / 6.0 * h * y2_[lo] +
+         (3.0 * b * b - 1.0) / 6.0 * h * y2_[lo + 1];
+}
+
+TensorSpline::TensorSpline(std::vector<std::vector<double>> axes,
+                           std::vector<double> values)
+    : axes_(std::move(axes)), values_(std::move(values)) {
+  std::size_t expected = 1;
+  for (const auto& ax : axes_) {
+    if (ax.size() < 2) throw std::invalid_argument("axis needs >= 2 points");
+    expected *= ax.size();
+  }
+  if (expected != values_.size())
+    throw std::invalid_argument("tensor spline value count mismatch");
+}
+
+double TensorSpline::eval(const std::vector<double>& q) const {
+  if (q.size() != axes_.size())
+    throw std::invalid_argument("tensor spline query dimension");
+
+  // Collapse the last axis repeatedly.  `work` holds the current table;
+  // after collapsing axis d it has product(sizes[0..d-1]) entries.
+  std::vector<double> work = values_;
+  for (std::size_t d = axes_.size(); d-- > 0;) {
+    const std::vector<double>& ax = axes_[d];
+    const std::size_t nd = ax.size();
+    const std::size_t outer = work.size() / nd;
+    std::vector<double> next(outer);
+    std::vector<double> slice(nd);
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t k = 0; k < nd; ++k) slice[k] = work[o * nd + k];
+      next[o] = CubicSpline(ax, slice).eval(q[d]);
+    }
+    work.swap(next);
+  }
+  return work[0];
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("linspace needs >= 2 points");
+  std::vector<double> v(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) v[i] = lo + step * static_cast<double>(i);
+  v.back() = hi;
+  return v;
+}
+
+std::vector<double> geomspace(double lo, double hi, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("geomspace needs >= 2 points");
+  if (lo <= 0.0 || hi <= 0.0)
+    throw std::invalid_argument("geomspace needs positive bounds");
+  std::vector<double> v(n);
+  const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(n - 1));
+  double cur = lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = cur;
+    cur *= ratio;
+  }
+  v.back() = hi;
+  return v;
+}
+
+}  // namespace rlcx

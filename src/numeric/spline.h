@@ -1,0 +1,71 @@
+// Natural cubic spline interpolation, 1-D and tensor-product N-D.
+//
+// The paper (Section III) interpolates its inductance tables with the
+// bi-cubic spline algorithm of Numerical Recipes [10].  We implement the
+// same scheme: a natural cubic spline per axis, applied recursively for
+// higher-dimensional tables (bicubic for the 2-D self-L table, tensor
+// product for the 4-D mutual-L table).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlcx {
+
+/// Natural cubic spline through (x_i, y_i), x strictly increasing.
+/// Outside the knot range the spline is continued linearly with the boundary
+/// slope — extrapolating a cubic explodes; the paper's tables are meant to
+/// cover the useful range, so extrapolation should be mild.
+class CubicSpline {
+ public:
+  CubicSpline() = default;
+  CubicSpline(std::vector<double> x, std::vector<double> y);
+
+  double operator()(double x) const { return eval(x); }
+  double eval(double x) const;
+  double derivative(double x) const;
+
+  std::size_t size() const { return x_.size(); }
+  const std::vector<double>& knots() const { return x_; }
+  const std::vector<double>& values() const { return y_; }
+
+ private:
+  std::size_t interval(double x) const;
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> y2_;  // second derivatives at the knots
+};
+
+/// Tensor-product natural-cubic interpolation of an N-D gridded table.
+///
+/// `axes[d]` holds the strictly-increasing grid for dimension d; `values` is
+/// stored row-major with the *last* axis fastest.  Evaluation fixes the query
+/// coordinate one axis at a time: spline along the last axis for every
+/// combination of the remaining indices, collapsing the table until a scalar
+/// remains.  For two axes this is exactly Numerical Recipes' bicubic
+/// "spline of splines".
+class TensorSpline {
+ public:
+  TensorSpline() = default;
+  TensorSpline(std::vector<std::vector<double>> axes,
+               std::vector<double> values);
+
+  double eval(const std::vector<double>& q) const;
+
+  std::size_t dims() const { return axes_.size(); }
+  const std::vector<std::vector<double>>& axes() const { return axes_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<std::vector<double>> axes_;
+  std::vector<double> values_;
+};
+
+/// Evenly spaced grid of n points in [lo, hi].
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Geometrically spaced grid of n points in [lo, hi] (lo, hi > 0).
+std::vector<double> geomspace(double lo, double hi, std::size_t n);
+
+}  // namespace rlcx

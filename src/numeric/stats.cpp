@@ -1,0 +1,54 @@
+#include "numeric/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlcx {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::rel_spread3() const {
+  if (mean_ == 0.0) return 0.0;
+  return 3.0 * stddev() / std::abs(mean_);
+}
+
+double GaussianSampler::sample_truncated(double mean, double sigma,
+                                         double nsigma) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = sample(mean, sigma);
+    if (std::abs(x - mean) <= nsigma * sigma) return x;
+  }
+  return mean;  // astronomically unlikely; fall back to the nominal
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile of empty set");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  std::sort(samples.begin(), samples.end());
+  const double idx = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace rlcx

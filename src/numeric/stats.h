@@ -1,0 +1,56 @@
+// Small statistics helpers and a deterministic Gaussian sampler for the
+// statistical-RC process-variation model (paper reference [4]).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rlcx {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Relative 3-sigma spread, (3*sigma)/|mean| — the paper's notion of
+  /// "sensitivity to process variation".
+  double rel_spread3() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Deterministic Gaussian sampler: fixed seed unless told otherwise so tests
+/// and benches are reproducible run to run.
+class GaussianSampler {
+ public:
+  explicit GaussianSampler(std::uint64_t seed = 0x5eed5eedULL)
+      : rng_(seed) {}
+
+  double sample(double mean, double sigma) {
+    std::normal_distribution<double> d(mean, sigma);
+    return d(rng_);
+  }
+
+  /// Sample truncated at +-nsigma (geometry can't go negative).
+  double sample_truncated(double mean, double sigma, double nsigma = 4.0);
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Percentile of a sample set (linear interpolation between order stats).
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace rlcx

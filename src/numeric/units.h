@@ -1,0 +1,56 @@
+// Physical constants and unit helpers.
+//
+// Everything inside the library is SI: meters, seconds, ohms, henries,
+// farads, hertz.  These helpers make call sites read like the paper
+// ("10 um wide, 6000 um long, 40 ohm driver") without unit mistakes.
+#pragma once
+
+#include <numbers>
+
+namespace rlcx {
+
+/// Vacuum permeability [H/m].
+inline constexpr double kMu0 = 4.0e-7 * std::numbers::pi;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEps0 = 8.8541878128e-12;
+
+/// Resistivity of on-chip copper including barrier/liner effects [ohm*m].
+/// (Bulk Cu is 1.68e-8; damascene Cu of the paper's era is closer to 2e-8.)
+inline constexpr double kRhoCopper = 2.0e-8;
+
+/// Resistivity of aluminum interconnect [ohm*m].
+inline constexpr double kRhoAluminum = 2.8e-8;
+
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsRSiO2 = 3.9;
+
+namespace units {
+
+constexpr double um(double v) { return v * 1e-6; }
+constexpr double nm(double v) { return v * 1e-9; }
+constexpr double mm(double v) { return v * 1e-3; }
+
+constexpr double ps(double v) { return v * 1e-12; }
+constexpr double ns(double v) { return v * 1e-9; }
+
+constexpr double ghz(double v) { return v * 1e9; }
+constexpr double mhz(double v) { return v * 1e6; }
+
+constexpr double ff(double v) { return v * 1e-15; }
+constexpr double pf(double v) { return v * 1e-12; }
+
+constexpr double nh(double v) { return v * 1e-9; }
+constexpr double ph(double v) { return v * 1e-12; }
+
+/// Convert back for reporting.
+constexpr double to_um(double v) { return v * 1e6; }
+constexpr double to_ps(double v) { return v * 1e12; }
+constexpr double to_ff(double v) { return v * 1e15; }
+constexpr double to_pf(double v) { return v * 1e12; }
+constexpr double to_nh(double v) { return v * 1e9; }
+constexpr double to_ph(double v) { return v * 1e12; }
+constexpr double to_ghz(double v) { return v * 1e-9; }
+
+}  // namespace units
+}  // namespace rlcx

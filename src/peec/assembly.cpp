@@ -1,0 +1,29 @@
+#include "peec/assembly.h"
+
+#include <stdexcept>
+
+namespace rlcx::peec {
+
+double bar_resistance(const Bar& bar, double rho) {
+  const double area = bar.cross_area();
+  if (area <= 0.0) throw std::invalid_argument("bar_resistance: area");
+  return rho * bar.length / area;
+}
+
+RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
+                                     const PartialOptions& opt) {
+  const std::size_t n = filaments.size();
+  RealMatrix lp(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lp(i, i) = self_partial(filaments[i].bar, opt);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double m = filaments[i].sign * filaments[j].sign *
+                       mutual_partial(filaments[i].bar, filaments[j].bar, opt);
+      lp(i, j) = m;
+      lp(j, i) = m;
+    }
+  }
+  return lp;
+}
+
+}  // namespace rlcx::peec

@@ -1,0 +1,27 @@
+// Assembly of the filament-level partial inductance matrix and resistances.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "peec/bar.h"
+#include "peec/partial_inductance.h"
+
+namespace rlcx::peec {
+
+/// A volume filament: a bar with a branch orientation and a DC resistance.
+struct Filament {
+  Bar bar;
+  double sign = 1.0;        ///< +1 if branch current flows along +axis
+  double resistance = 0.0;  ///< [ohm]
+};
+
+/// DC resistance of a bar of the given resistivity.
+double bar_resistance(const Bar& bar, double rho);
+
+/// Dense symmetric partial-inductance matrix [H] over the filaments,
+/// orientation signs folded in (Lp_ij = s_i s_j M_ij).
+RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
+                                     const PartialOptions& opt = {});
+
+}  // namespace rlcx::peec

@@ -1,0 +1,51 @@
+// Rectangular conductor bar with axis-aligned current direction.
+//
+// Coordinates: x lateral, y along the (default) routing direction, z
+// vertical.  A bar carries uniform current along its axis; the PEEC model
+// assigns it a partial self inductance and mutual partial inductances to
+// every other bar.  Orthogonal bars have zero mutual inductance, which is
+// what lets the paper ignore layers N±1.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlcx::peec {
+
+enum class Axis { kX, kY };
+
+struct Bar {
+  Axis axis = Axis::kY;
+  double a_min = 0.0;   ///< start coordinate along the axis [m]
+  double length = 0.0;  ///< extent along the axis [m]
+  double t_min = 0.0;   ///< min of the transverse horizontal coord [m]
+  double t_width = 0.0; ///< transverse horizontal extent [m]
+  double z_min = 0.0;   ///< bottom [m]
+  double z_thick = 0.0; ///< vertical extent [m]
+
+  double a_max() const { return a_min + length; }
+  double t_max() const { return t_min + t_width; }
+  double z_max() const { return z_min + z_thick; }
+
+  double a_center() const { return a_min + 0.5 * length; }
+  double t_center() const { return t_min + 0.5 * t_width; }
+  double z_center() const { return z_min + 0.5 * z_thick; }
+
+  /// Diagonal of the cross-section; the scale that decides when two bars
+  /// are "far" enough for the filament approximation.
+  double cross_diag() const {
+    return std::hypot(t_width, z_thick);
+  }
+
+  double cross_area() const { return t_width * z_thick; }
+
+  /// 3-D distance between bar centers (same-axis bars only make sense here).
+  double center_distance(const Bar& o) const {
+    const double da = a_center() - o.a_center();
+    const double dt = t_center() - o.t_center();
+    const double dz = z_center() - o.z_center();
+    return std::sqrt(da * da + dt * dt + dz * dz);
+  }
+};
+
+}  // namespace rlcx::peec

@@ -1,0 +1,81 @@
+#include "peec/mesh.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/units.h"
+
+namespace rlcx::peec {
+
+double skin_depth(double rho, double frequency) {
+  if (rho <= 0.0) throw std::invalid_argument("skin_depth: resistivity");
+  if (frequency <= 0.0) throw std::invalid_argument("skin_depth: frequency");
+  return std::sqrt(rho / (std::numbers::pi * frequency * kMu0));
+}
+
+MeshOptions mesh_for_skin_depth(const Bar& envelope, double depth,
+                                int max_per_dim) {
+  if (depth <= 0.0) throw std::invalid_argument("mesh_for_skin_depth: depth");
+  auto pick = [&](double extent) {
+    // Aim for edge cells of roughly one skin depth.
+    const double ratio = extent / depth;
+    int n = static_cast<int>(std::ceil(ratio));
+    if (n < 1) n = 1;
+    if (n > max_per_dim) n = max_per_dim;
+    return n;
+  };
+  MeshOptions opt;
+  opt.nw = pick(envelope.t_width);
+  opt.nt = pick(envelope.z_thick);
+  opt.grading = 2.0;
+  return opt;
+}
+
+std::vector<double> graded_boundaries(int n, double grading) {
+  if (n < 1) throw std::invalid_argument("graded_boundaries: n >= 1");
+  if (grading <= 0.0) throw std::invalid_argument("graded_boundaries: grading");
+  // Cell i gets weight grading^min(i, n-1-i): larger in the middle, so the
+  // edge cells are the smallest.
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int d = std::min(i, n - 1 - i);
+    weights[static_cast<std::size_t>(i)] = std::pow(grading, d);
+    total += weights[static_cast<std::size_t>(i)];
+  }
+  std::vector<double> bounds(static_cast<std::size_t>(n) + 1);
+  bounds[0] = 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += weights[static_cast<std::size_t>(i)] / total;
+    bounds[static_cast<std::size_t>(i) + 1] = acc;
+  }
+  bounds.back() = 1.0;
+  return bounds;
+}
+
+std::vector<Bar> mesh_cross_section(const Bar& envelope,
+                                    const MeshOptions& opt) {
+  if (envelope.t_width <= 0.0 || envelope.z_thick <= 0.0 ||
+      envelope.length <= 0.0)
+    throw std::invalid_argument("mesh_cross_section: degenerate bar");
+  const std::vector<double> bw = graded_boundaries(opt.nw, opt.grading);
+  const std::vector<double> bt = graded_boundaries(opt.nt, opt.grading);
+  std::vector<Bar> out;
+  out.reserve(static_cast<std::size_t>(opt.nw) *
+              static_cast<std::size_t>(opt.nt));
+  for (int i = 0; i < opt.nw; ++i) {
+    for (int j = 0; j < opt.nt; ++j) {
+      Bar f = envelope;
+      f.t_min = envelope.t_min + bw[i] * envelope.t_width;
+      f.t_width = (bw[i + 1] - bw[i]) * envelope.t_width;
+      f.z_min = envelope.z_min + bt[j] * envelope.z_thick;
+      f.z_thick = (bt[j + 1] - bt[j]) * envelope.z_thick;
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace rlcx::peec

@@ -1,0 +1,39 @@
+// Cross-section discretisation of conductors into volume filaments.
+//
+// Skin effect at the significant frequency pushes current toward conductor
+// edges; FastHenry captures this by splitting each conductor cross-section
+// into filaments and letting the impedance solve redistribute the current.
+// We do the same, with an optional edge-graded mesh so a handful of
+// filaments resolves a skin depth smaller than the conductor.
+#pragma once
+
+#include <vector>
+
+#include "peec/bar.h"
+
+namespace rlcx::peec {
+
+struct MeshOptions {
+  int nw = 3;            ///< filaments across the width
+  int nt = 3;            ///< filaments across the thickness
+  double grading = 2.0;  ///< center-to-edge cell-size ratio (1 = uniform)
+};
+
+/// Skin depth sqrt(rho / (pi f mu0)) [m].
+double skin_depth(double rho, double frequency);
+
+/// Choose a mesh that resolves the given skin depth in a conductor of this
+/// cross-section, capped at max_per_dim filaments per dimension.
+MeshOptions mesh_for_skin_depth(const Bar& envelope, double depth,
+                                int max_per_dim = 5);
+
+/// Split the envelope bar into nw x nt filament bars covering it exactly.
+std::vector<Bar> mesh_cross_section(const Bar& envelope,
+                                    const MeshOptions& opt);
+
+/// Cell boundaries in [0,1] for n cells with symmetric grading: cells shrink
+/// toward both edges by `grading` per step (grading > 1), matching where the
+/// skin-effect current crowds.
+std::vector<double> graded_boundaries(int n, double grading);
+
+}  // namespace rlcx::peec

@@ -1,0 +1,53 @@
+// Partial self and mutual inductance of rectangular bars.
+//
+// The exact closed form is Hoer & Love's 1965 triple-bracket formula for
+// parallel rectangular conductors — the same kernel FastHenry/Raphael-class
+// extractors evaluate.  On top of the raw kernel this header provides:
+//   * lengthwise subdivision to keep the kernel numerically healthy for the
+//     huge aspect ratios of clock wiring (6000 um long, 1-10 um wide),
+//   * an exact thin-filament fast path for well-separated bar pairs,
+//   * Ruehli's log approximation as an independent cross-check,
+// and the Bar-level entry points the rest of the library uses.
+#pragma once
+
+#include "peec/bar.h"
+
+namespace rlcx::peec {
+
+struct PartialOptions {
+  /// Chunks are cut so length/cross_diag stays below this; keeps the 64-term
+  /// Hoer-Love cancellation within double precision.
+  double max_aspect = 128.0;
+  /// Center distance (in units of mean cross diagonal) beyond which the
+  /// exact filament formula replaces the volume kernel (<0.1 % error).
+  double far_factor = 12.0;
+};
+
+/// Exact Hoer-Love mutual partial inductance [H] between two parallel
+/// rectangular bars in canonical coordinates: bar 1 spans x:[0,a], y:[0,b],
+/// z:[0,l1]; bar 2 spans x:[E,E+c], y:[P,P+d], z:[l3,l3+l2]; current along z.
+/// Valid for any overlap, including coincident bars (self inductance).
+double hoer_love_mutual(double a, double b, double l1, double c, double d,
+                        double l2, double E, double P, double l3);
+
+/// Exact mutual partial inductance [H] of two parallel thin filaments of
+/// lengths l1 and l2, axial start offset s, radial distance r (r may be 0
+/// for collinear non-overlapping filaments).
+double filament_mutual(double l1, double l2, double s, double r);
+
+/// Ruehli's approximation for the self partial inductance of a bar,
+/// (mu0 l / 2pi) (ln(2l/(w+t)) + 0.5 + 0.2235 (w+t)/l).  Good to ~1 % for
+/// l >> w+t; used only as an independent sanity check in tests.
+double ruehli_self(double length, double width, double thickness);
+
+/// Self partial inductance [H] of a bar (exact kernel with subdivision).
+double self_partial(const Bar& bar, const PartialOptions& opt = {});
+
+/// Mutual partial inductance [H] between two bars.  Returns 0 for
+/// orthogonal bars (the paper's layer-N±1 argument).  The sign is geometric
+/// (positive for parallel co-directed currents); callers flip it when their
+/// branch orientations oppose.
+double mutual_partial(const Bar& b1, const Bar& b2,
+                      const PartialOptions& opt = {});
+
+}  // namespace rlcx::peec

@@ -1,0 +1,151 @@
+#include "solver/network.h"
+
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/lu.h"
+
+namespace rlcx::solver {
+
+using Complex = std::complex<double>;
+
+int Network::add_node() {
+  merged_into_.push_back(node_count_);
+  return node_count_++;
+}
+
+int Network::canonical(int node) const {
+  if (node < 0 || node >= node_count_)
+    throw std::out_of_range("network: bad node id");
+  while (merged_into_[static_cast<std::size_t>(node)] != node)
+    node = merged_into_[static_cast<std::size_t>(node)];
+  return node;
+}
+
+void Network::tie(int a, int b) {
+  const int ca = canonical(a);
+  const int cb = canonical(b);
+  if (ca != cb) merged_into_[static_cast<std::size_t>(std::max(ca, cb))] =
+      std::min(ca, cb);
+}
+
+void Network::add_segment(int from, int to, const peec::Bar& bar, double rho,
+                          const peec::MeshOptions& mesh, bool from_is_min) {
+  canonical(from);  // validate ids
+  canonical(to);
+  if (from == to) throw std::invalid_argument("network: segment self-loop");
+  Segment seg;
+  seg.from = from;
+  seg.to = to;
+  const double sign = from_is_min ? 1.0 : -1.0;
+  for (const peec::Bar& f : peec::mesh_cross_section(bar, mesh))
+    seg.filaments.push_back({f, sign, peec::bar_resistance(f, rho)});
+  segments_.push_back(std::move(seg));
+}
+
+std::size_t Network::filament_count() const {
+  std::size_t n = 0;
+  for (const Segment& s : segments_) n += s.filaments.size();
+  return n;
+}
+
+ComplexMatrix Network::port_impedance(
+    const std::vector<std::pair<int, int>>& ports, double frequency,
+    const peec::PartialOptions& popt) const {
+  if (ports.empty()) throw std::invalid_argument("network: no ports");
+  if (frequency <= 0.0) throw std::invalid_argument("network: frequency");
+  for (const auto& p : ports) {
+    canonical(p.first);  // validates node ids
+    canonical(p.second);
+  }
+  if (segments_.empty()) throw std::logic_error("network: no segments");
+
+  // Flatten filaments; record each one's (from, to) canonical nodes.
+  std::vector<peec::Filament> fils;
+  std::vector<std::pair<int, int>> fnodes;
+  for (const Segment& s : segments_) {
+    const int cf = canonical(s.from);
+    const int ct = canonical(s.to);
+    if (cf == ct)
+      throw std::logic_error("network: segment endpoints were tied together");
+    for (const peec::Filament& f : s.filaments) {
+      fils.push_back(f);
+      fnodes.emplace_back(cf, ct);
+    }
+  }
+  const std::size_t nf = fils.size();
+
+  // Reference node: the first port's negative terminal.
+  const int ref = canonical(ports[0].second);
+
+  // Map canonical node -> MNA row (reference excluded).
+  std::vector<int> row(static_cast<std::size_t>(node_count_), -1);
+  int nv = 0;
+  for (int n = 0; n < node_count_; ++n) {
+    if (canonical(n) != n || n == ref) continue;
+    row[static_cast<std::size_t>(n)] = nv++;
+  }
+
+  const double omega = 2.0 * std::numbers::pi * frequency;
+  const RealMatrix lp = peec::partial_inductance_matrix(fils, popt);
+
+  // MNA:  [ 0   A ] [v]   [J]
+  //       [ A^T -Z ] [i] = [0]
+  const std::size_t dim = static_cast<std::size_t>(nv) + nf;
+  ComplexMatrix m(dim, dim);
+  for (std::size_t f = 0; f < nf; ++f) {
+    const int rf = row[static_cast<std::size_t>(fnodes[f].first)];
+    const int rt = row[static_cast<std::size_t>(fnodes[f].second)];
+    if (rf >= 0) {
+      m(static_cast<std::size_t>(rf), static_cast<std::size_t>(nv) + f) += 1.0;
+      m(static_cast<std::size_t>(nv) + f, static_cast<std::size_t>(rf)) += 1.0;
+    }
+    if (rt >= 0) {
+      m(static_cast<std::size_t>(rt), static_cast<std::size_t>(nv) + f) -= 1.0;
+      m(static_cast<std::size_t>(nv) + f, static_cast<std::size_t>(rt)) -= 1.0;
+    }
+    for (std::size_t g = 0; g < nf; ++g)
+      m(static_cast<std::size_t>(nv) + f, static_cast<std::size_t>(nv) + g) -=
+          Complex(0.0, omega * lp(f, g));
+    m(static_cast<std::size_t>(nv) + f, static_cast<std::size_t>(nv) + f) -=
+        fils[f].resistance;
+  }
+
+  LuDecomposition<Complex> lu(std::move(m));
+
+  const std::size_t np = ports.size();
+  ComplexMatrix z(np, np);
+  for (std::size_t pj = 0; pj < np; ++pj) {
+    const int pos = canonical(ports[pj].first);
+    const int neg = canonical(ports[pj].second);
+    if (pos == neg) throw std::invalid_argument("network: degenerate port");
+    std::vector<Complex> rhs(dim, Complex(0.0, 0.0));
+    if (row[static_cast<std::size_t>(pos)] >= 0)
+      rhs[static_cast<std::size_t>(row[static_cast<std::size_t>(pos)])] += 1.0;
+    if (row[static_cast<std::size_t>(neg)] >= 0)
+      rhs[static_cast<std::size_t>(row[static_cast<std::size_t>(neg)])] -= 1.0;
+    const std::vector<Complex> x = lu.solve(rhs);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      const int qpos = canonical(ports[pi].first);
+      const int qneg = canonical(ports[pi].second);
+      Complex v = 0.0;
+      if (row[static_cast<std::size_t>(qpos)] >= 0)
+        v += x[static_cast<std::size_t>(row[static_cast<std::size_t>(qpos)])];
+      if (row[static_cast<std::size_t>(qneg)] >= 0)
+        v -= x[static_cast<std::size_t>(row[static_cast<std::size_t>(qneg)])];
+      z(pi, pj) = v;
+    }
+  }
+  return z;
+}
+
+Network::LoopZ Network::loop_impedance(int positive, int negative,
+                                       double frequency,
+                                       const peec::PartialOptions& popt) const {
+  const ComplexMatrix z = port_impedance({{positive, negative}}, frequency,
+                                         popt);
+  const double omega = 2.0 * std::numbers::pi * frequency;
+  return {z(0, 0).imag() / omega, z(0, 0).real()};
+}
+
+}  // namespace rlcx::solver

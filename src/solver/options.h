@@ -1,0 +1,32 @@
+// Options controlling the field-solver substitute.
+#pragma once
+
+#include "peec/mesh.h"
+#include "peec/partial_inductance.h"
+
+namespace rlcx::solver {
+
+/// How a local ground plane (layer N±2) is discretised.  FastHenry models
+/// planes as arrays of parallel strips; the return current distributes
+/// across them in the impedance solve.
+struct PlaneOptions {
+  int strips = 15;           ///< strips across the plane extent
+  double margin_factor = 8.0;///< lateral margin beyond the block, in units
+                             ///< of the dielectric height to the plane
+  double min_margin = 10e-6; ///< [m] floor on the margin
+};
+
+struct SolveOptions {
+  double frequency = 1e9;  ///< [Hz] evaluate at the significant frequency
+
+  /// When true the cross-section mesh is chosen from the skin depth at
+  /// `frequency`; otherwise `mesh` is used as given.
+  bool auto_mesh = true;
+  int max_filaments_per_dim = 4;
+  peec::MeshOptions mesh{};
+
+  peec::PartialOptions partial{};
+  PlaneOptions plane{};
+};
+
+}  // namespace rlcx::solver

@@ -1,0 +1,156 @@
+// Tests for the capacitance/resistance models and the block extractor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cap/extractor.h"
+#include "cap/models.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+
+namespace rlcx::cap {
+namespace {
+
+using geom::Technology;
+using units::um;
+
+const Technology& tech() {
+  static const Technology t = Technology::generic_025um();
+  return t;
+}
+
+TEST(CapModels, ParallelPlateKnownValue) {
+  // 10 um wide, 1 um below a plane in SiO2: 0.345 fF/um.
+  const double c = parallel_plate_cul(um(10), um(1), 3.9);
+  EXPECT_NEAR(c, 3.453e-10, 1e-12);
+}
+
+TEST(CapModels, SakuraiReducesToAreaPlusFringe) {
+  const double w = um(3), t = um(2), h = um(1);
+  const double total = sakurai_total_cul(w, t, h, 3.9);
+  const double area = 1.15 * parallel_plate_cul(w, h, 3.9);
+  EXPECT_GT(total, area);  // fringe is positive
+  // C/eps = 1.15 w/h + 2.8 (t/h)^0.222 at w/h=3, t/h=2.
+  const double expected =
+      kEps0 * 3.9 * (1.15 * 3.0 + 2.8 * std::pow(2.0, 0.222));
+  EXPECT_NEAR(total, expected, 1e-15);
+}
+
+TEST(CapModels, SakuraiMonotonicities) {
+  const double base = sakurai_total_cul(um(3), um(2), um(1), 3.9);
+  EXPECT_GT(sakurai_total_cul(um(6), um(2), um(1), 3.9), base);  // wider
+  EXPECT_LT(sakurai_total_cul(um(3), um(2), um(2), 3.9), base);  // higher
+}
+
+TEST(CapModels, CouplingDecaysWithSpacing) {
+  double prev = sakurai_coupling_cul(um(3), um(2), um(1), um(0.5), 3.9);
+  for (double s = 1.0; s <= 8.0; s *= 2.0) {
+    const double c = sakurai_coupling_cul(um(3), um(2), um(1), um(s), 3.9);
+    EXPECT_LT(c, prev);
+    EXPECT_GT(c, 0.0);
+    prev = c;
+  }
+  // The published exponent: C ~ (s/h)^-1.34.
+  const double c1 = sakurai_coupling_cul(um(3), um(2), um(1), um(1), 3.9);
+  const double c2 = sakurai_coupling_cul(um(3), um(2), um(1), um(2), 3.9);
+  EXPECT_NEAR(c1 / c2, std::pow(2.0, 1.34), 1e-9);
+}
+
+TEST(CapModels, CpwKnownSymmetryPoint) {
+  // k = w/(w+2s) = 1/sqrt(2) makes K(k)/K(k') = 1, so C = 4 eps0 eps_eff.
+  const double s = um(1);
+  const double w = 2.0 * s / (std::numbers::sqrt2 - 1.0);
+  const double c = cpw_total_cul(w, s, 3.9);
+  EXPECT_NEAR(c, 4.0 * kEps0 * 0.5 * (3.9 + 1.0), 1e-4 * c);
+}
+
+TEST(CapModels, CpwMonotonicInSpacing) {
+  const double c1 = cpw_total_cul(um(10), um(1), 3.9);
+  const double c2 = cpw_total_cul(um(10), um(2), 3.9);
+  EXPECT_GT(c1, c2);
+}
+
+TEST(CapModels, CoplanarCouplingSidewallDominatedWhenClose) {
+  const double close = coplanar_coupling_cul(um(2), um(0.5), 3.9);
+  const double far = coplanar_coupling_cul(um(2), um(4), 3.9);
+  EXPECT_GT(close, far);
+  EXPECT_GT(close, kEps0 * 3.9 * (um(2) / um(0.5)));  // at least the plate
+}
+
+TEST(CapModels, ResistanceValues) {
+  // Figure 1 signal wire: 10 um x 2 um x 6000 um of 2e-8 ohm*m copper: 6 ohm.
+  EXPECT_NEAR(segment_resistance(um(10), um(2), um(6000), 2e-8), 6.0, 1e-9);
+  EXPECT_NEAR(resistance_pul(um(10), um(2), 2e-8), 1000.0, 1e-9);
+}
+
+TEST(CapModels, RejectBadArguments) {
+  EXPECT_THROW(parallel_plate_cul(0.0, um(1), 3.9), std::invalid_argument);
+  EXPECT_THROW(sakurai_total_cul(um(1), um(1), -um(1), 3.9),
+               std::invalid_argument);
+  EXPECT_THROW(sakurai_coupling_cul(um(1), um(1), um(1), 0.0, 3.9),
+               std::invalid_argument);
+  EXPECT_THROW(cpw_total_cul(um(1), um(1), 0.0), std::invalid_argument);
+  EXPECT_THROW(resistance_pul(um(1), 0.0, 2e-8), std::invalid_argument);
+  EXPECT_THROW(segment_resistance(um(1), um(1), 0.0, 2e-8),
+               std::invalid_argument);
+}
+
+TEST(Extractor, GroundHeightPicksPlaneOrLayerBelow) {
+  const auto ms = geom::microstrip(tech(), 6, um(100), um(4), um(4), um(1));
+  EXPECT_NEAR(ground_height(ms), tech().dielectric_gap(4, 6), 1e-15);
+  const auto cpw =
+      geom::coplanar_waveguide(tech(), 6, um(100), um(4), um(4), um(1));
+  EXPECT_NEAR(ground_height(cpw), tech().dielectric_gap(5, 6), 1e-15);
+}
+
+TEST(Extractor, GsgStructureShapes) {
+  const auto blk =
+      geom::coplanar_waveguide(tech(), 6, um(1000), um(10), um(5), um(1));
+  const CapResult r = extract_cap(blk);
+  ASSERT_EQ(r.cg.size(), 3u);
+  ASSERT_EQ(r.cc.size(), 2u);
+  for (double c : r.cg) EXPECT_GT(c, 0.0);
+  for (double c : r.cc) EXPECT_GT(c, 0.0);
+  // Symmetric structure: equal ground traces, equal couplings.
+  EXPECT_NEAR(r.cg[0], r.cg[2], 1e-9 * r.cg[0]);
+  EXPECT_NEAR(r.cc[0], r.cc[1], 1e-9 * r.cc[0]);
+  // total() adds both neighbours for the middle trace.
+  EXPECT_NEAR(r.total(1), r.cg[1] + r.cc[0] + r.cc[1], 1e-18);
+}
+
+TEST(Extractor, NeighbourShieldingReducesGroundCap) {
+  const auto lone = geom::single_trace(tech(), 6, um(1000), um(4));
+  const auto crowded = geom::uniform_array(tech(), 6, um(1000), 3, um(4),
+                                           um(0.5));
+  const double cg_lone = extract_cap(lone).cg[0];
+  const double cg_mid = extract_cap(crowded).cg[1];
+  EXPECT_LT(cg_mid, cg_lone);
+}
+
+TEST(Extractor, CouplingGrowsAsSpacingShrinks) {
+  const auto wide =
+      geom::coplanar_waveguide(tech(), 6, um(1000), um(10), um(5), um(2));
+  const auto tight =
+      geom::coplanar_waveguide(tech(), 6, um(1000), um(10), um(5), um(0.5));
+  EXPECT_GT(extract_cap(tight).cc[0], extract_cap(wide).cc[0]);
+}
+
+TEST(Extractor, StriplineSeesBothPlanes) {
+  const auto ms = geom::microstrip(tech(), 6, um(1000), um(4), um(4), um(1));
+  const auto sl = geom::stripline(tech(), 6, um(1000), um(4), um(4), um(1));
+  EXPECT_GT(extract_cap(sl).cg[1], extract_cap(ms).cg[1]);
+}
+
+TEST(Extractor, FigureOneMagnitudesAreRealistic) {
+  // The 6000 um coplanar clock net of Figure 1: total signal capacitance
+  // should land in the ~0.1-0.5 fF/um band typical of wide clock wiring.
+  const auto blk =
+      geom::coplanar_waveguide(tech(), 6, um(6000), um(10), um(5), um(1));
+  const CapResult r = extract_cap(blk);
+  const double total_ff_per_um = units::to_ff(r.total(1)) / 1e6;
+  EXPECT_GT(total_ff_per_um, 0.05);
+  EXPECT_LT(total_ff_per_um, 1.0);
+}
+
+}  // namespace
+}  // namespace rlcx::cap

@@ -1,0 +1,104 @@
+// Tests for the statistical-RC process variation model.
+#include <gtest/gtest.h>
+
+#include "cap/models.h"
+#include "cap/statistical.h"
+#include "numeric/units.h"
+
+namespace rlcx::cap {
+namespace {
+
+using units::um;
+
+constexpr double kW = 4e-6, kT = 2e-6, kH = 1e-6, kS = 2e-6;
+constexpr double kRho = 2e-8, kEpsR = 3.9;
+
+TEST(StatisticalRc, NominalMatchesDirectModels) {
+  const RcPoint p = evaluate_rc(kW, kT, kH, kS, kRho, kEpsR, {});
+  EXPECT_NEAR(p.r_pul, resistance_pul(kW, kT, kRho), 1e-9);
+  const double c = sakurai_total_cul(kW, kT, kH, kEpsR) +
+                   2.0 * sakurai_coupling_cul(kW, kT, kH, kS, kEpsR);
+  EXPECT_NEAR(p.c_pul, c, 1e-20);
+}
+
+TEST(StatisticalRc, WidthBiasTradesRForC) {
+  GeometrySample wide;
+  wide.w_scale = 1.2;
+  const RcPoint nom = evaluate_rc(kW, kT, kH, kS, kRho, kEpsR, {});
+  const RcPoint p = evaluate_rc(kW, kT, kH, kS, kRho, kEpsR, wide);
+  EXPECT_LT(p.r_pul, nom.r_pul);  // wider -> less resistance
+  EXPECT_GT(p.c_pul, nom.c_pul);  // wider + closer neighbour -> more cap
+}
+
+TEST(StatisticalRc, WidthBiasClosingGapThrows) {
+  GeometrySample g;
+  g.w_scale = 1.0 + kS / kW + 0.1;  // eats the whole spacing
+  EXPECT_THROW(evaluate_rc(kW, kT, kH, kS, kRho, kEpsR, g),
+               std::invalid_argument);
+}
+
+TEST(StatisticalRc, CornersBracketNominal) {
+  ProcessVariation pv;
+  const RcCorners c = rc_corners(kW, kT, kH, kS, kRho, kEpsR, pv);
+  const double rc_nom = c.nominal.r_pul * c.nominal.c_pul;
+  EXPECT_GT(c.worst.r_pul * c.worst.c_pul, rc_nom);
+  EXPECT_LT(c.best.r_pul * c.best.c_pul, rc_nom);
+}
+
+TEST(StatisticalRc, CornersScaleWithSigma) {
+  ProcessVariation tight;
+  tight.sigma_w = tight.sigma_t = tight.sigma_h = 0.02;
+  ProcessVariation loose;
+  loose.sigma_w = loose.sigma_t = loose.sigma_h = 0.08;
+  const RcCorners ct = rc_corners(kW, kT, kH, kS, kRho, kEpsR, tight);
+  const RcCorners cl = rc_corners(kW, kT, kH, kS, kRho, kEpsR, loose);
+  const double spread_t =
+      ct.worst.r_pul * ct.worst.c_pul - ct.best.r_pul * ct.best.c_pul;
+  const double spread_l =
+      cl.worst.r_pul * cl.worst.c_pul - cl.best.r_pul * cl.best.c_pul;
+  EXPECT_GT(spread_l, spread_t);
+}
+
+TEST(StatisticalRc, MonteCarloReproducible) {
+  ProcessVariation pv;
+  const RcDistribution a = monte_carlo_rc(kW, kT, kH, kS, kRho, kEpsR, pv,
+                                          500, 99);
+  const RcDistribution b = monte_carlo_rc(kW, kT, kH, kS, kRho, kEpsR, pv,
+                                          500, 99);
+  EXPECT_DOUBLE_EQ(a.r.mean(), b.r.mean());
+  EXPECT_DOUBLE_EQ(a.c.stddev(), b.c.stddev());
+}
+
+TEST(StatisticalRc, ResistanceSpreadTracksSigmas) {
+  // R = rho/(w t): independent 5% sigmas on w and t give ~7% relative sigma
+  // on R, i.e. a 3-sigma relative spread around 21%.
+  ProcessVariation pv;
+  const RcDistribution d =
+      monte_carlo_rc(kW, kT, kH, kS, kRho, kEpsR, pv, 4000, 7);
+  EXPECT_GT(d.r.rel_spread3(), 0.12);
+  EXPECT_LT(d.r.rel_spread3(), 0.35);
+  EXPECT_NEAR(d.r.mean(), resistance_pul(kW, kT, kRho),
+              0.02 * resistance_pul(kW, kT, kRho));
+}
+
+TEST(StatisticalRc, MetricHookRuns) {
+  ProcessVariation pv;
+  const RunningStats s = monte_carlo_metric(
+      pv, 200, [](const GeometrySample& g) { return g.w_scale; }, 3);
+  EXPECT_EQ(s.count(), 200u);
+  EXPECT_NEAR(s.mean(), 1.0, 0.02);
+}
+
+TEST(StatisticalRc, ArgumentValidation) {
+  ProcessVariation pv;
+  EXPECT_THROW(monte_carlo_rc(kW, kT, kH, kS, kRho, kEpsR, pv, 0),
+               std::invalid_argument);
+  EXPECT_THROW(monte_carlo_metric(pv, 10, nullptr), std::invalid_argument);
+  EXPECT_THROW(monte_carlo_metric(pv, 0, [](const GeometrySample&) {
+                 return 0.0;
+               }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlcx::cap

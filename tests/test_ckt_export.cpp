@@ -1,0 +1,84 @@
+// Tests for the SPICE deck exporter and the CSV waveform writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ckt/spice_export.h"
+#include "ckt/waveform.h"
+
+namespace rlcx::ckt {
+namespace {
+
+Netlist sample_netlist() {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource(in, kGround, SourceWaveform::ramp(1.8, 100e-12));
+  nl.add_resistor(in, out, 42.0);
+  const std::size_t l1 = nl.add_inductor(out, kGround, 1e-9);
+  const NodeId aux = nl.add_node("aux");
+  const std::size_t l2 = nl.add_inductor(aux, kGround, 4e-9);
+  nl.add_resistor(in, aux, 10.0);
+  nl.add_mutual(l1, l2, 1e-9);  // k = 0.5
+  nl.add_capacitor(out, kGround, 50e-15);
+  return nl;
+}
+
+TEST(SpiceExport, EmitsAllElementCards) {
+  const std::string deck = to_spice(sample_netlist());
+  EXPECT_NE(deck.find("R1 in out 42"), std::string::npos);
+  EXPECT_NE(deck.find("R2 in aux 10"), std::string::npos);
+  EXPECT_NE(deck.find("C1 out 0 5e-14"), std::string::npos);
+  EXPECT_NE(deck.find("L1 out 0 1e-09"), std::string::npos);
+  EXPECT_NE(deck.find("L2 aux 0 4e-09"), std::string::npos);
+  EXPECT_NE(deck.find("K1 L1 L2 0.5"), std::string::npos);
+  EXPECT_NE(deck.find("V1 in 0 PWL(0 0 1e-10 1.8)"), std::string::npos);
+  EXPECT_NE(deck.find(".END"), std::string::npos);
+}
+
+TEST(SpiceExport, TranCardAndTitle) {
+  SpiceExportOptions opt;
+  opt.title = "figure one clock net";
+  opt.tran_stop = 2e-9;
+  opt.tran_step = 1e-12;
+  const std::string deck = to_spice(sample_netlist(), opt);
+  EXPECT_EQ(deck.rfind("* figure one clock net", 0), 0u);
+  EXPECT_NE(deck.find(".TRAN 1e-12 2e-09"), std::string::npos);
+}
+
+TEST(SpiceExport, NoTranCardByDefault) {
+  const std::string deck = to_spice(sample_netlist());
+  EXPECT_EQ(deck.find(".TRAN"), std::string::npos);
+}
+
+TEST(SpiceExport, PeriodicSourceAnnotated) {
+  Netlist nl;
+  const NodeId in = nl.add_node("clk");
+  nl.add_vsource(in, kGround, SourceWaveform::clock(1.0, 1e-9, 50e-12));
+  nl.add_resistor(in, kGround, 50.0);
+  const std::string deck = to_spice(nl);
+  EXPECT_NE(deck.find("$ periodic, T=1e-09"), std::string::npos);
+}
+
+TEST(CsvWriter, RowsAndHeader) {
+  Waveform a(1e-12, {0.0, 0.5, 1.0});
+  Waveform b(1e-12, {1.0, 0.5, 0.0});
+  std::ostringstream os;
+  write_csv(os, {{"buf", a}, {"sink", b}});
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("time,buf,sink\n", 0), 0u);
+  EXPECT_NE(csv.find("1e-12,0.5,0.5"), std::string::npos);
+  // 3 data rows + header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(CsvWriter, RejectsMismatchedWaveforms) {
+  Waveform a(1e-12, {0.0, 0.5});
+  Waveform b(2e-12, {0.0, 0.5});
+  std::ostringstream os;
+  EXPECT_THROW(write_csv(os, {}), std::invalid_argument);
+  EXPECT_THROW(write_csv(os, {{"a", a}, {"b", b}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlcx::ckt

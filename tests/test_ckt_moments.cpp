@@ -1,0 +1,113 @@
+// Validation of moment analysis against closed forms and the transient
+// engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckt/moments.h"
+#include "ckt/transient.h"
+
+namespace rlcx::ckt {
+namespace {
+
+TEST(Moments, SinglePoleExactValues) {
+  // RC low-pass: H(s) = 1/(1+sRC): m0 = 1, m1 = -RC, m2 = (RC)^2.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId out = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(1.0));
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, kGround, 1e-12);
+  const double tau = 1e-9;
+  const auto m = transfer_moments(nl, 2);
+  EXPECT_NEAR(m[0][static_cast<std::size_t>(out)], 1.0, 1e-8);
+  EXPECT_NEAR(m[1][static_cast<std::size_t>(out)], -tau, 1e-6 * tau);
+  EXPECT_NEAR(m[2][static_cast<std::size_t>(out)], tau * tau,
+              1e-6 * tau * tau);
+  EXPECT_NEAR(elmore_delay(nl, out), tau, 1e-6 * tau);
+  // D2M is exact for one pole: ln2 * tau.
+  EXPECT_NEAR(d2m_delay(nl, out), std::log(2.0) * tau, 1e-6 * tau);
+}
+
+TEST(Moments, RlcBranchMomentsIncludeInductance) {
+  // Series R-L into C: H(s) = 1/(1 + sRC + s^2 LC):
+  // m1 = -RC, m2 = (RC)^2 - LC.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId mid = nl.add_node();
+  const NodeId out = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(1.0));
+  nl.add_resistor(in, mid, 100.0);
+  nl.add_inductor(mid, out, 5e-9);
+  nl.add_capacitor(out, kGround, 1e-12);
+  const double rc = 100.0 * 1e-12;
+  const double lc = 5e-9 * 1e-12;
+  const auto m = transfer_moments(nl, 2);
+  EXPECT_NEAR(m[1][static_cast<std::size_t>(out)], -rc, 1e-6 * rc);
+  EXPECT_NEAR(m[2][static_cast<std::size_t>(out)], rc * rc - lc,
+              1e-6 * std::abs(rc * rc - lc));
+}
+
+TEST(Moments, ElmoreOfRcLadderMatchesHandFormula) {
+  // Two-section ladder: Elmore(out) = R1*(C1+C2) + R2*C2.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId a = nl.add_node();
+  const NodeId b = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(1.0));
+  nl.add_resistor(in, a, 50.0);
+  nl.add_capacitor(a, kGround, 2e-13);
+  nl.add_resistor(a, b, 80.0);
+  nl.add_capacitor(b, kGround, 3e-13);
+  const double expect = 50.0 * (2e-13 + 3e-13) + 80.0 * 3e-13;
+  EXPECT_NEAR(elmore_delay(nl, b), expect, 1e-6 * expect);
+  // Elmore at the intermediate node counts downstream capacitance too.
+  const double expect_a = 50.0 * (2e-13 + 3e-13);
+  EXPECT_NEAR(elmore_delay(nl, a), expect_a, 1e-6 * expect_a);
+}
+
+TEST(Moments, D2mTracksTransientOnRcLadder) {
+  // A 6-stage RC ladder: D2M must land within ~10% of the simulated 50%
+  // delay, while Elmore overestimates.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::ramp(1.0, 1e-13));
+  NodeId prev = in;
+  for (int k = 0; k < 6; ++k) {
+    const NodeId next = nl.add_node();
+    nl.add_resistor(prev, next, 100.0);
+    nl.add_capacitor(next, kGround, 2e-13);
+    prev = next;
+  }
+  TransientOptions topt;
+  topt.t_stop = 5e-9;
+  topt.dt = 0.2e-12;
+  const auto t50 =
+      simulate(nl, topt).waveform(prev).first_rise_through(0.5);
+  ASSERT_TRUE(t50.has_value());
+  const double simulated = *t50;
+  EXPECT_NEAR(d2m_delay(nl, prev), simulated, 0.10 * simulated);
+  EXPECT_GT(elmore_delay(nl, prev), simulated);  // classic overestimate
+}
+
+TEST(Moments, FloatingNodeRejected) {
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId orphan = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(1.0));
+  nl.add_resistor(in, kGround, 1e3);
+  nl.add_capacitor(orphan, kGround, 1e-15);  // only capacitively connected
+  EXPECT_THROW(elmore_delay(nl, orphan), std::runtime_error);
+}
+
+TEST(Moments, ArgumentValidation) {
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(1.0));
+  nl.add_resistor(in, kGround, 1e3);
+  EXPECT_THROW(transfer_moments(nl, -1), std::invalid_argument);
+  EXPECT_THROW(transfer_moments(nl, 2, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rlcx::ckt

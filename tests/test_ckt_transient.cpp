@@ -1,0 +1,232 @@
+// Validation of the transient engine against closed-form circuit theory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckt/transient.h"
+
+namespace rlcx::ckt {
+namespace {
+
+TEST(Transient, RcChargingMatchesExponential) {
+  // 1 kohm / 1 pF low-pass driven by a fast step: v(t) = 1 - exp(-t/tau).
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource(in, kGround, SourceWaveform::ramp(1.0, 1e-12));
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, kGround, 1e-12);
+
+  TransientOptions opt;
+  opt.t_stop = 5e-9;
+  opt.dt = 1e-12;
+  const TransientResult res = simulate(nl, opt);
+  const Waveform v = res.waveform(out);
+
+  const double tau = 1e-9;
+  for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    const double expect = 1.0 - std::exp(-(t - 0.5e-12) / tau);
+    EXPECT_NEAR(v.value_at(t), expect, 3e-3) << "t=" << t;
+  }
+  // 50% delay of a single-pole RC is ln(2) tau.
+  const auto t50 = v.first_rise_through(0.5);
+  ASSERT_TRUE(t50.has_value());
+  EXPECT_NEAR(*t50, std::log(2.0) * tau, 0.02 * tau);
+}
+
+TEST(Transient, RlDividerMatchesExponential) {
+  // Step -> L -> node -> R -> gnd: v_node = V exp(-t R/L) across R... the
+  // current rises as (1 - e^{-tR/L}), so v_R = V (1 - e^{-tR/L}).
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId mid = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::ramp(1.0, 1e-12));
+  nl.add_inductor(in, mid, 1e-9);
+  nl.add_resistor(mid, kGround, 10.0);
+
+  TransientOptions opt;
+  opt.t_stop = 1e-9;
+  opt.dt = 0.2e-12;
+  const Waveform v = simulate(nl, opt).waveform(mid);
+  const double tau = 1e-9 / 10.0;  // L/R = 100 ps
+  for (double t : {50e-12, 100e-12, 300e-12}) {
+    const double expect = 1.0 - std::exp(-t / tau);
+    EXPECT_NEAR(v.value_at(t), expect, 0.01) << "t=" << t;
+  }
+}
+
+TEST(Transient, SeriesRlcOvershootMatchesSecondOrderTheory) {
+  // R = 10, L = 1 nH, C = 1 pF: zeta = (R/2) sqrt(C/L) = 0.158;
+  // overshoot = exp(-pi zeta / sqrt(1 - zeta^2)) = 0.605.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId a = nl.add_node();
+  const NodeId out = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::ramp(1.0, 1e-12));
+  nl.add_resistor(in, a, 10.0);
+  nl.add_inductor(a, out, 1e-9);
+  nl.add_capacitor(out, kGround, 1e-12);
+
+  TransientOptions opt;
+  opt.t_stop = 4e-9;
+  opt.dt = 0.5e-12;
+  const Waveform v = simulate(nl, opt).waveform(out);
+  const double zeta = 0.5 * 10.0 * std::sqrt(1e-12 / 1e-9);
+  const double expect =
+      std::exp(-std::numbers::pi * zeta / std::sqrt(1.0 - zeta * zeta));
+  EXPECT_NEAR(v.overshoot(), expect, 0.03);
+  // Ringing frequency ~ 1/(2 pi sqrt(LC)) = 5.03 GHz: the first peak sits
+  // near half a period after the 50% point.
+  EXPECT_NEAR(v.final(), 1.0, 1e-3);
+}
+
+TEST(Transient, CoupledInductorsMatchSeriesEquivalent) {
+  // Two series inductors coupled aiding: Leff = L1 + L2 + 2M.  The step
+  // response through R must match a single inductor of that value.
+  auto run = [](bool coupled) {
+    Netlist nl;
+    const NodeId in = nl.add_node();
+    const NodeId out = nl.add_node();
+    if (coupled) {
+      const NodeId mid = nl.add_node();
+      const std::size_t l1 = nl.add_inductor(in, mid, 1e-9);
+      const std::size_t l2 = nl.add_inductor(mid, out, 2e-9);
+      nl.add_mutual(l1, l2, 0.5e-9);
+    } else {
+      nl.add_inductor(in, out, 1e-9 + 2e-9 + 2 * 0.5e-9);
+    }
+    nl.add_resistor(out, kGround, 20.0);
+    nl.add_vsource(in, kGround, SourceWaveform::ramp(1.0, 1e-12));
+    TransientOptions opt;
+    opt.t_stop = 1.5e-9;
+    opt.dt = 0.5e-12;
+    return simulate(nl, opt).waveform(out);
+  };
+  const Waveform a = run(true);
+  const Waveform b = run(false);
+  for (double t : {0.1e-9, 0.3e-9, 0.6e-9, 1.2e-9})
+    EXPECT_NEAR(a.value_at(t), b.value_at(t), 1e-6) << "t=" << t;
+}
+
+TEST(Transient, OpposingCouplingReducesEffectiveInductance) {
+  auto rise_time_to_90 = [](double m) {
+    Netlist nl;
+    const NodeId in = nl.add_node();
+    const NodeId mid = nl.add_node();
+    const NodeId out = nl.add_node();
+    const std::size_t l1 = nl.add_inductor(in, mid, 1e-9);
+    const std::size_t l2 = nl.add_inductor(mid, out, 1e-9);
+    if (m != 0.0) nl.add_mutual(l1, l2, m);
+    nl.add_resistor(out, kGround, 20.0);
+    nl.add_vsource(in, kGround, SourceWaveform::ramp(1.0, 1e-12));
+    TransientOptions opt;
+    opt.t_stop = 2e-9;
+    opt.dt = 0.5e-12;
+    const auto t = simulate(nl, opt).waveform(out).first_rise_through(0.9);
+    return t.value();
+  };
+  // Aiding coupling -> slower rise; opposing -> faster.
+  EXPECT_GT(rise_time_to_90(+0.5e-9), rise_time_to_90(0.0));
+  EXPECT_LT(rise_time_to_90(-0.5e-9), rise_time_to_90(0.0));
+}
+
+TEST(Transient, DcOperatingPointRespected) {
+  // A DC source across a divider must start at the divided value, not 0.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId mid = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(2.0));
+  nl.add_resistor(in, mid, 1e3);
+  nl.add_resistor(mid, kGround, 1e3);
+  nl.add_capacitor(mid, kGround, 1e-12);
+  TransientOptions opt;
+  opt.t_stop = 1e-9;
+  opt.dt = 1e-12;
+  const TransientResult res = simulate(nl, opt);
+  EXPECT_NEAR(res.voltage(mid, 0), 1.0, 1e-6);
+  EXPECT_NEAR(res.waveform(mid).value_at(1e-9), 1.0, 1e-6);
+}
+
+TEST(Transient, CapacitiveDividerFloatingNodeStable) {
+  // A node reachable only through capacitors must not blow up (gmin holds
+  // it) and should follow the capacitive divider.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId mid = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::ramp(1.0, 10e-12));
+  nl.add_capacitor(in, mid, 2e-15);
+  nl.add_capacitor(mid, kGround, 2e-15);
+  TransientOptions opt;
+  opt.t_stop = 1e-10;
+  opt.dt = 0.5e-12;
+  const Waveform v = simulate(nl, opt).waveform(mid);
+  EXPECT_NEAR(v.value_at(5e-11), 0.5, 0.02);
+}
+
+TEST(Transient, GroundedWaveformIsZero) {
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(1.0));
+  nl.add_resistor(in, kGround, 1e3);
+  TransientOptions opt;
+  opt.t_stop = 1e-10;
+  opt.dt = 1e-12;
+  const TransientResult res = simulate(nl, opt);
+  const Waveform g = res.waveform(kGround);
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+  EXPECT_DOUBLE_EQ(g.min(), 0.0);
+}
+
+TEST(Transient, OptionValidation) {
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  nl.add_resistor(in, kGround, 1.0);
+  TransientOptions opt;
+  opt.t_stop = 1e-9;
+  opt.dt = 0.0;
+  EXPECT_THROW(simulate(nl, opt), std::invalid_argument);
+  opt.dt = 1e-9;
+  opt.t_stop = 0.5e-9;
+  EXPECT_THROW(simulate(nl, opt), std::invalid_argument);
+}
+
+TEST(Transient, ResultAccessorsAndBounds) {
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(1.0));
+  nl.add_resistor(in, kGround, 1e3);
+  TransientOptions opt;
+  opt.t_stop = 1e-11;
+  opt.dt = 1e-12;
+  const TransientResult res = simulate(nl, opt);
+  EXPECT_EQ(res.steps(), 11u);
+  EXPECT_DOUBLE_EQ(res.dt(), 1e-12);
+  EXPECT_NEAR(res.voltage(in, 5), 1.0, 1e-9);
+  EXPECT_THROW(res.voltage(99, 0), std::out_of_range);
+  EXPECT_THROW(res.voltage(in, 999), std::out_of_range);
+}
+
+TEST(Transient, EnergyConservationLcTank) {
+  // Lossless LC tank excited through a tiny resistor: after the source
+  // settles the oscillation amplitude must not grow (trapezoidal is
+  // A-stable and non-dissipative).
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId out = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::ramp(1.0, 5e-12));
+  nl.add_resistor(in, out, 1.0);
+  nl.add_inductor(out, kGround, 1e-9);
+  nl.add_capacitor(out, kGround, 1e-12);
+  TransientOptions opt;
+  opt.t_stop = 20e-9;
+  opt.dt = 1e-12;
+  const Waveform v = simulate(nl, opt).waveform(out);
+  // Peak in the second half must not exceed the global peak (no growth).
+  double late_peak = 0.0;
+  for (std::size_t i = v.size() / 2; i < v.size(); ++i)
+    late_peak = std::max(late_peak, std::abs(v.sample(i)));
+  EXPECT_LE(late_peak, std::abs(v.max()) + 1e-9);
+}
+
+}  // namespace
+}  // namespace rlcx::ckt

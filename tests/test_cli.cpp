@@ -1,0 +1,168 @@
+// Tests for the command-line front end (driven through run()).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+
+namespace rlcx::cli {
+namespace {
+
+struct Result {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+Result drive(const std::vector<std::string>& argv) {
+  std::ostringstream out, err;
+  const int code = run(argv, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliParse, CommandAndFlags) {
+  const Args a = parse_args({"extract", "--length-um", "6000",
+                             "--ac-resistance", "--structure", "cpw"});
+  EXPECT_EQ(a.command, "extract");
+  EXPECT_EQ(a.get("length-um", ""), "6000");
+  EXPECT_TRUE(a.has("ac-resistance"));
+  EXPECT_EQ(a.get("structure", ""), "cpw");
+  EXPECT_DOUBLE_EQ(a.get_num("length-um", 0.0), 6000.0);
+  EXPECT_DOUBLE_EQ(a.get_num("missing", 42.0), 42.0);
+}
+
+TEST(CliParse, Malformed) {
+  EXPECT_THROW(parse_args({"extract", "oops"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"extract", "--"}), std::invalid_argument);
+  const Args bad = parse_args({"delay", "--rs", "abc"});
+  EXPECT_THROW(bad.get_num("rs", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, HelpAndUnknownCommand) {
+  const Result h = drive({"help"});
+  EXPECT_EQ(h.code, 0);
+  EXPECT_NE(h.out.find("extract"), std::string::npos);
+  const Result empty = drive({});
+  EXPECT_EQ(empty.code, 0);
+  const Result bad = drive({"frobnicate"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, ExtractCpwReportsRlc) {
+  const Result r = drive({"extract", "--structure", "cpw", "--length-um",
+                          "1000", "--signal-um", "10", "--ground-um", "5",
+                          "--spacing-um", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trace sig"), std::string::npos);
+  EXPECT_NE(r.out.find("mutual L"), std::string::npos);
+  EXPECT_NE(r.out.find("coupling C"), std::string::npos);
+  // R of 10 um x 2 um x 1000 um copper: 1 ohm.
+  EXPECT_NE(r.out.find("R = 1 ohm"), std::string::npos);
+}
+
+TEST(Cli, ExtractMicrostripUsesLoopTables) {
+  const Result r = drive({"extract", "--structure", "microstrip",
+                          "--length-um", "500"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("planes below"), std::string::npos);
+}
+
+TEST(Cli, ExtractRejectsBadStructure) {
+  const Result r = drive({"extract", "--structure", "coax"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown structure"), std::string::npos);
+}
+
+TEST(Cli, ExtractWritesSpiceDeck) {
+  const std::string path = "/tmp/rlcx_cli_test.sp";
+  const Result r = drive({"extract", "--length-um", "500", "--spice", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream deck;
+  deck << f.rdbuf();
+  EXPECT_NE(deck.str().find(".END"), std::string::npos);
+  EXPECT_NE(deck.str().find("K1 "), std::string::npos);
+}
+
+TEST(Cli, DelayRcVsRlcOrdering) {
+  const std::vector<std::string> base{
+      "delay", "--structure", "cpw", "--length-um", "4000", "--trise-ps",
+      "200", "--rs", "25", "--sections", "6"};
+  const Result rlc = drive(base);
+  ASSERT_EQ(rlc.code, 0) << rlc.err;
+  std::vector<std::string> rc_args = base;
+  rc_args.push_back("--no-inductance");
+  const Result rc = drive(rc_args);
+  ASSERT_EQ(rc.code, 0) << rc.err;
+  EXPECT_NE(rlc.out.find("RLC"), std::string::npos);
+  EXPECT_NE(rc.out.find("RC-only"), std::string::npos);
+
+  auto delay_of = [](const std::string& s) {
+    const auto pos = s.find("delay: ");
+    return std::stod(s.substr(pos + 7));
+  };
+  EXPECT_GT(delay_of(rlc.out), delay_of(rc.out));
+}
+
+TEST(Cli, DelayWritesCsv) {
+  const std::string path = "/tmp/rlcx_cli_wave.csv";
+  const Result r = drive({"delay", "--length-um", "500", "--csv", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream f(path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "time,buf,sink");
+}
+
+TEST(Cli, ExtractCustomTraces) {
+  const Result r = drive({"extract", "--traces", "g:6,s:3,s:3,g:6",
+                          "--spacings", "1,1.5,1", "--length-um", "800"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trace s1"), std::string::npos);
+  EXPECT_NE(r.out.find("trace s2"), std::string::npos);
+  EXPECT_NE(r.out.find("mutual L(s1,s2)"), std::string::npos);
+}
+
+TEST(Cli, ExtractCustomTracesValidation) {
+  const Result bad = drive({"extract", "--traces", "x:6,s:3"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("bad --traces token"), std::string::npos);
+  const Result bad2 = drive({"extract", "--traces", "g:6,s:3,g:6",
+                             "--spacings", "1"});
+  EXPECT_EQ(bad2.code, 1);
+}
+
+TEST(Cli, ExtractPrintsScreeningVerdict) {
+  const Result r = drive({"extract", "--structure", "cpw", "--length-um",
+                          "6000", "--signal-um", "10", "--ground-um", "5",
+                          "--spacing-um", "1", "--trise-ps", "100"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("SIGNIFICANT"), std::string::npos);
+  // A short resistive net screens as negligible.
+  const Result r2 = drive({"extract", "--structure", "cpw", "--length-um",
+                           "200", "--signal-um", "0.5", "--ground-um",
+                           "0.5", "--spacing-um", "0.5", "--trise-ps",
+                           "500"});
+  EXPECT_EQ(r2.code, 0) << r2.err;
+  EXPECT_NE(r2.out.find("negligible"), std::string::npos);
+}
+
+TEST(Cli, TablesRequireOutAndBuild) {
+  const Result missing = drive({"tables"});
+  EXPECT_EQ(missing.code, 1);
+  const std::string path = "/tmp/rlcx_cli_tables.txt";
+  const Result r = drive({"tables", "--out", path, "--points", "2",
+                          "--planes", "none"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("saved to"), std::string::npos);
+  std::ifstream f(path);
+  std::string magic;
+  f >> magic;
+  EXPECT_EQ(magic, "rlcx-tables");
+}
+
+}  // namespace
+}  // namespace rlcx::cli

@@ -1,0 +1,146 @@
+// Loop-mode netlist formulation (microstrip/stripline segments) end-to-end:
+// the precomputed loop inductance sits in the signal branch, shields carry
+// no explicit branches, and the simulated behaviour is physical.
+#include <gtest/gtest.h>
+
+#include "core/netlist_builder.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+namespace rlcx::core {
+namespace {
+
+using geom::PlaneConfig;
+using geom::Technology;
+using units::um;
+
+const Technology& tech() {
+  static const Technology t = Technology::generic_025um();
+  return t;
+}
+
+solver::SolveOptions opts() {
+  solver::SolveOptions o;
+  o.frequency = solver::significant_frequency(100e-12);
+  o.max_filaments_per_dim = 2;
+  o.plane.strips = 9;
+  return o;
+}
+
+const DirectInductanceModel& loop_model() {
+  static const DirectInductanceModel m(&tech(), 6, PlaneConfig::kBelow,
+                                       opts());
+  return m;
+}
+
+TEST(LoopMode, StampedNetlistShapeMatchesLoopSemantics) {
+  const geom::Block blk =
+      geom::microstrip(tech(), 6, um(2000), um(6), um(6), um(1));
+  const SegmentRlc seg = extract_segment_rlc(blk, loop_model());
+  ASSERT_EQ(seg.kind, TableKind::kLoop);
+
+  ckt::Netlist nl;
+  const ckt::NodeId in = nl.add_node();
+  LadderOptions lopt;
+  lopt.sections = 5;
+  stamp_segment(nl, blk, seg, {in}, lopt);
+  // Only the signal chain carries inductors: one per section, no mutuals
+  // (a single L row), shields contribute nothing.
+  EXPECT_EQ(nl.inductors().size(), 5u);
+  EXPECT_TRUE(nl.mutuals().empty());
+  double l_total = 0.0;
+  for (const auto& l : nl.inductors()) l_total += l.henries;
+  EXPECT_NEAR(l_total, seg.inductance(0, 0), 1e-9 * seg.inductance(0, 0));
+}
+
+TEST(LoopMode, SimulatedDelayPhysicalAndBelowCpw) {
+  // The plane return cuts the loop inductance, so the microstrip segment
+  // must fly faster than the same wire as a bare coplanar structure.
+  auto delay_for = [&](const geom::Block& blk,
+                       const InductanceProvider& model) {
+    const SegmentRlc seg = extract_segment_rlc(blk, model);
+    ckt::Netlist nl;
+    const ckt::NodeId vin = nl.add_node();
+    const ckt::NodeId buf = nl.add_node();
+    nl.add_vsource(vin, ckt::kGround,
+                   ckt::SourceWaveform::ramp(1.8, 100e-12));
+    nl.add_resistor(vin, buf, 25.0);
+    LadderOptions lopt;
+    lopt.sections = 6;
+    const auto outs = stamp_segment(nl, blk, seg, {buf}, lopt);
+    nl.add_capacitor(outs[0], ckt::kGround, 100e-15);
+    ckt::TransientOptions topt;
+    topt.t_stop = 2e-9;
+    topt.dt = 0.5e-12;
+    const auto res = ckt::simulate(nl, topt);
+    return res.waveform(outs[0]).first_rise_through(0.9).value();
+  };
+
+  const geom::Block ms =
+      geom::microstrip(tech(), 6, um(3000), um(6), um(6), um(1));
+  const geom::Block cpw =
+      geom::coplanar_waveguide(tech(), 6, um(3000), um(6), um(6), um(1));
+  static const DirectInductanceModel cpw_model(&tech(), 6,
+                                               PlaneConfig::kNone, opts());
+  const double d_ms = delay_for(ms, loop_model());
+  const double d_cpw = delay_for(cpw, cpw_model);
+  EXPECT_GT(d_ms, 0.0);
+  EXPECT_LT(d_ms, d_cpw);
+}
+
+TEST(LoopMode, MultiSignalLoopSegmentCouplesThroughK) {
+  // Two signals over a plane: loop mutual becomes a K element per section.
+  std::vector<geom::Trace> traces{
+      {geom::TraceRole::kSignal, um(4), -um(4), "s1"},
+      {geom::TraceRole::kSignal, um(4), um(4), "s2"},
+  };
+  const geom::Block blk(&tech(), 6, um(1500), std::move(traces),
+                        PlaneConfig::kBelow);
+  const SegmentRlc seg = extract_segment_rlc(blk, loop_model());
+  ASSERT_EQ(seg.l_traces.size(), 2u);
+
+  ckt::Netlist nl;
+  const ckt::NodeId a = nl.add_node();
+  const ckt::NodeId b = nl.add_node();
+  LadderOptions lopt;
+  lopt.sections = 3;
+  const auto outs = stamp_segment(nl, blk, seg, {a, b}, lopt);
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_EQ(nl.inductors().size(), 6u);  // 2 signals x 3 sections
+  EXPECT_EQ(nl.mutuals().size(), 3u);    // one K per section
+  double m_total = 0.0;
+  for (const auto& m : nl.mutuals()) m_total += m.henries;
+  EXPECT_NEAR(m_total, seg.inductance(0, 1), 1e-9 * seg.inductance(0, 0));
+}
+
+TEST(LoopMode, PeriodicClockPropagatesBothEdges) {
+  // Drive a loop-mode segment with a periodic clock and check the sink
+  // tracks both the rising and falling edges over two cycles.
+  const geom::Block blk =
+      geom::microstrip(tech(), 6, um(2000), um(6), um(6), um(1));
+  const SegmentRlc seg = extract_segment_rlc(blk, loop_model());
+  ckt::Netlist nl;
+  const ckt::NodeId vin = nl.add_node();
+  const ckt::NodeId buf = nl.add_node();
+  nl.add_vsource(vin, ckt::kGround,
+                 ckt::SourceWaveform::clock(1.8, 2e-9, 100e-12));
+  nl.add_resistor(vin, buf, 25.0);
+  LadderOptions lopt;
+  lopt.sections = 4;
+  const auto outs = stamp_segment(nl, blk, seg, {buf}, lopt);
+  nl.add_capacitor(outs[0], ckt::kGround, 100e-15);
+  ckt::TransientOptions topt;
+  topt.t_stop = 4e-9;
+  topt.dt = 1e-12;
+  const ckt::Waveform w = ckt::simulate(nl, topt).waveform(outs[0]);
+  // High during the first half-cycle, low again after the fall, high again
+  // in the second cycle.
+  EXPECT_GT(w.value_at(0.9e-9), 1.5);
+  EXPECT_LT(w.value_at(1.9e-9), 0.3);
+  EXPECT_GT(w.value_at(2.9e-9), 1.5);
+}
+
+}  // namespace
+}  // namespace rlcx::core

@@ -1,0 +1,146 @@
+// Tests for table building, the lookup models and the provider registry.
+#include <gtest/gtest.h>
+
+#include "core/table_builder.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+namespace rlcx::core {
+namespace {
+
+using geom::PlaneConfig;
+using geom::Technology;
+using units::um;
+
+const Technology& tech() {
+  static const Technology t = Technology::generic_025um();
+  return t;
+}
+
+solver::SolveOptions fast_opts() {
+  solver::SolveOptions o;
+  o.frequency = solver::significant_frequency(100e-12);
+  o.max_filaments_per_dim = 2;
+  o.plane.strips = 9;
+  return o;
+}
+
+TableGrid tiny_grid() {
+  TableGrid g;
+  g.widths = {um(2), um(6), um(14)};
+  g.spacings = {um(0.8), um(2.5), um(8)};
+  g.lengths = {um(300), um(1000), um(3000)};
+  return g;
+}
+
+const InductanceTables& cpw_tables() {
+  static const InductanceTables t = build_tables(
+      tech(), 6, PlaneConfig::kNone, tiny_grid(), fast_opts());
+  return t;
+}
+
+TEST(TableBuilder, ShapesAndMetadata) {
+  const InductanceTables& t = cpw_tables();
+  EXPECT_EQ(t.layer, 6);
+  EXPECT_EQ(t.planes, PlaneConfig::kNone);
+  EXPECT_EQ(t.self.dims(), 2u);
+  EXPECT_EQ(t.mutual.dims(), 4u);
+  EXPECT_EQ(t.self.values().size(), 9u);
+  EXPECT_EQ(t.mutual.values().size(), 81u);
+  EXPECT_GT(t.frequency, 1e9);
+}
+
+TEST(TableBuilder, ValuesPhysical) {
+  const InductanceTables& t = cpw_tables();
+  for (double v : t.self.values()) EXPECT_GT(v, 0.0);
+  for (double v : t.mutual.values()) EXPECT_GT(v, 0.0);
+  // Self exceeds mutual at matching (w, l) for any spacing.
+  EXPECT_GT(t.self.at({0, 0}), t.mutual.at({0, 0, 0, 0}));
+}
+
+TEST(TableBuilder, GridValidation) {
+  TableGrid bad = tiny_grid();
+  bad.widths = {um(2)};
+  EXPECT_THROW(build_tables(tech(), 6, PlaneConfig::kNone, bad, fast_opts()),
+               std::invalid_argument);
+}
+
+TEST(TableBuilder, DefaultClockGridSane) {
+  const TableGrid g = default_clock_grid();
+  EXPECT_GE(g.widths.size(), 3u);
+  EXPECT_GE(g.spacings.size(), 3u);
+  EXPECT_GE(g.lengths.size(), 3u);
+  EXPECT_LT(g.widths.front(), g.widths.back());
+}
+
+TEST(TableModel, MatchesDirectOnGridPoints) {
+  const TableInductanceModel model(cpw_tables());
+  const DirectInductanceModel direct(&tech(), 6, PlaneConfig::kNone,
+                                     fast_opts());
+  // Exactly on grid nodes the spline reproduces the solve.
+  const double self_t = model.self(um(6), um(1000));
+  const double self_d = direct.self(um(6), um(1000));
+  EXPECT_NEAR(self_t, self_d, 2e-3 * self_d);
+  const double mut_t = model.mutual(um(6), um(14), um(2.5), um(1000));
+  const double mut_d = direct.mutual(um(6), um(14), um(2.5), um(1000));
+  EXPECT_NEAR(mut_t, mut_d, 2e-3 * mut_d);
+}
+
+TEST(TableModel, InterpolationAccuracyOffGrid) {
+  const TableInductanceModel model(cpw_tables());
+  const DirectInductanceModel direct(&tech(), 6, PlaneConfig::kNone,
+                                     fast_opts());
+  const double st = model.self(um(4), um(700));
+  const double sd = direct.self(um(4), um(700));
+  EXPECT_NEAR(st, sd, 0.05 * sd);  // sparse 3-point grid: a few %
+  const double mt = model.mutual(um(4), um(9), um(1.5), um(700));
+  const double md = direct.mutual(um(4), um(9), um(1.5), um(700));
+  EXPECT_NEAR(mt, md, 0.08 * std::abs(md));
+}
+
+TEST(TableModel, MutualSymmetricInWidths) {
+  const TableInductanceModel model(cpw_tables());
+  EXPECT_DOUBLE_EQ(model.mutual(um(3), um(10), um(2), um(800)),
+                   model.mutual(um(10), um(3), um(2), um(800)));
+}
+
+TEST(TableModel, RejectsWrongTableShapes) {
+  InductanceTables bad = cpw_tables();
+  bad.self = bad.mutual;  // 4-D where 2-D expected
+  EXPECT_THROW(TableInductanceModel{bad}, std::invalid_argument);
+}
+
+TEST(TableKind, MappingFollowsPlanes) {
+  EXPECT_EQ(table_kind_for(PlaneConfig::kNone), TableKind::kPartial);
+  EXPECT_EQ(table_kind_for(PlaneConfig::kBelow), TableKind::kLoop);
+  EXPECT_EQ(table_kind_for(PlaneConfig::kAbove), TableKind::kLoop);
+  EXPECT_EQ(table_kind_for(PlaneConfig::kBothSides), TableKind::kLoop);
+}
+
+TEST(DirectModel, LoopModeBelowPartial) {
+  solver::SolveOptions o = fast_opts();
+  const DirectInductanceModel partial(&tech(), 6, PlaneConfig::kNone, o);
+  const DirectInductanceModel loop(&tech(), 6, PlaneConfig::kBelow, o);
+  // A plane return always cuts the inductance below the partial value.
+  EXPECT_LT(loop.self(um(6), um(1000)), partial.self(um(6), um(1000)));
+  EXPECT_THROW(DirectInductanceModel(nullptr, 6, PlaneConfig::kNone, o),
+               std::invalid_argument);
+}
+
+TEST(Library, RegistryLookups) {
+  InductanceLibrary lib;
+  EXPECT_FALSE(lib.has(6, PlaneConfig::kNone));
+  EXPECT_THROW(lib.provider(6, PlaneConfig::kNone), std::out_of_range);
+  lib.add(6, PlaneConfig::kNone,
+          std::make_shared<DirectInductanceModel>(&tech(), 6,
+                                                  PlaneConfig::kNone,
+                                                  fast_opts()));
+  EXPECT_TRUE(lib.has(6, PlaneConfig::kNone));
+  EXPECT_FALSE(lib.has(6, PlaneConfig::kBelow));
+  EXPECT_GT(lib.provider(6, PlaneConfig::kNone).self(um(4), um(500)), 0.0);
+  EXPECT_THROW(lib.add(6, PlaneConfig::kNone, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlcx::core

@@ -1,0 +1,55 @@
+// Parallel table building must be bit-identical to the serial build.
+#include <gtest/gtest.h>
+
+#include "core/table_builder.h"
+#include "numeric/units.h"
+#include "solver/frequency.h"
+
+namespace rlcx::core {
+namespace {
+
+using units::um;
+
+TEST(ParallelBuild, IdenticalToSerial) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  solver::SolveOptions opt;
+  opt.frequency = solver::significant_frequency(100e-12);
+  opt.max_filaments_per_dim = 2;
+  TableGrid grid;
+  grid.widths = {um(2), um(5), um(12)};
+  grid.spacings = {um(1), um(4)};
+  grid.lengths = {um(300), um(1200)};
+
+  const InductanceTables serial =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt, 1);
+  const InductanceTables parallel =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt, 4);
+
+  ASSERT_EQ(serial.mutual.values().size(), parallel.mutual.values().size());
+  for (std::size_t i = 0; i < serial.mutual.values().size(); ++i)
+    EXPECT_DOUBLE_EQ(serial.mutual.values()[i], parallel.mutual.values()[i]);
+  for (std::size_t i = 0; i < serial.self.values().size(); ++i)
+    EXPECT_DOUBLE_EQ(serial.self.values()[i], parallel.self.values()[i]);
+  for (std::size_t i = 0; i < serial.series_r.values().size(); ++i)
+    EXPECT_DOUBLE_EQ(serial.series_r.values()[i],
+                     parallel.series_r.values()[i]);
+}
+
+TEST(ParallelBuild, ZeroMeansHardwareConcurrency) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  solver::SolveOptions opt;
+  opt.frequency = 1e9;
+  opt.max_filaments_per_dim = 1;
+  TableGrid grid;
+  grid.widths = {um(2), um(8)};
+  grid.spacings = {um(1), um(4)};
+  grid.lengths = {um(300), um(900)};
+  const InductanceTables t =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt, 0);
+  EXPECT_EQ(t.self.values().size(), 4u);
+  EXPECT_THROW(build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt, -2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlcx::core

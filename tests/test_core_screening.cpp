@@ -1,0 +1,87 @@
+// Tests for the inductance-significance screen.
+#include <gtest/gtest.h>
+
+#include "cap/extractor.h"
+#include "core/screening.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+#include "solver/frequency.h"
+
+namespace rlcx::core {
+namespace {
+
+using units::um;
+
+TEST(Screening, Figure1ClockNetIsInductanceSignificant) {
+  // Feed the screen the actual extracted values of the paper's clock net.
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const geom::Block net =
+      geom::coplanar_waveguide(tech, 6, um(6000), um(10), um(5), um(1));
+  solver::SolveOptions sopt;
+  sopt.frequency = solver::significant_frequency(100e-12);
+
+  ScreeningInput in;
+  in.resistance = 6.0;  // rho l / (w t)
+  in.inductance = solver::extract_loop(net, sopt).inductance(0, 0);
+  const cap::CapResult c = cap::extract_cap(net);
+  in.capacitance = c.total(1) * net.length();
+  in.rise_time = 100e-12;  // fast CPU clock edge; 200 ps is borderline
+
+  const ScreeningResult r = screen_inductance(in);
+  EXPECT_TRUE(r.underdamped);        // R = 6 << 2 Z0
+  EXPECT_TRUE(r.edge_fast_enough);   // 200 ps vs 2*sqrt(LC)
+  EXPECT_TRUE(r.inductance_significant);
+  EXPECT_GT(r.line_impedance, 5.0);
+  EXPECT_LT(r.line_impedance, 100.0);
+}
+
+TEST(Screening, ResistiveThinWireIsNot) {
+  // A long minimum-width wire: R dominates, overdamped, RC suffices.
+  ScreeningInput in;
+  in.resistance = 500.0;   // thin wire
+  in.inductance = 2e-9;
+  in.capacitance = 0.4e-12;
+  in.rise_time = 100e-12;
+  const ScreeningResult r = screen_inductance(in);
+  EXPECT_FALSE(r.underdamped);
+  EXPECT_FALSE(r.inductance_significant);
+}
+
+TEST(Screening, SlowEdgeIsNot) {
+  ScreeningInput in;
+  in.resistance = 5.0;
+  in.inductance = 1e-9;
+  in.capacitance = 0.5e-12;
+  in.rise_time = 2e-9;  // 2 ns edge on a 22 ps-flight line
+  const ScreeningResult r = screen_inductance(in);
+  EXPECT_TRUE(r.underdamped);
+  EXPECT_FALSE(r.edge_fast_enough);
+  EXPECT_FALSE(r.inductance_significant);
+}
+
+TEST(Screening, RatiosMatchDefinitions) {
+  ScreeningInput in;
+  in.resistance = 10.0;
+  in.inductance = 4e-9;
+  in.capacitance = 1e-12;
+  in.rise_time = 80e-12;
+  const ScreeningResult r = screen_inductance(in);
+  EXPECT_NEAR(r.time_of_flight, 63.2e-12, 0.1e-12);
+  EXPECT_NEAR(r.line_impedance, 63.2, 0.1);
+  EXPECT_NEAR(r.edge_ratio, 80e-12 / (2.0 * r.time_of_flight), 1e-12);
+  EXPECT_NEAR(r.damping_ratio, 10.0 / (2.0 * r.line_impedance), 1e-9);
+}
+
+TEST(Screening, RejectsBadInput) {
+  ScreeningInput in;
+  EXPECT_THROW(screen_inductance(in), std::invalid_argument);
+  in.resistance = 1.0;
+  in.inductance = 1e-9;
+  in.capacitance = 1e-12;
+  in.rise_time = -1.0;
+  EXPECT_THROW(screen_inductance(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlcx::core

@@ -1,0 +1,115 @@
+// Tests for the N-D inductance table: lookup, range checks, persistence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/table.h"
+
+namespace rlcx::core {
+namespace {
+
+NdTable make_2d() {
+  const std::vector<double> w{1.0, 2.0, 3.0};
+  const std::vector<double> l{10.0, 20.0};
+  std::vector<double> vals;
+  for (double wi : w)
+    for (double li : l) vals.push_back(wi * 100.0 + li);
+  return NdTable({"width", "length"}, {w, l}, vals);
+}
+
+TEST(NdTable, ReproducesGridValues) {
+  const NdTable t = make_2d();
+  EXPECT_NEAR(t.lookup({1.0, 10.0}), 110.0, 1e-9);
+  EXPECT_NEAR(t.lookup({3.0, 20.0}), 320.0, 1e-9);
+  EXPECT_NEAR(t.at({2, 1}), 320.0, 1e-12);
+}
+
+TEST(NdTable, InterpolatesLinearData) {
+  // The values are linear in both axes, which splines reproduce exactly.
+  const NdTable t = make_2d();
+  EXPECT_NEAR(t.lookup({1.5, 15.0}), 165.0, 1e-9);
+  EXPECT_NEAR(t.lookup({2.7, 12.0}), 282.0, 1e-9);
+}
+
+TEST(NdTable, InRangeDetection) {
+  const NdTable t = make_2d();
+  EXPECT_TRUE(t.in_range({1.5, 15.0}));
+  EXPECT_FALSE(t.in_range({0.5, 15.0}));
+  EXPECT_FALSE(t.in_range({1.5, 25.0}));
+  EXPECT_THROW(t.in_range({1.0}), std::invalid_argument);
+}
+
+TEST(NdTable, LinearExtrapolationBeyondGrid) {
+  const NdTable t = make_2d();
+  // Linear data extrapolates exactly.
+  EXPECT_NEAR(t.lookup({4.0, 10.0}), 410.0, 1e-8);
+}
+
+TEST(NdTable, ExtrapolationCounterTracksCoverage) {
+  const NdTable t = make_2d();
+  EXPECT_EQ(t.extrapolation_count(), 0u);
+  t.lookup({1.5, 15.0});  // inside
+  EXPECT_EQ(t.extrapolation_count(), 0u);
+  t.lookup({4.0, 15.0});  // outside width axis
+  t.lookup({1.5, 25.0});  // outside length axis
+  EXPECT_EQ(t.extrapolation_count(), 2u);
+  NdTable copy = t;
+  copy.reset_extrapolation_count();
+  EXPECT_EQ(copy.extrapolation_count(), 0u);
+}
+
+TEST(NdTable, SaveLoadRoundTrip) {
+  const NdTable t = make_2d();
+  std::stringstream ss;
+  t.save(ss);
+  const NdTable r = NdTable::load(ss);
+  EXPECT_EQ(r.dims(), 2u);
+  EXPECT_EQ(r.axis_names()[0], "width");
+  EXPECT_EQ(r.axis_names()[1], "length");
+  for (double w = 1.0; w <= 3.0; w += 0.37)
+    for (double l = 10.0; l <= 20.0; l += 2.3)
+      EXPECT_NEAR(r.lookup({w, l}), t.lookup({w, l}), 1e-12);
+}
+
+TEST(NdTable, LoadRejectsGarbage) {
+  std::stringstream bad1("not-a-table 1\n");
+  EXPECT_THROW(NdTable::load(bad1), std::runtime_error);
+  std::stringstream bad2("rlcx-table 9\n");
+  EXPECT_THROW(NdTable::load(bad2), std::runtime_error);
+  std::stringstream bad3("rlcx-table 1\n2\nwidth 3 1 2 3\n");
+  EXPECT_THROW(NdTable::load(bad3), std::runtime_error);
+}
+
+TEST(NdTable, FileRoundTrip) {
+  const NdTable t = make_2d();
+  const std::string path = "/tmp/rlcx_table_test.txt";
+  t.save_file(path);
+  const NdTable r = NdTable::load_file(path);
+  EXPECT_NEAR(r.lookup({2.0, 15.0}), t.lookup({2.0, 15.0}), 1e-12);
+  EXPECT_THROW(NdTable::load_file("/nonexistent/nope.txt"),
+               std::runtime_error);
+}
+
+TEST(NdTable, ConstructorValidation) {
+  EXPECT_THROW(NdTable({"a"}, {{1.0, 2.0}, {1.0, 2.0}}, {1, 2, 3, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(NdTable({"a"}, {{1.0, 2.0}}, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(NdTable, FourDimensionalMutualShape) {
+  // The mutual table shape of the paper: (w1, w2, s, l).
+  const std::vector<double> ax{1.0, 2.0};
+  std::vector<double> vals;
+  for (double a : ax)
+    for (double b : ax)
+      for (double c : ax)
+        for (double d : ax) vals.push_back(a + 2 * b + 4 * c + 8 * d);
+  const NdTable t({"w1", "w2", "s", "l"}, {ax, ax, ax, ax}, vals);
+  EXPECT_EQ(t.dims(), 4u);
+  EXPECT_NEAR(t.lookup({1.5, 1.5, 1.5, 1.5}), 1.5 * 15.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rlcx::core

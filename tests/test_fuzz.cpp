@@ -1,0 +1,132 @@
+// Randomised robustness sweep: arbitrary (deterministic-seeded) shielded
+// structures through the whole pipeline — extraction, netlist stamping,
+// a short transient — asserting the physical invariants that must hold for
+// *every* valid input, not just the curated geometries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/netlist_builder.h"
+#include "ckt/transient.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+
+namespace rlcx {
+namespace {
+
+using units::um;
+
+const geom::Technology& tech() {
+  static const geom::Technology t = geom::Technology::generic_025um();
+  return t;
+}
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+class PipelineFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(PipelineFuzz, InvariantsHoldOnRandomStructures) {
+  std::mt19937_64 rng(GetParam().seed);
+  auto uni = [&](double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(rng);
+  };
+  auto pick_uint = [&](std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+    return d(rng);
+  };
+
+  // Random shielded bus: 1-3 signals between shields, random widths,
+  // spacings, length and plane configuration.
+  const std::size_t nsig = pick_uint(1, 3);
+  std::vector<double> widths;
+  std::vector<double> spacings;
+  widths.push_back(um(uni(1.0, 12.0)));  // left shield
+  for (std::size_t s = 0; s < nsig; ++s) {
+    spacings.push_back(um(uni(0.5, 6.0)));
+    widths.push_back(um(uni(1.0, 12.0)));
+  }
+  spacings.push_back(um(uni(0.5, 6.0)));
+  widths.push_back(um(uni(1.0, 12.0)));  // right shield
+  const double length = um(uni(150.0, 3000.0));
+  const geom::PlaneConfig planes = pick_uint(0, 1) == 0
+                                       ? geom::PlaneConfig::kNone
+                                       : geom::PlaneConfig::kBelow;
+  const geom::Block blk =
+      geom::bus_block(tech(), 6, length, widths, spacings, planes);
+
+  solver::SolveOptions sopt;
+  sopt.frequency = uni(0.5e9, 8e9);
+  sopt.max_filaments_per_dim = 2;
+  sopt.plane.strips = 9;
+  const core::DirectInductanceModel model(&tech(), 6, planes, sopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(blk, model);
+
+  // --- invariants on the extraction ---
+  for (double r : seg.resistance) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+  const std::size_t nl = seg.l_traces.size();
+  for (std::size_t i = 0; i < nl; ++i) {
+    EXPECT_GT(seg.inductance(i, i), 0.0);
+    for (std::size_t j = 0; j < nl; ++j) {
+      EXPECT_TRUE(std::isfinite(seg.inductance(i, j)));
+      EXPECT_NEAR(seg.inductance(i, j), seg.inductance(j, i),
+                  1e-6 * seg.inductance(i, i));
+      if (i != j) {
+        // Passivity: |M| < sqrt(Li Lj).
+        EXPECT_LT(std::abs(seg.inductance(i, j)),
+                  std::sqrt(seg.inductance(i, i) * seg.inductance(j, j)));
+      }
+    }
+  }
+  for (double c : seg.cap_ground) EXPECT_GT(c, 0.0);
+  for (double c : seg.cap_coupling) EXPECT_GT(c, 0.0);
+
+  // --- stamping + a short transient must stay finite and settle ---
+  ckt::Netlist nlst;
+  const ckt::NodeId vin = nlst.add_node();
+  const ckt::NodeId buf = nlst.add_node();
+  nlst.add_vsource(vin, ckt::kGround,
+                   ckt::SourceWaveform::ramp(1.8, 100e-12));
+  nlst.add_resistor(vin, buf, uni(15.0, 80.0));
+  core::LadderOptions lopt;
+  lopt.sections = static_cast<int>(pick_uint(1, 5));
+  std::vector<ckt::NodeId> ins(blk.signal_indices().size(), buf);
+  for (std::size_t k = 1; k < ins.size(); ++k) ins[k] = nlst.add_node();
+  for (std::size_t k = 1; k < ins.size(); ++k)
+    nlst.add_resistor(buf, ins[k], 1.0);  // weakly tie extra signals
+  const auto outs = core::stamp_segment(nlst, blk, seg, ins, lopt);
+  for (const ckt::NodeId o : outs)
+    nlst.add_capacitor(o, ckt::kGround, uni(20e-15, 300e-15));
+
+  ckt::TransientOptions topt;
+  topt.t_stop = 3e-9;
+  topt.dt = 1e-12;
+  const ckt::TransientResult res = ckt::simulate(nlst, topt);
+  for (const ckt::NodeId o : outs) {
+    const ckt::Waveform w = res.waveform(o);
+    for (std::size_t s = 0; s < w.size(); ++s)
+      ASSERT_TRUE(std::isfinite(w.sample(s))) << "seed "
+                                              << GetParam().seed;
+    // Linear passive network driven to 1.8 V: bounded ringing only.
+    EXPECT_LT(w.max(), 4.0);
+    EXPECT_GT(w.min(), -2.5);
+    EXPECT_NEAR(w.final(), 1.8, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Values(FuzzCase{1}, FuzzCase{2},
+                                           FuzzCase{3}, FuzzCase{5},
+                                           FuzzCase{8}, FuzzCase{13},
+                                           FuzzCase{21}, FuzzCase{34},
+                                           FuzzCase{55}, FuzzCase{89}));
+
+}  // namespace
+}  // namespace rlcx

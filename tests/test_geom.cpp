@@ -1,0 +1,165 @@
+// Tests for the geometry layer: technology stack, traces, blocks, builders.
+#include <gtest/gtest.h>
+
+#include "geom/builders.h"
+#include "numeric/units.h"
+
+namespace rlcx::geom {
+namespace {
+
+using units::um;
+
+TEST(Technology, GenericStackIsSane) {
+  const Technology tech = Technology::generic_025um();
+  EXPECT_GE(tech.layer_count(), 6u);
+  EXPECT_TRUE(tech.has_layer(6));
+  EXPECT_FALSE(tech.has_layer(99));
+  // Clock layer of Figure 1 is 2 um thick.
+  EXPECT_NEAR(tech.layer(6).thickness, um(2.0), 1e-12);
+  // Layers stack upward without overlap.
+  for (int i = 1; i < tech.top_layer(); ++i)
+    EXPECT_LE(tech.layer(i).z_top(), tech.layer(i + 1).z_bottom + 1e-15);
+}
+
+TEST(Technology, DielectricGapPositive) {
+  const Technology tech = Technology::generic_025um();
+  EXPECT_GT(tech.dielectric_gap(4, 6), 0.0);
+  EXPECT_GT(tech.center_separation(4, 6), tech.dielectric_gap(4, 6));
+}
+
+TEST(Technology, RejectsBadStacks) {
+  EXPECT_THROW(Technology({}, 3.9), std::invalid_argument);
+  std::vector<Layer> dup{{1, um(1), 0.0, 2e-8}, {1, um(1), um(2), 2e-8}};
+  EXPECT_THROW(Technology(dup, 3.9), std::invalid_argument);
+  std::vector<Layer> overlap{{1, um(2), 0.0, 2e-8}, {2, um(1), um(1), 2e-8}};
+  EXPECT_THROW(Technology(overlap, 3.9), std::invalid_argument);
+}
+
+TEST(Technology, TemperatureScalesResistivityOnly) {
+  const Technology t25 = Technology::generic_025um();
+  const Technology t105 = t25.at_temperature(105.0);
+  // 80 K above reference with alpha = 0.39%/K: +31.2%.
+  EXPECT_NEAR(t105.layer(6).rho, t25.layer(6).rho * 1.312, 1e-12);
+  // Geometry untouched.
+  EXPECT_DOUBLE_EQ(t105.layer(6).thickness, t25.layer(6).thickness);
+  EXPECT_DOUBLE_EQ(t105.eps_r(), t25.eps_r());
+  // Cold corner lowers rho.
+  EXPECT_LT(t25.at_temperature(-40.0).layer(6).rho, t25.layer(6).rho);
+  EXPECT_THROW(t25.at_temperature(-1e4), std::invalid_argument);
+}
+
+TEST(Block, SortsTracesAndComputesSpacing) {
+  const Technology tech = Technology::generic_025um();
+  std::vector<Trace> traces{
+      {TraceRole::kSignal, um(2), um(10), "b"},
+      {TraceRole::kGround, um(2), 0.0, "a"},
+  };
+  Block blk(&tech, 6, um(100), traces);
+  EXPECT_EQ(blk.trace(0).name, "a");
+  EXPECT_EQ(blk.trace(1).name, "b");
+  EXPECT_NEAR(blk.spacing(0, 1), um(8), 1e-15);
+  EXPECT_NEAR(blk.pitch(0, 1), um(10), 1e-15);
+  EXPECT_NEAR(blk.spacing(1, 0), um(8), 1e-15);  // order-independent
+}
+
+TEST(Block, RejectsOverlap) {
+  const Technology tech = Technology::generic_025um();
+  std::vector<Trace> traces{
+      {TraceRole::kSignal, um(4), 0.0, "a"},
+      {TraceRole::kSignal, um(4), um(3), "b"},
+  };
+  EXPECT_THROW(Block(&tech, 6, um(100), traces), std::invalid_argument);
+}
+
+TEST(Block, PlaneValidation) {
+  const Technology tech = Technology::generic_025um();
+  std::vector<Trace> traces{{TraceRole::kSignal, um(2), 0.0, "a"}};
+  // Layer 1 has no layer -1 below.
+  EXPECT_THROW(Block(&tech, 1, um(100), traces, PlaneConfig::kBelow),
+               std::invalid_argument);
+  Block ok(&tech, 6, um(100), traces, PlaneConfig::kBelow);
+  EXPECT_EQ(ok.plane_layer_below(), 4);
+  EXPECT_THROW(ok.plane_layer_above(), std::logic_error);
+  EXPECT_GT(ok.height_above_plane(), 0.0);
+}
+
+TEST(Block, SubproblemExtractsTraces) {
+  const Technology tech = Technology::generic_025um();
+  Block blk = uniform_array(tech, 6, um(500), 5, um(2), um(2));
+  Block sub = blk.subproblem({0, 4});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_NEAR(sub.pitch(0, 1), blk.pitch(0, 4), 1e-15);
+  EXPECT_EQ(sub.length(), blk.length());
+}
+
+TEST(Block, WithLengthKeepsGeometry) {
+  const Technology tech = Technology::generic_025um();
+  Block blk = coplanar_waveguide(tech, 6, um(1000), um(10), um(5), um(1));
+  Block longer = blk.with_length(um(2000));
+  EXPECT_NEAR(longer.length(), um(2000), 1e-15);
+  EXPECT_EQ(longer.size(), 3u);
+  EXPECT_NEAR(longer.spacing(0, 1), um(1), 1e-15);
+}
+
+TEST(Builders, CoplanarWaveguideLayout) {
+  const Technology tech = Technology::generic_025um();
+  Block blk = coplanar_waveguide(tech, 6, um(6000), um(10), um(5), um(1));
+  ASSERT_EQ(blk.size(), 3u);
+  EXPECT_EQ(blk.trace(0).role, TraceRole::kGround);
+  EXPECT_EQ(blk.trace(1).role, TraceRole::kSignal);
+  EXPECT_EQ(blk.trace(2).role, TraceRole::kGround);
+  EXPECT_NEAR(blk.spacing(0, 1), um(1), 1e-12);
+  EXPECT_NEAR(blk.spacing(1, 2), um(1), 1e-12);
+  EXPECT_EQ(blk.planes(), PlaneConfig::kNone);
+  EXPECT_EQ(blk.signal_indices().size(), 1u);
+  EXPECT_EQ(blk.ground_indices().size(), 2u);
+}
+
+TEST(Builders, MicrostripAndStripline) {
+  const Technology tech = Technology::generic_025um();
+  EXPECT_EQ(microstrip(tech, 6, um(100), um(4), um(4), um(1)).planes(),
+            PlaneConfig::kBelow);
+  EXPECT_EQ(stripline(tech, 6, um(100), um(4), um(4), um(1)).planes(),
+            PlaneConfig::kBothSides);
+}
+
+TEST(Builders, BusBlockRolesAndCentering) {
+  const Technology tech = Technology::generic_025um();
+  Block blk = bus_block(tech, 6, um(100), {um(5), um(2), um(2), um(5)},
+                        {um(1), um(1), um(1)});
+  ASSERT_EQ(blk.size(), 4u);
+  EXPECT_EQ(blk.trace(0).role, TraceRole::kGround);
+  EXPECT_EQ(blk.trace(1).role, TraceRole::kSignal);
+  EXPECT_EQ(blk.trace(2).role, TraceRole::kSignal);
+  EXPECT_EQ(blk.trace(3).role, TraceRole::kGround);
+  // Centered: symmetric extents.
+  EXPECT_NEAR(blk.trace(0).x_left(), -blk.trace(3).x_right(), 1e-12);
+}
+
+TEST(Builders, UniformArraySpacingUniform) {
+  const Technology tech = Technology::generic_025um();
+  Block blk = uniform_array(tech, 6, um(2000), 5, um(2), um(2),
+                            PlaneConfig::kBelow);
+  ASSERT_EQ(blk.size(), 5u);
+  for (std::size_t i = 0; i + 1 < 5; ++i)
+    EXPECT_NEAR(blk.spacing(i, i + 1), um(2), 1e-12);
+  EXPECT_EQ(blk.signal_indices().size(), 5u);
+}
+
+TEST(Builders, BusBlockArgumentValidation) {
+  const Technology tech = Technology::generic_025um();
+  EXPECT_THROW(bus_block(tech, 6, um(100), {um(5)}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(bus_block(tech, 6, um(100), {um(5), um(5)}, {um(1), um(1)}),
+               std::invalid_argument);
+}
+
+TEST(PlaneConfigNames, ToString) {
+  EXPECT_STREQ(to_string(PlaneConfig::kNone), "none");
+  EXPECT_STREQ(to_string(PlaneConfig::kBelow), "below");
+  EXPECT_STREQ(to_string(PlaneConfig::kAbove), "above");
+  EXPECT_STREQ(to_string(PlaneConfig::kBothSides), "both");
+}
+
+}  // namespace
+}  // namespace rlcx::geom

@@ -1,0 +1,171 @@
+// Integration tests: the full pipeline — tables built by the field solver,
+// looked up through splines, cascaded into an H-tree netlist, simulated —
+// against the same pipeline running the field solver directly.
+#include <gtest/gtest.h>
+
+#include "clocktree/skew.h"
+#include "core/cascade.h"
+#include "core/table_builder.h"
+#include "ckt/ac.h"
+#include "ckt/spice_export.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+#include "solver/frequency.h"
+#include "solver/network.h"
+
+namespace rlcx {
+namespace {
+
+using geom::PlaneConfig;
+using geom::Technology;
+using units::um;
+
+const Technology& tech() {
+  static const Technology t = Technology::generic_025um();
+  return t;
+}
+
+clocktree::HTreeSpec tree_spec() {
+  clocktree::HTreeSpec spec = clocktree::example_cpw_tree();
+  spec.levels.resize(2);
+  return spec;
+}
+
+solver::SolveOptions sopts() {
+  solver::SolveOptions o;
+  o.frequency = solver::significant_frequency(tree_spec().driver.t_rise);
+  o.max_filaments_per_dim = 2;
+  return o;
+}
+
+core::InductanceLibrary table_library() {
+  // Grid covering the tree's level geometries (widths 4-10 um, lengths
+  // 800-3000 um, spacing 1 um).
+  core::TableGrid grid;
+  grid.widths = geomspace(um(3), um(12), 4);
+  grid.spacings = geomspace(um(0.5), um(3), 3);
+  grid.lengths = geomspace(um(500), um(4000), 4);
+  core::InductanceLibrary lib;
+  lib.add(6, PlaneConfig::kNone,
+          std::make_shared<core::TableInductanceModel>(core::build_tables(
+              tech(), 6, PlaneConfig::kNone, grid, sopts())));
+  return lib;
+}
+
+core::InductanceLibrary direct_library() {
+  core::InductanceLibrary lib;
+  lib.add(6, PlaneConfig::kNone,
+          std::make_shared<core::DirectInductanceModel>(
+              &tech(), 6, PlaneConfig::kNone, sopts()));
+  return lib;
+}
+
+TEST(Integration, TableTreeMatchesDirectTree) {
+  const clocktree::HTreeSpec spec = tree_spec();
+  clocktree::AnalysisOptions aopt;
+  aopt.ladder.sections = 3;
+  const clocktree::SkewResult via_tables =
+      clocktree::analyze_skew(tech(), spec, table_library(), aopt);
+  const clocktree::SkewResult via_solver =
+      clocktree::analyze_skew(tech(), spec, direct_library(), aopt);
+  ASSERT_EQ(via_tables.sink_delays.size(), via_solver.sink_delays.size());
+  // Spline interpolation on the coarse test grid costs a few per cent of
+  // inductance, which maps into a similar delay error.
+  for (std::size_t i = 0; i < via_tables.sink_delays.size(); ++i) {
+    EXPECT_NEAR(via_tables.sink_delays[i], via_solver.sink_delays[i],
+                0.10 * via_solver.sink_delays[i])
+        << "sink " << i;
+  }
+  // Skews are small differences of delays; allow a wider band.
+  EXPECT_NEAR(via_tables.skew, via_solver.skew, 0.3 * via_solver.skew);
+}
+
+TEST(Integration, TreeNetlistExportsToSpice) {
+  const clocktree::HTreeSpec spec = tree_spec();
+  core::LadderOptions lopt;
+  lopt.sections = 2;
+  const clocktree::TreeNetlist tree =
+      clocktree::build_tree_netlist(tech(), spec, direct_library(), lopt);
+  const std::string deck = ckt::to_spice(tree.netlist);
+  // Deck contains the driver source, coupling cards and terminates.
+  EXPECT_NE(deck.find("V1 clk_in 0 PWL"), std::string::npos);
+  EXPECT_NE(deck.find("K1 "), std::string::npos);
+  EXPECT_NE(deck.find(".END"), std::string::npos);
+  // Every inductor referenced by a K card exists.
+  EXPECT_GE(tree.netlist.inductors().size(), 6u);
+}
+
+TEST(Integration, TreeInputImpedanceInductiveAtHighFrequency) {
+  // AC analysis through the whole extracted tree: at high frequency the
+  // driving-point impedance must be inductive (positive reactance), at low
+  // frequency capacitive (negative reactance).
+  const clocktree::HTreeSpec spec = tree_spec();
+  core::LadderOptions lopt;
+  lopt.sections = 3;
+  clocktree::TreeNetlist tree =
+      clocktree::build_tree_netlist(tech(), spec, direct_library(), lopt);
+  for (const ckt::NodeId sink : tree.sinks)
+    tree.netlist.add_capacitor(sink, ckt::kGround, spec.sink_cap);
+
+  const auto z_lo =
+      ckt::ac_input_impedance(tree.netlist, 50e6, tree.driver_out);
+  EXPECT_LT(z_lo.imag(), 0.0);  // capacitive wall of wire + sinks
+  // Somewhere in the GHz band the inductance must turn the reactance
+  // positive (above the ladder's Bragg cutoff it goes capacitive again, so
+  // scan rather than probe a single point).
+  bool inductive_somewhere = false;
+  for (double f = 0.5e9; f <= 30e9; f *= 1.3) {
+    if (ckt::ac_input_impedance(tree.netlist, f, tree.driver_out).imag() >
+        0.0) {
+      inductive_somewhere = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(inductive_somewhere);
+}
+
+TEST(Integration, CascadeEstimateTracksNetworkSolver) {
+  // Per-segment loop extraction + series cascade vs the general network
+  // solver for a 2-segment run — ties core::cascade to solver::Network.
+  solver::SolveOptions opt = sopts();
+  auto loop_of = [&](double len) {
+    const geom::Block blk =
+        geom::coplanar_waveguide(tech(), 6, len, um(4), um(4), um(1));
+    return solver::extract_loop(blk, opt).inductance(0, 0);
+  };
+  const double casc =
+      core::series_inductance({loop_of(um(700)), loop_of(um(300))});
+
+  solver::Network net;
+  const int a = net.add_node(), ag = net.add_node();
+  const int m = net.add_node(), mg = net.add_node();
+  const int far = net.add_node();
+  const geom::Layer& layer = tech().layer(6);
+  peec::MeshOptions mesh;
+  mesh.nw = 2;
+  mesh.nt = 2;
+  auto add_gsg = [&](int ns1, int ng1, int ns2, int ng2, double y0,
+                     double len) {
+    auto bar = [&](double xc, double w) {
+      peec::Bar b;
+      b.a_min = y0;
+      b.length = len;
+      b.t_min = xc - 0.5 * w;
+      b.t_width = w;
+      b.z_min = layer.z_bottom;
+      b.z_thick = layer.thickness;
+      return b;
+    };
+    net.add_segment(ns1, ns2, bar(0.0, um(4)), layer.rho, mesh);
+    net.add_segment(ng1, ng2, bar(-um(5), um(4)), layer.rho, mesh);
+    net.add_segment(ng1, ng2, bar(um(5), um(4)), layer.rho, mesh);
+  };
+  add_gsg(a, ag, m, mg, 0.0, um(700));
+  add_gsg(m, mg, far, far, um(700), um(300));
+  const double full = net.loop_impedance(a, ag, opt.frequency).inductance;
+  EXPECT_NEAR(casc, full, 0.03 * full);
+}
+
+}  // namespace
+}  // namespace rlcx

@@ -1,0 +1,113 @@
+// Tests for elliptic integrals, statistics and units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "numeric/elliptic.h"
+#include "numeric/stats.h"
+#include "numeric/units.h"
+
+namespace rlcx {
+namespace {
+
+TEST(Elliptic, KnownValues) {
+  // K(0) = pi/2.
+  EXPECT_NEAR(elliptic_k(0.0), std::numbers::pi / 2.0, 1e-12);
+  // Abramowitz & Stegun: K(0.5) = 1.6857503548...
+  EXPECT_NEAR(elliptic_k(0.5), 1.6857503548125961, 1e-10);
+  // K(sin 45 deg) = 1.8540746773...
+  EXPECT_NEAR(elliptic_k(std::numbers::sqrt2 / 2.0), 1.854074677301372,
+              1e-10);
+}
+
+TEST(Elliptic, RejectsOutOfRange) {
+  EXPECT_THROW(elliptic_k(-0.1), std::invalid_argument);
+  EXPECT_THROW(elliptic_k(1.0), std::invalid_argument);
+  EXPECT_THROW(elliptic_k_ratio(0.0), std::invalid_argument);
+  EXPECT_THROW(elliptic_k_ratio(1.0), std::invalid_argument);
+}
+
+TEST(Elliptic, RatioSymmetryPoint) {
+  // At k = 1/sqrt(2), k = k' so the ratio is exactly 1 (Hilberg's closed
+  // form is accurate to a few ppm).
+  EXPECT_NEAR(elliptic_k_ratio(std::numbers::sqrt2 / 2.0), 1.0, 1e-5);
+}
+
+TEST(Elliptic, RatioMatchesDirectComputation) {
+  for (double k : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double kp = std::sqrt(1.0 - k * k);
+    const double direct = elliptic_k(k) / elliptic_k(kp);
+    EXPECT_NEAR(elliptic_k_ratio(k), direct, 1e-5 * direct) << "k=" << k;
+  }
+}
+
+TEST(RunningStats, MeanVarianceExtrema) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, RelSpreadDefinition) {
+  RunningStats s;
+  s.add(9.0);
+  s.add(11.0);
+  // sigma = sqrt(2), mean = 10 -> 3 sigma / mean = 0.4242...
+  EXPECT_NEAR(s.rel_spread3(), 3.0 * std::sqrt(2.0) / 10.0, 1e-12);
+}
+
+TEST(GaussianSampler, DeterministicAndCentered) {
+  GaussianSampler g1(42), g2(42);
+  RunningStats s;
+  for (int i = 0; i < 4000; ++i) {
+    const double a = g1.sample(10.0, 2.0);
+    const double b = g2.sample(10.0, 2.0);
+    EXPECT_DOUBLE_EQ(a, b);  // same seed, same stream
+    s.add(a);
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.15);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.15);
+}
+
+TEST(GaussianSampler, TruncationRespected) {
+  GaussianSampler g(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = g.sample_truncated(1.0, 0.5, 2.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 2.0);
+  }
+}
+
+TEST(Percentile, OrderStatistics) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(percentile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 100.0), 5.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 50.0), 3.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 25.0), 2.0, 1e-12);
+}
+
+TEST(Percentile, Errors) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Units, RoundTrips) {
+  using namespace units;
+  EXPECT_DOUBLE_EQ(um(10.0), 1e-5);
+  EXPECT_DOUBLE_EQ(to_um(um(123.0)), 123.0);
+  EXPECT_DOUBLE_EQ(to_ps(ps(47.6)), 47.6);
+  EXPECT_DOUBLE_EQ(to_nh(nh(0.5)), 0.5);
+  EXPECT_DOUBLE_EQ(to_ghz(ghz(3.2)), 3.2);
+}
+
+TEST(Units, PhysicalConstants) {
+  EXPECT_NEAR(kMu0, 1.25663706e-6, 1e-12);
+  EXPECT_NEAR(kEps0 * kMu0 * 2.99792458e8 * 2.99792458e8, 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace rlcx

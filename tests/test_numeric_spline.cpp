@@ -1,0 +1,127 @@
+// Unit and property tests for cubic-spline interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/spline.h"
+
+namespace rlcx {
+namespace {
+
+TEST(CubicSpline, ReproducesKnots) {
+  const std::vector<double> x{0.0, 1.0, 2.5, 4.0};
+  const std::vector<double> y{1.0, -2.0, 0.5, 3.0};
+  CubicSpline s(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(s.eval(x[i]), y[i], 1e-12);
+}
+
+TEST(CubicSpline, ExactOnLinearData) {
+  // Natural splines reproduce linear functions exactly.
+  const auto x = linspace(0.0, 10.0, 7);
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 * xi - 2.0);
+  CubicSpline s(x, y);
+  for (double q = -1.0; q <= 11.0; q += 0.37)
+    EXPECT_NEAR(s.eval(q), 3.0 * q - 2.0, 1e-10);
+}
+
+TEST(CubicSpline, SmoothFunctionAccuracy) {
+  const auto x = linspace(0.0, 3.141592653589793, 21);
+  std::vector<double> y;
+  for (double xi : x) y.push_back(std::sin(xi));
+  CubicSpline s(x, y);
+  for (double q = 0.05; q < 3.1; q += 0.11)
+    EXPECT_NEAR(s.eval(q), std::sin(q), 2e-4);
+}
+
+TEST(CubicSpline, LinearExtrapolationBeyondRange) {
+  const auto x = linspace(1.0, 2.0, 5);
+  std::vector<double> y;
+  for (double xi : x) y.push_back(xi * xi);
+  CubicSpline s(x, y);
+  // Outside the range the continuation is linear: second differences vanish.
+  const double f1 = s.eval(3.0), f2 = s.eval(4.0), f3 = s.eval(5.0);
+  EXPECT_NEAR(f3 - f2, f2 - f1, 1e-9);
+}
+
+TEST(CubicSpline, RejectsBadInput) {
+  EXPECT_THROW(CubicSpline({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CubicSpline({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(CubicSpline({2.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(CubicSpline({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(CubicSpline, DerivativeMatchesFiniteDifference) {
+  const auto x = linspace(0.0, 2.0, 15);
+  std::vector<double> y;
+  for (double xi : x) y.push_back(std::exp(xi));
+  CubicSpline s(x, y);
+  const double q = 0.73;
+  const double fd = (s.eval(q + 1e-6) - s.eval(q - 1e-6)) / 2e-6;
+  EXPECT_NEAR(s.derivative(q), fd, 1e-5);
+}
+
+TEST(TensorSpline, MatchesBicubicOnSeparableFunction) {
+  const auto ax = linspace(0.0, 2.0, 9);
+  const auto ay = linspace(1.0, 3.0, 11);
+  std::vector<double> vals;
+  for (double x : ax)
+    for (double y : ay) vals.push_back(std::sin(x) * std::log(y));
+  TensorSpline t({ax, ay}, vals);
+  // Natural boundary conditions cost some accuracy near the grid edges;
+  // a few 1e-3 absolute is the expected bicubic error at this density.
+  for (double x = 0.1; x < 2.0; x += 0.3)
+    for (double y = 1.1; y < 3.0; y += 0.4)
+      EXPECT_NEAR(t.eval({x, y}), std::sin(x) * std::log(y), 5e-3);
+}
+
+TEST(TensorSpline, FourDimensionalLookup) {
+  // A 4-D multilinear function is reproduced exactly.
+  const auto a = linspace(0.0, 1.0, 3);
+  std::vector<double> vals;
+  for (double w1 : a)
+    for (double w2 : a)
+      for (double s : a)
+        for (double l : a)
+          vals.push_back(1.0 + w1 + 2.0 * w2 + 3.0 * s + 4.0 * l);
+  TensorSpline t({a, a, a, a}, vals);
+  EXPECT_NEAR(t.eval({0.25, 0.5, 0.75, 0.1}),
+              1.0 + 0.25 + 1.0 + 2.25 + 0.4, 1e-9);
+}
+
+TEST(TensorSpline, ValueCountMismatchThrows) {
+  EXPECT_THROW(TensorSpline({{0.0, 1.0}, {0.0, 1.0}}, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(TensorSpline, QueryDimensionMismatchThrows) {
+  TensorSpline t({{0.0, 1.0}}, {0.0, 1.0});
+  EXPECT_THROW(t.eval({0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(Grids, LinspaceEndpointsAndSpacing) {
+  const auto g = linspace(2.0, 4.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 2.0);
+  EXPECT_DOUBLE_EQ(g.back(), 4.0);
+  EXPECT_NEAR(g[1] - g[0], 0.5, 1e-15);
+}
+
+TEST(Grids, GeomspaceRatioConstant) {
+  const auto g = geomspace(1.0, 16.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 16.0);
+  for (std::size_t i = 1; i + 1 < g.size(); ++i)
+    EXPECT_NEAR(g[i + 1] / g[i], g[i] / g[i - 1], 1e-12);
+}
+
+TEST(Grids, RejectBadArguments) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(geomspace(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(geomspace(1.0, -1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlcx

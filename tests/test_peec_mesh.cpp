@@ -1,0 +1,112 @@
+// Tests for skin depth and cross-section meshing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/units.h"
+#include "peec/mesh.h"
+
+namespace rlcx::peec {
+namespace {
+
+using units::um;
+
+Bar envelope(double w, double t, double l) {
+  Bar b;
+  b.axis = Axis::kY;
+  b.length = l;
+  b.t_width = w;
+  b.z_thick = t;
+  return b;
+}
+
+TEST(SkinDepth, CopperAtKnownFrequencies) {
+  // delta = sqrt(rho / (pi f mu0)); for rho = 2e-8 at 1 GHz:
+  // sqrt(2e-8 / (pi * 1e9 * 4pi e-7)) = 2.25 um.
+  EXPECT_NEAR(skin_depth(2e-8, 1e9), 2.2508e-6, 1e-9);
+  // Quadruple the frequency, halve the depth.
+  EXPECT_NEAR(skin_depth(2e-8, 4e9), skin_depth(2e-8, 1e9) / 2.0, 1e-12);
+}
+
+TEST(SkinDepth, RejectsBadInput) {
+  EXPECT_THROW(skin_depth(0.0, 1e9), std::invalid_argument);
+  EXPECT_THROW(skin_depth(2e-8, 0.0), std::invalid_argument);
+}
+
+TEST(GradedBoundaries, CoversUnitIntervalMonotonically) {
+  for (int n : {1, 2, 3, 5, 8}) {
+    const auto b = graded_boundaries(n, 2.0);
+    ASSERT_EQ(b.size(), static_cast<std::size_t>(n) + 1);
+    EXPECT_DOUBLE_EQ(b.front(), 0.0);
+    EXPECT_DOUBLE_EQ(b.back(), 1.0);
+    for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+  }
+}
+
+TEST(GradedBoundaries, EdgeCellsSmallerThanCenter) {
+  const auto b = graded_boundaries(5, 2.0);
+  const double edge = b[1] - b[0];
+  const double center = b[3] - b[2];
+  EXPECT_LT(edge, center);
+  // Symmetric: last cell equals first.
+  EXPECT_NEAR(b[5] - b[4], edge, 1e-12);
+}
+
+TEST(GradedBoundaries, UniformWhenGradingOne) {
+  const auto b = graded_boundaries(4, 1.0);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(b[i + 1] - b[i], 0.25, 1e-12);
+}
+
+TEST(MeshCrossSection, TilesEnvelopeExactly) {
+  const Bar env = envelope(um(10), um(2), um(100));
+  MeshOptions opt;
+  opt.nw = 4;
+  opt.nt = 3;
+  const auto fils = mesh_cross_section(env, opt);
+  ASSERT_EQ(fils.size(), 12u);
+  double area = 0.0;
+  for (const Bar& f : fils) {
+    area += f.cross_area();
+    EXPECT_GE(f.t_min, env.t_min - 1e-15);
+    EXPECT_LE(f.t_max(), env.t_max() + 1e-15);
+    EXPECT_GE(f.z_min, env.z_min - 1e-15);
+    EXPECT_LE(f.z_max(), env.z_max() + 1e-15);
+    EXPECT_DOUBLE_EQ(f.length, env.length);
+  }
+  EXPECT_NEAR(area, env.cross_area(), 1e-12 * env.cross_area());
+}
+
+TEST(MeshCrossSection, SingleFilamentIsIdentity) {
+  const Bar env = envelope(um(3), um(1), um(50));
+  MeshOptions opt;
+  opt.nw = 1;
+  opt.nt = 1;
+  const auto fils = mesh_cross_section(env, opt);
+  ASSERT_EQ(fils.size(), 1u);
+  EXPECT_DOUBLE_EQ(fils[0].t_width, env.t_width);
+  EXPECT_DOUBLE_EQ(fils[0].z_thick, env.z_thick);
+}
+
+TEST(MeshForSkinDepth, FineMeshWhenSkinThin) {
+  const Bar env = envelope(um(10), um(2), um(100));
+  // Skin depth far larger than the conductor -> single filament.
+  const MeshOptions coarse = mesh_for_skin_depth(env, um(100), 5);
+  EXPECT_EQ(coarse.nw, 1);
+  EXPECT_EQ(coarse.nt, 1);
+  // Skin depth much smaller -> capped at the maximum.
+  const MeshOptions fine = mesh_for_skin_depth(env, um(0.5), 5);
+  EXPECT_EQ(fine.nw, 5);
+  EXPECT_EQ(fine.nt, 4);
+}
+
+TEST(MeshForSkinDepth, Errors) {
+  const Bar env = envelope(um(10), um(2), um(100));
+  EXPECT_THROW(mesh_for_skin_depth(env, 0.0), std::invalid_argument);
+  EXPECT_THROW(graded_boundaries(0, 2.0), std::invalid_argument);
+  EXPECT_THROW(mesh_cross_section(envelope(0.0, um(1), um(1)), MeshOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlcx::peec
