@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_aggressor"
+  "../bench/bench_aggressor.pdb"
+  "CMakeFiles/bench_aggressor.dir/bench_aggressor.cpp.o"
+  "CMakeFiles/bench_aggressor.dir/bench_aggressor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

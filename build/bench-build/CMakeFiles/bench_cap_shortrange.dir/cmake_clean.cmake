@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cap_shortrange"
+  "../bench/bench_cap_shortrange.pdb"
+  "CMakeFiles/bench_cap_shortrange.dir/bench_cap_shortrange.cpp.o"
+  "CMakeFiles/bench_cap_shortrange.dir/bench_cap_shortrange.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cap_shortrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_foundations"
+  "../bench/bench_fig5_foundations.pdb"
+  "CMakeFiles/bench_fig5_foundations.dir/bench_fig5_foundations.cpp.o"
+  "CMakeFiles/bench_fig5_foundations.dir/bench_fig5_foundations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_foundations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_htree_skew"
+  "../bench/bench_htree_skew.pdb"
+  "CMakeFiles/bench_htree_skew.dir/bench_htree_skew.cpp.o"
+  "CMakeFiles/bench_htree_skew.dir/bench_htree_skew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_htree_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_moments"
+  "../bench/bench_moments.pdb"
+  "CMakeFiles/bench_moments.dir/bench_moments.cpp.o"
+  "CMakeFiles/bench_moments.dir/bench_moments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

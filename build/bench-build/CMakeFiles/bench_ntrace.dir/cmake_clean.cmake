@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ntrace"
+  "../bench/bench_ntrace.pdb"
+  "CMakeFiles/bench_ntrace.dir/bench_ntrace.cpp.o"
+  "CMakeFiles/bench_ntrace.dir/bench_ntrace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

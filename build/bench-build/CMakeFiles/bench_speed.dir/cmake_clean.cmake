@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_speed"
+  "../bench/bench_speed.pdb"
+  "CMakeFiles/bench_speed.dir/bench_speed.cpp.o"
+  "CMakeFiles/bench_speed.dir/bench_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_superlinear"
+  "../bench/bench_superlinear.pdb"
+  "CMakeFiles/bench_superlinear.dir/bench_superlinear.cpp.o"
+  "CMakeFiles/bench_superlinear.dir/bench_superlinear.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_superlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

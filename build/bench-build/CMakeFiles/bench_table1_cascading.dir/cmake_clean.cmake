@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_cascading"
+  "../bench/bench_table1_cascading.pdb"
+  "CMakeFiles/bench_table1_cascading.dir/bench_table1_cascading.cpp.o"
+  "CMakeFiles/bench_table1_cascading.dir/bench_table1_cascading.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cascading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocktree_skew.dir/clocktree_skew.cpp.o"
+  "CMakeFiles/clocktree_skew.dir/clocktree_skew.cpp.o.d"
+  "clocktree_skew"
+  "clocktree_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocktree_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

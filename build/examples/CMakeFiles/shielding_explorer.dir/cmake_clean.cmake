@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shielding_explorer.dir/shielding_explorer.cpp.o"
+  "CMakeFiles/shielding_explorer.dir/shielding_explorer.cpp.o.d"
+  "shielding_explorer"
+  "shielding_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shielding_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_workflow.dir/table_workflow.cpp.o"
+  "CMakeFiles/table_workflow.dir/table_workflow.cpp.o.d"
+  "table_workflow"
+  "table_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_optimizer.dir/width_optimizer.cpp.o"
+  "CMakeFiles/width_optimizer.dir/width_optimizer.cpp.o.d"
+  "width_optimizer"
+  "width_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cap/cap_tables.cpp" "src/cap/CMakeFiles/rlcx_cap.dir/cap_tables.cpp.o" "gcc" "src/cap/CMakeFiles/rlcx_cap.dir/cap_tables.cpp.o.d"
+  "/root/repo/src/cap/extractor.cpp" "src/cap/CMakeFiles/rlcx_cap.dir/extractor.cpp.o" "gcc" "src/cap/CMakeFiles/rlcx_cap.dir/extractor.cpp.o.d"
+  "/root/repo/src/cap/fd2d.cpp" "src/cap/CMakeFiles/rlcx_cap.dir/fd2d.cpp.o" "gcc" "src/cap/CMakeFiles/rlcx_cap.dir/fd2d.cpp.o.d"
+  "/root/repo/src/cap/models.cpp" "src/cap/CMakeFiles/rlcx_cap.dir/models.cpp.o" "gcc" "src/cap/CMakeFiles/rlcx_cap.dir/models.cpp.o.d"
+  "/root/repo/src/cap/statistical.cpp" "src/cap/CMakeFiles/rlcx_cap.dir/statistical.cpp.o" "gcc" "src/cap/CMakeFiles/rlcx_cap.dir/statistical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rlcx_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rlcx_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

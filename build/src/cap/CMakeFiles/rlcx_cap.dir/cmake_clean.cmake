@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_cap.dir/cap_tables.cpp.o"
+  "CMakeFiles/rlcx_cap.dir/cap_tables.cpp.o.d"
+  "CMakeFiles/rlcx_cap.dir/extractor.cpp.o"
+  "CMakeFiles/rlcx_cap.dir/extractor.cpp.o.d"
+  "CMakeFiles/rlcx_cap.dir/fd2d.cpp.o"
+  "CMakeFiles/rlcx_cap.dir/fd2d.cpp.o.d"
+  "CMakeFiles/rlcx_cap.dir/models.cpp.o"
+  "CMakeFiles/rlcx_cap.dir/models.cpp.o.d"
+  "CMakeFiles/rlcx_cap.dir/statistical.cpp.o"
+  "CMakeFiles/rlcx_cap.dir/statistical.cpp.o.d"
+  "librlcx_cap.a"
+  "librlcx_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckt/ac.cpp" "src/ckt/CMakeFiles/rlcx_ckt.dir/ac.cpp.o" "gcc" "src/ckt/CMakeFiles/rlcx_ckt.dir/ac.cpp.o.d"
+  "/root/repo/src/ckt/moments.cpp" "src/ckt/CMakeFiles/rlcx_ckt.dir/moments.cpp.o" "gcc" "src/ckt/CMakeFiles/rlcx_ckt.dir/moments.cpp.o.d"
+  "/root/repo/src/ckt/netlist.cpp" "src/ckt/CMakeFiles/rlcx_ckt.dir/netlist.cpp.o" "gcc" "src/ckt/CMakeFiles/rlcx_ckt.dir/netlist.cpp.o.d"
+  "/root/repo/src/ckt/sources.cpp" "src/ckt/CMakeFiles/rlcx_ckt.dir/sources.cpp.o" "gcc" "src/ckt/CMakeFiles/rlcx_ckt.dir/sources.cpp.o.d"
+  "/root/repo/src/ckt/spice_export.cpp" "src/ckt/CMakeFiles/rlcx_ckt.dir/spice_export.cpp.o" "gcc" "src/ckt/CMakeFiles/rlcx_ckt.dir/spice_export.cpp.o.d"
+  "/root/repo/src/ckt/transient.cpp" "src/ckt/CMakeFiles/rlcx_ckt.dir/transient.cpp.o" "gcc" "src/ckt/CMakeFiles/rlcx_ckt.dir/transient.cpp.o.d"
+  "/root/repo/src/ckt/waveform.cpp" "src/ckt/CMakeFiles/rlcx_ckt.dir/waveform.cpp.o" "gcc" "src/ckt/CMakeFiles/rlcx_ckt.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/rlcx_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_ckt.dir/ac.cpp.o"
+  "CMakeFiles/rlcx_ckt.dir/ac.cpp.o.d"
+  "CMakeFiles/rlcx_ckt.dir/moments.cpp.o"
+  "CMakeFiles/rlcx_ckt.dir/moments.cpp.o.d"
+  "CMakeFiles/rlcx_ckt.dir/netlist.cpp.o"
+  "CMakeFiles/rlcx_ckt.dir/netlist.cpp.o.d"
+  "CMakeFiles/rlcx_ckt.dir/sources.cpp.o"
+  "CMakeFiles/rlcx_ckt.dir/sources.cpp.o.d"
+  "CMakeFiles/rlcx_ckt.dir/spice_export.cpp.o"
+  "CMakeFiles/rlcx_ckt.dir/spice_export.cpp.o.d"
+  "CMakeFiles/rlcx_ckt.dir/transient.cpp.o"
+  "CMakeFiles/rlcx_ckt.dir/transient.cpp.o.d"
+  "CMakeFiles/rlcx_ckt.dir/waveform.cpp.o"
+  "CMakeFiles/rlcx_ckt.dir/waveform.cpp.o.d"
+  "librlcx_ckt.a"
+  "librlcx_ckt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_ckt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx.dir/main.cpp.o"
+  "CMakeFiles/rlcx.dir/main.cpp.o.d"
+  "rlcx"
+  "rlcx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

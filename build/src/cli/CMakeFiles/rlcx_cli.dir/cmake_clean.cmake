@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_cli.dir/cli.cpp.o"
+  "CMakeFiles/rlcx_cli.dir/cli.cpp.o.d"
+  "librlcx_cli.a"
+  "librlcx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_clocktree.dir/htree.cpp.o"
+  "CMakeFiles/rlcx_clocktree.dir/htree.cpp.o.d"
+  "CMakeFiles/rlcx_clocktree.dir/layout.cpp.o"
+  "CMakeFiles/rlcx_clocktree.dir/layout.cpp.o.d"
+  "CMakeFiles/rlcx_clocktree.dir/skew.cpp.o"
+  "CMakeFiles/rlcx_clocktree.dir/skew.cpp.o.d"
+  "CMakeFiles/rlcx_clocktree.dir/tree_netlist.cpp.o"
+  "CMakeFiles/rlcx_clocktree.dir/tree_netlist.cpp.o.d"
+  "librlcx_clocktree.a"
+  "librlcx_clocktree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_clocktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cascade.cpp" "src/core/CMakeFiles/rlcx_core.dir/cascade.cpp.o" "gcc" "src/core/CMakeFiles/rlcx_core.dir/cascade.cpp.o.d"
+  "/root/repo/src/core/inductance_model.cpp" "src/core/CMakeFiles/rlcx_core.dir/inductance_model.cpp.o" "gcc" "src/core/CMakeFiles/rlcx_core.dir/inductance_model.cpp.o.d"
+  "/root/repo/src/core/netlist_builder.cpp" "src/core/CMakeFiles/rlcx_core.dir/netlist_builder.cpp.o" "gcc" "src/core/CMakeFiles/rlcx_core.dir/netlist_builder.cpp.o.d"
+  "/root/repo/src/core/rlc_extractor.cpp" "src/core/CMakeFiles/rlcx_core.dir/rlc_extractor.cpp.o" "gcc" "src/core/CMakeFiles/rlcx_core.dir/rlc_extractor.cpp.o.d"
+  "/root/repo/src/core/screening.cpp" "src/core/CMakeFiles/rlcx_core.dir/screening.cpp.o" "gcc" "src/core/CMakeFiles/rlcx_core.dir/screening.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/rlcx_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/rlcx_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/table_builder.cpp" "src/core/CMakeFiles/rlcx_core.dir/table_builder.cpp.o" "gcc" "src/core/CMakeFiles/rlcx_core.dir/table_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/rlcx_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/rlcx_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckt/CMakeFiles/rlcx_ckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rlcx_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rlcx_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/peec/CMakeFiles/rlcx_peec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

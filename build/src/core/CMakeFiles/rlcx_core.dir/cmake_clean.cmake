@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_core.dir/cascade.cpp.o"
+  "CMakeFiles/rlcx_core.dir/cascade.cpp.o.d"
+  "CMakeFiles/rlcx_core.dir/inductance_model.cpp.o"
+  "CMakeFiles/rlcx_core.dir/inductance_model.cpp.o.d"
+  "CMakeFiles/rlcx_core.dir/netlist_builder.cpp.o"
+  "CMakeFiles/rlcx_core.dir/netlist_builder.cpp.o.d"
+  "CMakeFiles/rlcx_core.dir/rlc_extractor.cpp.o"
+  "CMakeFiles/rlcx_core.dir/rlc_extractor.cpp.o.d"
+  "CMakeFiles/rlcx_core.dir/screening.cpp.o"
+  "CMakeFiles/rlcx_core.dir/screening.cpp.o.d"
+  "CMakeFiles/rlcx_core.dir/table.cpp.o"
+  "CMakeFiles/rlcx_core.dir/table.cpp.o.d"
+  "CMakeFiles/rlcx_core.dir/table_builder.cpp.o"
+  "CMakeFiles/rlcx_core.dir/table_builder.cpp.o.d"
+  "librlcx_core.a"
+  "librlcx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

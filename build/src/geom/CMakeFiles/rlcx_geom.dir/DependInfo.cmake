@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/block.cpp" "src/geom/CMakeFiles/rlcx_geom.dir/block.cpp.o" "gcc" "src/geom/CMakeFiles/rlcx_geom.dir/block.cpp.o.d"
+  "/root/repo/src/geom/builders.cpp" "src/geom/CMakeFiles/rlcx_geom.dir/builders.cpp.o" "gcc" "src/geom/CMakeFiles/rlcx_geom.dir/builders.cpp.o.d"
+  "/root/repo/src/geom/technology.cpp" "src/geom/CMakeFiles/rlcx_geom.dir/technology.cpp.o" "gcc" "src/geom/CMakeFiles/rlcx_geom.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/rlcx_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

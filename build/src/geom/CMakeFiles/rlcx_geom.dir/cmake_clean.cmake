@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_geom.dir/block.cpp.o"
+  "CMakeFiles/rlcx_geom.dir/block.cpp.o.d"
+  "CMakeFiles/rlcx_geom.dir/builders.cpp.o"
+  "CMakeFiles/rlcx_geom.dir/builders.cpp.o.d"
+  "CMakeFiles/rlcx_geom.dir/technology.cpp.o"
+  "CMakeFiles/rlcx_geom.dir/technology.cpp.o.d"
+  "librlcx_geom.a"
+  "librlcx_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_numeric.dir/elliptic.cpp.o"
+  "CMakeFiles/rlcx_numeric.dir/elliptic.cpp.o.d"
+  "CMakeFiles/rlcx_numeric.dir/spline.cpp.o"
+  "CMakeFiles/rlcx_numeric.dir/spline.cpp.o.d"
+  "CMakeFiles/rlcx_numeric.dir/stats.cpp.o"
+  "CMakeFiles/rlcx_numeric.dir/stats.cpp.o.d"
+  "librlcx_numeric.a"
+  "librlcx_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

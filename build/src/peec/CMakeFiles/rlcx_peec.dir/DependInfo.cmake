@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peec/assembly.cpp" "src/peec/CMakeFiles/rlcx_peec.dir/assembly.cpp.o" "gcc" "src/peec/CMakeFiles/rlcx_peec.dir/assembly.cpp.o.d"
+  "/root/repo/src/peec/mesh.cpp" "src/peec/CMakeFiles/rlcx_peec.dir/mesh.cpp.o" "gcc" "src/peec/CMakeFiles/rlcx_peec.dir/mesh.cpp.o.d"
+  "/root/repo/src/peec/partial_inductance.cpp" "src/peec/CMakeFiles/rlcx_peec.dir/partial_inductance.cpp.o" "gcc" "src/peec/CMakeFiles/rlcx_peec.dir/partial_inductance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/rlcx_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rlcx_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

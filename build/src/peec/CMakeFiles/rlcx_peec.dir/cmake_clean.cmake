@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_peec.dir/assembly.cpp.o"
+  "CMakeFiles/rlcx_peec.dir/assembly.cpp.o.d"
+  "CMakeFiles/rlcx_peec.dir/mesh.cpp.o"
+  "CMakeFiles/rlcx_peec.dir/mesh.cpp.o.d"
+  "CMakeFiles/rlcx_peec.dir/partial_inductance.cpp.o"
+  "CMakeFiles/rlcx_peec.dir/partial_inductance.cpp.o.d"
+  "librlcx_peec.a"
+  "librlcx_peec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_peec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rlcx_peec.
+# This may be replaced when dependencies are built.

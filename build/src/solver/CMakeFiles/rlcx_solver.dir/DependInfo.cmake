@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/block_solver.cpp" "src/solver/CMakeFiles/rlcx_solver.dir/block_solver.cpp.o" "gcc" "src/solver/CMakeFiles/rlcx_solver.dir/block_solver.cpp.o.d"
+  "/root/repo/src/solver/frequency.cpp" "src/solver/CMakeFiles/rlcx_solver.dir/frequency.cpp.o" "gcc" "src/solver/CMakeFiles/rlcx_solver.dir/frequency.cpp.o.d"
+  "/root/repo/src/solver/network.cpp" "src/solver/CMakeFiles/rlcx_solver.dir/network.cpp.o" "gcc" "src/solver/CMakeFiles/rlcx_solver.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/peec/CMakeFiles/rlcx_peec.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rlcx_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rlcx_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

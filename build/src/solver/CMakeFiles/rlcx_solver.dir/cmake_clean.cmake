@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlcx_solver.dir/block_solver.cpp.o"
+  "CMakeFiles/rlcx_solver.dir/block_solver.cpp.o.d"
+  "CMakeFiles/rlcx_solver.dir/frequency.cpp.o"
+  "CMakeFiles/rlcx_solver.dir/frequency.cpp.o.d"
+  "CMakeFiles/rlcx_solver.dir/network.cpp.o"
+  "CMakeFiles/rlcx_solver.dir/network.cpp.o.d"
+  "librlcx_solver.a"
+  "librlcx_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlcx_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlcx_solver.a"
+)

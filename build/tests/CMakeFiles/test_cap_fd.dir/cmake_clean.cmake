@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cap_fd.dir/test_cap_fd.cpp.o"
+  "CMakeFiles/test_cap_fd.dir/test_cap_fd.cpp.o.d"
+  "test_cap_fd"
+  "test_cap_fd.pdb"
+  "test_cap_fd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cap_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

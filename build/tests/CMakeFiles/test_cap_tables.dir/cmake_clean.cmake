@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cap_tables.dir/test_cap_tables.cpp.o"
+  "CMakeFiles/test_cap_tables.dir/test_cap_tables.cpp.o.d"
+  "test_cap_tables"
+  "test_cap_tables.pdb"
+  "test_cap_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cap_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckt_elements.dir/test_ckt_elements.cpp.o"
+  "CMakeFiles/test_ckt_elements.dir/test_ckt_elements.cpp.o.d"
+  "test_ckt_elements"
+  "test_ckt_elements.pdb"
+  "test_ckt_elements[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckt_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckt_export.dir/test_ckt_export.cpp.o"
+  "CMakeFiles/test_ckt_export.dir/test_ckt_export.cpp.o.d"
+  "test_ckt_export"
+  "test_ckt_export.pdb"
+  "test_ckt_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckt_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckt_moments.dir/test_ckt_moments.cpp.o"
+  "CMakeFiles/test_ckt_moments.dir/test_ckt_moments.cpp.o.d"
+  "test_ckt_moments"
+  "test_ckt_moments.pdb"
+  "test_ckt_moments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckt_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

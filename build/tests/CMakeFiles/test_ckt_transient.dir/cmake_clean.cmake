@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckt_transient.dir/test_ckt_transient.cpp.o"
+  "CMakeFiles/test_ckt_transient.dir/test_ckt_transient.cpp.o.d"
+  "test_ckt_transient"
+  "test_ckt_transient.pdb"
+  "test_ckt_transient[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckt_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocktree.dir/test_clocktree.cpp.o"
+  "CMakeFiles/test_clocktree.dir/test_clocktree.cpp.o.d"
+  "test_clocktree"
+  "test_clocktree.pdb"
+  "test_clocktree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

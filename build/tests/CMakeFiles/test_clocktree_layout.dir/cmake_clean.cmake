@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocktree_layout.dir/test_clocktree_layout.cpp.o"
+  "CMakeFiles/test_clocktree_layout.dir/test_clocktree_layout.cpp.o.d"
+  "test_clocktree_layout"
+  "test_clocktree_layout.pdb"
+  "test_clocktree_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocktree_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_actables.dir/test_core_actables.cpp.o"
+  "CMakeFiles/test_core_actables.dir/test_core_actables.cpp.o.d"
+  "test_core_actables"
+  "test_core_actables.pdb"
+  "test_core_actables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_actables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

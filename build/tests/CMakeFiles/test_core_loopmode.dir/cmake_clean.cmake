@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_loopmode.dir/test_core_loopmode.cpp.o"
+  "CMakeFiles/test_core_loopmode.dir/test_core_loopmode.cpp.o.d"
+  "test_core_loopmode"
+  "test_core_loopmode.pdb"
+  "test_core_loopmode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_loopmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_screening.cpp" "tests/CMakeFiles/test_core_screening.dir/test_core_screening.cpp.o" "gcc" "tests/CMakeFiles/test_core_screening.dir/test_core_screening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rlcx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rlcx_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/peec/CMakeFiles/rlcx_peec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/rlcx_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckt/CMakeFiles/rlcx_ckt.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rlcx_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rlcx_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_screening.dir/test_core_screening.cpp.o"
+  "CMakeFiles/test_core_screening.dir/test_core_screening.cpp.o.d"
+  "test_core_screening"
+  "test_core_screening.pdb"
+  "test_core_screening[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

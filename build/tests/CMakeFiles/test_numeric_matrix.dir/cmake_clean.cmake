@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_matrix.dir/test_numeric_matrix.cpp.o"
+  "CMakeFiles/test_numeric_matrix.dir/test_numeric_matrix.cpp.o.d"
+  "test_numeric_matrix"
+  "test_numeric_matrix.pdb"
+  "test_numeric_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_misc.dir/test_numeric_misc.cpp.o"
+  "CMakeFiles/test_numeric_misc.dir/test_numeric_misc.cpp.o.d"
+  "test_numeric_misc"
+  "test_numeric_misc.pdb"
+  "test_numeric_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_spline.dir/test_numeric_spline.cpp.o"
+  "CMakeFiles/test_numeric_spline.dir/test_numeric_spline.cpp.o.d"
+  "test_numeric_spline"
+  "test_numeric_spline.pdb"
+  "test_numeric_spline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_spline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

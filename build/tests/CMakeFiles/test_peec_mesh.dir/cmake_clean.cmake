@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peec_mesh.dir/test_peec_mesh.cpp.o"
+  "CMakeFiles/test_peec_mesh.dir/test_peec_mesh.cpp.o.d"
+  "test_peec_mesh"
+  "test_peec_mesh.pdb"
+  "test_peec_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peec_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_block.dir/test_solver_block.cpp.o"
+  "CMakeFiles/test_solver_block.dir/test_solver_block.cpp.o.d"
+  "test_solver_block"
+  "test_solver_block.pdb"
+  "test_solver_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_extra.dir/test_solver_extra.cpp.o"
+  "CMakeFiles/test_solver_extra.dir/test_solver_extra.cpp.o.d"
+  "test_solver_extra"
+  "test_solver_extra.pdb"
+  "test_solver_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
