@@ -1,6 +1,8 @@
 #include "cli/cli.h"
 
+#include <cstdint>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 
@@ -10,6 +12,7 @@
 #include "core/rlc_extractor.h"
 #include "core/screening.h"
 #include "core/table_builder.h"
+#include "core/table_cache.h"
 #include "geom/builders.h"
 #include "numeric/units.h"
 #include "solver/block_solver.h"
@@ -29,18 +32,31 @@ geom::PlaneConfig parse_planes(const std::string& s) {
   throw std::invalid_argument("unknown plane config: " + s);
 }
 
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Splits on commas, trimming whitespace around each item (so
+/// --traces "g:5, s:10" works) and rejecting empty ones.
 std::vector<std::string> split_commas(const std::string& s) {
   std::vector<std::string> out;
   std::string cur;
   for (char c : s) {
     if (c == ',') {
-      out.push_back(cur);
+      out.push_back(trim(cur));
       cur.clear();
     } else {
       cur += c;
     }
   }
-  out.push_back(cur);
+  out.push_back(trim(cur));
+  for (const std::string& tok : out)
+    if (tok.empty())
+      throw std::invalid_argument(
+          "empty item in comma-separated list: \"" + s + "\"");
   return out;
 }
 
@@ -110,21 +126,60 @@ solver::SolveOptions solve_options(const Args& args) {
   return opt;
 }
 
+// The characterisation grid the `tables` command and the --table-cache
+// paths share: --points samples per axis over the clock-wiring ranges.
+core::TableGrid grid_from_args(const Args& args) {
+  const auto n = static_cast<std::size_t>(args.get_num("points", 4));
+  if (n < 2) throw std::invalid_argument("--points must be >= 2");
+  core::TableGrid grid;
+  grid.widths = geomspace(um(1), um(20), n);
+  grid.spacings = geomspace(um(0.5), um(10), n);
+  grid.lengths = geomspace(um(100), um(6000), n);
+  return grid;
+}
+
+/// The inductance provider for extract/delay: the direct field solver by
+/// default, or — with --table-cache DIR — pre-characterised tables served
+/// cache-first, with the hit/miss and solve counters reported on `out`.
+std::unique_ptr<const core::InductanceProvider> make_inductance_model(
+    const Args& args, const geom::Technology& tech, const geom::Block& blk,
+    const solver::SolveOptions& sopt, std::ostream& out) {
+  if (!args.has("table-cache"))
+    return std::make_unique<core::DirectInductanceModel>(
+        &tech, blk.layer_index(), blk.planes(), sopt);
+  core::TableCache cache(args.get("table-cache", ""));
+  const std::size_t solves_before = core::table_build_solve_count();
+  core::InductanceTables tables = core::build_tables_cached(
+      blk.tech(), blk.layer_index(), blk.planes(), grid_from_args(args),
+      sopt, cache, static_cast<int>(args.get_num("threads", 1)));
+  out << "table cache " << cache.directory() << ": "
+      << (cache.stats().hits > 0 ? "cache hit" : "cache miss") << ", "
+      << core::table_build_solve_count() - solves_before
+      << " field solves, " << cache.stats().bytes_read << " bytes read, "
+      << cache.stats().bytes_written << " bytes written\n";
+  return std::make_unique<core::TableInductanceModel>(std::move(tables));
+}
+
 int cmd_help(std::ostream& out) {
   out << "rlcx — clocktree RLC extraction (DATE 2000 reproduction)\n\n"
          "commands:\n"
          "  extract   extract R, L, C of a shielded wire structure\n"
          "  tables    pre-characterise inductance tables and save them\n"
          "  delay     simulate buffer->sink delay of the structure\n"
+         "  cache     inspect or purge an on-disk table cache\n"
          "  help      this text\n\n"
          "common flags: --structure cpw|microstrip|stripline --layer N\n"
          "  --length-um N --signal-um N --ground-um N --spacing-um N\n"
-         "  --trise-ps N (sets the significant frequency 0.32/t_rise)\n\n"
-         "extract: [--spice FILE] [--ac-resistance]\n"
+         "  --trise-ps N (sets the significant frequency 0.32/t_rise)\n"
+         "  --table-cache DIR (serve inductance from cached tables;\n"
+         "  a changed tech/grid/frequency re-characterises automatically)\n\n"
+         "extract: [--spice FILE] [--ac-resistance] [--table-cache DIR]\n"
          "tables:  --out FILE [--planes none|below|above|both] [--points N]\n"
-         "         [--threads N]  (0 = all cores)\n"
+         "         [--threads N] (0 = all cores) [--binary]\n"
+         "         [--table-cache DIR]\n"
          "delay:   [--rs OHM] [--sink-ff N] [--vdd V] [--sections N]\n"
-         "         [--no-inductance] [--csv FILE]\n";
+         "         [--no-inductance] [--csv FILE] [--table-cache DIR]\n"
+         "cache:   --dir DIR [--stat] [--list] [--purge]  (default: stat)\n";
   return 0;
 }
 
@@ -132,11 +187,11 @@ int cmd_extract(const Args& args, std::ostream& out) {
   const geom::Technology tech = geom::Technology::generic_025um();
   const geom::Block blk = make_structure(tech, args);
   const solver::SolveOptions sopt = solve_options(args);
-  const core::DirectInductanceModel model(&tech, blk.layer_index(),
-                                          blk.planes(), sopt);
+  const std::unique_ptr<const core::InductanceProvider> model =
+      make_inductance_model(args, tech, blk, sopt, out);
   core::ExtractOptions eopt;
   eopt.ac_resistance = args.has("ac-resistance");
-  const core::SegmentRlc seg = core::extract_segment_rlc(blk, model, eopt);
+  const core::SegmentRlc seg = core::extract_segment_rlc(blk, *model, eopt);
 
   out << "structure: " << args.get("structure", "cpw") << ", layer "
       << blk.layer_index() << ", length "
@@ -212,21 +267,57 @@ int cmd_tables(const Args& args, std::ostream& out) {
   const geom::PlaneConfig planes =
       parse_planes(args.get("planes", "none"));
   const int layer = static_cast<int>(args.get_num("layer", 6));
-  const auto n = static_cast<std::size_t>(args.get_num("points", 4));
-  if (n < 2) throw std::invalid_argument("tables: --points must be >= 2");
-
-  core::TableGrid grid;
-  grid.widths = geomspace(um(1), um(20), n);
-  grid.spacings = geomspace(um(0.5), um(10), n);
-  grid.lengths = geomspace(um(100), um(6000), n);
+  const core::TableGrid grid = grid_from_args(args);
   const int threads = static_cast<int>(args.get_num("threads", 1));
-  const core::InductanceTables tables = core::build_tables(
-      tech, layer, planes, grid, solve_options(args), threads);
-  tables.save_file(args.get("out", ""));
+  const solver::SolveOptions sopt = solve_options(args);
+
+  core::InductanceTables tables;
+  if (args.has("table-cache")) {
+    core::TableCache cache(args.get("table-cache", ""));
+    const std::size_t solves_before = core::table_build_solve_count();
+    tables = core::build_tables_cached(tech, layer, planes, grid, sopt,
+                                       cache, threads);
+    out << "table cache " << cache.directory() << ": "
+        << (cache.stats().hits > 0 ? "cache hit" : "cache miss") << ", "
+        << core::table_build_solve_count() - solves_before
+        << " field solves, " << cache.stats().bytes_read
+        << " bytes read, " << cache.stats().bytes_written
+        << " bytes written\n";
+  } else {
+    tables = core::build_tables(tech, layer, planes, grid, sopt, threads);
+  }
+  if (args.has("binary"))
+    tables.save_file_binary(args.get("out", ""));
+  else
+    tables.save_file(args.get("out", ""));
   out << "built " << tables.self.values().size() << " self + "
       << tables.mutual.values().size() << " mutual entries at "
       << units::to_ghz(tables.frequency) << " GHz; saved to "
-      << args.get("out", "") << "\n";
+      << args.get("out", "") << (args.has("binary") ? " (binary)" : "")
+      << "\n";
+  return 0;
+}
+
+int cmd_cache(const Args& args, std::ostream& out) {
+  if (!args.has("dir"))
+    throw std::invalid_argument("cache: --dir DIR is required");
+  core::TableCache cache(args.get("dir", ""));
+  if (args.has("purge")) {
+    out << "purged " << cache.purge() << " entries from "
+        << cache.directory() << "\n";
+    return 0;
+  }
+  const std::vector<core::TableCache::Entry> entries = cache.list();
+  std::uint64_t bytes = 0;
+  for (const core::TableCache::Entry& e : entries) bytes += e.bytes;
+  out << "cache " << cache.directory() << ": " << entries.size()
+      << " entries, " << bytes << " bytes\n";
+  if (args.has("list"))
+    for (const core::TableCache::Entry& e : entries)
+      out << "  " << e.id << "  layer " << e.layer << "  planes "
+          << geom::to_string(e.planes) << "  "
+          << units::to_ghz(e.frequency) << " GHz  " << e.bytes
+          << " bytes\n";
   return 0;
 }
 
@@ -234,9 +325,9 @@ int cmd_delay(const Args& args, std::ostream& out) {
   const geom::Technology tech = geom::Technology::generic_025um();
   const geom::Block blk = make_structure(tech, args);
   const solver::SolveOptions sopt = solve_options(args);
-  const core::DirectInductanceModel model(&tech, blk.layer_index(),
-                                          blk.planes(), sopt);
-  const core::SegmentRlc seg = core::extract_segment_rlc(blk, model);
+  const std::unique_ptr<const core::InductanceProvider> model =
+      make_inductance_model(args, tech, blk, sopt, out);
+  const core::SegmentRlc seg = core::extract_segment_rlc(blk, *model);
 
   const double vdd = args.get_num("vdd", 1.8);
   const double tr = args.get_num("trise-ps", 200.0) * 1e-12;
@@ -329,6 +420,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (args.command == "extract") return cmd_extract(args, out);
     if (args.command == "tables") return cmd_tables(args, out);
     if (args.command == "delay") return cmd_delay(args, out);
+    if (args.command == "cache") return cmd_cache(args, out);
     err << "unknown command: " << args.command << " (try 'rlcx help')\n";
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,99 @@
+// Internal helpers for the versioned binary table formats ("RLXT" /
+// "RLXB", docs/table-format.md).  Fields are fixed-width little-endian;
+// a byte-order mark in every header makes a foreign-endian file fail
+// loudly instead of decoding garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace rlcx::core::detail {
+
+/// Written as 0x01020304 by the producer; reads back as 0x04030201 when
+/// producer and consumer disagree on byte order.
+inline constexpr std::uint32_t kByteOrderMark = 0x01020304u;
+
+inline void put_bytes(std::ostream& os, const void* p, std::size_t n) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+inline void put_u32(std::ostream& os, std::uint32_t v) {
+  put_bytes(os, &v, sizeof v);
+}
+
+inline void put_i32(std::ostream& os, std::int32_t v) {
+  put_bytes(os, &v, sizeof v);
+}
+
+inline void put_u64(std::ostream& os, std::uint64_t v) {
+  put_bytes(os, &v, sizeof v);
+}
+
+inline void put_f64(std::ostream& os, double v) {
+  put_bytes(os, &v, sizeof v);
+}
+
+inline void get_bytes(std::istream& is, void* p, std::size_t n,
+                      const char* what) {
+  is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!is || is.gcount() != static_cast<std::streamsize>(n))
+    throw std::runtime_error(std::string("truncated binary table (") + what +
+                             ")");
+}
+
+inline std::uint32_t get_u32(std::istream& is, const char* what) {
+  std::uint32_t v = 0;
+  get_bytes(is, &v, sizeof v, what);
+  return v;
+}
+
+inline std::int32_t get_i32(std::istream& is, const char* what) {
+  std::int32_t v = 0;
+  get_bytes(is, &v, sizeof v, what);
+  return v;
+}
+
+inline std::uint64_t get_u64(std::istream& is, const char* what) {
+  std::uint64_t v = 0;
+  get_bytes(is, &v, sizeof v, what);
+  return v;
+}
+
+inline double get_f64(std::istream& is, const char* what) {
+  double v = 0.0;
+  get_bytes(is, &v, sizeof v, what);
+  return v;
+}
+
+/// Reads and validates a 4-byte magic + u32 version + u32 byte-order mark.
+/// `max_version` is the newest layout this build understands.
+inline std::uint32_t check_header(std::istream& is, const char magic[4],
+                                  std::uint32_t max_version,
+                                  const char* what) {
+  char got[4] = {};
+  get_bytes(is, got, 4, what);
+  if (std::memcmp(got, magic, 4) != 0)
+    throw std::runtime_error(std::string(what) + ": bad magic bytes");
+  const std::uint32_t version = get_u32(is, what);
+  if (version == 0 || version > max_version)
+    throw std::runtime_error(std::string(what) + ": unsupported version " +
+                             std::to_string(version));
+  const std::uint32_t bom = get_u32(is, what);
+  if (bom != kByteOrderMark)
+    throw std::runtime_error(std::string(what) +
+                             ": byte-order mismatch (foreign-endian file)");
+  return version;
+}
+
+inline void write_header(std::ostream& os, const char magic[4],
+                         std::uint32_t version) {
+  put_bytes(os, magic, 4);
+  put_u32(os, version);
+  put_u32(os, kByteOrderMark);
+}
+
+}  // namespace rlcx::core::detail

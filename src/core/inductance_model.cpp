@@ -1,14 +1,23 @@
 #include "core/inductance_model.h"
 
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "core/binary_io.h"
 #include "geom/builders.h"
 #include "solver/block_solver.h"
 
 namespace rlcx::core {
+
+namespace {
+
+constexpr char kBundleMagic[4] = {'R', 'L', 'X', 'B'};
+constexpr std::uint32_t kBundleVersion = 1;
+
+}  // namespace
 
 TableKind table_kind_for(geom::PlaneConfig planes) {
   return planes == geom::PlaneConfig::kNone ? TableKind::kPartial
@@ -38,15 +47,55 @@ InductanceTables InductanceTables::load(std::istream& is) {
   return t;
 }
 
+void InductanceTables::save_binary(std::ostream& os) const {
+  using namespace detail;
+  write_header(os, kBundleMagic, kBundleVersion);
+  put_i32(os, layer);
+  put_i32(os, static_cast<std::int32_t>(planes));
+  put_f64(os, frequency);
+  self.save_binary(os);
+  mutual.save_binary(os);
+  series_r.save_binary(os);
+}
+
+InductanceTables InductanceTables::load_binary(std::istream& is) {
+  using namespace detail;
+  check_header(is, kBundleMagic, kBundleVersion, "InductanceTables");
+  InductanceTables t;
+  t.layer = get_i32(is, "layer");
+  const std::int32_t planes_int = get_i32(is, "planes");
+  if (planes_int < 0 ||
+      planes_int > static_cast<int>(geom::PlaneConfig::kBothSides))
+    throw std::runtime_error("InductanceTables: bad plane config");
+  t.planes = static_cast<geom::PlaneConfig>(planes_int);
+  t.frequency = get_f64(is, "frequency");
+  t.self = NdTable::load_binary(is);
+  t.mutual = NdTable::load_binary(is);
+  t.series_r = NdTable::load_binary(is);
+  return t;
+}
+
 void InductanceTables::save_file(const std::string& path) const {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("InductanceTables: cannot open " + path);
   save(os);
 }
 
+void InductanceTables::save_file_binary(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("InductanceTables: cannot open " + path);
+  save_binary(os);
+}
+
 InductanceTables InductanceTables::load_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("InductanceTables: cannot open " + path);
+  char magic[4] = {};
+  is.read(magic, 4);
+  is.clear();
+  is.seekg(0);
+  if (is.gcount() == 4 && std::memcmp(magic, kBundleMagic, 4) == 0)
+    return load_binary(is);
   return load(is);
 }
 
@@ -122,6 +171,13 @@ void InductanceLibrary::add(
     std::shared_ptr<const InductanceProvider> provider) {
   if (!provider) throw std::invalid_argument("InductanceLibrary: provider");
   providers_[{layer, static_cast<int>(planes)}] = std::move(provider);
+}
+
+void InductanceLibrary::add_tables(InductanceTables tables) {
+  const int layer = tables.layer;
+  const geom::PlaneConfig planes = tables.planes;
+  add(layer, planes,
+      std::make_shared<TableInductanceModel>(std::move(tables)));
 }
 
 bool InductanceLibrary::has(int layer, geom::PlaneConfig planes) const {

@@ -1,11 +1,23 @@
 #include "core/table.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/binary_io.h"
+
 namespace rlcx::core {
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'R', 'L', 'X', 'T'};
+constexpr std::uint32_t kBinaryVersion = 1;
+constexpr std::size_t kMaxDims = 8;
+constexpr std::uint64_t kMaxAxisPoints = 1u << 20;
+
+}  // namespace
 
 NdTable::NdTable(std::vector<std::string> axis_names,
                  std::vector<std::vector<double>> axes,
@@ -93,15 +105,83 @@ NdTable NdTable::load(std::istream& is) {
   return NdTable(std::move(names), std::move(axes), std::move(values));
 }
 
+void NdTable::save_binary(std::ostream& os) const {
+  using namespace detail;
+  write_header(os, kBinaryMagic, kBinaryVersion);
+  put_u32(os, static_cast<std::uint32_t>(axes_.size()));
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    put_u32(os, static_cast<std::uint32_t>(names_[d].size()));
+    put_bytes(os, names_[d].data(), names_[d].size());
+    put_u64(os, axes_[d].size());
+    for (double v : axes_[d]) put_f64(os, v);
+  }
+  put_u64(os, values_.size());
+  for (double v : values_) put_f64(os, v);
+  if (!os) throw std::runtime_error("NdTable: binary write failed");
+}
+
+NdTable NdTable::load_binary(std::istream& is) {
+  using namespace detail;
+  check_header(is, kBinaryMagic, kBinaryVersion, "NdTable");
+  const std::uint32_t dims = get_u32(is, "dims");
+  if (dims > kMaxDims)
+    throw std::runtime_error("NdTable: bad dimension count");
+  std::vector<std::string> names(dims);
+  std::vector<std::vector<double>> axes(dims);
+  std::uint64_t expected = dims == 0 ? 0 : 1;
+  for (std::uint32_t d = 0; d < dims; ++d) {
+    const std::uint32_t name_len = get_u32(is, "axis name");
+    if (name_len > 256)
+      throw std::runtime_error("NdTable: axis name too long");
+    names[d].resize(name_len);
+    get_bytes(is, names[d].data(), name_len, "axis name");
+    const std::uint64_t n = get_u64(is, "axis size");
+    if (n < 2 || n > kMaxAxisPoints)
+      throw std::runtime_error("NdTable: bad axis size");
+    axes[d].resize(n);
+    for (double& v : axes[d]) v = get_f64(is, "axis value");
+    for (std::size_t i = 0; i < axes[d].size(); ++i) {
+      if (!std::isfinite(axes[d][i]) ||
+          (i > 0 && axes[d][i] <= axes[d][i - 1]))
+        throw std::runtime_error(
+            "NdTable: axis not finite and strictly increasing");
+    }
+    expected *= n;
+  }
+  const std::uint64_t count = get_u64(is, "value count");
+  if (count != expected)
+    throw std::runtime_error("NdTable: value count does not match axes");
+  std::vector<double> values(count);
+  for (double& v : values) {
+    v = get_f64(is, "value");
+    if (!std::isfinite(v))
+      throw std::runtime_error("NdTable: non-finite table value");
+  }
+  if (dims == 0) return NdTable();
+  return NdTable(std::move(names), std::move(axes), std::move(values));
+}
+
 void NdTable::save_file(const std::string& path) const {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("NdTable: cannot open " + path);
   save(os);
 }
 
+void NdTable::save_file_binary(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("NdTable: cannot open " + path);
+  save_binary(os);
+}
+
 NdTable NdTable::load_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("NdTable: cannot open " + path);
+  char magic[4] = {};
+  is.read(magic, 4);
+  is.clear();
+  is.seekg(0);
+  if (is.gcount() == 4 && std::memcmp(magic, kBinaryMagic, 4) == 0)
+    return load_binary(is);
   return load(is);
 }
 

@@ -1,6 +1,7 @@
 #include "core/table_builder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <thread>
 
@@ -22,6 +23,8 @@ TableGrid default_clock_grid() {
 
 namespace {
 
+std::atomic<std::size_t> g_solve_count{0};
+
 struct PairSolve {
   double self1;
   double mutual;
@@ -37,6 +40,7 @@ PairSolve solve_pair(const geom::Technology& tech, int layer,
       {geom::TraceRole::kSignal, w2, 0.5 * (s + w2), "b"},
   };
   const geom::Block blk(&tech, layer, l, std::move(traces), planes);
+  g_solve_count.fetch_add(1, std::memory_order_relaxed);
   if (table_kind_for(planes) == TableKind::kPartial) {
     const solver::PartialResult r = solver::extract_partial(blk, opt);
     return {r.inductance(0, 0), r.inductance(0, 1), r.resistance[0]};
@@ -46,6 +50,14 @@ PairSolve solve_pair(const geom::Technology& tech, int layer,
 }
 
 }  // namespace
+
+std::size_t table_build_solve_count() {
+  return g_solve_count.load(std::memory_order_relaxed);
+}
+
+void reset_table_build_solve_count() {
+  g_solve_count.store(0, std::memory_order_relaxed);
+}
 
 InductanceTables build_tables(const geom::Technology& tech, int layer,
                               geom::PlaneConfig planes, const TableGrid& grid,

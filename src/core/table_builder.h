@@ -34,4 +34,10 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
                               const solver::SolveOptions& opt,
                               int threads = 1);
 
+/// Process-wide count of 2-trace PEEC grid solves performed by
+/// build_tables() so far.  The table cache's contract is that a warm hit
+/// performs *zero* solves; tests and the CLI counters observe it here.
+std::size_t table_build_solve_count();
+void reset_table_build_solve_count();
+
 }  // namespace rlcx::core

@@ -1,0 +1,209 @@
+#include "core/table_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace rlcx::core {
+
+namespace {
+
+// Bumping this invalidates every existing entry; do so whenever the entry
+// layout or anything influencing table values outside the keyed inputs
+// changes (docs/table-format.md).
+constexpr int kCacheKeyVersion = 1;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_axis(std::string& out, const char* name,
+                 const std::vector<double>& axis) {
+  char buf[32];
+  out += "grid ";
+  out += name;
+  std::snprintf(buf, sizeof buf, " %zu", axis.size());
+  out += buf;
+  for (double v : axis) {
+    std::snprintf(buf, sizeof buf, " %.17g", v);
+    out += buf;
+  }
+  out += "\n";
+}
+
+/// Writes `content` to `path` via a temp file in the same directory plus
+/// rename, so readers never observe a partial file and a killed writer
+/// leaves at most a .tmp to be overwritten later.
+void atomic_write(const std::string& path, const std::string& content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("TableCache: cannot write " + tmp);
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!os) throw std::runtime_error("TableCache: short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("TableCache: cannot rename into " + path);
+  }
+}
+
+bool is_hex16(const std::string& s) {
+  if (s.size() != 16) return false;
+  for (char c : s)
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  return true;
+}
+
+}  // namespace
+
+TableCache::TableCache(std::string directory) : dir_(std::move(directory)) {
+  if (dir_.empty())
+    throw std::invalid_argument("TableCache: empty directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("TableCache: cannot create directory " + dir_);
+}
+
+std::string TableCache::key_text(const geom::Technology& tech, int layer,
+                                 geom::PlaneConfig planes,
+                                 const TableGrid& grid,
+                                 const solver::SolveOptions& opt) {
+  char buf[96];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "rlcx-cache-key %d\n", kCacheKeyVersion);
+  out += buf;
+  out += tech.fingerprint();
+  std::snprintf(buf, sizeof buf, "class layer %d planes %s\n", layer,
+                geom::to_string(planes));
+  out += buf;
+  append_axis(out, "widths", grid.widths);
+  append_axis(out, "spacings", grid.spacings);
+  append_axis(out, "lengths", grid.lengths);
+  out += solver::fingerprint(opt);
+  return out;
+}
+
+std::uint64_t TableCache::key_hash(const std::string& key_text) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64 offset basis
+  for (unsigned char c : key_text) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
+std::string TableCache::entry_path(std::uint64_t hash) const {
+  return dir_ + "/" + hex16(hash) + ".tbl";
+}
+
+std::string TableCache::sidecar_path(std::uint64_t hash) const {
+  return dir_ + "/" + hex16(hash) + ".key";
+}
+
+std::optional<InductanceTables> TableCache::load(
+    const std::string& key_text) {
+  const std::uint64_t hash = key_hash(key_text);
+  const std::string path = entry_path(hash);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // The sidecar records the full key text; a mismatch means a 64-bit hash
+  // collision (or a hand-edited cache) — treat as a miss, never serve the
+  // wrong table.
+  {
+    std::ifstream key_is(sidecar_path(hash), std::ios::binary);
+    if (key_is) {
+      std::stringstream stored;
+      stored << key_is.rdbuf();
+      if (stored.str() != key_text) {
+        ++stats_.misses;
+        return std::nullopt;
+      }
+    }
+  }
+  InductanceTables t = InductanceTables::load_file(path);
+  ++stats_.hits;
+  stats_.bytes_read += fs::file_size(path, ec);
+  return t;
+}
+
+void TableCache::store(const std::string& key_text,
+                       const InductanceTables& tables) {
+  const std::uint64_t hash = key_hash(key_text);
+  std::ostringstream blob(std::ios::binary);
+  tables.save_binary(blob);
+  atomic_write(sidecar_path(hash), key_text);
+  atomic_write(entry_path(hash), blob.str());
+  stats_.bytes_written += blob.str().size() + key_text.size();
+}
+
+std::vector<TableCache::Entry> TableCache::list() const {
+  std::vector<Entry> out;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_)) {
+    const fs::path& p = de.path();
+    if (p.extension() != ".tbl" || !is_hex16(p.stem().string())) continue;
+    Entry e;
+    e.id = p.stem().string();
+    std::error_code ec;
+    e.bytes = fs::file_size(p, ec);
+    try {
+      const InductanceTables t = InductanceTables::load_file(p.string());
+      e.layer = t.layer;
+      e.planes = t.planes;
+      e.frequency = t.frequency;
+    } catch (const std::exception&) {
+      continue;  // torn/foreign file: not a well-formed entry
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::size_t TableCache::purge() {
+  std::size_t removed = 0;
+  std::vector<fs::path> victims;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_)) {
+    const fs::path& p = de.path();
+    const std::string ext = p.extension().string();
+    if ((ext == ".tbl" || ext == ".key") && is_hex16(p.stem().string()))
+      victims.push_back(p);
+  }
+  for (const fs::path& p : victims) {
+    std::error_code ec;
+    if (p.extension() == ".tbl" && fs::remove(p, ec) && !ec) ++removed;
+    else if (p.extension() == ".key") fs::remove(p, ec);
+  }
+  return removed;
+}
+
+InductanceTables build_tables_cached(const geom::Technology& tech, int layer,
+                                     geom::PlaneConfig planes,
+                                     const TableGrid& grid,
+                                     const solver::SolveOptions& opt,
+                                     TableCache& cache, int threads) {
+  const std::string key = TableCache::key_text(tech, layer, planes, grid, opt);
+  if (std::optional<InductanceTables> hit = cache.load(key))
+    return *std::move(hit);
+  InductanceTables built = build_tables(tech, layer, planes, grid, opt,
+                                        threads);
+  cache.store(key, built);
+  return built;
+}
+
+}  // namespace rlcx::core

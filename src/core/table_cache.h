@@ -1,0 +1,94 @@
+// Persistent on-disk cache of pre-characterised inductance tables.
+//
+// The paper's efficiency claim rests on paying the field-solver cost once
+// (Section III: "a few hours" of 2-trace pre-computation) and answering
+// every extraction by table lookup.  This cache makes that cost durable
+// across processes: entries are content-addressed by a stable hash of
+// everything that determines a table's values — the technology layer
+// stack, the structure class (layer, plane config), the characterisation
+// grid and the solver options including frequency — so a changed input can
+// never serve a stale table.  Entries are the versioned binary bundle of
+// InductanceTables (docs/table-format.md); writes go through a temp file
+// plus atomic rename, so concurrent builders and killed runs never leave a
+// torn entry behind.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/table_builder.h"
+
+namespace rlcx::core {
+
+/// Hit/miss/traffic counters for one TableCache instance.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class TableCache {
+ public:
+  /// Opens (creating if needed) the cache rooted at `directory`.
+  explicit TableCache(std::string directory);
+
+  const std::string& directory() const { return dir_; }
+
+  /// The canonical ASCII key text for one table build — the exact recipe
+  /// is normative in docs/table-format.md.  Equal inputs give equal text;
+  /// any change to the technology stack, structure class, grid or solver
+  /// options changes it.
+  static std::string key_text(const geom::Technology& tech, int layer,
+                              geom::PlaneConfig planes, const TableGrid& grid,
+                              const solver::SolveOptions& opt);
+
+  /// FNV-1a 64-bit hash of the key text; entry files are named by its
+  /// lower-case hex form.
+  static std::uint64_t key_hash(const std::string& key_text);
+
+  /// Entry lookup.  Returns the cached tables on a hit; std::nullopt when
+  /// absent (or when a hash collision is detected against the stored key
+  /// sidecar).  A present-but-corrupt entry throws — bad bytes must fail
+  /// loudly, not silently rebuild.
+  std::optional<InductanceTables> load(const std::string& key_text);
+
+  /// Stores (or overwrites) the entry for `key_text` atomically.
+  void store(const std::string& key_text, const InductanceTables& tables);
+
+  struct Entry {
+    std::string id;         ///< 16-hex-digit key hash (the file stem)
+    std::uint64_t bytes = 0;
+    int layer = 0;
+    geom::PlaneConfig planes = geom::PlaneConfig::kNone;
+    double frequency = 0.0;
+  };
+
+  /// All well-formed entries currently in the directory.
+  std::vector<Entry> list() const;
+
+  /// Removes every cache entry (and key sidecar); returns entries removed.
+  std::size_t purge();
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  std::string entry_path(std::uint64_t hash) const;
+  std::string sidecar_path(std::uint64_t hash) const;
+
+  std::string dir_;
+  CacheStats stats_;
+};
+
+/// Cache-first table build: returns the cached tables when the key hits
+/// (performing zero PEEC solves), otherwise builds via build_tables() and
+/// stores the result before returning it.
+InductanceTables build_tables_cached(const geom::Technology& tech, int layer,
+                                     geom::PlaneConfig planes,
+                                     const TableGrid& grid,
+                                     const solver::SolveOptions& opt,
+                                     TableCache& cache, int threads = 1);
+
+}  // namespace rlcx::core

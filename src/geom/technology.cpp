@@ -87,4 +87,19 @@ double Technology::center_separation(int a, int b) const {
   return std::abs(layer(a).z_center() - layer(b).z_center());
 }
 
+std::string Technology::fingerprint() const {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "tech eps_r %.17g layers %zu\n", eps_r_,
+                layers_.size());
+  out += buf;
+  for (const Layer& l : layers_) {
+    std::snprintf(buf, sizeof buf,
+                  "layer %d thickness %.17g z_bottom %.17g rho %.17g\n",
+                  l.index, l.thickness, l.z_bottom, l.rho);
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace rlcx::geom

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "geom/layer.h"
@@ -44,6 +45,13 @@ class Technology {
 
   /// Center-to-center vertical distance between two layers.
   double center_separation(int a, int b) const;
+
+  /// Canonical ASCII description of everything that affects extraction
+  /// results: eps_r plus every layer's (index, thickness, z_bottom, rho),
+  /// doubles printed with 17 significant digits so distinct stacks can
+  /// never share a fingerprint.  Feeds the table-cache key (see
+  /// docs/table-format.md).
+  std::string fingerprint() const;
 
  private:
   std::vector<Layer> layers_;  // sorted by index

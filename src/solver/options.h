@@ -1,6 +1,9 @@
 // Options controlling the field-solver substitute.
 #pragma once
 
+#include <cstdio>
+#include <string>
+
 #include "peec/mesh.h"
 #include "peec/partial_inductance.h"
 
@@ -28,5 +31,29 @@ struct SolveOptions {
   peec::PartialOptions partial{};
   PlaneOptions plane{};
 };
+
+/// Canonical ASCII description of every option that can change a solve
+/// result (frequency, meshing, kernel and plane parameters), doubles with
+/// 17 significant digits.  Two SolveOptions with equal fingerprints produce
+/// identical tables; feeds the table-cache key (docs/table-format.md).
+inline std::string fingerprint(const SolveOptions& o) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "opt frequency %.17g auto_mesh %d max_filaments_per_dim %d\n",
+                o.frequency, o.auto_mesh ? 1 : 0, o.max_filaments_per_dim);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "mesh nw %d nt %d grading %.17g\n",
+                o.mesh.nw, o.mesh.nt, o.mesh.grading);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "partial max_aspect %.17g far_factor %.17g\n",
+                o.partial.max_aspect, o.partial.far_factor);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "plane strips %d margin_factor %.17g min_margin %.17g\n",
+                o.plane.strips, o.plane.margin_factor, o.plane.min_margin);
+  out += buf;
+  return out;
+}
 
 }  // namespace rlcx::solver

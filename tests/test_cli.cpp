@@ -1,6 +1,7 @@
 // Tests for the command-line front end (driven through run()).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -148,6 +149,75 @@ TEST(Cli, ExtractPrintsScreeningVerdict) {
                            "500"});
   EXPECT_EQ(r2.code, 0) << r2.err;
   EXPECT_NE(r2.out.find("negligible"), std::string::npos);
+}
+
+TEST(Cli, ExtractTracesTolerateWhitespace) {
+  // Regression: split_commas() used to keep surrounding whitespace, so
+  // quoted lists like "g:5, s:10" threw on the spaced token.
+  const Result r = drive({"extract", "--traces", "g:5, s:10", "--spacings",
+                          " 1 ", "--length-um", "500"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trace s1"), std::string::npos);
+}
+
+TEST(Cli, ExtractTracesRejectEmptyItems) {
+  const Result r = drive({"extract", "--traces", "g:5,,s:10"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("empty item"), std::string::npos);
+  const Result r2 = drive({"extract", "--traces", "g:5,s:10,"});
+  EXPECT_EQ(r2.code, 1);
+  EXPECT_NE(r2.err.find("empty item"), std::string::npos);
+}
+
+TEST(Cli, TableCacheColdWarmAndMaintenance) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "rlcx_cli_cache")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  const std::string out_path = "/tmp/rlcx_cli_cached_tables.tbl";
+
+  const std::vector<std::string> build{"tables", "--out", out_path,
+                                       "--points", "2", "--table-cache",
+                                       dir, "--binary"};
+  const Result cold = drive(build);
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.out.find("cache miss"), std::string::npos);
+
+  const Result warm = drive(build);
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_NE(warm.out.find("cache hit, 0 field solves"), std::string::npos);
+
+  // The binary bundle written via --binary starts with the RLXB magic.
+  std::ifstream f(out_path, std::ios::binary);
+  char magic[4] = {};
+  f.read(magic, 4);
+  EXPECT_EQ(std::string(magic, 4), "RLXB");
+
+  // extract answers from the same cache entry (same tech/grid/frequency).
+  const Result ext = drive({"extract", "--structure", "cpw", "--length-um",
+                            "1000", "--points", "2", "--table-cache", dir});
+  ASSERT_EQ(ext.code, 0) << ext.err;
+  EXPECT_NE(ext.out.find("cache hit, 0 field solves"), std::string::npos);
+
+  const Result stat = drive({"cache", "--dir", dir});
+  ASSERT_EQ(stat.code, 0) << stat.err;
+  EXPECT_NE(stat.out.find("1 entries"), std::string::npos);
+  const Result list = drive({"cache", "--dir", dir, "--list"});
+  ASSERT_EQ(list.code, 0) << list.err;
+  EXPECT_NE(list.out.find("layer 6"), std::string::npos);
+  const Result purge = drive({"cache", "--dir", dir, "--purge"});
+  ASSERT_EQ(purge.code, 0) << purge.err;
+  EXPECT_NE(purge.out.find("purged 1"), std::string::npos);
+  const Result stat2 = drive({"cache", "--dir", dir});
+  EXPECT_NE(stat2.out.find("0 entries"), std::string::npos);
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Cli, CacheCommandRequiresDir) {
+  const Result r = drive({"cache"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--dir"), std::string::npos);
 }
 
 TEST(Cli, TablesRequireOutAndBuild) {

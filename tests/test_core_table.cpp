@@ -1,7 +1,9 @@
-// Tests for the N-D inductance table: lookup, range checks, persistence.
+// Tests for the N-D inductance table: lookup, range checks, persistence
+// (text and versioned binary formats, docs/table-format.md).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "core/table.h"
@@ -96,6 +98,112 @@ TEST(NdTable, ConstructorValidation) {
                std::invalid_argument);
   EXPECT_THROW(NdTable({"a"}, {{1.0, 2.0}}, {1.0, 2.0, 3.0}),
                std::invalid_argument);
+}
+
+NdTable make_4d() {
+  const std::vector<double> ax{1.0, 2.0, 3.0};
+  std::vector<double> vals;
+  for (double a : ax)
+    for (double b : ax)
+      for (double c : ax)
+        for (double d : ax) vals.push_back(a + 2 * b + 4 * c + 8 * d);
+  return NdTable({"w1", "w2", "s", "l"}, {ax, ax, ax, ax}, vals);
+}
+
+TEST(NdTableBinary, RoundTripIsBitExact) {
+  const NdTable t = make_2d();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  t.save_binary(ss);
+  const NdTable r = NdTable::load_binary(ss);
+  ASSERT_EQ(r.dims(), 2u);
+  EXPECT_EQ(r.axis_names(), t.axis_names());
+  EXPECT_EQ(r.axes(), t.axes());
+  EXPECT_EQ(r.values(), t.values());
+  // Same grid bytes -> same spline -> bit-identical lookups, on and off
+  // grid (EXPECT_EQ, not NEAR: the cache contract is bit-exactness).
+  for (double w = 1.0; w <= 3.5; w += 0.37)
+    for (double l = 9.0; l <= 21.0; l += 2.3)
+      EXPECT_EQ(r.lookup({w, l}), t.lookup({w, l}));
+}
+
+TEST(NdTableBinary, RoundTripEmptyTable) {
+  const NdTable t;
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  t.save_binary(ss);
+  const NdTable r = NdTable::load_binary(ss);
+  EXPECT_EQ(r.dims(), 0u);
+}
+
+TEST(NdTableBinary, RoundTripOneDimensional) {
+  const NdTable t({"width"}, {{1.0, 2.0, 4.0}}, {1.0, 4.0, 16.0});
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  t.save_binary(ss);
+  const NdTable r = NdTable::load_binary(ss);
+  ASSERT_EQ(r.dims(), 1u);
+  EXPECT_EQ(r.lookup({3.0}), t.lookup({3.0}));
+}
+
+TEST(NdTableBinary, RoundTripFourDimensionalMutual) {
+  const NdTable t = make_4d();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  t.save_binary(ss);
+  const NdTable r = NdTable::load_binary(ss);
+  ASSERT_EQ(r.dims(), 4u);
+  EXPECT_EQ(r.values(), t.values());
+  EXPECT_EQ(r.lookup({1.5, 2.5, 1.2, 2.9}), t.lookup({1.5, 2.5, 1.2, 2.9}));
+}
+
+TEST(NdTableBinary, RejectsCorruptedHeader) {
+  std::stringstream garbage("XXXXjunkjunkjunk",
+                            std::ios::in | std::ios::binary);
+  EXPECT_THROW(NdTable::load_binary(garbage), std::runtime_error);
+  std::stringstream empty("", std::ios::in | std::ios::binary);
+  EXPECT_THROW(NdTable::load_binary(empty), std::runtime_error);
+}
+
+TEST(NdTableBinary, RejectsVersionMismatch) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  make_2d().save_binary(ss);
+  std::string bytes = ss.str();
+  bytes[4] = 99;  // u32 version lives at offset 4 (docs/table-format.md)
+  std::stringstream patched(bytes, std::ios::in | std::ios::binary);
+  try {
+    NdTable::load_binary(patched);
+    FAIL() << "version 99 must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(NdTableBinary, RejectsTruncation) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  make_2d().save_binary(ss);
+  const std::string bytes = ss.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 5),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(NdTable::load_binary(cut), std::runtime_error);
+}
+
+TEST(NdTableBinary, RejectsNonFiniteValues) {
+  std::vector<double> vals{110.0, 120.0, 210.0, 220.0, 310.0,
+                           std::numeric_limits<double>::quiet_NaN()};
+  const NdTable t({"width", "length"}, {{1.0, 2.0, 3.0}, {10.0, 20.0}},
+                  vals);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  t.save_binary(ss);
+  EXPECT_THROW(NdTable::load_binary(ss), std::runtime_error);
+}
+
+TEST(NdTableBinary, LoadFileSniffsBothFormats) {
+  const NdTable t = make_2d();
+  const std::string bin_path = "/tmp/rlcx_table_test_bin.tbl";
+  const std::string txt_path = "/tmp/rlcx_table_test_txt.tbl";
+  t.save_file_binary(bin_path);
+  t.save_file(txt_path);
+  const NdTable rb = NdTable::load_file(bin_path);
+  const NdTable rt = NdTable::load_file(txt_path);
+  EXPECT_EQ(rb.values(), t.values());
+  EXPECT_NEAR(rt.lookup({2.0, 15.0}), t.lookup({2.0, 15.0}), 1e-12);
 }
 
 TEST(NdTable, FourDimensionalMutualShape) {

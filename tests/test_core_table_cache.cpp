@@ -1,0 +1,216 @@
+// Tests for the persistent table cache: content-addressed keys, hit/miss
+// behaviour (a hit performs zero PEEC solves), atomic binary entries and
+// the stat/list/purge maintenance surface.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/table_cache.h"
+#include "geom/technology.h"
+#include "numeric/units.h"
+
+namespace rlcx::core {
+namespace {
+
+namespace fs = std::filesystem;
+using units::um;
+
+// A fresh cache directory per test, removed on destruction.
+struct ScratchDir {
+  std::string path;
+  explicit ScratchDir(const std::string& name)
+      : path((fs::path(::testing::TempDir()) / name).string()) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+// The smallest legal grid (2 points per axis -> 16 two-trace solves) over
+// short narrow traces keeps each build fast.
+TableGrid tiny_grid() {
+  TableGrid g;
+  g.widths = {um(2), um(8)};
+  g.spacings = {um(1), um(4)};
+  g.lengths = {um(200), um(1000)};
+  return g;
+}
+
+solver::SolveOptions fast_options() {
+  solver::SolveOptions opt;
+  opt.frequency = 1e9;
+  opt.auto_mesh = false;
+  opt.mesh.nw = 1;
+  opt.mesh.nt = 1;
+  return opt;
+}
+
+TEST(TableCache, HitOnIdenticalInputsPerformsZeroSolves) {
+  const ScratchDir dir("rlcx_cache_hit");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+
+  TableCache cold(dir.path);
+  reset_table_build_solve_count();
+  const InductanceTables built = build_tables_cached(
+      tech, 6, geom::PlaneConfig::kNone, grid, opt, cold);
+  EXPECT_EQ(cold.stats().misses, 1u);
+  EXPECT_EQ(cold.stats().hits, 0u);
+  EXPECT_GT(cold.stats().bytes_written, 0u);
+  EXPECT_EQ(table_build_solve_count(), 16u);  // 2*2*2*2 grid points
+
+  // A separate cache instance (a new process, in effect) on the same
+  // directory with identical inputs must answer from disk: zero solves.
+  TableCache warm(dir.path);
+  reset_table_build_solve_count();
+  const InductanceTables cached = build_tables_cached(
+      tech, 6, geom::PlaneConfig::kNone, grid, opt, warm);
+  EXPECT_EQ(table_build_solve_count(), 0u);
+  EXPECT_EQ(warm.stats().hits, 1u);
+  EXPECT_EQ(warm.stats().misses, 0u);
+  EXPECT_GT(warm.stats().bytes_read, 0u);
+
+  // The binary round trip is bit-exact, so lookups match the in-memory
+  // build exactly — on-grid and interpolated alike.
+  EXPECT_EQ(cached.frequency, built.frequency);
+  EXPECT_EQ(cached.self.values(), built.self.values());
+  EXPECT_EQ(cached.mutual.values(), built.mutual.values());
+  const std::vector<double> q{um(4), um(5), um(2), um(700)};
+  EXPECT_EQ(cached.mutual.lookup(q), built.mutual.lookup(q));
+  EXPECT_EQ(cached.self.lookup({um(4), um(700)}),
+            built.self.lookup({um(4), um(700)}));
+}
+
+TEST(TableCache, MissOnChangedFrequency) {
+  const ScratchDir dir("rlcx_cache_freq");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  solver::SolveOptions opt = fast_options();
+
+  TableCache cache(dir.path);
+  build_tables_cached(tech, 6, geom::PlaneConfig::kNone, grid, opt, cache);
+  opt.frequency = 2e9;  // a different significant frequency: new key
+  reset_table_build_solve_count();
+  build_tables_cached(tech, 6, geom::PlaneConfig::kNone, grid, opt, cache);
+  EXPECT_EQ(table_build_solve_count(), 16u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.list().size(), 2u);
+}
+
+TEST(TableCache, KeyTextCoversEveryInput) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+  const std::string base =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+
+  EXPECT_EQ(base,
+            TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid,
+                                 opt));
+  EXPECT_NE(base, TableCache::key_text(tech, 7, geom::PlaneConfig::kNone,
+                                       grid, opt));
+  EXPECT_NE(base, TableCache::key_text(tech, 6, geom::PlaneConfig::kBelow,
+                                       grid, opt));
+
+  TableGrid grid2 = grid;
+  grid2.lengths.push_back(um(2000));
+  EXPECT_NE(base, TableCache::key_text(tech, 6, geom::PlaneConfig::kNone,
+                                       grid2, opt));
+
+  solver::SolveOptions opt2 = opt;
+  opt2.frequency = 2e9;
+  EXPECT_NE(base, TableCache::key_text(tech, 6, geom::PlaneConfig::kNone,
+                                       grid, opt2));
+
+  // A different layer stack (here: resistivity at temperature) must
+  // repartition the cache even with identical geometry requests.
+  const geom::Technology hot = tech.at_temperature(100.0);
+  EXPECT_NE(base, TableCache::key_text(hot, 6, geom::PlaneConfig::kNone,
+                                       grid, opt));
+}
+
+TEST(TableCache, KeyHashIsStableFnv1a64) {
+  // Pinned so entry file names stay valid across builds and platforms.
+  EXPECT_EQ(TableCache::key_hash(""), 14695981039346656037ull);
+  EXPECT_EQ(TableCache::key_hash("abc"), 0xe71fa2190541574bull);
+}
+
+TEST(TableCache, CorruptEntryFailsLoudly) {
+  const ScratchDir dir("rlcx_cache_corrupt");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+
+  TableCache cache(dir.path);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  cache.store(key, build_tables(tech, 6, geom::PlaneConfig::kNone, grid,
+                                opt));
+
+  // Overwrite the entry with garbage: loading must throw, not silently
+  // serve or rebuild.
+  for (const fs::directory_entry& de : fs::directory_iterator(dir.path))
+    if (de.path().extension() == ".tbl") {
+      std::ofstream os(de.path(), std::ios::binary | std::ios::trunc);
+      os << "RLXBgarbage";
+    }
+  EXPECT_THROW(cache.load(key), std::runtime_error);
+  // And a corrupt entry is not listed as well-formed.
+  EXPECT_TRUE(cache.list().empty());
+}
+
+TEST(TableCache, SidecarMismatchIsTreatedAsMiss) {
+  const ScratchDir dir("rlcx_cache_sidecar");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+
+  TableCache cache(dir.path);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  cache.store(key, build_tables(tech, 6, geom::PlaneConfig::kNone, grid,
+                                opt));
+  for (const fs::directory_entry& de : fs::directory_iterator(dir.path))
+    if (de.path().extension() == ".key") {
+      std::ofstream os(de.path(), std::ios::trunc);
+      os << "some other key text\n";
+    }
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TableCache, ListReportsEntriesAndPurgeRemovesThem) {
+  const ScratchDir dir("rlcx_cache_list");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+
+  TableCache cache(dir.path);
+  build_tables_cached(tech, 6, geom::PlaneConfig::kNone, grid, opt, cache);
+  const std::vector<TableCache::Entry> entries = cache.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].id.size(), 16u);
+  EXPECT_EQ(entries[0].layer, 6);
+  EXPECT_EQ(entries[0].planes, geom::PlaneConfig::kNone);
+  EXPECT_EQ(entries[0].frequency, opt.frequency);
+  EXPECT_GT(entries[0].bytes, 0u);
+
+  EXPECT_EQ(cache.purge(), 1u);
+  EXPECT_TRUE(cache.list().empty());
+  // Purge also removes the key sidecars, leaving the directory empty.
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir.path),
+                          fs::directory_iterator()), 0);
+}
+
+TEST(TableCache, RejectsUnusableDirectory) {
+  EXPECT_THROW(TableCache(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlcx::core
