@@ -30,7 +30,12 @@ CapTables CapTables::build(const geom::Technology& tech, int layer,
       // The 3-trace subproblem: the trace with same-width neighbours.
       const geom::Block sub = geom::uniform_array(tech, layer, len, 3, w, s,
                                                   planes);
-      const RealMatrix c = fd_block_capacitance(sub, fd);
+      SorReport point;
+      const RealMatrix c = fd_block_capacitance(sub, fd, &point);
+      t.sor_.converged = t.sor_.converged && point.converged;
+      t.sor_.iterations = std::max(t.sor_.iterations, point.iterations);
+      t.sor_.residual = std::max(t.sor_.residual, point.residual);
+      t.sor_.retries += point.retries;
       double row = 0.0;
       for (std::size_t j = 0; j < 3; ++j) row += c(1, j);
       t.cg_values_.push_back(row);

@@ -47,6 +47,12 @@ class CapTables {
   geom::PlaneConfig planes() const { return planes_; }
   bool empty() const { return cg_values_.empty(); }
 
+  /// Aggregated convergence record of the FD solves behind build():
+  /// worst residual and largest sweep count across every grid point.  A
+  /// loaded table has a default (converged, zero-iteration) report — the
+  /// record describes this process's solves, not the file's provenance.
+  const SorReport& solver_report() const { return sor_; }
+
   void save(std::ostream& os) const;
   static CapTables load(std::istream& is);
   void save_file(const std::string& path) const;
@@ -61,6 +67,7 @@ class CapTables {
   std::vector<double> spacings_;
   std::vector<double> cg_values_;  ///< row-major (width, spacing)
   std::vector<double> cc_values_;
+  SorReport sor_;
 };
 
 }  // namespace rlcx::cap

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "cap/extractor.h"
+#include "diag/error.h"
+#include "diag/warnings.h"
 #include "numeric/units.h"
 
 namespace rlcx::cap {
@@ -26,32 +29,45 @@ struct Grid {
 Grid build_grid(const std::vector<FdConductor>& conductors, double plane_z,
                 const Fd2dOptions& opt) {
   if (conductors.empty())
-    throw std::invalid_argument("fd2d: no conductors");
-  if (opt.cell <= 0.0) throw std::invalid_argument("fd2d: cell size");
-  if (opt.margin < opt.cell) throw std::invalid_argument("fd2d: margin");
+    throw diag::GeometryError("fd2d", "no conductors in cross-section");
+  if (opt.cell <= 0.0)
+    throw diag::UsageError("fd2d", "cell size must be positive, got " +
+                                       std::to_string(opt.cell));
+  if (opt.margin < opt.cell)
+    throw diag::UsageError("fd2d", "margin must be >= cell size");
 
   double x_lo = conductors[0].x_min, x_hi = conductors[0].x_max;
   double z_lo = conductors[0].z_min, z_hi = conductors[0].z_max;
-  for (const FdConductor& c : conductors) {
-    if (c.x_max <= c.x_min || c.z_max <= c.z_min)
-      throw std::invalid_argument("fd2d: degenerate conductor");
-    x_lo = std::min(x_lo, c.x_min);
-    x_hi = std::max(x_hi, c.x_max);
-    z_lo = std::min(z_lo, c.z_min);
-    z_hi = std::max(z_hi, c.z_max);
+  for (std::size_t c = 0; c < conductors.size(); ++c) {
+    const FdConductor& k = conductors[c];
+    if (k.x_max <= k.x_min || k.z_max <= k.z_min) {
+      std::ostringstream msg;
+      msg << "degenerate conductor " << c << ": x [" << k.x_min << ", "
+          << k.x_max << "], z [" << k.z_min << ", " << k.z_max << "]";
+      throw diag::GeometryError("fd2d", msg.str());
+    }
+    x_lo = std::min(x_lo, k.x_min);
+    x_hi = std::max(x_hi, k.x_max);
+    z_lo = std::min(z_lo, k.z_min);
+    z_hi = std::max(z_hi, k.z_max);
   }
 
   Grid g;
   g.h = opt.cell;
   g.plane_bottom = plane_z > kNoPlane;
   if (g.plane_bottom && plane_z > z_lo)
-    throw std::invalid_argument("fd2d: plane above conductors");
+    throw diag::GeometryError(
+        "fd2d", "ground plane at z=" + std::to_string(plane_z) +
+                    " lies above the lowest conductor (z=" +
+                    std::to_string(z_lo) + ")");
   g.x0 = x_lo - opt.margin;
   g.z0 = g.plane_bottom ? plane_z : z_lo - opt.margin;
   g.nx = static_cast<int>(std::ceil((x_hi + opt.margin - g.x0) / g.h)) + 1;
   g.nz = static_cast<int>(std::ceil((z_hi + opt.margin - g.z0) / g.h)) + 1;
   if (static_cast<long long>(g.nx) * g.nz > 4'000'000)
-    throw std::invalid_argument("fd2d: grid too large; coarsen the cell");
+    throw diag::UsageError("fd2d", "grid " + std::to_string(g.nx) + "x" +
+                                       std::to_string(g.nz) +
+                                       " too large; coarsen the cell");
 
   g.owner.assign(static_cast<std::size_t>(g.nx) * g.nz, -1);
   g.phi.assign(g.owner.size(), 0.0);
@@ -67,8 +83,14 @@ Grid build_grid(const std::vector<FdConductor>& conductors, double plane_z,
       for (int ix = ix0; ix <= ix1; ++ix) {
         if (ix < 0 || ix >= g.nx || iz < 0 || iz >= g.nz)
           throw std::logic_error("fd2d: conductor outside grid");
-        if (g.owner[static_cast<std::size_t>(g.idx(ix, iz))] >= 0)
-          throw std::invalid_argument("fd2d: overlapping conductors");
+        if (g.owner[static_cast<std::size_t>(g.idx(ix, iz))] >= 0) {
+          std::ostringstream msg;
+          msg << "conductors " << g.owner[static_cast<std::size_t>(
+                     g.idx(ix, iz))] << " and " << c
+              << " overlap on the grid near x=" << g.x0 + ix * g.h
+              << ", z=" << g.z0 + iz * g.h;
+          throw diag::GeometryError("fd2d", msg.str());
+        }
         g.owner[static_cast<std::size_t>(g.idx(ix, iz))] =
             static_cast<int>(c);
       }
@@ -76,9 +98,17 @@ Grid build_grid(const std::vector<FdConductor>& conductors, double plane_z,
   return g;
 }
 
-/// One SOR solve with conductor `drive` at 1 V.  Returns max update of the
-/// final sweep (for convergence checking in tests).
-void solve(Grid& g, int drive, const Fd2dOptions& opt) {
+/// Convergence record of one SOR attempt.
+struct SorAttempt {
+  bool converged = false;
+  int iterations = 0;     ///< sweeps actually performed
+  double residual = 0.0;  ///< max update of the final sweep [V]
+};
+
+/// One SOR sweep sequence with conductor `drive` at 1 V and relaxation
+/// factor `omega`, up to `max_iterations` sweeps.
+SorAttempt solve_once(Grid& g, int drive, const Fd2dOptions& opt,
+                      double omega, int max_iterations) {
   // Initialise potentials: conductors fixed, free space 0.
   for (int iz = 0; iz < g.nz; ++iz)
     for (int ix = 0; ix < g.nx; ++ix) {
@@ -92,7 +122,8 @@ void solve(Grid& g, int drive, const Fd2dOptions& opt) {
   // plane, sides and top are Neumann (mirror).
   const bool neumann_sides = g.plane_bottom;
 
-  for (int it = 0; it < opt.max_iterations; ++it) {
+  SorAttempt result;
+  for (int it = 0; it < max_iterations; ++it) {
     double max_delta = 0.0;
     for (int iz = 0; iz < g.nz; ++iz) {
       const bool bottom = iz == 0;
@@ -115,15 +146,55 @@ void solve(Grid& g, int drive, const Fd2dOptions& opt) {
         const double pn = g.phi[static_cast<std::size_t>(
             g.idx(ix, top ? iz - 1 : iz + 1))];
         const double target = 0.25 * (pw + pe + ps + pn);
-        const double next =
-            (1.0 - opt.omega) * g.phi[at] + opt.omega * target;
+        const double next = (1.0 - omega) * g.phi[at] + omega * target;
         max_delta = std::max(max_delta, std::abs(next - g.phi[at]));
         g.phi[at] = next;
       }
     }
-    if (max_delta < opt.tolerance) return;
+    result.iterations = it + 1;
+    result.residual = max_delta;
+    if (max_delta < opt.tolerance) {
+      result.converged = true;
+      return result;
+    }
   }
-  // Not converged to tolerance: accept the result; accuracy tests guard it.
+  return result;
+}
+
+/// Solve with escalation: the configured omega first; on non-convergence
+/// retry with a more conservative relaxation and a larger sweep budget
+/// (over-relaxed SOR can limit-cycle near omega=2, while omega=1 is plain
+/// Gauss-Seidel — slow but unconditionally convergent for this Laplacian).
+/// A drive that exhausts the ladder is accepted with a `numeric` warning:
+/// degraded accuracy, never a silent lie.
+SorAttempt solve(Grid& g, int drive, const Fd2dOptions& opt,
+                 SorReport& report) {
+  SorAttempt attempt = solve_once(g, drive, opt, opt.omega,
+                                  opt.max_iterations);
+  if (!attempt.converged && opt.escalate_on_nonconvergence) {
+    const struct {
+      double omega;
+      int budget_factor;
+    } ladder[] = {{1.5, 2}, {1.0, 4}};
+    for (const auto& rung : ladder) {
+      ++report.retries;
+      attempt = solve_once(g, drive, opt, rung.omega,
+                           opt.max_iterations * rung.budget_factor);
+      if (attempt.converged) break;
+    }
+  }
+  if (!attempt.converged) {
+    std::ostringstream msg;
+    msg << "SOR drive " << drive << " not converged after "
+        << attempt.iterations << " sweeps (residual " << attempt.residual
+        << " V, tolerance " << opt.tolerance
+        << " V); capacitances from this solve carry reduced accuracy";
+    diag::emit_warning(diag::Category::kNumeric, "fd2d", msg.str());
+  }
+  report.converged = report.converged && attempt.converged;
+  report.iterations = std::max(report.iterations, attempt.iterations);
+  report.residual = std::max(report.residual, attempt.residual);
+  return attempt;
 }
 
 /// Boundary charge of every conductor for the current potential field.
@@ -156,16 +227,20 @@ std::vector<double> charges(const Grid& g, std::size_t n, double eps_r) {
 
 RealMatrix fd_capacitance_matrix(const std::vector<FdConductor>& conductors,
                                  double eps_r, double ground_plane_z,
-                                 const Fd2dOptions& opt) {
-  if (eps_r <= 0.0) throw std::invalid_argument("fd2d: eps_r");
+                                 const Fd2dOptions& opt, SorReport* report) {
+  if (eps_r <= 0.0)
+    throw diag::UsageError("fd2d", "eps_r must be positive, got " +
+                                       std::to_string(eps_r));
   Grid g = build_grid(conductors, ground_plane_z, opt);
   const std::size_t n = conductors.size();
+  SorReport local;
   RealMatrix c(n, n);
   for (std::size_t j = 0; j < n; ++j) {
-    solve(g, static_cast<int>(j), opt);
+    solve(g, static_cast<int>(j), opt, local);
     const std::vector<double> q = charges(g, n, eps_r);
     for (std::size_t i = 0; i < n; ++i) c(i, j) = q[i];
   }
+  if (report != nullptr) *report = local;
   // Symmetrise (discretisation leaves ~1e-3 asymmetry).
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -191,12 +266,24 @@ std::vector<FdConductor> block_conductors(const geom::Block& block) {
 }  // namespace
 
 RealMatrix fd_block_capacitance(const geom::Block& block,
-                                const Fd2dOptions& opt) {
+                                const Fd2dOptions& opt, SorReport* report) {
   const double h = ground_height(block);
   const double plane_z = block.layer().z_bottom - h;
   return fd_capacitance_matrix(block_conductors(block),
-                               block.tech().eps_r(), plane_z, opt);
+                               block.tech().eps_r(), plane_z, opt, report);
 }
+
+namespace {
+
+/// Folds a subproblem's convergence record into the aggregate.
+void merge_report(SorReport& total, const SorReport& sub) {
+  total.converged = total.converged && sub.converged;
+  total.iterations = std::max(total.iterations, sub.iterations);
+  total.residual = std::max(total.residual, sub.residual);
+  total.retries += sub.retries;
+}
+
+}  // namespace
 
 FdCapResult extract_cap_fd(const geom::Block& block,
                            const Fd2dOptions& opt) {
@@ -213,7 +300,9 @@ FdCapResult extract_cap_fd(const geom::Block& block,
     keep.push_back(i);
     if (i + 1 < n) keep.push_back(i + 1);
     const geom::Block sub = block.subproblem(keep);
-    const RealMatrix c = fd_block_capacitance(sub, opt);
+    SorReport sub_report;
+    const RealMatrix c = fd_block_capacitance(sub, opt, &sub_report);
+    merge_report(res.sor, sub_report);
     // Position of trace i within the subproblem.
     std::size_t mid = 0;
     while (keep[mid] != i) ++mid;

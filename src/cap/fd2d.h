@@ -31,20 +31,40 @@ struct Fd2dOptions {
   int max_iterations = 40000;
   double tolerance = 1e-7;   ///< max potential update per sweep [V]
   double omega = 1.92;       ///< SOR relaxation factor
+  /// When a drive fails to converge within max_iterations, retry with a
+  /// safer relaxation factor and a larger iteration budget (escalation
+  /// ladder: omega 1.5 at 2x, then 1.0 at 4x) before accepting the result
+  /// with a warning.  Disable to reproduce a single fixed-budget solve.
+  bool escalate_on_nonconvergence = true;
+};
+
+/// Convergence record of the SOR solves behind one capacitance extraction.
+/// Aggregated over all drives (and, in extract_cap_fd, all subproblems):
+/// worst residual, largest iteration count, total escalation retries.
+struct SorReport {
+  bool converged = true;     ///< every drive met the tolerance
+  int iterations = 0;        ///< largest per-drive iteration count used
+  double residual = 0.0;     ///< worst final max-update per sweep [V]
+  int retries = 0;           ///< escalation retries performed
 };
 
 /// Maxwell capacitance matrix [F/m] of the conductor set.
 /// `ground_plane_z`: if finite (>= -1e17), a grounded plane forms the
 /// bottom boundary at that height; otherwise the far box is the ground.
+/// A drive that fails to converge escalates per Fd2dOptions and, if still
+/// unconverged, is accepted with a `numeric` warning on the diag channel;
+/// pass `report` to observe iterations/residual programmatically.
 RealMatrix fd_capacitance_matrix(const std::vector<FdConductor>& conductors,
                                  double eps_r, double ground_plane_z,
-                                 const Fd2dOptions& options = {});
+                                 const Fd2dOptions& options = {},
+                                 SorReport* report = nullptr);
 
 /// Convenience: run the solver on a geometry Block (all traces), with the
 /// ground plane at the block's capacitive ground height (plane below or the
 /// orthogonal layer N-1, as in extract_cap).
 RealMatrix fd_block_capacitance(const geom::Block& block,
-                                const Fd2dOptions& options = {});
+                                const Fd2dOptions& options = {},
+                                SorReport* report = nullptr);
 
 /// Signal-oriented summary like extract_cap's CapResult: ground capacitance
 /// per trace and adjacent coupling, derived from the Maxwell matrix of the
@@ -52,6 +72,7 @@ RealMatrix fd_block_capacitance(const geom::Block& block,
 struct FdCapResult {
   std::vector<double> cg;  ///< [F/m]
   std::vector<double> cc;  ///< adjacent couplings, size n-1 [F/m]
+  SorReport sor;           ///< aggregated convergence record
 };
 
 FdCapResult extract_cap_fd(const geom::Block& block,

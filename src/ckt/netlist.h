@@ -57,6 +57,16 @@ class Netlist {
   void add_coupling(std::size_t l1, std::size_t l2, double k);
   void add_vsource(NodeId a, NodeId b, SourceWaveform w);
 
+  /// Whole-netlist consistency check, run at API boundaries (the transient
+  /// engine calls it before building the MNA system).  Rejects, with a
+  /// categorized `geometry` error naming the offender:
+  ///   - dangling nodes: declared but attached to no element (they would
+  ///     float on the Gmin conductance and simulate as silent 0 V),
+  ///   - cumulative mutual coupling at or beyond |k| = 1 for any inductor
+  ///     pair (a non-physical, non-positive-definite inductance matrix —
+  ///     add_mutual checks each coupling alone, this checks their sum).
+  void validate() const;
+
   const std::vector<Resistor>& resistors() const { return resistors_; }
   const std::vector<Capacitor>& capacitors() const { return capacitors_; }
   const std::vector<Inductor>& inductors() const { return inductors_; }

@@ -1,8 +1,10 @@
 #include "ckt/transient.h"
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "diag/error.h"
 #include "numeric/lu.h"
 #include "numeric/matrix.h"
 
@@ -33,15 +35,46 @@ void TransientResult::set_voltage(NodeId n, std::size_t step, double v) {
   samples_.at(static_cast<std::size_t>(n)).at(step) = v;
 }
 
+namespace {
+
+/// Divergence guard for one solved step: every node voltage must be finite
+/// and inside the configured bound.  Throws a `numeric` error naming the
+/// timestep and node, so a blown-up simulation is diagnosable instead of
+/// producing a garbage waveform (or a silent wall of NaN).
+void check_step(const Netlist& nl, const std::vector<double>& x,
+                std::size_t step, double t, double limit) {
+  const int nn = nl.node_count() - 1;
+  for (int n = 1; n <= nn; ++n) {
+    const double v = x[static_cast<std::size_t>(n - 1)];
+    const bool finite = std::isfinite(v);
+    if (finite && (limit <= 0.0 || std::abs(v) <= limit)) continue;
+    std::ostringstream msg;
+    msg << (finite ? "unbounded growth" : "non-finite voltage")
+        << " at step " << step << " (t=" << t << " s): node '"
+        << nl.node_name(n) << "' = " << v << " V";
+    if (finite) msg << " (|v| > divergence_limit " << limit << " V)";
+    msg << "; the system is unstable or badly conditioned "
+           "(check mutual couplings and element values)";
+    throw diag::NumericError("transient", msg.str());
+  }
+}
+
+}  // namespace
+
 TransientResult simulate(const Netlist& nl, const TransientOptions& opt) {
-  if (opt.dt <= 0.0) throw std::invalid_argument("simulate: dt");
-  if (opt.t_stop < opt.dt) throw std::invalid_argument("simulate: t_stop");
+  if (opt.dt <= 0.0)
+    throw diag::UsageError("transient", "dt must be positive, got " +
+                                            std::to_string(opt.dt));
+  if (opt.t_stop < opt.dt)
+    throw diag::UsageError("transient", "t_stop must be >= dt");
+  nl.validate();
 
   const int nn = nl.node_count() - 1;  // unknown node voltages (ground = 0)
   const std::size_t nv = nl.vsources().size();
   const std::size_t nlind = nl.inductors().size();
   const std::size_t dim = static_cast<std::size_t>(nn) + nv + nlind;
-  if (dim == 0) throw std::invalid_argument("simulate: empty netlist");
+  if (dim == 0)
+    throw diag::UsageError("transient", "empty netlist: nothing to simulate");
 
   const double dt = opt.dt;
   const std::size_t steps =
@@ -155,6 +188,7 @@ TransientResult simulate(const Netlist& nl, const TransientOptions& opt) {
     for (std::size_t j = 0; j < nlind; ++j) adc(ind0 + j, ind0 + j) -= 1e-9;
     LuDecomposition<double> ludc(std::move(adc));
     x0 = ludc.solve(rhs);
+    check_step(nl, x0, 0, 0.0, opt.divergence_limit);
   }
 
   // ---- March ----
@@ -202,6 +236,7 @@ TransientResult simulate(const Netlist& nl, const TransientOptions& opt) {
     }
 
     x = lu.solve(rhs);
+    check_step(nl, x, step, t, opt.divergence_limit);
 
     for (std::size_t c = 0; c < nl.capacitors().size(); ++c) {
       const Capacitor& cap = nl.capacitors()[c];

@@ -17,6 +17,13 @@ namespace rlcx::ckt {
 struct TransientOptions {
   double t_stop = 0.0;  ///< [s]
   double dt = 0.0;      ///< fixed timestep [s]
+
+  /// Divergence guard: any node voltage that leaves [-limit, +limit] — or
+  /// goes NaN/Inf — halts the march with a `numeric` error naming the step
+  /// and node.  On-chip signals live within a few supply rails; 1 kV is far
+  /// beyond any legitimate transient of this circuit class while still
+  /// leaving room for ringing overshoot.  Set to 0 to disable the guard.
+  double divergence_limit = 1e3;  ///< [V]
 };
 
 class TransientResult {

@@ -1,12 +1,15 @@
 #include "cli/cli.h"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <ostream>
 #include <stdexcept>
 
 #include "ckt/spice_export.h"
+#include "diag/error.h"
+#include "diag/warnings.h"
 #include "ckt/transient.h"
 #include "core/netlist_builder.h"
 #include "core/rlc_extractor.h"
@@ -29,7 +32,23 @@ geom::PlaneConfig parse_planes(const std::string& s) {
   if (s == "below") return geom::PlaneConfig::kBelow;
   if (s == "above") return geom::PlaneConfig::kAbove;
   if (s == "both") return geom::PlaneConfig::kBothSides;
-  throw std::invalid_argument("unknown plane config: " + s);
+  throw diag::UsageError(
+      "cli", "unknown plane config: " + s + " (none|below|above|both)");
+}
+
+core::ExtrapolationPolicy parse_extrapolation(const std::string& s) {
+  if (s == "warn") return core::ExtrapolationPolicy::kWarn;
+  if (s == "clamp") return core::ExtrapolationPolicy::kClamp;
+  if (s == "throw") return core::ExtrapolationPolicy::kThrow;
+  throw diag::UsageError(
+      "cli", "unknown --extrapolation policy: " + s + " (warn|clamp|throw)");
+}
+
+/// --strict hardens the table cache too: corrupt entries fail loudly
+/// instead of being quarantined and rebuilt.
+core::CacheRecoveryPolicy cache_policy(const Args& args) {
+  return args.has("strict") ? core::CacheRecoveryPolicy::kStrict
+                            : core::CacheRecoveryPolicy::kRecover;
 }
 
 std::string trim(const std::string& s) {
@@ -55,8 +74,8 @@ std::vector<std::string> split_commas(const std::string& s) {
   out.push_back(trim(cur));
   for (const std::string& tok : out)
     if (tok.empty())
-      throw std::invalid_argument(
-          "empty item in comma-separated list: \"" + s + "\"");
+      throw diag::UsageError(
+          "cli", "empty item in comma-separated list: \"" + s + "\"");
   return out;
 }
 
@@ -68,8 +87,8 @@ geom::Block make_custom(const geom::Technology& tech, const Args& args,
   std::vector<double> widths;
   for (const std::string& tok : split_commas(args.get("traces", ""))) {
     if (tok.size() < 3 || tok[1] != ':' || (tok[0] != 'g' && tok[0] != 's'))
-      throw std::invalid_argument("bad --traces token: " + tok +
-                                  " (expected g:W or s:W)");
+      throw diag::UsageError("cli", "bad --traces token: " + tok +
+                                        " (expected g:W or s:W)");
     geom::Trace t;
     t.role = tok[0] == 'g' ? geom::TraceRole::kGround
                            : geom::TraceRole::kSignal;
@@ -86,8 +105,8 @@ geom::Block make_custom(const geom::Technology& tech, const Args& args,
     spacings.assign(traces.size() > 0 ? traces.size() - 1 : 0,
                     um(args.get_num("spacing-um", 1.0)));
   if (spacings.size() + 1 != traces.size())
-    throw std::invalid_argument("--spacings needs one fewer entry than "
-                                "--traces");
+    throw diag::UsageError("cli", "--spacings needs one fewer entry than "
+                                  "--traces");
   double x = 0.0;
   for (std::size_t i = 0; i < traces.size(); ++i) {
     if (i > 0) x += spacings[i - 1];
@@ -116,7 +135,8 @@ geom::Block make_structure(const geom::Technology& tech, const Args& args) {
     return geom::microstrip(tech, layer, len, ws, wg, sp);
   if (kind == "stripline")
     return geom::stripline(tech, layer, len, ws, wg, sp);
-  throw std::invalid_argument("unknown structure: " + kind);
+  throw diag::UsageError(
+      "cli", "unknown structure: " + kind + " (cpw|microstrip|stripline)");
 }
 
 solver::SolveOptions solve_options(const Args& args) {
@@ -130,7 +150,7 @@ solver::SolveOptions solve_options(const Args& args) {
 // paths share: --points samples per axis over the clock-wiring ranges.
 core::TableGrid grid_from_args(const Args& args) {
   const auto n = static_cast<std::size_t>(args.get_num("points", 4));
-  if (n < 2) throw std::invalid_argument("--points must be >= 2");
+  if (n < 2) throw diag::UsageError("cli", "--points must be >= 2");
   core::TableGrid grid;
   grid.widths = geomspace(um(1), um(20), n);
   grid.spacings = geomspace(um(0.5), um(10), n);
@@ -144,10 +164,14 @@ core::TableGrid grid_from_args(const Args& args) {
 std::unique_ptr<const core::InductanceProvider> make_inductance_model(
     const Args& args, const geom::Technology& tech, const geom::Block& blk,
     const solver::SolveOptions& sopt, std::ostream& out) {
+  // Validate the policy flag up front so a typo is a usage error even on
+  // the direct-solver path, where it would otherwise never be read.
+  const core::ExtrapolationPolicy extrapolation =
+      parse_extrapolation(args.get("extrapolation", "warn"));
   if (!args.has("table-cache"))
     return std::make_unique<core::DirectInductanceModel>(
         &tech, blk.layer_index(), blk.planes(), sopt);
-  core::TableCache cache(args.get("table-cache", ""));
+  core::TableCache cache(args.get("table-cache", ""), cache_policy(args));
   const std::size_t solves_before = core::table_build_solve_count();
   core::InductanceTables tables = core::build_tables_cached(
       blk.tech(), blk.layer_index(), blk.planes(), grid_from_args(args),
@@ -157,7 +181,14 @@ std::unique_ptr<const core::InductanceProvider> make_inductance_model(
       << core::table_build_solve_count() - solves_before
       << " field solves, " << cache.stats().bytes_read << " bytes read, "
       << cache.stats().bytes_written << " bytes written\n";
-  return std::make_unique<core::TableInductanceModel>(std::move(tables));
+  if (cache.stats().quarantined > 0)
+    out << "table cache: " << cache.stats().quarantined
+        << " corrupt entr" << (cache.stats().quarantined == 1 ? "y" : "ies")
+        << " quarantined and re-characterised\n";
+  auto model =
+      std::make_unique<core::TableInductanceModel>(std::move(tables));
+  model->set_extrapolation_policy(extrapolation);
+  return model;
 }
 
 int cmd_help(std::ostream& out) {
@@ -172,14 +203,20 @@ int cmd_help(std::ostream& out) {
          "  --length-um N --signal-um N --ground-um N --spacing-um N\n"
          "  --trise-ps N (sets the significant frequency 0.32/t_rise)\n"
          "  --table-cache DIR (serve inductance from cached tables;\n"
-         "  a changed tech/grid/frequency re-characterises automatically)\n\n"
+         "  a changed tech/grid/frequency re-characterises automatically)\n"
+         "  --strict (escalate warnings to errors; corrupt cache entries\n"
+         "  fail instead of being quarantined)  --lenient (default)\n"
+         "  --extrapolation warn|clamp|throw (out-of-grid table queries)\n\n"
          "extract: [--spice FILE] [--ac-resistance] [--table-cache DIR]\n"
          "tables:  --out FILE [--planes none|below|above|both] [--points N]\n"
          "         [--threads N] (0 = all cores) [--binary]\n"
          "         [--table-cache DIR]\n"
          "delay:   [--rs OHM] [--sink-ff N] [--vdd V] [--sections N]\n"
          "         [--no-inductance] [--csv FILE] [--table-cache DIR]\n"
-         "cache:   --dir DIR [--stat] [--list] [--purge]  (default: stat)\n";
+         "cache:   --dir DIR [--stat] [--list] [--purge]  (default: stat)\n\n"
+         "exit codes: 0 success, 1 internal error, 2 usage error,\n"
+         "  3 invalid input (geometry/io/cache), 4 numerical failure;\n"
+         "  warnings go to stderr (docs/robustness.md)\n";
   return 0;
 }
 
@@ -253,7 +290,9 @@ int cmd_extract(const Args& args, std::ostream& out) {
     ckt::SpiceExportOptions xopt;
     xopt.title = "rlcx extract deck";
     std::ofstream f(args.get("spice", ""));
-    if (!f) throw std::runtime_error("cannot open spice output file");
+    if (!f)
+      throw diag::IoError("cli", "cannot open SPICE output file " +
+                                     args.get("spice", ""));
     ckt::write_spice(f, nl, xopt);
     out << "\nSPICE deck written to " << args.get("spice", "") << "\n";
   }
@@ -262,7 +301,7 @@ int cmd_extract(const Args& args, std::ostream& out) {
 
 int cmd_tables(const Args& args, std::ostream& out) {
   if (!args.has("out"))
-    throw std::invalid_argument("tables: --out FILE is required");
+    throw diag::UsageError("cli", "tables: --out FILE is required");
   const geom::Technology tech = geom::Technology::generic_025um();
   const geom::PlaneConfig planes =
       parse_planes(args.get("planes", "none"));
@@ -273,7 +312,7 @@ int cmd_tables(const Args& args, std::ostream& out) {
 
   core::InductanceTables tables;
   if (args.has("table-cache")) {
-    core::TableCache cache(args.get("table-cache", ""));
+    core::TableCache cache(args.get("table-cache", ""), cache_policy(args));
     const std::size_t solves_before = core::table_build_solve_count();
     tables = core::build_tables_cached(tech, layer, planes, grid, sopt,
                                        cache, threads);
@@ -300,8 +339,8 @@ int cmd_tables(const Args& args, std::ostream& out) {
 
 int cmd_cache(const Args& args, std::ostream& out) {
   if (!args.has("dir"))
-    throw std::invalid_argument("cache: --dir DIR is required");
-  core::TableCache cache(args.get("dir", ""));
+    throw diag::UsageError("cli", "cache: --dir DIR is required");
+  core::TableCache cache(args.get("dir", ""), cache_policy(args));
   if (args.has("purge")) {
     out << "purged " << cache.purge() << " entries from "
         << cache.directory() << "\n";
@@ -310,8 +349,17 @@ int cmd_cache(const Args& args, std::ostream& out) {
   const std::vector<core::TableCache::Entry> entries = cache.list();
   std::uint64_t bytes = 0;
   for (const core::TableCache::Entry& e : entries) bytes += e.bytes;
+  std::size_t quarantined = 0;
+  for (const std::filesystem::directory_entry& de :
+       std::filesystem::directory_iterator(cache.directory()))
+    if (de.path().extension() == ".tbl.quarantine" ||
+        (de.path().extension() == ".quarantine" &&
+         de.path().stem().extension() == ".tbl"))
+      ++quarantined;
   out << "cache " << cache.directory() << ": " << entries.size()
-      << " entries, " << bytes << " bytes\n";
+      << " entries, " << bytes << " bytes";
+  if (quarantined > 0) out << ", " << quarantined << " quarantined";
+  out << "\n";
   if (args.has("list"))
     for (const core::TableCache::Entry& e : entries)
       out << "  " << e.id << "  layer " << e.layer << "  planes "
@@ -361,7 +409,9 @@ int cmd_delay(const Args& args, std::ostream& out) {
 
   if (args.has("csv")) {
     std::ofstream f(args.get("csv", ""));
-    if (!f) throw std::runtime_error("cannot open csv output file");
+    if (!f)
+      throw diag::IoError("cli", "cannot open CSV output file " +
+                                     args.get("csv", ""));
     ckt::write_csv(f, {{"buf", wbuf}, {"sink", wsink}});
     out << "waveforms written to " << args.get("csv", "") << "\n";
   }
@@ -382,8 +432,8 @@ double Args::get_num(const std::string& key, double fallback) const {
   std::size_t pos = 0;
   const double v = std::stod(it->second, &pos);
   if (pos != it->second.size())
-    throw std::invalid_argument("bad numeric value for --" + key + ": " +
-                                it->second);
+    throw diag::UsageError("cli", "bad numeric value for --" + key + ": " +
+                                      it->second);
   return v;
 }
 
@@ -397,9 +447,9 @@ Args parse_args(const std::vector<std::string>& argv) {
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& tok = argv[i];
     if (tok.rfind("--", 0) != 0)
-      throw std::invalid_argument("expected --flag, got: " + tok);
+      throw diag::UsageError("cli", "expected --flag, got: " + tok);
     const std::string key = tok.substr(2);
-    if (key.empty()) throw std::invalid_argument("empty flag");
+    if (key.empty()) throw diag::UsageError("cli", "empty flag");
     // Boolean flags: next token missing or looks like another flag.
     if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
       args.options[key] = argv[i + 1];
@@ -413,18 +463,48 @@ Args parse_args(const std::vector<std::string>& argv) {
 
 int run(const std::vector<std::string>& argv, std::ostream& out,
         std::ostream& err) {
+  // Route the library's warnings channel to this invocation's error stream
+  // and remember the worst category so --strict can escalate it.
+  std::size_t warning_count = 0;
+  diag::Category worst_warning = diag::Category::kUsage;
+  const diag::ScopedWarningHandler warnings([&](const diag::Warning& w) {
+    if (warning_count == 0 ||
+        diag::exit_code(w.category) > diag::exit_code(worst_warning))
+      worst_warning = w.category;
+    ++warning_count;
+    err << diag::format_warning(w) << "\n";
+  });
+
   try {
     const Args args = parse_args(argv);
+    if (args.has("strict") && args.has("lenient"))
+      throw diag::UsageError("cli",
+                             "--strict and --lenient are mutually exclusive");
+    int code = 0;
     if (args.command == "help" || args.command == "--help")
       return cmd_help(out);
-    if (args.command == "extract") return cmd_extract(args, out);
-    if (args.command == "tables") return cmd_tables(args, out);
-    if (args.command == "delay") return cmd_delay(args, out);
-    if (args.command == "cache") return cmd_cache(args, out);
-    err << "unknown command: " << args.command << " (try 'rlcx help')\n";
-    return 2;
+    else if (args.command == "extract") code = cmd_extract(args, out);
+    else if (args.command == "tables") code = cmd_tables(args, out);
+    else if (args.command == "delay") code = cmd_delay(args, out);
+    else if (args.command == "cache") code = cmd_cache(args, out);
+    else {
+      err << "unknown command: " << args.command << " (try 'rlcx help')\n";
+      return 2;
+    }
+    if (code == 0 && args.has("strict") && warning_count > 0) {
+      err << "strict mode: " << warning_count << " warning"
+          << (warning_count == 1 ? "" : "s")
+          << " escalated to an error (worst category: "
+          << diag::to_string(worst_warning) << ")\n";
+      return diag::exit_code(worst_warning);
+    }
+    return code;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
+    if (dynamic_cast<const diag::Fault*>(&e) != nullptr)
+      return diag::exit_code(diag::category_of(e, diag::Category::kUsage));
+    if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr)
+      return 2;  // uncategorized bad input (e.g. std::stod) = usage
     return 1;
   }
 }

@@ -27,7 +27,17 @@ struct Args {
 Args parse_args(const std::vector<std::string>& argv);
 
 /// Execute.  Returns a process exit code; normal output goes to `out`,
-/// diagnostics to `err`.
+/// diagnostics (errors and the library's warnings channel) to `err`.
+///
+/// Exit-code contract (stable; scripts may rely on it):
+///   0  success
+///   1  internal/uncategorized error
+///   2  usage error (bad flags, unknown command/structure)
+///   3  invalid input (geometry, file I/O, cache corruption under --strict)
+///   4  numerical failure (singular system, diverging transient,
+///      out-of-grid lookup under --extrapolation throw)
+/// --strict escalates any warning to the exit code of its category;
+/// --lenient (the default) reports warnings on `err` and exits 0.
 ///
 /// Commands:
 ///   help

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/binary_io.h"
+#include "diag/error.h"
 #include "geom/builders.h"
 #include "solver/block_solver.h"
 
@@ -16,6 +17,26 @@ namespace {
 
 constexpr char kBundleMagic[4] = {'R', 'L', 'X', 'B'};
 constexpr std::uint32_t kBundleVersion = 1;
+
+/// Load one of the bundle's three tables, rewriting any failure so the
+/// diagnostic names WHICH table is bad ("mutual-L") — the acceptance test
+/// for a NaN-poisoned table keys on this.  The category is preserved.
+NdTable load_component(std::istream& is, const char* which, bool binary) {
+  try {
+    NdTable t = binary ? NdTable::load_binary(is) : NdTable::load(is);
+    t.set_name(which);
+    return t;
+  } catch (const diag::Error& e) {
+    const std::string msg =
+        "table '" + std::string(which) + "': " + e.message();
+    if (e.category() == diag::Category::kNumeric)
+      throw diag::NumericError(e.stage(), msg);
+    throw diag::IoError(e.stage(), msg);
+  } catch (const std::exception& e) {
+    throw diag::IoError(
+        "tables", "table '" + std::string(which) + "': " + e.what());
+  }
+}
 
 }  // namespace
 
@@ -41,9 +62,9 @@ InductanceTables InductanceTables::load(std::istream& is) {
   if (!is || magic != "rlcx-tables" || version != 1)
     throw std::runtime_error("InductanceTables: bad header");
   t.planes = static_cast<geom::PlaneConfig>(planes_int);
-  t.self = NdTable::load(is);
-  t.mutual = NdTable::load(is);
-  t.series_r = NdTable::load(is);
+  t.self = load_component(is, "self-L", false);
+  t.mutual = load_component(is, "mutual-L", false);
+  t.series_r = load_component(is, "series-R", false);
   return t;
 }
 
@@ -69,10 +90,22 @@ InductanceTables InductanceTables::load_binary(std::istream& is) {
     throw std::runtime_error("InductanceTables: bad plane config");
   t.planes = static_cast<geom::PlaneConfig>(planes_int);
   t.frequency = get_f64(is, "frequency");
-  t.self = NdTable::load_binary(is);
-  t.mutual = NdTable::load_binary(is);
-  t.series_r = NdTable::load_binary(is);
+  t.self = load_component(is, "self-L", true);
+  t.mutual = load_component(is, "mutual-L", true);
+  t.series_r = load_component(is, "series-R", true);
   return t;
+}
+
+void InductanceTables::name_tables() {
+  self.set_name("self-L");
+  mutual.set_name("mutual-L");
+  series_r.set_name("series-R");
+}
+
+void InductanceTables::set_extrapolation_policy(ExtrapolationPolicy p) {
+  self.set_extrapolation_policy(p);
+  mutual.set_extrapolation_policy(p);
+  series_r.set_extrapolation_policy(p);
 }
 
 void InductanceTables::save_file(const std::string& path) const {
@@ -106,6 +139,11 @@ TableInductanceModel::TableInductanceModel(InductanceTables tables)
   if (tables_.mutual.dims() != 4)
     throw std::invalid_argument(
         "mutual table must be 4-D (w1, w2, spacing, length)");
+  tables_.name_tables();
+}
+
+void TableInductanceModel::set_extrapolation_policy(ExtrapolationPolicy p) {
+  tables_.set_extrapolation_policy(p);
 }
 
 double TableInductanceModel::self(double width, double length) const {

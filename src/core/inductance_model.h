@@ -64,6 +64,14 @@ struct InductanceTables {
   void save_file_binary(const std::string& path) const;
   /// Loads either format: sniffs the magic bytes and dispatches.
   static InductanceTables load_file(const std::string& path);
+
+  /// Label the three tables ("self-L", "mutual-L", "series-R") so
+  /// extrapolation and corruption diagnostics name which table misbehaved.
+  /// Load paths and TableInductanceModel apply this automatically.
+  void name_tables();
+
+  /// Apply one extrapolation policy to all three tables.
+  void set_extrapolation_policy(ExtrapolationPolicy p);
 };
 
 /// Paper Section III: table lookup with spline interpolation.
@@ -77,6 +85,11 @@ class TableInductanceModel final : public InductanceProvider {
   double series_resistance(double width, double length) const override;
 
   const InductanceTables& tables() const { return tables_; }
+
+  /// Per-model out-of-grid policy, applied to all three tables: warn once
+  /// (default), clamp queries to the grid edge, or throw a `numeric` error
+  /// naming the table and axis.
+  void set_extrapolation_policy(ExtrapolationPolicy p);
 
  private:
   InductanceTables tables_;

@@ -34,9 +34,12 @@ std::vector<ckt::NodeId> stamp_segment(ckt::Netlist& nl,
       for (int k = 1; k <= s; ++k) chain[r][static_cast<std::size_t>(k)] =
           nl.add_node();
     } else {
+      // Shield interior nodes exist only for the R+L branch below; in an
+      // RC-only netlist that branch is skipped (dead metal), so allocating
+      // nodes here would leave them dangling and fail Netlist::validate().
       chain[r][0] = ckt::kGround;
       for (int k = 1; k < s; ++k) chain[r][static_cast<std::size_t>(k)] =
-          nl.add_node();
+          opt.include_inductance ? nl.add_node() : ckt::kGround;
       chain[r][static_cast<std::size_t>(s)] = ckt::kGround;
     }
   }

@@ -1,5 +1,6 @@
 #include "core/table.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -7,6 +8,8 @@
 #include <stdexcept>
 
 #include "core/binary_io.h"
+#include "diag/error.h"
+#include "diag/warnings.h"
 
 namespace rlcx::core {
 
@@ -19,6 +22,15 @@ constexpr std::uint64_t kMaxAxisPoints = 1u << 20;
 
 }  // namespace
 
+const char* to_string(ExtrapolationPolicy p) {
+  switch (p) {
+    case ExtrapolationPolicy::kWarn: return "warn";
+    case ExtrapolationPolicy::kClamp: return "clamp";
+    case ExtrapolationPolicy::kThrow: return "throw";
+  }
+  return "?";
+}
+
 NdTable::NdTable(std::vector<std::string> axis_names,
                  std::vector<std::vector<double>> axes,
                  std::vector<double> values)
@@ -26,11 +38,49 @@ NdTable::NdTable(std::vector<std::string> axis_names,
       values_(std::move(values)), spline_(axes_, values_) {
   if (names_.size() != axes_.size())
     throw std::invalid_argument("NdTable: axis name count");
+  for (double v : values_)
+    if (!std::isfinite(v))
+      throw diag::NumericError(
+          "table", "non-finite value " + std::to_string(v) + " in table '" +
+                       name_ + "' data (characterisation produced NaN/Inf?)");
 }
 
 double NdTable::lookup(const std::vector<double>& q) const {
   if (axes_.empty()) throw std::logic_error("NdTable: empty table");
-  if (!in_range(q)) ++extrapolations_;
+  if (in_range(q)) return spline_.eval(q);
+  ++extrapolations_;
+
+  // Identify the worst offending axis for the diagnostic.
+  std::size_t ax = 0;
+  for (std::size_t d = 0; d < axes_.size(); ++d)
+    if (q[d] < axes_[d].front() || q[d] > axes_[d].back()) { ax = d; break; }
+  std::ostringstream where;
+  where << "query " << names_[ax] << " = " << q[ax] << " outside table '"
+        << name_ << "' grid [" << axes_[ax].front() << ", "
+        << axes_[ax].back() << "]";
+
+  switch (policy_) {
+    case ExtrapolationPolicy::kThrow:
+      throw diag::NumericError(
+          "table", where.str() + "; extrapolation disabled by policy "
+                                 "(extend the characterisation grid)");
+    case ExtrapolationPolicy::kClamp: {
+      std::vector<double> clamped = q;
+      for (std::size_t d = 0; d < axes_.size(); ++d)
+        clamped[d] =
+            std::min(std::max(clamped[d], axes_[d].front()), axes_[d].back());
+      return spline_.eval(clamped);
+    }
+    case ExtrapolationPolicy::kWarn:
+      break;
+  }
+  if (!extrapolation_warned_) {
+    extrapolation_warned_ = true;
+    diag::emit_warning(diag::Category::kNumeric, "table",
+                       where.str() +
+                           "; spline extrapolation degrades away from the "
+                           "grid (warning once per table)");
+  }
   return spline_.eval(q);
 }
 
@@ -77,15 +127,15 @@ NdTable NdTable::load(std::istream& is) {
   int version = 0;
   is >> magic >> version;
   if (magic != "rlcx-table" || version != 1)
-    throw std::runtime_error("NdTable: bad file header");
+    throw diag::IoError("table", "bad file header (not an rlcx-table v1 file)");
   std::size_t dims = 0;
   is >> dims;
   if (!is || dims > 8)
-    throw std::runtime_error("NdTable: bad dimension count");
+    throw diag::IoError("table", "bad dimension count");
   if (dims == 0) {
     std::size_t zero = 0;
     is >> zero;
-    if (!is || zero != 0) throw std::runtime_error("NdTable: bad empty table");
+    if (!is || zero != 0) throw diag::IoError("table", "bad empty-table record");
     return NdTable();
   }
   std::vector<std::string> names(dims);
@@ -93,7 +143,7 @@ NdTable NdTable::load(std::istream& is) {
   for (std::size_t d = 0; d < dims; ++d) {
     std::size_t n = 0;
     is >> names[d] >> n;
-    if (!is || n < 2) throw std::runtime_error("NdTable: bad axis");
+    if (!is || n < 2) throw diag::IoError("table", "bad axis record (need >= 2 grid points)");
     axes[d].resize(n);
     for (double& v : axes[d]) is >> v;
   }
@@ -101,7 +151,7 @@ NdTable NdTable::load(std::istream& is) {
   is >> count;
   std::vector<double> values(count);
   for (double& v : values) is >> v;
-  if (!is) throw std::runtime_error("NdTable: truncated file");
+  if (!is) throw diag::IoError("table", "truncated file");
   return NdTable(std::move(names), std::move(axes), std::move(values));
 }
 
@@ -117,7 +167,7 @@ void NdTable::save_binary(std::ostream& os) const {
   }
   put_u64(os, values_.size());
   for (double v : values_) put_f64(os, v);
-  if (!os) throw std::runtime_error("NdTable: binary write failed");
+  if (!os) throw diag::IoError("table", "binary write failed");
 }
 
 NdTable NdTable::load_binary(std::istream& is) {
@@ -125,37 +175,40 @@ NdTable NdTable::load_binary(std::istream& is) {
   check_header(is, kBinaryMagic, kBinaryVersion, "NdTable");
   const std::uint32_t dims = get_u32(is, "dims");
   if (dims > kMaxDims)
-    throw std::runtime_error("NdTable: bad dimension count");
+    throw diag::IoError("table", "bad dimension count");
   std::vector<std::string> names(dims);
   std::vector<std::vector<double>> axes(dims);
   std::uint64_t expected = dims == 0 ? 0 : 1;
   for (std::uint32_t d = 0; d < dims; ++d) {
     const std::uint32_t name_len = get_u32(is, "axis name");
     if (name_len > 256)
-      throw std::runtime_error("NdTable: axis name too long");
+      throw diag::IoError("table", "axis name too long");
     names[d].resize(name_len);
     get_bytes(is, names[d].data(), name_len, "axis name");
     const std::uint64_t n = get_u64(is, "axis size");
     if (n < 2 || n > kMaxAxisPoints)
-      throw std::runtime_error("NdTable: bad axis size");
+      throw diag::IoError("table", "bad axis size");
     axes[d].resize(n);
     for (double& v : axes[d]) v = get_f64(is, "axis value");
     for (std::size_t i = 0; i < axes[d].size(); ++i) {
       if (!std::isfinite(axes[d][i]) ||
           (i > 0 && axes[d][i] <= axes[d][i - 1]))
-        throw std::runtime_error(
-            "NdTable: axis not finite and strictly increasing");
+        throw diag::IoError(
+            "table", "axis not finite and strictly increasing");
     }
     expected *= n;
   }
   const std::uint64_t count = get_u64(is, "value count");
   if (count != expected)
-    throw std::runtime_error("NdTable: value count does not match axes");
+    throw diag::IoError("table", "value count does not match axes");
   std::vector<double> values(count);
   for (double& v : values) {
     v = get_f64(is, "value");
     if (!std::isfinite(v))
-      throw std::runtime_error("NdTable: non-finite table value");
+      throw diag::NumericError(
+          "table",
+          "non-finite value " + std::to_string(v) +
+              " in stored table data (corrupt or mis-characterised file)");
   }
   if (dims == 0) return NdTable();
   return NdTable(std::move(names), std::move(axes), std::move(values));
@@ -163,19 +216,19 @@ NdTable NdTable::load_binary(std::istream& is) {
 
 void NdTable::save_file(const std::string& path) const {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("NdTable: cannot open " + path);
+  if (!os) throw diag::IoError("table", "cannot open " + path);
   save(os);
 }
 
 void NdTable::save_file_binary(const std::string& path) const {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("NdTable: cannot open " + path);
+  if (!os) throw diag::IoError("table", "cannot open " + path);
   save_binary(os);
 }
 
 NdTable NdTable::load_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("NdTable: cannot open " + path);
+  if (!is) throw diag::IoError("table", "cannot open " + path);
   char magic[4] = {};
   is.read(magic, 4);
   is.clear();

@@ -15,6 +15,17 @@
 
 namespace rlcx::core {
 
+/// What a table does when a lookup falls outside its gridded region.
+/// Spline extrapolation degrades fast away from the grid, so every policy
+/// makes out-of-range queries visible; they differ in how hard they push.
+enum class ExtrapolationPolicy {
+  kWarn,   ///< extrapolate, emit one `numeric` warning per table (default)
+  kClamp,  ///< clamp the query to the grid edge (conservative, monotone)
+  kThrow,  ///< refuse: throw a `numeric` error naming table/axis/value/range
+};
+
+const char* to_string(ExtrapolationPolicy p);
+
 class NdTable {
  public:
   NdTable() = default;
@@ -30,9 +41,18 @@ class NdTable {
   const std::vector<double>& values() const { return values_; }
 
   /// Spline-interpolated lookup (tensor-product natural cubic — bicubic in
-  /// two dimensions).  Queries outside the grid extrapolate linearly and
-  /// bump extrapolation_count() so flows can detect grid under-coverage.
+  /// two dimensions).  Queries outside the grid bump extrapolation_count()
+  /// and are handled per the table's ExtrapolationPolicy: extrapolate with
+  /// a one-time warning (default), clamp to the grid edge, or throw.
   double lookup(const std::vector<double>& q) const;
+
+  /// Label used in extrapolation warnings/errors (e.g. "self-L"), so a
+  /// diagnostic names which of a model's tables was under-covered.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  ExtrapolationPolicy extrapolation_policy() const { return policy_; }
+  void set_extrapolation_policy(ExtrapolationPolicy p) { policy_ = p; }
 
   /// Whether the query lies inside the gridded region on every axis.
   bool in_range(const std::vector<double>& q) const;
@@ -63,11 +83,14 @@ class NdTable {
   static NdTable load_file(const std::string& path);
 
  private:
+  std::string name_ = "table";
   std::vector<std::string> names_;
   std::vector<std::vector<double>> axes_;
   std::vector<double> values_;
   TensorSpline spline_;
+  ExtrapolationPolicy policy_ = ExtrapolationPolicy::kWarn;
   mutable std::size_t extrapolations_ = 0;
+  mutable bool extrapolation_warned_ = false;
 };
 
 }  // namespace rlcx::core

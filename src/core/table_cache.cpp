@@ -8,6 +8,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "diag/error.h"
+#include "diag/warnings.h"
+
 namespace fs = std::filesystem;
 
 namespace rlcx::core {
@@ -48,15 +51,15 @@ void atomic_write(const std::string& path, const std::string& content) {
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("TableCache: cannot write " + tmp);
+    if (!os) throw rlcx::diag::CacheError("cache", "cannot write " + tmp);
     os.write(content.data(), static_cast<std::streamsize>(content.size()));
-    if (!os) throw std::runtime_error("TableCache: short write to " + tmp);
+    if (!os) throw rlcx::diag::CacheError("cache", "short write to " + tmp);
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
-    throw std::runtime_error("TableCache: cannot rename into " + path);
+    throw rlcx::diag::CacheError("cache", "cannot rename into " + path);
   }
 }
 
@@ -69,13 +72,14 @@ bool is_hex16(const std::string& s) {
 
 }  // namespace
 
-TableCache::TableCache(std::string directory) : dir_(std::move(directory)) {
+TableCache::TableCache(std::string directory, CacheRecoveryPolicy policy)
+    : dir_(std::move(directory)), policy_(policy) {
   if (dir_.empty())
     throw std::invalid_argument("TableCache: empty directory");
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_))
-    throw std::runtime_error("TableCache: cannot create directory " + dir_);
+    throw diag::CacheError("cache", "cannot create directory " + dir_);
 }
 
 std::string TableCache::key_text(const geom::Technology& tech, int layer,
@@ -137,10 +141,37 @@ std::optional<InductanceTables> TableCache::load(
       }
     }
   }
-  InductanceTables t = InductanceTables::load_file(path);
-  ++stats_.hits;
-  stats_.bytes_read += fs::file_size(path, ec);
-  return t;
+  try {
+    InductanceTables t = InductanceTables::load_file(path);
+    ++stats_.hits;
+    stats_.bytes_read += fs::file_size(path, ec);
+    return t;
+  } catch (const std::exception& e) {
+    if (policy_ == CacheRecoveryPolicy::kStrict)
+      throw diag::CacheError(
+          "cache", "corrupt entry " + path + ": " + e.what() +
+                       " (strict policy; quarantine or purge the cache)");
+    quarantine(hash, e.what());
+    ++stats_.misses;
+    return std::nullopt;
+  }
+}
+
+void TableCache::quarantine(std::uint64_t hash, const std::string& reason) {
+  const std::string entry = entry_path(hash);
+  const std::string sidecar = sidecar_path(hash);
+  std::error_code ec;
+  // Keep the bad bytes for post-mortem; the rename also frees the slot so
+  // the rebuilt entry cannot race the diagnosis.  A repeat incident on the
+  // same entry overwrites the previous evidence (latest corruption wins).
+  fs::rename(entry, entry + ".quarantine", ec);
+  if (ec) fs::remove(entry, ec);  // rename failed (e.g. EXDEV): drop instead
+  fs::rename(sidecar, sidecar + ".quarantine", ec);
+  if (ec) fs::remove(sidecar, ec);
+  ++stats_.quarantined;
+  diag::emit_warning(diag::Category::kCache, "cache",
+                     "quarantined corrupt entry " + entry + " (" + reason +
+                         "); the table will be re-characterised");
 }
 
 void TableCache::store(const std::string& key_text,
@@ -183,11 +214,13 @@ std::size_t TableCache::purge() {
     const std::string ext = p.extension().string();
     if ((ext == ".tbl" || ext == ".key") && is_hex16(p.stem().string()))
       victims.push_back(p);
+    else if (ext == ".quarantine")
+      victims.push_back(p);
   }
   for (const fs::path& p : victims) {
     std::error_code ec;
     if (p.extension() == ".tbl" && fs::remove(p, ec) && !ec) ++removed;
-    else if (p.extension() == ".key") fs::remove(p, ec);
+    else fs::remove(p, ec);  // sidecars and quarantined files: not counted
   }
   return removed;
 }

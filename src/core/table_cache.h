@@ -26,16 +26,27 @@ namespace rlcx::core {
 struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t quarantined = 0;  ///< corrupt entries set aside by kRecover
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+};
+
+/// What load() does with a present-but-unreadable entry (torn write that
+/// dodged the atomic rename, bit rot, version mismatch, foreign file).
+enum class CacheRecoveryPolicy {
+  kStrict,   ///< throw a categorized `cache` error — bad bytes fail loudly
+  kRecover,  ///< quarantine the entry (rename to *.quarantine), warn, and
+             ///< report a miss so the caller re-characterises (default)
 };
 
 class TableCache {
  public:
   /// Opens (creating if needed) the cache rooted at `directory`.
-  explicit TableCache(std::string directory);
+  explicit TableCache(std::string directory,
+                      CacheRecoveryPolicy policy = CacheRecoveryPolicy::kRecover);
 
   const std::string& directory() const { return dir_; }
+  CacheRecoveryPolicy recovery_policy() const { return policy_; }
 
   /// The canonical ASCII key text for one table build — the exact recipe
   /// is normative in docs/table-format.md.  Equal inputs give equal text;
@@ -51,8 +62,11 @@ class TableCache {
 
   /// Entry lookup.  Returns the cached tables on a hit; std::nullopt when
   /// absent (or when a hash collision is detected against the stored key
-  /// sidecar).  A present-but-corrupt entry throws — bad bytes must fail
-  /// loudly, not silently rebuild.
+  /// sidecar).  A present-but-corrupt entry is handled per the recovery
+  /// policy: kRecover quarantines it (entry and sidecar renamed to
+  /// *.quarantine, preserved for post-mortem), emits a `cache` warning and
+  /// reports a miss so the caller re-characterises; kStrict throws a
+  /// categorized `cache` error.
   std::optional<InductanceTables> load(const std::string& key_text);
 
   /// Stores (or overwrites) the entry for `key_text` atomically.
@@ -69,7 +83,8 @@ class TableCache {
   /// All well-formed entries currently in the directory.
   std::vector<Entry> list() const;
 
-  /// Removes every cache entry (and key sidecar); returns entries removed.
+  /// Removes every cache entry (and key sidecar), plus any quarantined
+  /// files; returns live entries removed.
   std::size_t purge();
 
   const CacheStats& stats() const { return stats_; }
@@ -77,8 +92,10 @@ class TableCache {
  private:
   std::string entry_path(std::uint64_t hash) const;
   std::string sidecar_path(std::uint64_t hash) const;
+  void quarantine(std::uint64_t hash, const std::string& reason);
 
   std::string dir_;
+  CacheRecoveryPolicy policy_;
   CacheStats stats_;
 };
 

@@ -1,0 +1,44 @@
+#include "diag/error.h"
+
+namespace rlcx::diag {
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kGeometry: return "geometry";
+    case Category::kNumeric: return "numeric";
+    case Category::kIo: return "io";
+    case Category::kCache: return "cache";
+    case Category::kUsage: return "usage";
+  }
+  return "?";
+}
+
+int exit_code(Category c) {
+  switch (c) {
+    case Category::kUsage: return 2;
+    case Category::kGeometry:
+    case Category::kIo:
+    case Category::kCache: return 3;
+    case Category::kNumeric: return 4;
+  }
+  return 1;
+}
+
+std::string format_error(Category c, const std::string& stage,
+                         const std::string& message) {
+  std::string out = "[";
+  out += to_string(c);
+  out += "] ";
+  out += stage;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+Category category_of(const std::exception& e, Category fallback) {
+  if (const auto* fault = dynamic_cast<const Fault*>(&e))
+    return fault->category();
+  return fallback;
+}
+
+}  // namespace rlcx::diag

@@ -1,0 +1,56 @@
+#include "diag/warnings.h"
+
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+namespace rlcx::diag {
+
+namespace {
+
+std::mutex& handler_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// Innermost-wins handler stack.  Guarded by handler_mutex(); emission holds
+// the lock through the handler call so a handler writing to a CLI stream
+// needs no synchronisation of its own.
+std::vector<WarningHandler>& handler_stack() {
+  static std::vector<WarningHandler> stack;
+  return stack;
+}
+
+}  // namespace
+
+std::string format_warning(const Warning& w) {
+  std::string out = "warning: [";
+  out += to_string(w.category);
+  out += "] ";
+  out += w.stage;
+  out += ": ";
+  out += w.message;
+  return out;
+}
+
+void emit_warning(Category category, std::string stage, std::string message) {
+  Warning w{category, std::move(stage), std::move(message)};
+  std::lock_guard<std::mutex> lock(handler_mutex());
+  if (!handler_stack().empty()) {
+    handler_stack().back()(w);
+    return;
+  }
+  std::cerr << format_warning(w) << "\n";
+}
+
+ScopedWarningHandler::ScopedWarningHandler(WarningHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mutex());
+  handler_stack().push_back(std::move(handler));
+}
+
+ScopedWarningHandler::~ScopedWarningHandler() {
+  std::lock_guard<std::mutex> lock(handler_mutex());
+  handler_stack().pop_back();
+}
+
+}  // namespace rlcx::diag

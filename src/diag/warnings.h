@@ -1,0 +1,51 @@
+// Warnings channel: non-fatal diagnostics that must reach the user.
+//
+// Deep numerical stages (the SOR field solver, spline table lookups, cache
+// recovery) detect conditions that degrade accuracy without invalidating
+// the run — a non-converged solve accepted at reduced accuracy, a lookup
+// extrapolating beyond the characterised grid, a corrupt cache entry that
+// was quarantined and rebuilt.  They report through this channel instead of
+// printing or silently proceeding; the front end decides what a warning
+// means (the CLI prints them on stderr, and escalates them to errors under
+// --strict).
+//
+// Handlers are process-global and stack-scoped: installing a
+// ScopedWarningHandler routes every warning emitted anywhere (including
+// worker threads of a parallel table build) to that handler until it is
+// destroyed.  With no handler installed, warnings go to stderr.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "diag/error.h"
+
+namespace rlcx::diag {
+
+struct Warning {
+  Category category = Category::kNumeric;
+  std::string stage;    ///< component that detected it ("fd2d", "table", ...)
+  std::string message;  ///< human-readable detail with the offending values
+};
+
+/// "warning: [numeric] fd2d: ..." — the canonical display form.
+std::string format_warning(const Warning& w);
+
+/// Reports a warning to the innermost installed handler (stderr when none).
+void emit_warning(Category category, std::string stage, std::string message);
+
+using WarningHandler = std::function<void(const Warning&)>;
+
+/// RAII: routes warnings to `handler` for this object's lifetime, restoring
+/// the previous handler on destruction.  Nesting is allowed; the innermost
+/// wins.  Handlers may be invoked from any thread (emission is serialised).
+class ScopedWarningHandler {
+ public:
+  explicit ScopedWarningHandler(WarningHandler handler);
+  ~ScopedWarningHandler();
+
+  ScopedWarningHandler(const ScopedWarningHandler&) = delete;
+  ScopedWarningHandler& operator=(const ScopedWarningHandler&) = delete;
+};
+
+}  // namespace rlcx::diag

@@ -1,9 +1,24 @@
 #include "geom/block.h"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "diag/error.h"
+
 namespace rlcx::geom {
+
+namespace {
+
+/// "trace 2 ('shield_l')" or just "trace 2" when unnamed.
+std::string trace_label(std::size_t i, const Trace& t) {
+  std::string out = "trace " + std::to_string(i);
+  if (!t.name.empty()) out += " ('" + t.name + "')";
+  return out;
+}
+
+}  // namespace
 
 const char* to_string(PlaneConfig c) {
   switch (c) {
@@ -19,20 +34,52 @@ Block::Block(const Technology* tech, int layer, double length,
              std::vector<Trace> traces, PlaneConfig planes)
     : tech_(tech), layer_(layer), length_(length),
       traces_(std::move(traces)), planes_(planes) {
-  if (tech_ == nullptr) throw std::invalid_argument("block needs technology");
-  if (!tech_->has_layer(layer_)) throw std::invalid_argument("bad layer");
-  if (length_ <= 0.0) throw std::invalid_argument("block length");
-  if (traces_.empty()) throw std::invalid_argument("block needs traces");
-  for (const Trace& t : traces_)
-    if (t.width <= 0.0) throw std::invalid_argument("trace width");
-
+  if (tech_ == nullptr)
+    throw diag::GeometryError("block", "a block needs a technology");
   std::sort(traces_.begin(), traces_.end(),
             [](const Trace& a, const Trace& b) {
               return a.x_center < b.x_center;
             });
+  validate();
+}
+
+void Block::validate() const {
+  if (tech_ == nullptr)
+    throw diag::GeometryError("block", "a block needs a technology");
+  if (!tech_->has_layer(layer_))
+    throw diag::GeometryError(
+        "block", "layer " + std::to_string(layer_) +
+                     " does not exist in the technology (top layer is " +
+                     std::to_string(tech_->top_layer()) + ")");
+  if (!(length_ > 0.0) || !std::isfinite(length_))
+    throw diag::GeometryError(
+        "block", "length must be positive and finite, got " +
+                     std::to_string(length_) + " m (zero-length traces have "
+                     "no resistance, capacitance or inductance to extract)");
+  if (traces_.empty())
+    throw diag::GeometryError("block", "a block needs at least one trace");
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    const Trace& t = traces_[i];
+    if (!(t.width > 0.0) || !std::isfinite(t.width))
+      throw diag::GeometryError(
+          "block", trace_label(i, t) + " width must be positive and finite, "
+                       "got " + std::to_string(t.width) + " m");
+    if (!std::isfinite(t.x_center))
+      throw diag::GeometryError(
+          "block", trace_label(i, t) + " x_center must be finite, got " +
+                       std::to_string(t.x_center));
+  }
   for (std::size_t i = 0; i + 1 < traces_.size(); ++i) {
-    if (traces_[i].x_right() > traces_[i + 1].x_left() + 1e-15)
-      throw std::invalid_argument("traces overlap laterally");
+    const Trace& a = traces_[i];
+    const Trace& b = traces_[i + 1];
+    if (a.x_right() > b.x_left() + 1e-15) {
+      std::ostringstream msg;
+      msg << trace_label(i, a) << " [" << a.x_left() << ", " << a.x_right()
+          << "] m and " << trace_label(i + 1, b) << " [" << b.x_left() << ", "
+          << b.x_right() << "] m overlap laterally (edge-to-edge spacing "
+          << b.x_left() - a.x_right() << " m)";
+      throw diag::GeometryError("block", msg.str());
+    }
   }
 
   const bool below = planes_ == PlaneConfig::kBelow ||
@@ -40,9 +87,15 @@ Block::Block(const Technology* tech, int layer, double length,
   const bool above = planes_ == PlaneConfig::kAbove ||
                      planes_ == PlaneConfig::kBothSides;
   if (below && !tech_->has_layer(layer_ - 2))
-    throw std::invalid_argument("no layer N-2 for plane below");
+    throw diag::GeometryError(
+        "block", "plane config '" + std::string(to_string(planes_)) +
+                     "' needs layer N-2 = " + std::to_string(layer_ - 2) +
+                     ", which does not exist in the technology");
   if (above && !tech_->has_layer(layer_ + 2))
-    throw std::invalid_argument("no layer N+2 for plane above");
+    throw diag::GeometryError(
+        "block", "plane config '" + std::string(to_string(planes_)) +
+                     "' needs layer N+2 = " + std::to_string(layer_ + 2) +
+                     ", which does not exist in the technology");
 }
 
 std::vector<std::size_t> Block::signal_indices() const {

@@ -30,6 +30,13 @@ class Block {
   Block(const Technology* tech, int layer, double length,
         std::vector<Trace> traces, PlaneConfig planes = PlaneConfig::kNone);
 
+  /// Geometry consistency check, run by the constructor and re-runnable at
+  /// API boundaries.  Rejects missing technology/layer, non-positive length,
+  /// degenerate traces (zero/negative width), lateral overlaps (reported
+  /// with trace names, x ranges and the negative spacing) and plane configs
+  /// whose N±2 layer does not exist — each a categorized `geometry` error.
+  void validate() const;
+
   const Technology& tech() const { return *tech_; }
   int layer_index() const { return layer_; }
   const Layer& layer() const { return tech_->layer(layer_); }

@@ -2,25 +2,54 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "diag/error.h"
 #include "numeric/units.h"
 
 namespace rlcx::geom {
 
 Technology::Technology(std::vector<Layer> layers, double eps_r)
     : layers_(std::move(layers)), eps_r_(eps_r) {
-  if (layers_.empty()) throw std::invalid_argument("technology needs layers");
   std::sort(layers_.begin(), layers_.end(),
             [](const Layer& a, const Layer& b) { return a.index < b.index; });
+  validate();
+}
+
+void Technology::validate() const {
+  if (layers_.empty())
+    throw diag::GeometryError("technology",
+                              "a technology needs at least one layer");
+  if (!(eps_r_ > 0.0) || !std::isfinite(eps_r_))
+    throw diag::GeometryError(
+        "technology", "relative permittivity must be positive and finite, "
+                      "got " + std::to_string(eps_r_));
   for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
     if (layers_[i].index == layers_[i + 1].index)
-      throw std::invalid_argument("duplicate layer index");
-    if (layers_[i].z_top() > layers_[i + 1].z_bottom + 1e-12)
-      throw std::invalid_argument("layer stack overlaps vertically");
+      throw diag::GeometryError(
+          "technology",
+          "duplicate layer index " + std::to_string(layers_[i].index));
+    if (layers_[i].z_top() > layers_[i + 1].z_bottom + 1e-12) {
+      std::ostringstream msg;
+      msg << "layers " << layers_[i].index << " and " << layers_[i + 1].index
+          << " overlap vertically (layer " << layers_[i].index
+          << " top z = " << layers_[i].z_top() << " m, layer "
+          << layers_[i + 1].index
+          << " bottom z = " << layers_[i + 1].z_bottom << " m)";
+      throw diag::GeometryError("technology", msg.str());
+    }
   }
   for (const Layer& l : layers_) {
-    if (l.thickness <= 0.0) throw std::invalid_argument("layer thickness");
-    if (l.rho <= 0.0) throw std::invalid_argument("layer resistivity");
+    if (!(l.thickness > 0.0) || !std::isfinite(l.thickness))
+      throw diag::GeometryError(
+          "technology", "layer " + std::to_string(l.index) +
+                            " thickness must be positive and finite, got " +
+                            std::to_string(l.thickness) + " m");
+    if (!(l.rho > 0.0) || !std::isfinite(l.rho))
+      throw diag::GeometryError(
+          "technology", "layer " + std::to_string(l.index) +
+                            " resistivity must be positive and finite, got " +
+                            std::to_string(l.rho) + " ohm*m");
   }
 }
 
@@ -58,7 +87,10 @@ Technology Technology::at_temperature(double celsius,
                                       double alpha_per_kelvin) const {
   const double scale = 1.0 + alpha_per_kelvin * (celsius - 25.0);
   if (scale <= 0.0)
-    throw std::invalid_argument("at_temperature: resistivity would vanish");
+    throw diag::UsageError(
+        "technology", "at_temperature(" + std::to_string(celsius) +
+                          " C): the linear model's resistivity scale is " +
+                          std::to_string(scale) + " (non-physical)");
   std::vector<Layer> scaled = layers_;
   for (Layer& l : scaled) l.rho *= scale;
   return Technology(std::move(scaled), eps_r_);

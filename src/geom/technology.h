@@ -18,6 +18,13 @@ class Technology {
  public:
   Technology(std::vector<Layer> layers, double eps_r);
 
+  /// Stack consistency check, run by the constructor and re-runnable at API
+  /// boundaries (e.g. after deserialisation).  Rejects empty stacks,
+  /// duplicate layer indices, vertically overlapping layers and non-positive
+  /// thickness / resistivity / permittivity with a categorized `geometry`
+  /// error naming the offending layer and value.
+  void validate() const;
+
   /// The process used throughout the paper's experiments: a late-1990s
   /// high-performance CPU stack with 2 um thick top-level clock metal
   /// (matching Figure 1's "2 um thick" wires), SiO2 dielectric and

@@ -5,9 +5,12 @@
 
 #include <cmath>
 #include <complex>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "diag/error.h"
 #include "numeric/matrix.h"
 
 namespace rlcx {
@@ -25,7 +28,10 @@ class LuDecomposition {
  public:
   explicit LuDecomposition(Matrix<T> a) : lu_(std::move(a)) {
     const std::size_t n = lu_.rows();
-    if (n != lu_.cols()) throw std::invalid_argument("LU needs square matrix");
+    if (n != lu_.cols())
+      throw diag::UsageError("lu", "needs a square matrix, got " +
+                                       std::to_string(n) + "x" +
+                                       std::to_string(lu_.cols()));
     perm_.resize(n);
     for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
@@ -40,7 +46,19 @@ class LuDecomposition {
           piv = i;
         }
       }
-      if (best == 0.0) throw std::runtime_error("singular matrix in LU");
+      if (best == 0.0 || !std::isfinite(best)) {
+        pivot_min_ = 0.0;
+        throw diag::SingularSystem(
+            "lu",
+            std::string(best == 0.0 ? "zero" : "non-finite") +
+                " pivot at column " + std::to_string(k) + " of a " +
+                std::to_string(n) + "x" + std::to_string(n) +
+                " system (pivot ratio so far " +
+                std::to_string(condition_estimate()) + ")",
+            k, n, std::numeric_limits<double>::infinity());
+      }
+      pivot_max_ = std::max(pivot_max_, best);
+      pivot_min_ = std::min(pivot_min_, best);
       if (piv != k) {
         for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
         std::swap(perm_[k], perm_[piv]);
@@ -57,10 +75,26 @@ class LuDecomposition {
 
   std::size_t size() const { return lu_.rows(); }
 
+  /// Cheap conditioning proxy: the ratio of the largest to the smallest
+  /// pivot magnitude seen during elimination.  It lower-bounds the true
+  /// condition number; values near 1/eps (~1e16) flag a system solved at
+  /// essentially no significant digits.  Costs nothing beyond two compares
+  /// per column — this is the FastHenry-style front-end sanity check, not a
+  /// rigorous estimate.
+  double condition_estimate() const {
+    if (lu_.rows() == 0) return 1.0;
+    if (pivot_min_ <= 0.0 || pivot_max_ <= 0.0)
+      return std::numeric_limits<double>::infinity();
+    return pivot_max_ / pivot_min_;
+  }
+
   /// Solve A x = b.
   std::vector<T> solve(const std::vector<T>& b) const {
     const std::size_t n = lu_.rows();
-    if (b.size() != n) throw std::invalid_argument("LU rhs size");
+    if (b.size() != n)
+      throw diag::UsageError("lu", "rhs size " + std::to_string(b.size()) +
+                                       " != system size " +
+                                       std::to_string(n));
     std::vector<T> x(n);
     // Forward substitution with permutation applied.
     for (std::size_t i = 0; i < n; ++i) {
@@ -80,7 +114,10 @@ class LuDecomposition {
   /// Solve A X = B column-by-column.
   Matrix<T> solve(const Matrix<T>& b) const {
     const std::size_t n = lu_.rows();
-    if (b.rows() != n) throw std::invalid_argument("LU rhs rows");
+    if (b.rows() != n)
+      throw diag::UsageError("lu", "rhs rows " + std::to_string(b.rows()) +
+                                       " != system size " +
+                                       std::to_string(n));
     Matrix<T> x(n, b.cols());
     std::vector<T> col(n);
     for (std::size_t j = 0; j < b.cols(); ++j) {
@@ -94,6 +131,8 @@ class LuDecomposition {
  private:
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
+  double pivot_max_ = 0.0;
+  double pivot_min_ = std::numeric_limits<double>::infinity();
 };
 
 /// Convenience: invert a square matrix (used for the small conductor-level

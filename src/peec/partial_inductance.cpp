@@ -1,9 +1,11 @@
 #include "peec/partial_inductance.h"
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "diag/error.h"
 #include "numeric/units.h"
 
 namespace rlcx::peec {
@@ -60,8 +62,14 @@ double hl_f(double x, double y, double z) {
 
 double hoer_love_mutual(double a, double b, double l1, double c, double d,
                         double l2, double E, double P, double l3) {
-  if (a <= 0.0 || b <= 0.0 || c <= 0.0 || d <= 0.0 || l1 <= 0.0 || l2 <= 0.0)
-    throw std::invalid_argument("hoer_love_mutual: non-positive dimension");
+  if (a <= 0.0 || b <= 0.0 || c <= 0.0 || d <= 0.0 || l1 <= 0.0 ||
+      l2 <= 0.0) {
+    std::ostringstream msg;
+    msg << "hoer_love_mutual: every bar dimension must be positive, got "
+           "a=" << a << " b=" << b << " l1=" << l1 << " c=" << c << " d=" << d
+        << " l2=" << l2 << " [m] (degenerate bar has no volume to integrate)";
+    throw diag::GeometryError("peec", msg.str());
+  }
 
   // Scale the geometry to O(1); inductance scales linearly with size.
   const double s = std::max({a, b, c, d, l1, l2, std::abs(E) + c,
@@ -95,8 +103,13 @@ double hoer_love_mutual(double a, double b, double l1, double c, double d,
 
 double filament_mutual(double l1, double l2, double s, double r) {
   if (l1 <= 0.0 || l2 <= 0.0)
-    throw std::invalid_argument("filament_mutual: non-positive length");
-  if (r < 0.0) throw std::invalid_argument("filament_mutual: negative r");
+    throw diag::GeometryError(
+        "peec", "filament_mutual: lengths must be positive, got l1=" +
+                    std::to_string(l1) + " l2=" + std::to_string(l2) + " m");
+  if (r < 0.0)
+    throw diag::GeometryError(
+        "peec", "filament_mutual: radial distance must be >= 0, got " +
+                    std::to_string(r) + " m");
   if (r == 0.0) {
     // Collinear case: the r->0 limit of the kernel is |u|(ln|u| - 1) plus
     // |u| ln(2/r), whose coefficients cancel across the bracket because all
@@ -110,7 +123,12 @@ double filament_mutual(double l1, double l2, double s, double r) {
     // bar do not trip the guard.
     const double eps = 1e-9 * std::max({l1, l2, std::abs(s)});
     if (s + l2 > eps && s < l1 - eps)
-      throw std::invalid_argument("filament_mutual: overlapping collinear");
+      throw diag::GeometryError(
+          "peec",
+          "filament_mutual: collinear filaments overlap axially (s=" +
+              std::to_string(s) + " m, l1=" + std::to_string(l1) +
+              " m, l2=" + std::to_string(l2) +
+              " m); their mutual inductance diverges");
     return 1e-7 * (h0(s + l2) + h0(s - l1) - h0(s + l2 - l1) - h0(s));
   }
   auto h = [r](double u) {
@@ -169,6 +187,43 @@ double chunk_mutual(const Bar& p, const Bar& q, const PartialOptions& opt) {
 
 }  // namespace
 
+namespace {
+
+/// Distinct bars must not share volume: two conductors occupying the same
+/// space is a layout error, and the kernel would happily integrate it into
+/// a plausible-looking (but meaningless) mutual inductance.
+void check_disjoint(const Bar& b1, const Bar& b2) {
+  const double oa = std::min(b1.a_max(), b2.a_max()) -
+                    std::max(b1.a_min, b2.a_min);
+  const double ot = std::min(b1.t_max(), b2.t_max()) -
+                    std::max(b1.t_min, b2.t_min);
+  const double oz = std::min(b1.z_max(), b2.z_max()) -
+                    std::max(b1.z_min, b2.z_min);
+  // Tolerate ulp-level contact so exactly-touching bars are fine.
+  const double eps = 1e-12 * std::max({b1.length, b2.length, b1.t_width,
+                                       b2.t_width, b1.z_thick, b2.z_thick});
+  if (oa > eps && ot > eps && oz > eps) {
+    std::ostringstream msg;
+    msg << "mutual_partial: bars overlap in volume (axial overlap " << oa
+        << " m, transverse " << ot << " m, vertical " << oz
+        << " m); distinct conductors must be disjoint";
+    throw diag::GeometryError("peec", msg.str());
+  }
+}
+
+/// The kernel's 64-term cancellation can, with pathological inputs, lose
+/// every significant digit; never hand a NaN/Inf downstream silently.
+double check_finite(double value, const char* what) {
+  if (!std::isfinite(value))
+    throw diag::NumericError(
+        "peec", std::string(what) +
+                    " evaluated non-finite; the bar geometry is outside the "
+                    "kernel's numerically stable range");
+  return value;
+}
+
+}  // namespace
+
 double self_partial(const Bar& bar, const PartialOptions& opt) {
   const std::vector<Bar> chunks = chunk_lengthwise(bar, opt.max_aspect);
   // L = sum over all chunk pairs (including self terms): the exact series
@@ -179,18 +234,19 @@ double self_partial(const Bar& bar, const PartialOptions& opt) {
     for (std::size_t j = i + 1; j < chunks.size(); ++j)
       total += 2.0 * chunk_mutual(chunks[i], chunks[j], opt);
   }
-  return total;
+  return check_finite(total, "self partial inductance");
 }
 
 double mutual_partial(const Bar& b1, const Bar& b2,
                       const PartialOptions& opt) {
   if (b1.axis != b2.axis) return 0.0;  // orthogonal bars do not couple
+  check_disjoint(b1, b2);
   const std::vector<Bar> c1 = chunk_lengthwise(b1, opt.max_aspect);
   const std::vector<Bar> c2 = chunk_lengthwise(b2, opt.max_aspect);
   double total = 0.0;
   for (const Bar& p : c1)
     for (const Bar& q : c2) total += chunk_mutual(p, q, opt);
-  return total;
+  return check_finite(total, "mutual partial inductance");
 }
 
 }  // namespace rlcx::peec

@@ -1,5 +1,7 @@
 #include "solver/block_solver.h"
 
+#include "diag/error.h"
+
 #include <algorithm>
 #include <complex>
 #include <cstdint>
@@ -129,7 +131,9 @@ std::vector<Conductor> block_conductors(const geom::Block& block,
 
 std::vector<peec::Bar> plane_strips(const geom::Block& block, int plane_layer,
                                     const PlaneOptions& opt) {
-  if (opt.strips < 1) throw std::invalid_argument("plane_strips: count");
+  if (opt.strips < 1)
+    throw diag::UsageError("solver", "plane_strips: strip count must be >= 1, got " +
+                                         std::to_string(opt.strips));
   const geom::Layer& player = block.tech().layer(plane_layer);
   const double h = block.tech().dielectric_gap(
       std::min(plane_layer, block.layer_index()),
@@ -161,7 +165,9 @@ std::vector<peec::Bar> plane_strips(const geom::Block& block, int plane_layer,
 PartialResult extract_partial(const geom::Block& block,
                               const SolveOptions& opt) {
   if (opt.frequency <= 0.0)
-    throw std::invalid_argument("extract_partial: frequency");
+    throw diag::UsageError(
+        "solver", "extract_partial: frequency must be positive, got " +
+                      std::to_string(opt.frequency) + " Hz");
   // Partial-inductance extraction ignores planes by definition: the return
   // path is decided later by the circuit simulator (paper Section II.A).
   std::vector<Conductor> conductors;
@@ -189,16 +195,24 @@ PartialResult extract_partial(const geom::Block& block,
 
 LoopResult extract_loop(const geom::Block& block, const SolveOptions& opt) {
   if (opt.frequency <= 0.0)
-    throw std::invalid_argument("extract_loop: frequency");
+    throw diag::UsageError(
+        "solver", "extract_loop: frequency must be positive, got " +
+                      std::to_string(opt.frequency) + " Hz");
   const std::vector<Conductor> conductors = block_conductors(block, opt);
 
   std::vector<std::size_t> sig, gnd;
   for (std::size_t c = 0; c < conductors.size(); ++c)
     (conductors[c].is_ground ? gnd : sig).push_back(c);
-  if (sig.empty()) throw std::invalid_argument("extract_loop: no signals");
+  if (sig.empty())
+    throw diag::GeometryError(
+        "solver", "extract_loop: the block has no signal traces (all " +
+                      std::to_string(conductors.size()) +
+                      " conductors are grounds/planes)");
   if (gnd.empty())
-    throw std::invalid_argument(
-        "extract_loop: needs ground traces or a plane as return");
+    throw diag::GeometryError(
+        "solver",
+        "extract_loop: no return path — the block needs ground traces or a "
+        "plane (use extract_partial for bare coplanar signals)");
 
   const ComplexMatrix z = conductor_impedance(conductors, opt);
   const std::size_t ns = sig.size();

@@ -72,7 +72,7 @@ TEST(Cli, ExtractMicrostripUsesLoopTables) {
 
 TEST(Cli, ExtractRejectsBadStructure) {
   const Result r = drive({"extract", "--structure", "coax"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);  // usage error per the exit-code contract
   EXPECT_NE(r.err.find("unknown structure"), std::string::npos);
 }
 
@@ -129,11 +129,11 @@ TEST(Cli, ExtractCustomTraces) {
 
 TEST(Cli, ExtractCustomTracesValidation) {
   const Result bad = drive({"extract", "--traces", "x:6,s:3"});
-  EXPECT_EQ(bad.code, 1);
+  EXPECT_EQ(bad.code, 2);
   EXPECT_NE(bad.err.find("bad --traces token"), std::string::npos);
   const Result bad2 = drive({"extract", "--traces", "g:6,s:3,g:6",
                              "--spacings", "1"});
-  EXPECT_EQ(bad2.code, 1);
+  EXPECT_EQ(bad2.code, 2);
 }
 
 TEST(Cli, ExtractPrintsScreeningVerdict) {
@@ -162,10 +162,10 @@ TEST(Cli, ExtractTracesTolerateWhitespace) {
 
 TEST(Cli, ExtractTracesRejectEmptyItems) {
   const Result r = drive({"extract", "--traces", "g:5,,s:10"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("empty item"), std::string::npos);
   const Result r2 = drive({"extract", "--traces", "g:5,s:10,"});
-  EXPECT_EQ(r2.code, 1);
+  EXPECT_EQ(r2.code, 2);
   EXPECT_NE(r2.err.find("empty item"), std::string::npos);
 }
 
@@ -216,13 +216,13 @@ TEST(Cli, TableCacheColdWarmAndMaintenance) {
 
 TEST(Cli, CacheCommandRequiresDir) {
   const Result r = drive({"cache"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("--dir"), std::string::npos);
 }
 
 TEST(Cli, TablesRequireOutAndBuild) {
   const Result missing = drive({"tables"});
-  EXPECT_EQ(missing.code, 1);
+  EXPECT_EQ(missing.code, 2);
   const std::string path = "/tmp/rlcx_cli_tables.txt";
   const Result r = drive({"tables", "--out", path, "--points", "2",
                           "--planes", "none"});
@@ -232,6 +232,116 @@ TEST(Cli, TablesRequireOutAndBuild) {
   std::string magic;
   f >> magic;
   EXPECT_EQ(magic, "rlcx-tables");
+}
+
+// ---- Exit-code contract (see cli.h): 2 usage, 3 invalid input, 4 numeric.
+
+TEST(CliExitCodes, ValidationFailureExitsThree) {
+  // A zero-width trace is structurally invalid geometry, not a usage error:
+  // the flags parse fine, the input they describe does not.
+  const Result r = drive({"extract", "--traces", "s:0", "--length-um", "500"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.err.find("[geometry]"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("width"), std::string::npos) << r.err;
+}
+
+TEST(CliExitCodes, MutuallyExclusiveStrictLenient) {
+  const Result r = drive({"extract", "--strict", "--lenient"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(CliExitCodes, UnknownExtrapolationPolicyIsUsage) {
+  const Result r = drive({"extract", "--extrapolation", "maybe"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--extrapolation"), std::string::npos);
+}
+
+TEST(CliExitCodes, ExtrapolationPolicyGovernsOutOfGridQueries) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "rlcx_cli_extrap")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  // Characterise a tiny grid (widths 1..20 um), then ask for a 50 um trace.
+  const std::vector<std::string> base{
+      "extract", "--structure", "cpw",   "--length-um",   "1000",
+      "--signal-um", "50",      "--points", "2", "--table-cache", dir};
+
+  // Default (warn): succeeds, with a numeric warning on stderr.
+  const Result warn = drive(base);
+  EXPECT_EQ(warn.code, 0) << warn.err;
+  EXPECT_NE(warn.err.find("warning: [numeric]"), std::string::npos)
+      << warn.err;
+  EXPECT_NE(warn.err.find("outside table"), std::string::npos) << warn.err;
+
+  // --strict escalates that warning to the numeric exit code.
+  std::vector<std::string> strict = base;
+  strict.push_back("--strict");
+  const Result esc = drive(strict);
+  EXPECT_EQ(esc.code, 4) << esc.err;
+  EXPECT_NE(esc.err.find("strict mode"), std::string::npos) << esc.err;
+
+  // --extrapolation throw refuses outright with a numeric error naming the
+  // table, even in the default lenient mode.
+  std::vector<std::string> hard = base;
+  hard.push_back("--extrapolation");
+  hard.push_back("throw");
+  const Result thrown = drive(hard);
+  EXPECT_EQ(thrown.code, 4) << thrown.err;
+  EXPECT_NE(thrown.err.find("[numeric]"), std::string::npos) << thrown.err;
+  EXPECT_NE(thrown.err.find("mutual-L"), std::string::npos) << thrown.err;
+
+  // --extrapolation clamp answers from the grid edge, silently.
+  std::vector<std::string> clamp = base;
+  clamp.push_back("--extrapolation");
+  clamp.push_back("clamp");
+  const Result clamped = drive(clamp);
+  EXPECT_EQ(clamped.code, 0) << clamped.err;
+  EXPECT_EQ(clamped.err.find("warning:"), std::string::npos) << clamped.err;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(CliExitCodes, CorruptCacheRecoversByDefaultAndFailsUnderStrict) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "rlcx_cli_corrupt")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  const std::vector<std::string> base{"extract",    "--structure", "cpw",
+                                      "--length-um", "1000",       "--points",
+                                      "2",          "--table-cache", dir};
+  ASSERT_EQ(drive(base).code, 0);
+
+  auto corrupt_entry = [&] {
+    for (const auto& de : std::filesystem::directory_iterator(dir))
+      if (de.path().extension() == ".tbl") {
+        std::ofstream os(de.path(), std::ios::binary | std::ios::trunc);
+        os << "RLXBgarbage";
+      }
+  };
+
+  // Default policy: quarantined, warned, transparently re-characterised.
+  corrupt_entry();
+  const Result rec = drive(base);
+  EXPECT_EQ(rec.code, 0) << rec.err;
+  EXPECT_NE(rec.err.find("warning: [cache]"), std::string::npos) << rec.err;
+  EXPECT_NE(rec.err.find("quarantined"), std::string::npos) << rec.err;
+  EXPECT_NE(rec.out.find("quarantined and re-characterised"),
+            std::string::npos)
+      << rec.out;
+  const Result stat = drive({"cache", "--dir", dir});
+  EXPECT_NE(stat.out.find("1 quarantined"), std::string::npos) << stat.out;
+
+  // Strict policy: the corrupt entry is a hard cache error (exit 3).
+  corrupt_entry();
+  std::vector<std::string> strict = base;
+  strict.push_back("--strict");
+  const Result hard = drive(strict);
+  EXPECT_EQ(hard.code, 3) << hard.err;
+  EXPECT_NE(hard.err.find("[cache]"), std::string::npos) << hard.err;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

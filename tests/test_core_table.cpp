@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
 #include "core/table.h"
+#include "diag/error.h"
 
 namespace rlcx::core {
 namespace {
@@ -184,14 +186,27 @@ TEST(NdTableBinary, RejectsTruncation) {
   EXPECT_THROW(NdTable::load_binary(cut), std::runtime_error);
 }
 
-TEST(NdTableBinary, RejectsNonFiniteValues) {
+TEST(NdTable, ConstructorRejectsNonFiniteValues) {
   std::vector<double> vals{110.0, 120.0, 210.0, 220.0, 310.0,
                            std::numeric_limits<double>::quiet_NaN()};
-  const NdTable t({"width", "length"}, {{1.0, 2.0, 3.0}, {10.0, 20.0}},
-                  vals);
+  EXPECT_THROW(NdTable({"width", "length"}, {{1.0, 2.0, 3.0}, {10.0, 20.0}},
+                       vals),
+               rlcx::diag::NumericError);
+}
+
+TEST(NdTableBinary, RejectsNonFiniteValues) {
+  const NdTable t = make_2d();
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   t.save_binary(ss);
-  EXPECT_THROW(NdTable::load_binary(ss), std::runtime_error);
+  // Poison the last stored double (values are the file's tail) with NaN.
+  std::string blob = ss.str();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(blob.data() + blob.size() - sizeof nan, &nan, sizeof nan);
+  std::stringstream bad(blob, std::ios::in | std::ios::binary);
+  EXPECT_THROW(NdTable::load_binary(bad), std::runtime_error);
+  // The category is numeric — a poisoned value, not a framing problem.
+  std::stringstream bad2(blob, std::ios::in | std::ios::binary);
+  EXPECT_THROW(NdTable::load_binary(bad2), rlcx::diag::NumericError);
 }
 
 TEST(NdTableBinary, LoadFileSniffsBothFormats) {

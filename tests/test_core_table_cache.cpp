@@ -7,6 +7,8 @@
 #include <fstream>
 
 #include "core/table_cache.h"
+#include "diag/error.h"
+#include "diag/warnings.h"
 #include "geom/technology.h"
 #include "numeric/units.h"
 
@@ -141,28 +143,71 @@ TEST(TableCache, KeyHashIsStableFnv1a64) {
   EXPECT_EQ(TableCache::key_hash("abc"), 0xe71fa2190541574bull);
 }
 
-TEST(TableCache, CorruptEntryFailsLoudly) {
+TEST(TableCache, CorruptEntryFailsLoudlyUnderStrictPolicy) {
   const ScratchDir dir("rlcx_cache_corrupt");
   const geom::Technology tech = geom::Technology::generic_025um();
   const TableGrid grid = tiny_grid();
   const solver::SolveOptions opt = fast_options();
 
-  TableCache cache(dir.path);
+  TableCache cache(dir.path, CacheRecoveryPolicy::kStrict);
   const std::string key =
       TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
   cache.store(key, build_tables(tech, 6, geom::PlaneConfig::kNone, grid,
                                 opt));
 
-  // Overwrite the entry with garbage: loading must throw, not silently
-  // serve or rebuild.
+  // Overwrite the entry with garbage: strict loading must throw, not
+  // silently serve or rebuild.
   for (const fs::directory_entry& de : fs::directory_iterator(dir.path))
     if (de.path().extension() == ".tbl") {
       std::ofstream os(de.path(), std::ios::binary | std::ios::trunc);
       os << "RLXBgarbage";
     }
   EXPECT_THROW(cache.load(key), std::runtime_error);
+  EXPECT_THROW(cache.load(key), rlcx::diag::CacheError);
   // And a corrupt entry is not listed as well-formed.
   EXPECT_TRUE(cache.list().empty());
+}
+
+TEST(TableCache, CorruptEntryIsQuarantinedUnderRecoverPolicy) {
+  const ScratchDir dir("rlcx_cache_recover");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+
+  TableCache cache(dir.path);  // kRecover is the default
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  cache.store(key, build_tables(tech, 6, geom::PlaneConfig::kNone, grid,
+                                opt));
+  for (const fs::directory_entry& de : fs::directory_iterator(dir.path))
+    if (de.path().extension() == ".tbl") {
+      std::ofstream os(de.path(), std::ios::binary | std::ios::trunc);
+      os << "RLXBgarbage";
+    }
+
+  // The bad entry reads as a miss, a warning is emitted on the cache
+  // channel, and the bytes are preserved under *.quarantine.
+  std::vector<rlcx::diag::Warning> warnings;
+  {
+    rlcx::diag::ScopedWarningHandler capture(
+        [&](const rlcx::diag::Warning& w) { warnings.push_back(w); });
+    EXPECT_FALSE(cache.load(key).has_value());
+  }
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].category, rlcx::diag::Category::kCache);
+  std::size_t quarantined_files = 0;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir.path))
+    if (de.path().extension() == ".quarantine") ++quarantined_files;
+  EXPECT_EQ(quarantined_files, 2u);  // entry + key sidecar
+
+  // The slot is free again: a rebuild stores and then hits cleanly.
+  build_tables_cached(tech, 6, geom::PlaneConfig::kNone, grid, opt, cache);
+  EXPECT_TRUE(cache.load(key).has_value());
+
+  // purge() sweeps quarantined files along with live entries.
+  EXPECT_EQ(cache.purge(), 1u);
+  EXPECT_TRUE(fs::is_empty(dir.path));
 }
 
 TEST(TableCache, SidecarMismatchIsTreatedAsMiss) {

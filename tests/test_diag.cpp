@@ -1,0 +1,110 @@
+// Tests for the diagnostics subsystem itself: the error taxonomy, the
+// CLI exit-code mapping and the scoped warnings channel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "diag/error.h"
+#include "diag/warnings.h"
+
+namespace rlcx::diag {
+namespace {
+
+TEST(DiagTaxonomy, CategoryNames) {
+  EXPECT_STREQ(to_string(Category::kGeometry), "geometry");
+  EXPECT_STREQ(to_string(Category::kNumeric), "numeric");
+  EXPECT_STREQ(to_string(Category::kIo), "io");
+  EXPECT_STREQ(to_string(Category::kCache), "cache");
+  EXPECT_STREQ(to_string(Category::kUsage), "usage");
+}
+
+TEST(DiagTaxonomy, ExitCodeContract) {
+  // The documented contract (docs/robustness.md): scripts key off these.
+  EXPECT_EQ(exit_code(Category::kUsage), 2);
+  EXPECT_EQ(exit_code(Category::kGeometry), 3);
+  EXPECT_EQ(exit_code(Category::kIo), 3);
+  EXPECT_EQ(exit_code(Category::kCache), 3);
+  EXPECT_EQ(exit_code(Category::kNumeric), 4);
+}
+
+TEST(DiagTaxonomy, FormatError) {
+  EXPECT_EQ(format_error(Category::kNumeric, "lu", "zero pivot"),
+            "[numeric] lu: zero pivot");
+}
+
+TEST(DiagTaxonomy, WhatCarriesCategoryStageAndMessage) {
+  const NumericError e("transient", "diverging voltage");
+  EXPECT_STREQ(e.what(), "[numeric] transient: diverging voltage");
+  EXPECT_EQ(e.category(), Category::kNumeric);
+  EXPECT_EQ(e.stage(), "transient");
+  EXPECT_EQ(e.message(), "diverging voltage");
+}
+
+// The dual hierarchy: rejected inputs keep the std::invalid_argument
+// contract, runtime failures keep std::runtime_error, and all of them are
+// catchable as Fault.
+TEST(DiagTaxonomy, LeafTypesKeepHistoricalStdContracts) {
+  EXPECT_THROW(throw GeometryError("block", "zero width"),
+               std::invalid_argument);
+  EXPECT_THROW(throw UsageError("cli", "bad flag"), std::invalid_argument);
+  EXPECT_THROW(throw NumericError("fd2d", "NaN"), std::runtime_error);
+  EXPECT_THROW(throw IoError("table", "truncated"), std::runtime_error);
+  EXPECT_THROW(throw CacheError("cache", "corrupt"), std::runtime_error);
+
+  try {
+    throw GeometryError("block", "zero width");
+  } catch (const Fault& f) {
+    EXPECT_EQ(f.category(), Category::kGeometry);
+  }
+}
+
+TEST(DiagTaxonomy, CategoryOfUsesFallbackForUncategorized) {
+  const NumericError numeric("lu", "zero pivot");
+  EXPECT_EQ(category_of(numeric, Category::kUsage), Category::kNumeric);
+  const std::runtime_error plain("plain");
+  EXPECT_EQ(category_of(plain, Category::kUsage), Category::kUsage);
+}
+
+TEST(DiagTaxonomy, SingularSystemCarriesProvenance) {
+  const SingularSystem s("lu", "zero pivot at column 3", 3, 7,
+                         std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.column(), 3u);
+  EXPECT_EQ(s.dimension(), 7u);
+  EXPECT_TRUE(std::isinf(s.condition_estimate()));
+  EXPECT_EQ(s.category(), Category::kNumeric);
+  // And it is still catchable at every level of the hierarchy.
+  EXPECT_THROW(throw SingularSystem("lu", "m", 0, 1, 1.0), NumericError);
+  EXPECT_THROW(throw SingularSystem("lu", "m", 0, 1, 1.0),
+               std::runtime_error);
+}
+
+TEST(DiagWarnings, FormatWarning) {
+  const Warning w{Category::kCache, "cache", "quarantined entry"};
+  EXPECT_EQ(format_warning(w), "warning: [cache] cache: quarantined entry");
+}
+
+TEST(DiagWarnings, ScopedHandlerCapturesAndRestores) {
+  std::vector<Warning> outer_seen, inner_seen;
+  ScopedWarningHandler outer(
+      [&](const Warning& w) { outer_seen.push_back(w); });
+  emit_warning(Category::kNumeric, "fd2d", "one");
+  {
+    // Innermost wins while alive...
+    ScopedWarningHandler inner(
+        [&](const Warning& w) { inner_seen.push_back(w); });
+    emit_warning(Category::kIo, "table", "two");
+  }
+  // ...and the outer handler is restored on destruction.
+  emit_warning(Category::kGeometry, "block", "three");
+
+  ASSERT_EQ(outer_seen.size(), 2u);
+  EXPECT_EQ(outer_seen[0].stage, "fd2d");
+  EXPECT_EQ(outer_seen[1].message, "three");
+  ASSERT_EQ(inner_seen.size(), 1u);
+  EXPECT_EQ(inner_seen[0].category, Category::kIo);
+}
+
+}  // namespace
+}  // namespace rlcx::diag

@@ -1,6 +1,10 @@
 // Tests for the geometry layer: technology stack, traces, blocks, builders.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "diag/error.h"
 #include "geom/builders.h"
 #include "numeric/units.h"
 
@@ -159,6 +163,50 @@ TEST(PlaneConfigNames, ToString) {
   EXPECT_STREQ(to_string(PlaneConfig::kBelow), "below");
   EXPECT_STREQ(to_string(PlaneConfig::kAbove), "above");
   EXPECT_STREQ(to_string(PlaneConfig::kBothSides), "both");
+}
+
+// Degenerate geometry must die as a categorized `geometry` error at
+// construction — never reach the solvers and come back as NaN.
+TEST(DegenerateGeometry, ZeroWidthTraceIsAGeometryError) {
+  const Technology tech = Technology::generic_025um();
+  const std::vector<Trace> traces{{TraceRole::kSignal, 0.0, 0.0, "sig"}};
+  try {
+    Block blk(&tech, 6, um(100), traces);
+    FAIL() << "zero-width trace must be rejected";
+  } catch (const diag::GeometryError& e) {
+    EXPECT_EQ(e.category(), diag::Category::kGeometry);
+    EXPECT_NE(std::string(e.what()).find("width"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'sig'"), std::string::npos);
+  }
+}
+
+TEST(DegenerateGeometry, ZeroLengthBlockIsAGeometryError) {
+  const Technology tech = Technology::generic_025um();
+  const std::vector<Trace> traces{{TraceRole::kSignal, um(2), 0.0, "s"}};
+  EXPECT_THROW(Block(&tech, 6, 0.0, traces), diag::GeometryError);
+  EXPECT_THROW(Block(&tech, 6, -um(5), traces), diag::GeometryError);
+  const double nan = std::nan("");
+  EXPECT_THROW(Block(&tech, 6, nan, traces), diag::GeometryError);
+}
+
+TEST(DegenerateGeometry, NonFiniteTraceFieldsAreGeometryErrors) {
+  const Technology tech = Technology::generic_025um();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Block(&tech, 6, um(100),
+                     {{TraceRole::kSignal, inf, 0.0, "w"}}),
+               diag::GeometryError);
+  EXPECT_THROW(Block(&tech, 6, um(100),
+                     {{TraceRole::kSignal, um(2), std::nan(""), "x"}}),
+               diag::GeometryError);
+}
+
+TEST(DegenerateGeometry, TechnologyRejectionsAreCategorized) {
+  EXPECT_THROW(Technology({}, 3.9), diag::GeometryError);
+  EXPECT_THROW(Technology({{1, 0.0, 0.0, 2e-8}}, 3.9), diag::GeometryError);
+  EXPECT_THROW(Technology({{1, um(1), 0.0, -2e-8}}, 3.9),
+               diag::GeometryError);
+  EXPECT_THROW(Technology({{1, um(1), 0.0, 2e-8}}, 0.0),
+               diag::GeometryError);
 }
 
 }  // namespace

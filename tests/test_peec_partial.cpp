@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "diag/error.h"
 #include "numeric/units.h"
 #include "peec/assembly.h"
 #include "peec/partial_inductance.h"
@@ -268,6 +269,32 @@ INSTANTIATE_TEST_SUITE_P(
                       SelfCase{5.0, 2.0, 1000.0}, SelfCase{10.0, 2.0, 2000.0},
                       SelfCase{10.0, 2.0, 6000.0}, SelfCase{1.2, 2.0, 600.0},
                       SelfCase{20.0, 2.0, 4000.0}));
+
+// Coincident or interpenetrating bars describe impossible metal: the
+// mutual kernel rejects them as a `geometry` error with the overlap
+// extents, instead of integrating a singular kernel into NaN/garbage.
+TEST(MutualPartial, CoincidentBarsAreAGeometryError) {
+  const Bar b = make_bar(um(2), um(1), um(500));
+  try {
+    mutual_partial(b, b);
+    FAIL() << "coincident bars must be rejected";
+  } catch (const rlcx::diag::GeometryError& e) {
+    EXPECT_NE(std::string(e.what()).find("overlap in volume"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MutualPartial, PartiallyOverlappingBarsAreAGeometryError) {
+  const Bar a = make_bar(um(2), um(1), um(500));
+  // Shifted by half a width: still sharing metal.
+  const Bar b = make_bar(um(2), um(1), um(500), um(1));
+  EXPECT_THROW(mutual_partial(a, b), rlcx::diag::GeometryError);
+  // Exactly touching side faces are legal (chunked self-inductance relies
+  // on this): a zero-overlap neighbour must still integrate cleanly.
+  const Bar c = make_bar(um(2), um(1), um(500), um(2));
+  EXPECT_GT(mutual_partial(a, c), 0.0);
+}
 
 }  // namespace
 }  // namespace rlcx::peec

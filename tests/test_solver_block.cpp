@@ -9,6 +9,7 @@
 #include "geom/builders.h"
 #include "numeric/units.h"
 #include "peec/partial_inductance.h"
+#include "diag/error.h"
 #include "solver/block_solver.h"
 #include "solver/frequency.h"
 
@@ -241,6 +242,34 @@ TEST_P(SpacingSweep, TighterReturnMeansLowerLoopL) {
 
 INSTANTIATE_TEST_SUITE_P(Spacings, SpacingSweep,
                          ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0));
+
+// A loop extraction with nothing to close the loop is a structural
+// problem, reported as a categorized `geometry` error that points at the
+// fix — not a singular matrix deep inside the factorisation.
+TEST(ExtractLoop, SingleTraceWithoutReturnPathIsAGeometryError) {
+  const Block blk(&tech(), 6, um(1000),
+                  {{geom::TraceRole::kSignal, um(10), 0.0, "sig"}},
+                  PlaneConfig::kNone);
+  try {
+    extract_loop(blk, low_freq());
+    FAIL() << "no return path must be rejected";
+  } catch (const rlcx::diag::GeometryError& e) {
+    EXPECT_NE(std::string(e.what()).find("no return path"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("extract_partial"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ExtractLoop, AllGroundBlockIsAGeometryError) {
+  const Block blk(&tech(), 6, um(1000),
+                  {{geom::TraceRole::kGround, um(10), 0.0, "g1"},
+                   {geom::TraceRole::kGround, um(10), um(20), "g2"}},
+                  PlaneConfig::kNone);
+  EXPECT_THROW(extract_loop(blk, low_freq()), rlcx::diag::GeometryError);
+}
 
 }  // namespace
 }  // namespace rlcx::solver
