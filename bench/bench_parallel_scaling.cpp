@@ -1,0 +1,134 @@
+// P1 — parallel scaling of the table characterisation (the rlcx::rt pool).
+//
+// Builds the same inductance tables at 1, 2, 4, ... threads and reports
+// wall time, speedup over serial and whether the parallel tables are
+// bit-identical to the serial ones (the rt determinism contract).  Output
+// is JSON so CI and plotting scripts can consume it directly.
+//
+// Environment overrides for quick local runs:
+//   RLCX_BENCH_POINTS=N   shrink each grid axis to at most N points
+//   RLCX_BENCH_THREADS=L  comma-separated thread counts (e.g. "1,2,8")
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/table_builder.h"
+#include "solver/frequency.h"
+
+using namespace rlcx;
+
+namespace {
+
+std::vector<int> thread_counts() {
+  if (const char* env = std::getenv("RLCX_BENCH_THREADS")) {
+    std::vector<int> out;
+    std::string tok;
+    for (const char* p = env;; ++p) {
+      if (*p == ',' || *p == '\0') {
+        if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+        tok.clear();
+        if (*p == '\0') break;
+      } else {
+        tok += *p;
+      }
+    }
+    if (!out.empty()) return out;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int max = hw > 0 ? static_cast<int>(hw) : 1;
+  std::vector<int> out = {1};
+  for (int t = 2; t < max; t *= 2) out.push_back(t);
+  if (max > 1) out.push_back(max);
+  return out;
+}
+
+core::TableGrid bench_grid() {
+  core::TableGrid grid = core::default_clock_grid();
+  if (const char* env = std::getenv("RLCX_BENCH_POINTS")) {
+    const int n = std::atoi(env);
+    if (n >= 2) {
+      const auto shrink = [n](std::vector<double>& axis) {
+        if (axis.size() > static_cast<std::size_t>(n)) axis.resize(n);
+      };
+      shrink(grid.widths);
+      shrink(grid.spacings);
+      shrink(grid.lengths);
+    }
+  }
+  return grid;
+}
+
+bool same_tables(const core::InductanceTables& a,
+                 const core::InductanceTables& b) {
+  const auto same = [](const std::vector<double>& x,
+                       const std::vector<double>& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      if (x[i] != y[i]) return false;  // bit comparison, not tolerance
+    return true;
+  };
+  return same(a.self.values(), b.self.values()) &&
+         same(a.mutual.values(), b.mutual.values()) &&
+         same(a.series_r.values(), b.series_r.values());
+}
+
+}  // namespace
+
+int main() {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const core::TableGrid grid = bench_grid();
+  solver::SolveOptions opt;
+  opt.frequency = solver::significant_frequency(100e-12);
+  opt.max_filaments_per_dim = 3;
+
+  const std::size_t points = grid.widths.size() * grid.widths.size() *
+                             grid.spacings.size() * grid.lengths.size();
+  std::fprintf(stderr,
+               "bench_parallel_scaling: %zu grid points "
+               "(RLCX_BENCH_POINTS/RLCX_BENCH_THREADS to override)\n",
+               points);
+
+  std::printf("{\n  \"experiment\": \"parallel_scaling\",\n");
+  std::printf("  \"grid_points\": %zu,\n", points);
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"runs\": [\n");
+
+  core::InductanceTables serial;
+  double serial_wall = 0.0;
+  const std::vector<int> counts = thread_counts();
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const int threads = counts[c];
+    core::BuildStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::InductanceTables t = core::build_tables(
+        tech, 6, geom::PlaneConfig::kNone, grid, opt, threads, &stats);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    bool identical = true;
+    if (c == 0) {
+      serial = t;
+      serial_wall = wall;
+    } else {
+      identical = same_tables(serial, t);
+    }
+    std::printf("    {\"threads\": %d, \"wall_s\": %.4f, "
+                "\"speedup\": %.3f, \"solves\": %zu, "
+                "\"bit_identical\": %s}%s\n",
+                threads, wall, serial_wall / wall, stats.solves,
+                identical ? "true" : "false",
+                c + 1 < counts.size() ? "," : "");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: tables at %d threads differ from serial\n",
+                   threads);
+      return 1;
+    }
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

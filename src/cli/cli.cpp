@@ -18,6 +18,7 @@
 #include "core/table_cache.h"
 #include "geom/builders.h"
 #include "numeric/units.h"
+#include "rt/pool.h"
 #include "solver/block_solver.h"
 #include "solver/frequency.h"
 
@@ -175,7 +176,7 @@ std::unique_ptr<const core::InductanceProvider> make_inductance_model(
   const std::size_t solves_before = core::table_build_solve_count();
   core::InductanceTables tables = core::build_tables_cached(
       blk.tech(), blk.layer_index(), blk.planes(), grid_from_args(args),
-      sopt, cache, static_cast<int>(args.get_num("threads", 1)));
+      sopt, cache, static_cast<int>(args.get_num("threads", 0)));
   out << "table cache " << cache.directory() << ": "
       << (cache.stats().hits > 0 ? "cache hit" : "cache miss") << ", "
       << core::table_build_solve_count() - solves_before
@@ -206,10 +207,13 @@ int cmd_help(std::ostream& out) {
          "  a changed tech/grid/frequency re-characterises automatically)\n"
          "  --strict (escalate warnings to errors; corrupt cache entries\n"
          "  fail instead of being quarantined)  --lenient (default)\n"
-         "  --extrapolation warn|clamp|throw (out-of-grid table queries)\n\n"
+         "  --extrapolation warn|clamp|throw (out-of-grid table queries)\n"
+         "  --threads N (size the worker pool; precedence: --threads, then\n"
+         "  RLCX_THREADS, then hardware concurrency; results are\n"
+         "  bit-identical for any thread count)\n\n"
          "extract: [--spice FILE] [--ac-resistance] [--table-cache DIR]\n"
          "tables:  --out FILE [--planes none|below|above|both] [--points N]\n"
-         "         [--threads N] (0 = all cores) [--binary]\n"
+         "         [--threads N] (0 = RLCX_THREADS/all cores) [--binary]\n"
          "         [--table-cache DIR]\n"
          "delay:   [--rs OHM] [--sink-ff N] [--vdd V] [--sections N]\n"
          "         [--no-inductance] [--csv FILE] [--table-cache DIR]\n"
@@ -307,7 +311,7 @@ int cmd_tables(const Args& args, std::ostream& out) {
       parse_planes(args.get("planes", "none"));
   const int layer = static_cast<int>(args.get_num("layer", 6));
   const core::TableGrid grid = grid_from_args(args);
-  const int threads = static_cast<int>(args.get_num("threads", 1));
+  const int threads = static_cast<int>(args.get_num("threads", 0));
   const solver::SolveOptions sopt = solve_options(args);
 
   core::InductanceTables tables;
@@ -480,6 +484,11 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (args.has("strict") && args.has("lenient"))
       throw diag::UsageError("cli",
                              "--strict and --lenient are mutually exclusive");
+    // A CLI --threads outranks RLCX_THREADS: size the process-global pool
+    // before any command touches it.
+    if (args.has("threads"))
+      rt::Pool::set_global_threads(
+          static_cast<int>(args.get_num("threads", 0)));
     int code = 0;
     if (args.command == "help" || args.command == "--help")
       return cmd_help(out);

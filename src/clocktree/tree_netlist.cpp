@@ -1,6 +1,9 @@
 #include "clocktree/tree_netlist.h"
 
 #include <stdexcept>
+#include <utility>
+
+#include "core/batch_extractor.h"
 
 namespace rlcx::clocktree {
 
@@ -18,13 +21,9 @@ struct Builder {
   std::vector<geom::Block> level_blocks;
 
   void extract_levels() {
-    for (std::size_t lv = 0; lv < spec.levels.size(); ++lv) {
-      level_blocks.push_back(level_block(tech, spec, lv));
-      const geom::Block& blk = level_blocks.back();
-      const core::InductanceProvider& prov =
-          inductance.provider(blk.layer_index(), blk.planes());
-      level_rlc.push_back(core::extract_segment_rlc(blk, prov));
-    }
+    TreeSegments segs = extract_tree_segments(tech, spec, inductance);
+    level_blocks = std::move(segs.blocks);
+    level_rlc = std::move(segs.rlc);
   }
 
   void grow(ckt::NodeId from, std::size_t level) {
@@ -49,6 +48,20 @@ struct Builder {
 };
 
 }  // namespace
+
+TreeSegments extract_tree_segments(const geom::Technology& tech,
+                                   const HTreeSpec& spec,
+                                   const core::InductanceLibrary& inductance,
+                                   const core::ExtractOptions& options,
+                                   rt::Pool* pool) {
+  TreeSegments segs;
+  segs.blocks.reserve(spec.levels.size());
+  for (std::size_t lv = 0; lv < spec.levels.size(); ++lv)
+    segs.blocks.push_back(level_block(tech, spec, lv));
+  segs.rlc =
+      core::extract_segments_batch(segs.blocks, inductance, options, pool);
+  return segs;
+}
 
 TreeNetlist build_tree_netlist(const geom::Technology& tech,
                                const HTreeSpec& spec,

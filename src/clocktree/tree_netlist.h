@@ -13,6 +13,11 @@
 #include "clocktree/htree.h"
 #include "core/inductance_model.h"
 #include "core/netlist_builder.h"
+#include "core/rlc_extractor.h"
+
+namespace rlcx::rt {
+class Pool;
+}
 
 namespace rlcx::clocktree {
 
@@ -21,6 +26,23 @@ struct TreeNetlist {
   ckt::NodeId driver_out = 0;         ///< buffer output (after r_source)
   std::vector<ckt::NodeId> sinks;     ///< leaf nodes, left to right
 };
+
+/// Per-level geometry and extracted RLC for one tree (index = level; all
+/// branches of a level share the same segment, Section V's symmetry).
+struct TreeSegments {
+  std::vector<geom::Block> blocks;
+  std::vector<core::SegmentRlc> rlc;
+};
+
+/// Extracts every level's segment in one parallel sweep over the rt pool
+/// (levels are independent blocks; results are bit-identical to extracting
+/// each level serially).  The library must hold a provider for every
+/// (layer, plane-config) the levels use — checked before any work runs.
+TreeSegments extract_tree_segments(const geom::Technology& tech,
+                                   const HTreeSpec& spec,
+                                   const core::InductanceLibrary& inductance,
+                                   const core::ExtractOptions& options = {},
+                                   rt::Pool* pool = nullptr);
 
 /// Build the full netlist.  The library must hold a provider for every
 /// (layer, plane-config) the tree's levels use.

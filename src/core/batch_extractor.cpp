@@ -1,0 +1,143 @@
+#include "core/batch_extractor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "diag/error.h"
+#include "geom/block.h"
+#include "rt/parallel.h"
+#include "rt/pool.h"
+
+namespace rlcx::core {
+
+namespace {
+
+/// A deduplicated job that missed the cache: its plan plus where its grid
+/// points start inside the batch-wide flat range.
+struct PendingBuild {
+  std::size_t job = 0;  ///< index into the caller's jobs vector
+  std::string key;
+  std::unique_ptr<GridSolvePlan> plan;  ///< unique_ptr: the plan's atomic
+                                        ///< counter pins it in place
+  std::size_t offset = 0;
+};
+
+}  // namespace
+
+BatchResult characterize_batch(const geom::Technology& tech,
+                               const std::vector<BatchJob>& jobs,
+                               const solver::SolveOptions& opt,
+                               const BatchOptions& options) {
+  BatchResult res;
+  res.tables.resize(jobs.size());
+  res.stats.resize(jobs.size());
+
+  // Fold identical jobs by cache key (the key covers everything that
+  // determines the values, so equal keys give equal tables).
+  std::vector<std::string> keys(jobs.size());
+  std::vector<std::size_t> canonical(jobs.size());
+  std::map<std::string, std::size_t> first_of_key;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    keys[i] = TableCache::key_text(tech, jobs[i].layer, jobs[i].planes,
+                                   jobs[i].grid, opt);
+    canonical[i] = first_of_key.emplace(keys[i], i).first->second;
+  }
+
+  // Probe the cache for every canonical job; misses become plans whose
+  // points concatenate into one flat range.
+  std::vector<PendingBuild> pending;
+  std::vector<std::size_t> offsets;  // pending[k].offset, for upper_bound
+  std::size_t total_points = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (canonical[i] != i) continue;
+    if (options.cache) {
+      if (std::optional<InductanceTables> hit = options.cache->load(keys[i])) {
+        res.tables[i] = *std::move(hit);
+        continue;
+      }
+    }
+    PendingBuild pb;
+    pb.job = i;
+    pb.key = keys[i];
+    pb.plan = std::make_unique<GridSolvePlan>(tech, jobs[i].layer,
+                                              jobs[i].planes, jobs[i].grid,
+                                              opt);
+    pb.offset = total_points;
+    total_points += pb.plan->points();
+    offsets.push_back(pb.offset);
+    pending.push_back(std::move(pb));
+  }
+
+  rt::Pool& pool = options.pool ? *options.pool : rt::Pool::global();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (total_points != 0) {
+    rt::ParallelOptions popt;
+    popt.grain = 1;
+    popt.pool = &pool;
+    rt::parallel_for(
+        0, total_points,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t idx = lo; idx < hi; ++idx) {
+            const std::size_t k = static_cast<std::size_t>(
+                std::upper_bound(offsets.begin(), offsets.end(), idx) -
+                offsets.begin() - 1);
+            pending[k].plan->solve_point(idx - pending[k].offset);
+          }
+        },
+        popt);
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (PendingBuild& pb : pending) {
+    res.tables[pb.job] = pb.plan->finish();
+    BuildStats& st = res.stats[pb.job];
+    st.solves = pb.plan->solves();
+    st.grid_points = pb.plan->points();
+    st.threads = static_cast<int>(pool.size());
+    st.wall_seconds = wall;
+    if (options.cache) options.cache->store(pb.key, res.tables[pb.job]);
+  }
+
+  // Duplicates copy their canonical's tables; their stats stay zero-solve.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (canonical[i] != i) res.tables[i] = res.tables[canonical[i]];
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (canonical[i] == i) res.library.add_tables(res.tables[i]);
+  }
+  return res;
+}
+
+std::vector<SegmentRlc> extract_segments_batch(
+    const std::vector<geom::Block>& blocks,
+    const InductanceLibrary& library, const ExtractOptions& options,
+    rt::Pool* pool) {
+  // Resolve every provider up front: a missing structure class throws the
+  // same deterministic error regardless of pool schedule, before any
+  // extraction work is spent.
+  std::vector<const InductanceProvider*> providers(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    providers[i] =
+        &library.provider(blocks[i].layer_index(), blocks[i].planes());
+
+  std::vector<SegmentRlc> out(blocks.size());
+  rt::ParallelOptions popt;
+  popt.grain = 1;
+  popt.pool = pool;
+  rt::parallel_for(0, blocks.size(),
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i)
+                       out[i] = extract_segment_rlc(blocks[i], *providers[i],
+                                                    options);
+                   },
+                   popt);
+  return out;
+}
+
+}  // namespace rlcx::core

@@ -1,0 +1,67 @@
+// Batched characterisation and extraction (the "pre-computation campaign"
+// view of paper Section III).
+//
+// A real flow characterises many structure classes — several routing
+// layers, with and without plane shielding — before extracting a tree.
+// Running those builds one after another leaves the pool idle at every
+// build's tail; characterize_batch() instead concatenates the grid points
+// of every outstanding build into ONE flat work-stealing range, so the
+// pool drains a single bag of 2-trace solves.  The cache is consulted
+// first (warm classes cost zero solves) and duplicate jobs are folded by
+// cache key before any work is scheduled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rlc_extractor.h"
+#include "core/table_builder.h"
+#include "core/table_cache.h"
+
+namespace rlcx::rt {
+class Pool;
+}
+
+namespace rlcx::core {
+
+/// One characterisation job: a structure class plus its grid.  The solve
+/// options (frequency, mesh, ...) are shared across the batch.
+struct BatchJob {
+  int layer = 6;
+  geom::PlaneConfig planes = geom::PlaneConfig::kNone;
+  TableGrid grid;
+};
+
+struct BatchOptions {
+  TableCache* cache = nullptr;  ///< probe/store entries when set
+  rt::Pool* pool = nullptr;     ///< nullptr = the process-global pool
+};
+
+struct BatchResult {
+  /// tables[i] answers jobs[i]; duplicates and cache hits are copies.
+  std::vector<InductanceTables> tables;
+  /// stats[i] for jobs[i]: zero solves for a cache hit or a job folded
+  /// into an earlier identical one; built jobs share the fan-out phase's
+  /// wall_seconds (the phase is common, per-job attribution would lie).
+  std::vector<BuildStats> stats;
+  /// All result tables registered under their (layer, plane-config).
+  InductanceLibrary library;
+};
+
+/// Characterises every job, deduplicated by cache key and fanned out as
+/// one flat range of grid-point solves.  Bit-identical to building each
+/// job serially with build_tables(), for any pool size.
+BatchResult characterize_batch(const geom::Technology& tech,
+                               const std::vector<BatchJob>& jobs,
+                               const solver::SolveOptions& opt,
+                               const BatchOptions& options = {});
+
+/// Extracts every block's segment RLC concurrently (one task per block;
+/// result[i] corresponds to blocks[i], bit-identical to the serial call).
+/// The library must hold a provider for every block's structure class —
+/// checked up front so a missing provider fails before any work runs.
+std::vector<SegmentRlc> extract_segments_batch(
+    const std::vector<geom::Block>& blocks, const InductanceLibrary& library,
+    const ExtractOptions& options = {}, rt::Pool* pool = nullptr);
+
+}  // namespace rlcx::core

@@ -48,7 +48,7 @@ NdTable::NdTable(std::vector<std::string> axis_names,
 double NdTable::lookup(const std::vector<double>& q) const {
   if (axes_.empty()) throw std::logic_error("NdTable: empty table");
   if (in_range(q)) return spline_.eval(q);
-  ++extrapolations_;
+  extrapolations_.v.fetch_add(1, std::memory_order_relaxed);
 
   // Identify the worst offending axis for the diagnostic.
   std::size_t ax = 0;
@@ -74,8 +74,8 @@ double NdTable::lookup(const std::vector<double>& q) const {
     case ExtrapolationPolicy::kWarn:
       break;
   }
-  if (!extrapolation_warned_) {
-    extrapolation_warned_ = true;
+  // exchange() elects exactly one warner under concurrent extrapolation.
+  if (!extrapolation_warned_.v.exchange(true, std::memory_order_relaxed)) {
     diag::emit_warning(diag::Category::kNumeric, "table",
                        where.str() +
                            "; spline extrapolation degrades away from the "

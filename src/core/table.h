@@ -7,6 +7,7 @@
 // inductance that is not given in the table."
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -14,6 +15,26 @@
 #include "numeric/spline.h"
 
 namespace rlcx::core {
+
+namespace detail {
+
+/// Atomic statistic counter that stays copyable/movable so the tables that
+/// carry it keep value semantics.  Copies snapshot the source (relaxed);
+/// the counter is bookkeeping, never synchronisation.
+template <typename T>
+struct RelaxedAtomic {
+  std::atomic<T> v{};
+  RelaxedAtomic() = default;
+  explicit RelaxedAtomic(T init) noexcept : v(init) {}
+  RelaxedAtomic(const RelaxedAtomic& o) noexcept
+      : v(o.v.load(std::memory_order_relaxed)) {}
+  RelaxedAtomic& operator=(const RelaxedAtomic& o) noexcept {
+    v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+}  // namespace detail
 
 /// What a table does when a lookup falls outside its gridded region.
 /// Spline extrapolation degrades fast away from the grid, so every policy
@@ -58,9 +79,14 @@ class NdTable {
   bool in_range(const std::vector<double>& q) const;
 
   /// How many lookups so far fell outside the grid (per-table statistic;
-  /// a healthy characterisation grid keeps this at zero).
-  std::size_t extrapolation_count() const { return extrapolations_; }
-  void reset_extrapolation_count() { extrapolations_ = 0; }
+  /// a healthy characterisation grid keeps this at zero).  The counter is
+  /// atomic: lookup() is safe to call concurrently from pool workers.
+  std::size_t extrapolation_count() const {
+    return extrapolations_.v.load(std::memory_order_relaxed);
+  }
+  void reset_extrapolation_count() {
+    extrapolations_.v.store(0, std::memory_order_relaxed);
+  }
 
   /// Grid value by multi-index (mostly for tests).
   double at(const std::vector<std::size_t>& idx) const;
@@ -89,8 +115,8 @@ class NdTable {
   std::vector<double> values_;
   TensorSpline spline_;
   ExtrapolationPolicy policy_ = ExtrapolationPolicy::kWarn;
-  mutable std::size_t extrapolations_ = 0;
-  mutable bool extrapolation_warned_ = false;
+  mutable detail::RelaxedAtomic<std::size_t> extrapolations_;
+  mutable detail::RelaxedAtomic<bool> extrapolation_warned_;
 };
 
 }  // namespace rlcx::core

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <stdexcept>
-#include <thread>
+#include <utility>
 
 #include "geom/builders.h"
 #include "numeric/units.h"
+#include "rt/parallel.h"
 #include "solver/block_solver.h"
 
 namespace rlcx::core {
@@ -40,7 +43,6 @@ PairSolve solve_pair(const geom::Technology& tech, int layer,
       {geom::TraceRole::kSignal, w2, 0.5 * (s + w2), "b"},
   };
   const geom::Block blk(&tech, layer, l, std::move(traces), planes);
-  g_solve_count.fetch_add(1, std::memory_order_relaxed);
   if (table_kind_for(planes) == TableKind::kPartial) {
     const solver::PartialResult r = solver::extract_partial(blk, opt);
     return {r.inductance(0, 0), r.inductance(0, 1), r.resistance[0]};
@@ -59,78 +61,115 @@ void reset_table_build_solve_count() {
   g_solve_count.store(0, std::memory_order_relaxed);
 }
 
-InductanceTables build_tables(const geom::Technology& tech, int layer,
-                              geom::PlaneConfig planes, const TableGrid& grid,
-                              const solver::SolveOptions& opt, int threads) {
-  if (grid.widths.size() < 2 || grid.spacings.size() < 2 ||
-      grid.lengths.size() < 2)
+GridSolvePlan::GridSolvePlan(const geom::Technology& tech, int layer,
+                             geom::PlaneConfig planes, TableGrid grid,
+                             solver::SolveOptions opt)
+    : tech_(&tech), layer_(layer), planes_(planes), grid_(std::move(grid)),
+      opt_(std::move(opt)) {
+  if (grid_.widths.size() < 2 || grid_.spacings.size() < 2 ||
+      grid_.lengths.size() < 2)
     throw std::invalid_argument("build_tables: each axis needs >= 2 points");
-  if (threads < 0) throw std::invalid_argument("build_tables: threads");
-  if (threads == 0)
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  if (threads < 1) threads = 1;
-
-  InductanceTables out;
-  out.layer = layer;
-  out.planes = planes;
-  out.frequency = opt.frequency;
-
-  const std::size_t nw = grid.widths.size();
-  const std::size_t ns = grid.spacings.size();
-  const std::size_t nl = grid.lengths.size();
-
+  const std::size_t nw = grid_.widths.size();
+  const std::size_t ns = grid_.spacings.size();
+  const std::size_t nl = grid_.lengths.size();
+  n_points_ = nw * nw * ns * nl;
   // Mutual table, last axis fastest: (w1, w2, s, l).
-  std::vector<double> mutual_vals(nw * nw * ns * nl);
+  mutual_vals_.resize(n_points_);
   // The self values (and the AC series resistance) fall out of the same
   // solves (diagonal of the pair), taken at a reference spacing;
   // Foundation 1 says the result must not depend on the companion trace,
   // and the Foundations test suite checks that it doesn't.
-  std::vector<double> self_vals(nw * nl);
-  std::vector<double> r_vals(nw * nl);
+  self_vals_.resize(nw * nl);
+  r_vals_.resize(nw * nl);
+}
 
-  // Every grid point is an independent solve; shard the outer width axis
-  // across threads (each thread writes disjoint slices of the tables).
-  auto worker = [&](std::size_t i_begin, std::size_t i_step) {
-    for (std::size_t i = i_begin; i < nw; i += i_step) {
-      for (std::size_t j = 0; j < nw; ++j) {
-        for (std::size_t k = 0; k < ns; ++k) {
-          for (std::size_t m = 0; m < nl; ++m) {
-            const PairSolve ps = solve_pair(
-                tech, layer, planes, grid.widths[i], grid.widths[j],
-                grid.spacings[k], grid.lengths[m], opt);
-            mutual_vals[((i * nw + j) * ns + k) * nl + m] = ps.mutual;
-            // Harvest self(w_i, l_m) from the widest-spaced solve, where
-            // the companion perturbs the loop-mode result least.
-            if (j == 0 && k + 1 == ns) {
-              self_vals[i * nl + m] = ps.self1;
-              r_vals[i * nl + m] = ps.r1;
-            }
-          }
-        }
-      }
-    }
-  };
-  if (threads == 1) {
-    worker(0, 1);
-  } else {
-    std::vector<std::thread> pool;
-    const auto nthreads = std::min<std::size_t>(
-        static_cast<std::size_t>(threads), nw);
-    pool.reserve(nthreads);
-    for (std::size_t t = 0; t < nthreads; ++t)
-      pool.emplace_back(worker, t, nthreads);
-    for (std::thread& t : pool) t.join();
+void GridSolvePlan::solve_point(std::size_t index) {
+  const std::size_t nw = grid_.widths.size();
+  const std::size_t ns = grid_.spacings.size();
+  const std::size_t nl = grid_.lengths.size();
+  // Decode the flat (w1, w2, s, l) point, last axis fastest.
+  const std::size_t m = index % nl;
+  const std::size_t k = (index / nl) % ns;
+  const std::size_t j = (index / (nl * ns)) % nw;
+  const std::size_t i = index / (nl * ns * nw);
+
+  const PairSolve ps =
+      solve_pair(*tech_, layer_, planes_, grid_.widths[i], grid_.widths[j],
+                 grid_.spacings[k], grid_.lengths[m], opt_);
+  solved_.fetch_add(1, std::memory_order_relaxed);
+  g_solve_count.fetch_add(1, std::memory_order_relaxed);
+  mutual_vals_[index] = ps.mutual;
+  // Harvest self(w_i, l_m) from the widest-spaced solve, where the
+  // companion perturbs the loop-mode result least.
+  if (j == 0 && k + 1 == ns) {
+    self_vals_[i * nl + m] = ps.self1;
+    r_vals_[i * nl + m] = ps.r1;
   }
+}
 
-  out.self = NdTable({"width", "length"}, {grid.widths, grid.lengths},
-                     std::move(self_vals));
+InductanceTables GridSolvePlan::finish() {
+  InductanceTables out;
+  out.layer = layer_;
+  out.planes = planes_;
+  out.frequency = opt_.frequency;
+  out.self = NdTable({"width", "length"}, {grid_.widths, grid_.lengths},
+                     std::move(self_vals_));
   out.mutual = NdTable(
       {"w1", "w2", "spacing", "length"},
-      {grid.widths, grid.widths, grid.spacings, grid.lengths},
-      std::move(mutual_vals));
-  out.series_r = NdTable({"width", "length"}, {grid.widths, grid.lengths},
-                         std::move(r_vals));
+      {grid_.widths, grid_.widths, grid_.spacings, grid_.lengths},
+      std::move(mutual_vals_));
+  out.series_r = NdTable({"width", "length"}, {grid_.widths, grid_.lengths},
+                         std::move(r_vals_));
   return out;
+}
+
+InductanceTables build_tables(const geom::Technology& tech, int layer,
+                              geom::PlaneConfig planes, const TableGrid& grid,
+                              const solver::SolveOptions& opt, int threads,
+                              BuildStats* stats) {
+  if (threads < 0) throw std::invalid_argument("build_tables: threads");
+
+  GridSolvePlan plan(tech, layer, planes, grid, opt);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  int threads_used = 1;
+  if (threads == 1 || rt::in_parallel_region()) {
+    // Fully serial — including inner layers (matrix fills, RHS solves),
+    // which would otherwise recruit the global pool.
+    rt::SerialRegion serial;
+    for (std::size_t p = 0; p < plan.points(); ++p) plan.solve_point(p);
+  } else {
+    // threads == 0: the process-global pool; else a pool of exactly the
+    // requested width (ephemeral, like the thread fan-out it replaces).
+    std::optional<rt::Pool> local;
+    rt::Pool* pool = nullptr;
+    if (threads == 0) {
+      pool = &rt::Pool::global();
+    } else {
+      local.emplace(threads);
+      pool = &*local;
+    }
+    threads_used = pool->size();
+    rt::ParallelOptions popt;
+    popt.grain = 1;  // one 2-trace field solve per task: comfortably coarse
+    popt.pool = pool;
+    rt::parallel_for(0, plan.points(),
+                     [&plan](std::size_t lo, std::size_t hi) {
+                       for (std::size_t p = lo; p < hi; ++p)
+                         plan.solve_point(p);
+                     },
+                     popt);
+  }
+
+  if (stats != nullptr) {
+    stats->solves = plan.solves();
+    stats->grid_points = plan.points();
+    stats->threads = threads_used;
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return plan.finish();
 }
 
 }  // namespace rlcx::core

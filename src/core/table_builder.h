@@ -6,7 +6,16 @@
 // subproblems need to be solved, because results to 1-trace subproblems are
 // parts of results to 2-trace subproblems."  Our RI3 stand-in is the
 // rlcx_solver loop/partial extractor.
+//
+// Every grid point is an independent 2-trace solve, so a build is a flat
+// bag of work-stealing tasks on the rlcx::rt pool; GridSolvePlan exposes
+// that decomposition so the batch extractor can fan the points of *many*
+// builds across the same pool.
 #pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
 
 #include "core/inductance_model.h"
 #include "geom/technology.h"
@@ -25,18 +34,69 @@ struct TableGrid {
 /// log-linear in geometry).
 TableGrid default_clock_grid();
 
+/// What one build actually did — the per-build counters that stay
+/// meaningful when several characterisations run concurrently (the
+/// process-global table_build_solve_count() only aggregates).
+struct BuildStats {
+  std::size_t solves = 0;       ///< 2-trace PEEC solves this build performed
+  std::size_t grid_points = 0;  ///< points in the grid (== solves unless
+                                ///< the result came from a cache)
+  int threads = 1;              ///< parallel width the build ran with
+  double wall_seconds = 0.0;    ///< wall-clock time of the solve phase (in a
+                                ///< batch: the shared fan-out phase)
+};
+
+/// One table characterisation decomposed into independent grid-point
+/// solves.  solve_point() is thread-safe for distinct indices and writes
+/// disjoint slots, so any schedule yields bit-identical tables; every
+/// index in [0, points()) must be solved exactly once before finish().
+/// build_tables() runs a plan on its own; the batch extractor concatenates
+/// the points of many plans into one work-stealing range.
+class GridSolvePlan {
+ public:
+  GridSolvePlan(const geom::Technology& tech, int layer,
+                geom::PlaneConfig planes, TableGrid grid,
+                solver::SolveOptions opt);
+
+  std::size_t points() const { return n_points_; }
+  void solve_point(std::size_t index);
+  /// Points solved so far (the per-build solve counter).
+  std::size_t solves() const {
+    return solved_.load(std::memory_order_relaxed);
+  }
+  /// Assembles the tables; call once, after every point is solved.
+  InductanceTables finish();
+
+ private:
+  const geom::Technology* tech_;
+  int layer_;
+  geom::PlaneConfig planes_;
+  TableGrid grid_;
+  solver::SolveOptions opt_;
+  std::size_t n_points_ = 0;
+  std::vector<double> mutual_vals_;
+  std::vector<double> self_vals_;
+  std::vector<double> r_vals_;
+  std::atomic<std::size_t> solved_{0};
+};
+
 /// Build the self (width x length) and mutual (w1 x w2 x spacing x length)
 /// tables for the given structure class at opt.frequency (callers pass the
-/// significant frequency 0.32/t_r).  The grid solves are independent;
-/// `threads` > 1 fans them out (0 = hardware concurrency).
+/// significant frequency 0.32/t_r).  `threads` > 1 fans the grid points
+/// out as work-stealing tasks (long-trace solves cost far more than short
+/// ones, so static sharding load-imbalances); 0 uses the process-global
+/// pool (RLCX_THREADS / --threads / hardware), 1 is fully serial.  The
+/// result is bit-identical for every thread count.  `stats`, when given,
+/// receives the per-build counters.
 InductanceTables build_tables(const geom::Technology& tech, int layer,
                               geom::PlaneConfig planes, const TableGrid& grid,
                               const solver::SolveOptions& opt,
-                              int threads = 1);
+                              int threads = 1, BuildStats* stats = nullptr);
 
 /// Process-wide count of 2-trace PEEC grid solves performed by
-/// build_tables() so far.  The table cache's contract is that a warm hit
-/// performs *zero* solves; tests and the CLI counters observe it here.
+/// build_tables() so far — a thin aggregate over every build's BuildStats,
+/// kept for the table cache's "a warm hit performs *zero* solves" contract
+/// (tests and the CLI counters observe it here).
 std::size_t table_build_solve_count();
 void reset_table_build_solve_count();
 

@@ -45,10 +45,15 @@ void append_axis(std::string& out, const char* name,
 
 /// Writes `content` to `path` via a temp file in the same directory plus
 /// rename, so readers never observe a partial file and a killed writer
-/// leaves at most a .tmp to be overwritten later.
+/// leaves at most a .tmp to be overwritten later.  The temp name carries
+/// the pid (cross-process uniqueness) plus a process-wide counter, so
+/// concurrent same-key writers within one process never share a staging
+/// file and cannot publish each other's half-written bytes.
 void atomic_write(const std::string& path, const std::string& content) {
+  static std::atomic<std::uint64_t> seq{0};
   const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) throw rlcx::diag::CacheError("cache", "cannot write " + tmp);
@@ -124,7 +129,7 @@ std::optional<InductanceTables> TableCache::load(
   const std::string path = entry_path(hash);
   std::error_code ec;
   if (!fs::exists(path, ec)) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   // The sidecar records the full key text; a mismatch means a 64-bit hash
@@ -136,15 +141,15 @@ std::optional<InductanceTables> TableCache::load(
       std::stringstream stored;
       stored << key_is.rdbuf();
       if (stored.str() != key_text) {
-        ++stats_.misses;
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
       }
     }
   }
   try {
     InductanceTables t = InductanceTables::load_file(path);
-    ++stats_.hits;
-    stats_.bytes_read += fs::file_size(path, ec);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(fs::file_size(path, ec), std::memory_order_relaxed);
     return t;
   } catch (const std::exception& e) {
     if (policy_ == CacheRecoveryPolicy::kStrict)
@@ -152,7 +157,7 @@ std::optional<InductanceTables> TableCache::load(
           "cache", "corrupt entry " + path + ": " + e.what() +
                        " (strict policy; quarantine or purge the cache)");
     quarantine(hash, e.what());
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
 }
@@ -168,7 +173,7 @@ void TableCache::quarantine(std::uint64_t hash, const std::string& reason) {
   if (ec) fs::remove(entry, ec);  // rename failed (e.g. EXDEV): drop instead
   fs::rename(sidecar, sidecar + ".quarantine", ec);
   if (ec) fs::remove(sidecar, ec);
-  ++stats_.quarantined;
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
   diag::emit_warning(diag::Category::kCache, "cache",
                      "quarantined corrupt entry " + entry + " (" + reason +
                          "); the table will be re-characterised");
@@ -179,9 +184,14 @@ void TableCache::store(const std::string& key_text,
   const std::uint64_t hash = key_hash(key_text);
   std::ostringstream blob(std::ios::binary);
   tables.save_binary(blob);
-  atomic_write(sidecar_path(hash), key_text);
+  // Entry first, sidecar second: load() skips the collision check when the
+  // sidecar is absent, so a reader racing between the two renames still
+  // serves the (complete) entry rather than failing on a half-published
+  // pair.  Both individual writes are atomic renames.
   atomic_write(entry_path(hash), blob.str());
-  stats_.bytes_written += blob.str().size() + key_text.size();
+  atomic_write(sidecar_path(hash), key_text);
+  bytes_written_.fetch_add(blob.str().size() + key_text.size(),
+                           std::memory_order_relaxed);
 }
 
 std::vector<TableCache::Entry> TableCache::list() const {
@@ -229,12 +239,15 @@ InductanceTables build_tables_cached(const geom::Technology& tech, int layer,
                                      geom::PlaneConfig planes,
                                      const TableGrid& grid,
                                      const solver::SolveOptions& opt,
-                                     TableCache& cache, int threads) {
+                                     TableCache& cache, int threads,
+                                     BuildStats* stats) {
   const std::string key = TableCache::key_text(tech, layer, planes, grid, opt);
-  if (std::optional<InductanceTables> hit = cache.load(key))
+  if (std::optional<InductanceTables> hit = cache.load(key)) {
+    if (stats) *stats = BuildStats{};
     return *std::move(hit);
-  InductanceTables built = build_tables(tech, layer, planes, grid, opt,
-                                        threads);
+  }
+  InductanceTables built =
+      build_tables(tech, layer, planes, grid, opt, threads, stats);
   cache.store(key, built);
   return built;
 }

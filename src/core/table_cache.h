@@ -13,6 +13,7 @@
 // torn entry behind.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -22,7 +23,8 @@
 
 namespace rlcx::core {
 
-/// Hit/miss/traffic counters for one TableCache instance.
+/// Hit/miss/traffic counters for one TableCache instance (a snapshot;
+/// see TableCache::stats()).
 struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
@@ -69,7 +71,11 @@ class TableCache {
   /// categorized `cache` error.
   std::optional<InductanceTables> load(const std::string& key_text);
 
-  /// Stores (or overwrites) the entry for `key_text` atomically.
+  /// Stores (or overwrites) the entry for `key_text` atomically.  Safe to
+  /// call concurrently from several threads or processes, even for the
+  /// same key: each writer stages into a uniquely-named temp file and
+  /// renames it into place, so readers and racing writers never observe a
+  /// torn entry (the last complete write wins).
   void store(const std::string& key_text, const InductanceTables& tables);
 
   struct Entry {
@@ -87,7 +93,18 @@ class TableCache {
   /// files; returns live entries removed.
   std::size_t purge();
 
-  const CacheStats& stats() const { return stats_; }
+  /// Value snapshot of the counters.  The counters themselves are atomics
+  /// so load()/store() may race freely across threads; the snapshot is not
+  /// a consistent cut, only a set of individually-coherent totals.
+  CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.quarantined = quarantined_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   std::string entry_path(std::uint64_t hash) const;
@@ -96,16 +113,24 @@ class TableCache {
 
   std::string dir_;
   CacheRecoveryPolicy policy_;
-  CacheStats stats_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> quarantined_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
 };
 
 /// Cache-first table build: returns the cached tables when the key hits
 /// (performing zero PEEC solves), otherwise builds via build_tables() and
-/// stores the result before returning it.
+/// stores the result before returning it.  `threads` follows the
+/// build_tables() convention (1 = serial, 0 = global pool, N = ephemeral
+/// pool); on a cache hit `stats` reports zero solves and zero wall time
+/// for the build itself.
 InductanceTables build_tables_cached(const geom::Technology& tech, int layer,
                                      geom::PlaneConfig planes,
                                      const TableGrid& grid,
                                      const solver::SolveOptions& opt,
-                                     TableCache& cache, int threads = 1);
+                                     TableCache& cache, int threads = 1,
+                                     BuildStats* stats = nullptr);
 
 }  // namespace rlcx::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "rt/parallel.h"
+
 namespace rlcx::peec {
 
 double bar_resistance(const Bar& bar, double rho) {
@@ -11,18 +13,38 @@ double bar_resistance(const Bar& bar, double rho) {
 }
 
 RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
-                                     const PartialOptions& opt) {
+                                     const PartialOptions& opt,
+                                     rt::Pool* pool) {
   const std::size_t n = filaments.size();
   RealMatrix lp(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    lp(i, i) = self_partial(filaments[i].bar, opt);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double m = filaments[i].sign * filaments[j].sign *
-                       mutual_partial(filaments[i].bar, filaments[j].bar, opt);
-      lp(i, j) = m;
-      lp(j, i) = m;
+  // Row i covers the diagonal plus every j > i, mirrored into (j, i):
+  // the mirror slot lies strictly below row j's own span, so rows write
+  // disjoint elements and can fill in any order.  Row cost shrinks with i
+  // (n - i kernel evaluations), which is exactly the imbalance the
+  // work-stealing grain of one row absorbs.
+  auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      lp(i, i) = self_partial(filaments[i].bar, opt);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double m =
+            filaments[i].sign * filaments[j].sign *
+            mutual_partial(filaments[i].bar, filaments[j].bar, opt);
+        lp(i, j) = m;
+        lp(j, i) = m;
+      }
     }
+  };
+  // Below ~16 filaments the whole fill is a few hundred kernel calls —
+  // cheaper than a dispatch round-trip.
+  constexpr std::size_t kParallelThreshold = 16;
+  if (n < kParallelThreshold) {
+    fill_rows(0, n);
+    return lp;
   }
+  rt::ParallelOptions popt;
+  popt.grain = 1;
+  popt.pool = pool;
+  rt::parallel_for(0, n, fill_rows, popt);
   return lp;
 }
 

@@ -7,6 +7,10 @@
 #include "peec/bar.h"
 #include "peec/partial_inductance.h"
 
+namespace rlcx::rt {
+class Pool;
+}
+
 namespace rlcx::peec {
 
 /// A volume filament: a bar with a branch orientation and a DC resistance.
@@ -20,8 +24,13 @@ struct Filament {
 double bar_resistance(const Bar& bar, double rho);
 
 /// Dense symmetric partial-inductance matrix [H] over the filaments,
-/// orientation signs folded in (Lp_ij = s_i s_j M_ij).
+/// orientation signs folded in (Lp_ij = s_i s_j M_ij).  The O(n^2) fill is
+/// the extraction hot spot: rows fan out across `pool` (nullptr = the
+/// process-global pool) once the matrix is big enough to pay for the trip;
+/// every element is computed independently and written to its own slot, so
+/// the result is bit-identical to the serial fill.
 RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
-                                     const PartialOptions& opt = {});
+                                     const PartialOptions& opt = {},
+                                     rt::Pool* pool = nullptr);
 
 }  // namespace rlcx::peec

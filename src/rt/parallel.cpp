@@ -1,0 +1,125 @@
+#include "rt/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+
+namespace rlcx::rt {
+
+namespace {
+
+/// Shared chunk-claiming loop: workers and the calling thread race on an
+/// atomic cursor, so a long chunk on one thread never idles the others
+/// (the load-balance failure of static sharding).  Exceptions keep the
+/// lowest-index one.
+struct ChunkRun {
+  std::size_t begin, end, grain, chunks;
+  const std::function<void(std::size_t, std::size_t)>& body;
+  std::atomic<std::size_t> next{0};
+  std::mutex m;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  ChunkRun(std::size_t b, std::size_t e, std::size_t g, std::size_t c,
+           const std::function<void(std::size_t, std::size_t)>& fn)
+      : begin(b), end(e), grain(g), chunks(c), body(fn) {}
+
+  void operator()() {
+    while (true) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(m);
+        if (c < error_chunk) {
+          error_chunk = c;
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+void run_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                Pool& pool, bool force_chunked_serial,
+                const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  if (chunks <= 1 || pool.size() <= 1 || in_parallel_region()) {
+    if (!force_chunked_serial) {
+      body(begin, end);
+      return;
+    }
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      body(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  ChunkRun run(begin, end, grain, chunks, body);
+  {
+    TaskGroup group(pool);
+    const std::size_t helpers = std::min<std::size_t>(
+        static_cast<std::size_t>(pool.size()), chunks);
+    for (std::size_t i = 0; i < helpers; ++i) group.run([&run] { run(); });
+    {
+      // The caller claims chunks too; mark it in-region so nested
+      // constructs inside body() run inline here as on the workers.
+      SerialRegion caller_in_region;
+      run();
+    }
+    group.wait();
+  }
+  if (run.error) std::rethrow_exception(run.error);
+}
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  const ParallelOptions& options) {
+  Pool& pool = options.pool != nullptr ? *options.pool : Pool::global();
+  run_chunks(begin, end, options.grain, pool, /*force_chunked_serial=*/false,
+             body);
+}
+
+void detail::parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain, Pool* pool,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  Pool& p = pool != nullptr ? *pool : Pool::global();
+  run_chunks(begin, end, grain, p, /*force_chunked_serial=*/true, body);
+}
+
+void parallel_for_2d(
+    std::size_t rows, std::size_t cols,
+    const std::function<void(std::size_t, std::size_t, std::size_t,
+                             std::size_t)>& body,
+    const ParallelOptions2d& options) {
+  if (rows == 0 || cols == 0) return;
+  const std::size_t gr = options.grain_rows > 0 ? options.grain_rows : 1;
+  const std::size_t gc = options.grain_cols > 0 ? options.grain_cols : 1;
+  const std::size_t row_blocks = (rows + gr - 1) / gr;
+  const std::size_t col_blocks = (cols + gc - 1) / gc;
+  ParallelOptions flat;
+  flat.grain = 1;  // one (row-block, col-block) tile per scheduled chunk
+  flat.pool = options.pool;
+  parallel_for(
+      0, row_blocks * col_blocks,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; ++t) {
+          const std::size_t rb = t / col_blocks;
+          const std::size_t cb = t % col_blocks;
+          const std::size_t r0 = rb * gr;
+          const std::size_t c0 = cb * gc;
+          body(r0, std::min(rows, r0 + gr), c0, std::min(cols, c0 + gc));
+        }
+      },
+      flat);
+}
+
+}  // namespace rlcx::rt

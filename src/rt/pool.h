@@ -1,0 +1,117 @@
+// rlcx::rt — the process-wide parallel runtime.
+//
+// One lazily-created work-stealing pool serves every parallel construct in
+// the library (table characterisation, PEEC matrix assembly, frequency
+// sweeps, batch extraction).  Sizing precedence: an explicit
+// Pool::set_global_threads() call (the CLI's --threads flag) beats the
+// RLCX_THREADS environment variable, which beats the hardware concurrency.
+//
+// Scheduling model: each worker owns a deque; it pops its own tasks from the
+// front and steals from the back of the longest other queue when it runs
+// dry.  Waiting callers help execute queued tasks instead of blocking, so a
+// wait can never deadlock the pool.  Tasks executing on the pool are marked
+// as "inside a parallel region": any parallel construct they invoke runs
+// inline (serial), which keeps nested parallelism deadlock-free and the
+// task granularity under the caller's control — fan out the *outermost*
+// independent unit of work and let inner layers stay serial.
+//
+// Determinism: every construct in parallel.h either writes disjoint
+// output slots or combines partial results in a fixed order, so parallel
+// results are bit-identical to the serial ones for any worker count.
+//
+// Exceptions thrown inside tasks are captured and re-thrown to the waiter
+// by std::exception_ptr, which preserves the concrete exception type — a
+// diag::Fault thrown on a worker keeps its category/stage/message across
+// the pool boundary.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+namespace rlcx::rt {
+
+class TaskGroup;
+
+class Pool {
+ public:
+  /// Creates a pool with `threads` workers (0 = default_threads()).
+  /// Throws a `usage` fault for a negative count.
+  explicit Pool(int threads = 0);
+  ~Pool();  ///< drains nothing: callers must wait() their groups first
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Worker count (>= 1).
+  int size() const noexcept;
+
+  /// The process-wide pool, created on first use.
+  static Pool& global();
+
+  /// Overrides the global pool size (0 = back to RLCX_THREADS/hardware).
+  /// Rebuilds the global pool if it already exists with a different size;
+  /// must not be called while parallel work is in flight.
+  static void set_global_threads(int threads);
+
+  /// RLCX_THREADS when set to a valid positive integer (a malformed value
+  /// emits a `usage` warning and is ignored), else the hardware
+  /// concurrency, else 1.
+  static int default_threads();
+
+ private:
+  friend class TaskGroup;
+
+  void submit(TaskGroup* group, std::function<void()> fn);
+  /// Runs one queued task on the calling thread if any is runnable.
+  bool try_run_one();
+
+  struct Impl;
+  struct Task;
+  static void run_task(Task& task);
+  static void worker_main(Impl* impl, std::size_t index);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Irregular fan-out: run() any number of tasks, then wait() for them all.
+/// wait() helps execute queued tasks, then re-throws the first captured
+/// task exception (original type preserved).  run() from inside a pool task
+/// executes the task inline — nested groups degenerate to serial instead of
+/// risking a self-deadlock.  The group must be waited before destruction
+/// and must not outlive its pool.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Pool& pool = Pool::global());
+  ~TaskGroup();  ///< waits for stragglers; discards any unre-thrown error
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  friend class Pool;
+  void task_done(std::exception_ptr error);
+  void wait_no_throw() noexcept;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// True while the calling thread is executing a pool task or is inside a
+/// SerialRegion; parallel constructs then run inline.
+bool in_parallel_region() noexcept;
+
+/// RAII: forces every parallel construct on this thread to run inline for
+/// the scope's lifetime (used e.g. by build_tables(threads=1) so that a
+/// nominally serial build does not recruit the pool in inner layers).
+class SerialRegion {
+ public:
+  SerialRegion() noexcept;
+  ~SerialRegion();
+  SerialRegion(const SerialRegion&) = delete;
+  SerialRegion& operator=(const SerialRegion&) = delete;
+};
+
+}  // namespace rlcx::rt

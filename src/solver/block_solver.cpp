@@ -11,6 +11,7 @@
 #include "numeric/lu.h"
 #include "peec/assembly.h"
 #include "peec/mesh.h"
+#include "rt/parallel.h"
 
 namespace rlcx::solver {
 
@@ -83,11 +84,21 @@ ComplexMatrix conductor_impedance(const std::vector<Conductor>& conductors,
     z(i, i) += all[i].resistance;
   }
 
-  // Y = P^T Z^{-1} P, column by column.
+  // Y = P^T Z^{-1} P, one triangular solve per drive column.  The columns
+  // are independent O(nf^2) substitutions against the shared factorisation,
+  // so they fan out across the pool (each writes its own column slots).
   LuDecomposition<Complex> lu(std::move(z));
   ComplexMatrix p(nf, nc);
   for (std::size_t i = 0; i < nf; ++i) p(i, owner[i]) = 1.0;
-  const ComplexMatrix zinv_p = lu.solve(p);
+  ComplexMatrix zinv_p(nf, nc);
+  rt::parallel_for(0, nc, [&](std::size_t lo, std::size_t hi) {
+    std::vector<Complex> col(nf);
+    for (std::size_t b = lo; b < hi; ++b) {
+      for (std::size_t i = 0; i < nf; ++i) col[i] = p(i, b);
+      const std::vector<Complex> x = lu.solve(col);
+      for (std::size_t i = 0; i < nf; ++i) zinv_p(i, b) = x[i];
+    }
+  });
   ComplexMatrix y(nc, nc);
   for (std::size_t a = 0; a < nc; ++a)
     for (std::size_t b = 0; b < nc; ++b) {

@@ -1,0 +1,214 @@
+// Batched characterisation/extraction: bit-identity with the serial
+// single-job paths, key-level dedup, cache integration, and the parallel
+// per-level tree sweep.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "clocktree/tree_netlist.h"
+#include "core/batch_extractor.h"
+#include "core/rlc_extractor.h"
+#include "geom/builders.h"
+#include "numeric/units.h"
+#include "rt/pool.h"
+
+namespace rlcx::core {
+namespace {
+
+namespace fs = std::filesystem;
+using units::um;
+
+struct ScratchDir {
+  std::string path;
+  explicit ScratchDir(const std::string& name)
+      : path((fs::path(::testing::TempDir()) / name).string()) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+TableGrid tiny_grid() {
+  TableGrid g;
+  g.widths = {um(2), um(8)};
+  g.spacings = {um(1), um(4)};
+  g.lengths = {um(200), um(1000)};
+  return g;
+}
+
+solver::SolveOptions fast_options() {
+  solver::SolveOptions opt;
+  opt.frequency = 1e9;
+  opt.auto_mesh = false;
+  opt.mesh.nw = 1;
+  opt.mesh.nt = 1;
+  return opt;
+}
+
+void expect_same_tables(const InductanceTables& a, const InductanceTables& b) {
+  ASSERT_EQ(a.mutual.values().size(), b.mutual.values().size());
+  for (std::size_t i = 0; i < a.mutual.values().size(); ++i)
+    EXPECT_EQ(a.mutual.values()[i], b.mutual.values()[i]) << i;
+  ASSERT_EQ(a.self.values().size(), b.self.values().size());
+  for (std::size_t i = 0; i < a.self.values().size(); ++i)
+    EXPECT_EQ(a.self.values()[i], b.self.values()[i]) << i;
+  ASSERT_EQ(a.series_r.values().size(), b.series_r.values().size());
+  for (std::size_t i = 0; i < a.series_r.values().size(); ++i)
+    EXPECT_EQ(a.series_r.values()[i], b.series_r.values()[i]) << i;
+}
+
+TEST(CharacterizeBatch, MatchesSingleBuildsBitForBit) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const solver::SolveOptions opt = fast_options();
+  std::vector<BatchJob> jobs(2);
+  jobs[0] = {6, geom::PlaneConfig::kNone, tiny_grid()};
+  jobs[1] = {4, geom::PlaneConfig::kNone, tiny_grid()};
+
+  rt::Pool pool(3);
+  BatchOptions bopt;
+  bopt.pool = &pool;
+  const BatchResult batch = characterize_batch(tech, jobs, opt, bopt);
+
+  ASSERT_EQ(batch.tables.size(), 2u);
+  ASSERT_EQ(batch.stats.size(), 2u);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const InductanceTables single = build_tables(
+        tech, jobs[j].layer, jobs[j].planes, jobs[j].grid, opt);
+    expect_same_tables(single, batch.tables[j]);
+    EXPECT_EQ(batch.stats[j].solves, 16u) << j;
+    EXPECT_EQ(batch.stats[j].grid_points, 16u) << j;
+    EXPECT_EQ(batch.stats[j].threads, 3) << j;
+    EXPECT_TRUE(batch.library.has(jobs[j].layer, jobs[j].planes)) << j;
+  }
+}
+
+TEST(CharacterizeBatch, FoldsDuplicateJobs) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const solver::SolveOptions opt = fast_options();
+  std::vector<BatchJob> jobs(2);
+  jobs[0] = {6, geom::PlaneConfig::kNone, tiny_grid()};
+  jobs[1] = {6, geom::PlaneConfig::kNone, tiny_grid()};  // identical
+
+  reset_table_build_solve_count();
+  const BatchResult batch = characterize_batch(tech, jobs, opt);
+  EXPECT_EQ(table_build_solve_count(), 16u);  // one build, not two
+  EXPECT_EQ(batch.stats[0].solves, 16u);
+  EXPECT_EQ(batch.stats[1].solves, 0u);  // folded into job 0
+  expect_same_tables(batch.tables[0], batch.tables[1]);
+}
+
+TEST(CharacterizeBatch, WarmCachePerformsZeroSolves) {
+  const ScratchDir dir("rlcx_batch_cache");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const solver::SolveOptions opt = fast_options();
+  const std::vector<BatchJob> jobs = {{6, geom::PlaneConfig::kNone,
+                                       tiny_grid()}};
+
+  TableCache cache(dir.path);
+  BatchOptions bopt;
+  bopt.cache = &cache;
+  const BatchResult cold = characterize_batch(tech, jobs, opt, bopt);
+  EXPECT_EQ(cold.stats[0].solves, 16u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  TableCache warm(dir.path);
+  BatchOptions wopt;
+  wopt.cache = &warm;
+  reset_table_build_solve_count();
+  const BatchResult hit = characterize_batch(tech, jobs, opt, wopt);
+  EXPECT_EQ(table_build_solve_count(), 0u);
+  EXPECT_EQ(warm.stats().hits, 1u);
+  EXPECT_EQ(hit.stats[0].solves, 0u);
+  expect_same_tables(cold.tables[0], hit.tables[0]);
+}
+
+TEST(ExtractSegmentsBatch, MatchesSerialExtraction) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  solver::SolveOptions sopt = fast_options();
+  std::vector<geom::Block> blocks;
+  blocks.push_back(geom::coplanar_waveguide(tech, 6, um(800), um(4), um(6), um(2)));
+  blocks.push_back(geom::coplanar_waveguide(tech, 6, um(400), um(2), um(4), um(1)));
+  blocks.push_back(geom::coplanar_waveguide(tech, 6, um(1500), um(6), um(8), um(3)));
+
+  InductanceLibrary lib;
+  lib.add(6, geom::PlaneConfig::kNone,
+          std::make_shared<DirectInductanceModel>(&tech, 6,
+                                                  geom::PlaneConfig::kNone,
+                                                  sopt));
+
+  rt::Pool pool(3);
+  const std::vector<SegmentRlc> par =
+      extract_segments_batch(blocks, lib, {}, &pool);
+  ASSERT_EQ(par.size(), blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const SegmentRlc serial = extract_segment_rlc(
+        blocks[i], lib.provider(6, geom::PlaneConfig::kNone));
+    ASSERT_EQ(serial.resistance.size(), par[i].resistance.size());
+    for (std::size_t t = 0; t < serial.resistance.size(); ++t)
+      EXPECT_EQ(serial.resistance[t], par[i].resistance[t]);
+    ASSERT_EQ(serial.inductance.rows(), par[i].inductance.rows());
+    for (std::size_t r = 0; r < serial.inductance.rows(); ++r)
+      for (std::size_t c = 0; c < serial.inductance.cols(); ++c)
+        EXPECT_EQ(serial.inductance(r, c), par[i].inductance(r, c));
+    for (std::size_t t = 0; t < serial.cap_ground.size(); ++t)
+      EXPECT_EQ(serial.cap_ground[t], par[i].cap_ground[t]);
+  }
+}
+
+TEST(ExtractSegmentsBatch, MissingProviderFailsBeforeAnyWork) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  std::vector<geom::Block> blocks;
+  blocks.push_back(geom::coplanar_waveguide(tech, 6, um(800), um(4), um(6), um(2)));
+  const InductanceLibrary empty;
+  EXPECT_THROW(extract_segments_batch(blocks, empty), std::exception);
+}
+
+}  // namespace
+}  // namespace rlcx::core
+
+namespace rlcx::clocktree {
+namespace {
+
+using units::um;
+
+TEST(ExtractTreeSegments, ParallelSweepMatchesPerLevelSerial) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  solver::SolveOptions sopt;
+  sopt.frequency = 1e9;
+  sopt.auto_mesh = false;
+  sopt.mesh.nw = 1;
+  sopt.mesh.nt = 1;
+
+  const HTreeSpec spec = example_cpw_tree();  // 3 levels, all (6, none)
+  core::InductanceLibrary lib;
+  for (std::size_t lv = 0; lv < spec.levels.size(); ++lv) {
+    const geom::Block blk = level_block(tech, spec, lv);
+    if (!lib.has(blk.layer_index(), blk.planes()))
+      lib.add(blk.layer_index(), blk.planes(),
+              std::make_shared<core::DirectInductanceModel>(
+                  &tech, blk.layer_index(), blk.planes(), sopt));
+  }
+
+  rt::Pool pool(3);
+  const TreeSegments par = extract_tree_segments(tech, spec, lib, {}, &pool);
+  ASSERT_EQ(par.blocks.size(), spec.levels.size());
+  ASSERT_EQ(par.rlc.size(), spec.levels.size());
+  for (std::size_t lv = 0; lv < spec.levels.size(); ++lv) {
+    const geom::Block blk = level_block(tech, spec, lv);
+    const core::SegmentRlc serial = core::extract_segment_rlc(
+        blk, lib.provider(blk.layer_index(), blk.planes()));
+    ASSERT_EQ(serial.inductance.rows(), par.rlc[lv].inductance.rows());
+    for (std::size_t r = 0; r < serial.inductance.rows(); ++r)
+      for (std::size_t c = 0; c < serial.inductance.cols(); ++c)
+        EXPECT_EQ(serial.inductance(r, c), par.rlc[lv].inductance(r, c))
+            << "level " << lv;
+    for (std::size_t t = 0; t < serial.resistance.size(); ++t)
+      EXPECT_EQ(serial.resistance[t], par.rlc[lv].resistance[t]);
+  }
+}
+
+}  // namespace
+}  // namespace rlcx::clocktree

@@ -1,8 +1,13 @@
 // Parallel table building must be bit-identical to the serial build.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/table_builder.h"
 #include "numeric/units.h"
+#include "peec/assembly.h"
+#include "peec/mesh.h"
+#include "rt/pool.h"
 #include "solver/frequency.h"
 
 namespace rlcx::core {
@@ -33,6 +38,80 @@ TEST(ParallelBuild, IdenticalToSerial) {
   for (std::size_t i = 0; i < serial.series_r.values().size(); ++i)
     EXPECT_DOUBLE_EQ(serial.series_r.values()[i],
                      parallel.series_r.values()[i]);
+}
+
+TEST(ParallelBuild, BitIdenticalAcrossThreadCounts) {
+  const geom::Technology tech = geom::Technology::generic_025um();
+  solver::SolveOptions opt;
+  opt.frequency = solver::significant_frequency(100e-12);
+  opt.max_filaments_per_dim = 2;
+  TableGrid grid;
+  grid.widths = {um(2), um(6)};
+  grid.spacings = {um(1), um(3)};
+  grid.lengths = {um(300), um(900)};
+
+  BuildStats serial_stats;
+  const InductanceTables serial = build_tables(
+      tech, 6, geom::PlaneConfig::kNone, grid, opt, 1, &serial_stats);
+  EXPECT_EQ(serial_stats.threads, 1);
+  EXPECT_EQ(serial_stats.grid_points, 2u * 2u * 2u * 2u);
+  EXPECT_EQ(serial_stats.solves, serial_stats.grid_points);
+  EXPECT_GE(serial_stats.wall_seconds, 0.0);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int counts[] = {2, 7, hw > 0 ? static_cast<int>(hw) : 1};
+  for (const int threads : counts) {
+    BuildStats stats;
+    const InductanceTables t = build_tables(
+        tech, 6, geom::PlaneConfig::kNone, grid, opt, threads, &stats);
+    EXPECT_EQ(stats.threads, threads) << threads;
+    EXPECT_EQ(stats.solves, serial_stats.solves) << threads;
+    ASSERT_EQ(t.mutual.values().size(), serial.mutual.values().size());
+    for (std::size_t i = 0; i < serial.mutual.values().size(); ++i)
+      EXPECT_EQ(serial.mutual.values()[i], t.mutual.values()[i])
+          << "threads=" << threads << " i=" << i;
+    for (std::size_t i = 0; i < serial.self.values().size(); ++i)
+      EXPECT_EQ(serial.self.values()[i], t.self.values()[i]) << threads;
+    for (std::size_t i = 0; i < serial.series_r.values().size(); ++i)
+      EXPECT_EQ(serial.series_r.values()[i], t.series_r.values()[i])
+          << threads;
+  }
+}
+
+TEST(ParallelAssembly, MutualMatrixBitIdenticalAcrossPools) {
+  // A cross-section meshed fine enough to clear the parallel threshold.
+  peec::Bar envelope;
+  envelope.axis = peec::Axis::kY;
+  envelope.length = um(500);
+  envelope.t_width = um(8);
+  envelope.z_min = um(1);
+  envelope.z_thick = um(0.6);
+  peec::MeshOptions mopt;
+  mopt.nw = 6;
+  mopt.nt = 4;
+  std::vector<peec::Filament> filaments;
+  for (const peec::Bar& b : peec::mesh_cross_section(envelope, mopt))
+    filaments.push_back({b, 1.0, 0.0});
+  ASSERT_GE(filaments.size(), 16u);
+
+  const peec::PartialOptions popt;
+  RealMatrix serial;
+  {
+    rt::Pool one(1);
+    serial = peec::partial_inductance_matrix(filaments, popt, &one);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int counts[] = {2, 7, hw > 0 ? static_cast<int>(hw) : 1};
+  for (const int threads : counts) {
+    rt::Pool pool(threads);
+    const RealMatrix lp =
+        peec::partial_inductance_matrix(filaments, popt, &pool);
+    ASSERT_EQ(lp.rows(), serial.rows());
+    for (std::size_t i = 0; i < serial.rows(); ++i)
+      for (std::size_t j = 0; j < serial.cols(); ++j)
+        EXPECT_EQ(serial(i, j), lp(i, j))
+            << "threads=" << threads << " (" << i << "," << j << ")";
+  }
 }
 
 TEST(ParallelBuild, ZeroMeansHardwareConcurrency) {

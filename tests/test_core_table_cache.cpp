@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "core/table_cache.h"
 #include "diag/error.h"
@@ -255,6 +256,44 @@ TEST(TableCache, ListReportsEntriesAndPurgeRemovesThem) {
 
 TEST(TableCache, RejectsUnusableDirectory) {
   EXPECT_THROW(TableCache(""), std::invalid_argument);
+}
+
+TEST(TableCache, ConcurrentSameKeyStoresNeverTearTheEntry) {
+  const ScratchDir dir("rlcx_cache_race");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+
+  TableCache cache(dir.path);
+  const InductanceTables built =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+
+  // Eight writers hammer the same key.  Pre-fix, same-process writers
+  // shared a pid-named temp file and could rename each other's
+  // half-written bytes into place; now every store() stages uniquely.
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 8; ++i)
+    writers.emplace_back([&] {
+      for (int r = 0; r < 5; ++r) cache.store(key, built);
+    });
+  for (std::thread& w : writers) w.join();
+
+  TableCache reader(dir.path, CacheRecoveryPolicy::kStrict);
+  const std::optional<InductanceTables> loaded = reader.load(key);
+  ASSERT_TRUE(loaded.has_value());  // strict: a torn entry would throw
+  ASSERT_EQ(loaded->mutual.values().size(), built.mutual.values().size());
+  for (std::size_t i = 0; i < built.mutual.values().size(); ++i)
+    EXPECT_EQ(loaded->mutual.values()[i], built.mutual.values()[i]);
+
+  // Every one of the 40 stores was counted, and no staging file survives.
+  EXPECT_EQ(cache.stats().bytes_written % 40u, 0u);
+  EXPECT_GT(cache.stats().bytes_written, 0u);
+  for (const fs::directory_entry& de : fs::directory_iterator(dir.path))
+    EXPECT_EQ(de.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << de.path();
 }
 
 }  // namespace
