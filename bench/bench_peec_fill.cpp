@@ -1,0 +1,242 @@
+// P2 — the PEEC hot path: relative-geometry kernel memoization and the
+// blocked complex LU.
+//
+// Part 1 times the partial-inductance matrix fill on a uniform skin-depth
+// style mesh, memo off vs memo on, single-threaded (rt::SerialRegion), and
+// checks the two fills agree element-exactly (the translation-only key's
+// contract on a uniform mesh).  Part 2 times complex LU factorisation plus
+// a multi-RHS solve, blocked LuDecomposition vs the textbook ReferenceLu,
+// and checks the solutions agree to 1e-13 relative.  Output is JSON so CI
+// and plotting scripts can consume it directly; the committed baseline
+// lives in BENCH_peec.json.
+//
+// Flags / environment:
+//   --smoke               tiny sizes, for the CI tier-1 job (seconds, not
+//                         minutes; speedup numbers are not meaningful there)
+//   RLCX_BENCH_MESH=N     override the cross-section mesh to N x N cells
+//   RLCX_BENCH_LU=N       override the LU system size
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "numeric/lu.h"
+#include "numeric/lu_reference.h"
+#include "numeric/matrix.h"
+#include "peec/assembly.h"
+#include "peec/mesh.h"
+#include "peec/partial_inductance.h"
+#include "rt/pool.h"
+
+using namespace rlcx;
+using C = std::complex<double>;
+
+namespace {
+
+double now_wall(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Deterministic LCG in [-1, 1); benches must not depend on libc rand.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  double next() {
+    s_ = s_ * 6364136223846793005ull + 1442695040888963407ull;
+    return 2.0 * static_cast<double>(s_ >> 11) / 9007199254740992.0 - 1.0;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+int env_int(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Uniform nw x nt mesh of a clock-wire-like bar: every pair class repeats
+/// across the grid, the geometry the memo is built for.
+std::vector<peec::Filament> uniform_mesh(std::size_t nw, std::size_t nt) {
+  peec::Bar envelope;
+  envelope.axis = peec::Axis::kY;
+  envelope.a_min = 0.0;
+  envelope.length = 64.0;
+  envelope.t_min = 0.0;
+  envelope.t_width = 1.0;
+  envelope.z_min = 0.0;
+  envelope.z_thick = 0.5;
+  peec::MeshOptions mo;
+  mo.nw = nw;
+  mo.nt = nt;
+  mo.grading = 1.0;
+  std::vector<peec::Filament> fils;
+  for (const peec::Bar& b : peec::mesh_cross_section(envelope, mo))
+    fils.push_back({b, 1.0, 0.0});
+  return fils;
+}
+
+struct FillResult {
+  double wall_off = 0.0;
+  double wall_on = 0.0;
+  double hit_rate = 0.0;
+  std::size_t kernel_evals_off = 0;
+  std::size_t kernel_evals_on = 0;
+  std::size_t pair_lookups = 0;
+  double max_rel_dev = 0.0;
+  std::size_t filaments = 0;
+};
+
+FillResult run_fill(std::size_t nw, std::size_t nt) {
+  const std::vector<peec::Filament> fils = uniform_mesh(nw, nt);
+  rt::SerialRegion serial;  // single-threaded: measure the kernel, not the pool
+
+  FillResult r;
+  r.filaments = fils.size();
+  peec::PartialOptions opt;
+
+  opt.memo = false;
+  peec::FillStats off;
+  const auto t0 = std::chrono::steady_clock::now();
+  const RealMatrix direct =
+      peec::partial_inductance_matrix(fils, opt, nullptr, &off);
+  r.wall_off = now_wall(t0);
+  r.kernel_evals_off = off.kernel_evals;
+
+  opt.memo = true;
+  peec::FillStats on;
+  const auto t1 = std::chrono::steady_clock::now();
+  const RealMatrix memo =
+      peec::partial_inductance_matrix(fils, opt, nullptr, &on);
+  r.wall_on = now_wall(t1);
+  r.kernel_evals_on = on.kernel_evals;
+  r.pair_lookups = on.pair_lookups;
+  r.hit_rate = on.hit_rate();
+
+  double scale = 0.0;
+  for (std::size_t i = 0; i < direct.rows(); ++i)
+    for (std::size_t j = 0; j < direct.cols(); ++j)
+      scale = std::max(scale, std::abs(direct(i, j)));
+  for (std::size_t i = 0; i < direct.rows(); ++i)
+    for (std::size_t j = 0; j < direct.cols(); ++j)
+      r.max_rel_dev = std::max(
+          r.max_rel_dev, std::abs(direct(i, j) - memo(i, j)) / scale);
+  return r;
+}
+
+struct LuResult {
+  double wall_ref = 0.0;
+  double wall_blocked = 0.0;
+  double max_rel_dev = 0.0;
+  std::size_t n = 0;
+  std::size_t nrhs = 0;
+};
+
+LuResult run_lu(std::size_t n, std::size_t nrhs) {
+  Rng rng(20250805);
+  Matrix<C> a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = C(rng.next(), rng.next());
+  for (std::size_t i = 0; i < n; ++i)
+    a(i, i) += C(0.25, static_cast<double>(n));
+  Matrix<C> rhs(n, nrhs);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < nrhs; ++j)
+      rhs(i, j) = C(rng.next(), rng.next());
+
+  rt::SerialRegion serial;
+  LuResult r;
+  r.n = n;
+  r.nrhs = nrhs;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ReferenceLu<C> ref(a);
+  const Matrix<C> xr = ref.solve(rhs);
+  r.wall_ref = now_wall(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const LuDecomposition<C> blocked(a);
+  const Matrix<C> xb = blocked.solve(rhs);
+  r.wall_blocked = now_wall(t1);
+
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < nrhs; ++j)
+      scale = std::max(scale, std::abs(xr(i, j)));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < nrhs; ++j)
+      r.max_rel_dev =
+          std::max(r.max_rel_dev, std::abs(xr(i, j) - xb(i, j)) / scale);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::size_t mesh = static_cast<std::size_t>(
+      env_int("RLCX_BENCH_MESH", smoke ? 8 : 16));
+  std::vector<std::size_t> lu_sizes =
+      smoke ? std::vector<std::size_t>{48, 96}
+            : std::vector<std::size_t>{128, 256, 512};
+  if (const int n = env_int("RLCX_BENCH_LU", 0); n > 0)
+    lu_sizes = {static_cast<std::size_t>(n)};
+  const std::size_t lu_nrhs = smoke ? 16 : 64;
+
+  std::fprintf(stderr, "bench_peec_fill: %zux%zu mesh, LU nrhs=%zu%s\n", mesh,
+               mesh, lu_nrhs, smoke ? " (smoke)" : "");
+
+  const FillResult fill = run_fill(mesh, mesh);
+  std::vector<LuResult> lus;
+  for (const std::size_t n : lu_sizes) lus.push_back(run_lu(n, lu_nrhs));
+
+  std::printf("{\n  \"experiment\": \"peec_fill\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"fill\": {\n");
+  std::printf("    \"filaments\": %zu,\n", fill.filaments);
+  std::printf("    \"pair_lookups\": %zu,\n", fill.pair_lookups);
+  std::printf("    \"kernel_evals_memo_off\": %zu,\n", fill.kernel_evals_off);
+  std::printf("    \"kernel_evals_memo_on\": %zu,\n", fill.kernel_evals_on);
+  std::printf("    \"hit_rate\": %.4f,\n", fill.hit_rate);
+  std::printf("    \"wall_s_memo_off\": %.4f,\n", fill.wall_off);
+  std::printf("    \"wall_s_memo_on\": %.4f,\n", fill.wall_on);
+  std::printf("    \"speedup\": %.2f,\n", fill.wall_off / fill.wall_on);
+  std::printf("    \"max_rel_dev\": %.3e\n", fill.max_rel_dev);
+  std::printf("  },\n");
+  std::printf("  \"lu\": [\n");
+  for (std::size_t i = 0; i < lus.size(); ++i) {
+    const LuResult& lu = lus[i];
+    std::printf("    {\"n\": %zu, \"nrhs\": %zu, "
+                "\"wall_s_reference\": %.4f, \"wall_s_blocked\": %.4f, "
+                "\"speedup\": %.2f, \"max_rel_dev\": %.3e}%s\n",
+                lu.n, lu.nrhs, lu.wall_ref, lu.wall_blocked,
+                lu.wall_ref / lu.wall_blocked, lu.max_rel_dev,
+                i + 1 < lus.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+
+  // Correctness gates; the speedup numbers are informational (they depend
+  // on the machine), the agreement bounds are not.
+  if (fill.max_rel_dev != 0.0) {
+    std::fprintf(stderr, "FAIL: memo fill deviates from direct fill\n");
+    return 1;
+  }
+  for (const LuResult& lu : lus)
+    if (lu.max_rel_dev > 1e-13) {
+      std::fprintf(stderr, "FAIL: blocked LU deviates beyond 1e-13 at n=%zu\n",
+                   lu.n);
+      return 1;
+    }
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "geom/builders.h"
 #include "numeric/units.h"
+#include "peec/assembly.h"
 #include "rt/parallel.h"
 #include "solver/block_solver.h"
 
@@ -130,6 +131,7 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
   if (threads < 0) throw std::invalid_argument("build_tables: threads");
 
   GridSolvePlan plan(tech, layer, planes, grid, opt);
+  const peec::FillStats fills0 = peec::fill_stats_total();
   const auto t0 = std::chrono::steady_clock::now();
 
   int threads_used = 1;
@@ -168,6 +170,10 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
     stats->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    const peec::FillStats fills1 = peec::fill_stats_total();
+    stats->pair_lookups = fills1.pair_lookups - fills0.pair_lookups;
+    stats->kernel_evals = fills1.kernel_evals - fills0.kernel_evals;
+    stats->memo_hits = fills1.memo_hits - fills0.memo_hits;
   }
   return plan.finish();
 }

@@ -44,6 +44,19 @@ struct BuildStats {
   int threads = 1;              ///< parallel width the build ran with
   double wall_seconds = 0.0;    ///< wall-clock time of the solve phase (in a
                                 ///< batch: the shared fan-out phase)
+  // Kernel-memo counters of the matrix fills this build ran (deltas of
+  // peec::fill_stats_total() around the solve phase, so builds running
+  // concurrently with other extraction work see a shared aggregate).
+  std::size_t pair_lookups = 0;  ///< filament pairs the fills needed
+  std::size_t kernel_evals = 0;  ///< Hoer-Love pair evaluations performed
+  std::size_t memo_hits = 0;     ///< pairs served from the geometry memo
+  /// Fraction of pair values served without a kernel evaluation.
+  double memo_hit_rate() const {
+    return pair_lookups == 0
+               ? 0.0
+               : static_cast<double>(memo_hits) /
+                     static_cast<double>(pair_lookups);
+  }
 };
 
 /// One table characterisation decomposed into independent grid-point

@@ -1,6 +1,15 @@
 // LU decomposition with partial pivoting, templated over the scalar type so
 // the same code factors the real MNA matrices of the circuit simulator and
 // the complex filament impedance matrices of the loop solver.
+//
+// The factorisation is cache-blocked (right-looking with a panel of
+// kPanelWidth columns and a column-tiled trailing update): the O(n^3) bulk
+// runs as rank-kPanelWidth updates that stream each trailing row once per
+// panel instead of once per column, which is what makes the dense complex
+// solves of the PEEC hot path memory-bandwidth-friendly.  For systems no
+// larger than one panel the arithmetic degenerates to exactly the textbook
+// scalar elimination (see numeric/lu_reference.h, kept as the oracle);
+// larger systems agree with it to last-ulp reordering (docs/performance.md).
 #pragma once
 
 #include <cmath>
@@ -18,6 +27,85 @@ namespace rlcx {
 namespace detail {
 inline double abs_of(double v) { return std::abs(v); }
 inline double abs_of(const std::complex<double>& v) { return std::abs(v); }
+
+/// Panel width of the blocked factorisation and row-block size of the
+/// blocked substitutions.  48 columns of complex<double> are 768 bytes per
+/// row — a panel's L21 tile and the streamed U12 rows stay L2-resident.
+inline constexpr std::size_t kLuPanel = 48;
+/// Column tile of the trailing update / multi-RHS substitution; bounds the
+/// per-row working set to kLuTile elements so it lives in L1.
+inline constexpr std::size_t kLuTile = 256;
+
+/// Rank-4 register-blocked axpy: dst[c] -= sum_q coef[q] * src[q][c] over
+/// [cbeg, cend), with a scalar tail for m-counts not divisible by 4.  One
+/// read-modify-write pass over dst per four panel columns instead of one
+/// per column — the micro-kernel of both the trailing update and the
+/// blocked substitutions.
+template <typename T>
+inline void rank_update(T* dst, const T* const* src, const T* coef,
+                        std::size_t m_count, std::size_t cbeg,
+                        std::size_t cend) {
+  std::size_t q = 0;
+  for (; q + 4 <= m_count; q += 4) {
+    const T a0 = coef[q], a1 = coef[q + 1], a2 = coef[q + 2], a3 = coef[q + 3];
+    const T* s0 = src[q];
+    const T* s1 = src[q + 1];
+    const T* s2 = src[q + 2];
+    const T* s3 = src[q + 3];
+    for (std::size_t c = cbeg; c < cend; ++c)
+      dst[c] -= a0 * s0[c] + a1 * s1[c] + a2 * s2[c] + a3 * s3[c];
+  }
+  for (; q < m_count; ++q) {
+    const T a = coef[q];
+    if (a == T{}) continue;
+    const T* s = src[q];
+    for (std::size_t c = cbeg; c < cend; ++c) dst[c] -= a * s[c];
+  }
+}
+
+/// Complex overload with explicit (re, im) arithmetic: the library complex
+/// multiply guards against NaN overflow semantics and defeats
+/// vectorisation; spelling out ac-bd / ad+bc keeps the impedance-matrix
+/// update on the vector units.  Same summation order per destination
+/// element as the generic kernel's 4-wide chunks.
+inline void rank_update(std::complex<double>* dst,
+                        const std::complex<double>* const* src,
+                        const std::complex<double>* coef, std::size_t m_count,
+                        std::size_t cbeg, std::size_t cend) {
+  double* d = reinterpret_cast<double*>(dst);
+  std::size_t q = 0;
+  for (; q + 4 <= m_count; q += 4) {
+    const double a0r = coef[q].real(), a0i = coef[q].imag();
+    const double a1r = coef[q + 1].real(), a1i = coef[q + 1].imag();
+    const double a2r = coef[q + 2].real(), a2i = coef[q + 2].imag();
+    const double a3r = coef[q + 3].real(), a3i = coef[q + 3].imag();
+    const double* s0 = reinterpret_cast<const double*>(src[q]);
+    const double* s1 = reinterpret_cast<const double*>(src[q + 1]);
+    const double* s2 = reinterpret_cast<const double*>(src[q + 2]);
+    const double* s3 = reinterpret_cast<const double*>(src[q + 3]);
+    for (std::size_t c = cbeg; c < cend; ++c) {
+      const double re = a0r * s0[2 * c] - a0i * s0[2 * c + 1] +
+                        (a1r * s1[2 * c] - a1i * s1[2 * c + 1]) +
+                        (a2r * s2[2 * c] - a2i * s2[2 * c + 1]) +
+                        (a3r * s3[2 * c] - a3i * s3[2 * c + 1]);
+      const double im = a0r * s0[2 * c + 1] + a0i * s0[2 * c] +
+                        (a1r * s1[2 * c + 1] + a1i * s1[2 * c]) +
+                        (a2r * s2[2 * c + 1] + a2i * s2[2 * c]) +
+                        (a3r * s3[2 * c + 1] + a3i * s3[2 * c]);
+      d[2 * c] -= re;
+      d[2 * c + 1] -= im;
+    }
+  }
+  for (; q < m_count; ++q) {
+    const double ar = coef[q].real(), ai = coef[q].imag();
+    if (ar == 0.0 && ai == 0.0) continue;
+    const double* s = reinterpret_cast<const double*>(src[q]);
+    for (std::size_t c = cbeg; c < cend; ++c) {
+      d[2 * c] -= ar * s[2 * c] - ai * s[2 * c + 1];
+      d[2 * c + 1] -= ar * s[2 * c + 1] + ai * s[2 * c];
+    }
+  }
+}
 }  // namespace detail
 
 /// In-place LU factorisation of a square matrix with row pivoting.
@@ -35,40 +123,77 @@ class LuDecomposition {
     perm_.resize(n);
     for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
-    for (std::size_t k = 0; k < n; ++k) {
-      // Partial pivot: pick the largest magnitude in column k.
-      std::size_t piv = k;
-      double best = detail::abs_of(lu_(k, k));
-      for (std::size_t i = k + 1; i < n; ++i) {
-        const double mag = detail::abs_of(lu_(i, k));
-        if (mag > best) {
-          best = mag;
-          piv = i;
+    constexpr std::size_t nb = detail::kLuPanel;
+    for (std::size_t k = 0; k < n; k += nb) {
+      const std::size_t kend = std::min(n, k + nb);
+
+      // Panel factorisation: scalar elimination restricted to columns
+      // [k, kend), full-height.  Row swaps apply to the whole matrix, so
+      // the already-computed L (left of the panel) and the not-yet-updated
+      // A12/A22 (right of it) stay consistent.
+      for (std::size_t j = k; j < kend; ++j) {
+        // Partial pivot: pick the largest magnitude in column j.
+        std::size_t piv = j;
+        double best = detail::abs_of(lu_(j, j));
+        for (std::size_t i = j + 1; i < n; ++i) {
+          const double mag = detail::abs_of(lu_(i, j));
+          if (mag > best) {
+            best = mag;
+            piv = i;
+          }
+        }
+        if (best == 0.0 || !std::isfinite(best)) {
+          pivot_min_ = 0.0;
+          throw diag::SingularSystem(
+              "lu",
+              std::string(best == 0.0 ? "zero" : "non-finite") +
+                  " pivot at column " + std::to_string(j) + " of a " +
+                  std::to_string(n) + "x" + std::to_string(n) +
+                  " system (pivot ratio so far " +
+                  std::to_string(condition_estimate()) + ")",
+              j, n, std::numeric_limits<double>::infinity());
+        }
+        pivot_max_ = std::max(pivot_max_, best);
+        pivot_min_ = std::min(pivot_min_, best);
+        if (piv != j) {
+          for (std::size_t c = 0; c < n; ++c) std::swap(lu_(j, c), lu_(piv, c));
+          std::swap(perm_[j], perm_[piv]);
+        }
+        const T pivot = lu_(j, j);
+        const T* rowj = row(j);
+        for (std::size_t i = j + 1; i < n; ++i) {
+          T* rowi = row(i);
+          const T m = rowi[j] / pivot;
+          rowi[j] = m;
+          if (m == T{}) continue;
+          for (std::size_t c = j + 1; c < kend; ++c) rowi[c] -= m * rowj[c];
         }
       }
-      if (best == 0.0 || !std::isfinite(best)) {
-        pivot_min_ = 0.0;
-        throw diag::SingularSystem(
-            "lu",
-            std::string(best == 0.0 ? "zero" : "non-finite") +
-                " pivot at column " + std::to_string(k) + " of a " +
-                std::to_string(n) + "x" + std::to_string(n) +
-                " system (pivot ratio so far " +
-                std::to_string(condition_estimate()) + ")",
-            k, n, std::numeric_limits<double>::infinity());
+      if (kend == n) break;
+
+      // Block row: U12 = L11^{-1} A12 (unit lower triangular, in place).
+      for (std::size_t j = k + 1; j < kend; ++j) {
+        T* rowj = row(j);
+        for (std::size_t m = k; m < j; ++m) {
+          const T ljm = rowj[m];
+          if (ljm == T{}) continue;
+          const T* rowm = row(m);
+          for (std::size_t c = kend; c < n; ++c) rowj[c] -= ljm * rowm[c];
+        }
       }
-      pivot_max_ = std::max(pivot_max_, best);
-      pivot_min_ = std::min(pivot_min_, best);
-      if (piv != k) {
-        for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
-        std::swap(perm_[k], perm_[piv]);
-      }
-      const T pivot = lu_(k, k);
-      for (std::size_t i = k + 1; i < n; ++i) {
-        const T m = lu_(i, k) / pivot;
-        lu_(i, k) = m;
-        if (m == T{}) continue;
-        for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+
+      // Trailing update: A22 -= L21 * U12, tiled over columns so each row's
+      // active slice and the panel's U12 tile stay in cache.  The L21
+      // coefficients of row i sit contiguously at rowi[k..kend), so the
+      // rank-4 micro-kernel consumes them in place.
+      const T* usrc[detail::kLuPanel];
+      for (std::size_t m = k; m < kend; ++m) usrc[m - k] = row(m);
+      for (std::size_t ct = kend; ct < n; ct += detail::kLuTile) {
+        const std::size_t cend = std::min(n, ct + detail::kLuTile);
+        for (std::size_t i = kend; i < n; ++i) {
+          T* rowi = row(i);
+          detail::rank_update(rowi, usrc, rowi + k, kend - k, ct, cend);
+        }
       }
     }
   }
@@ -99,36 +224,97 @@ class LuDecomposition {
     // Forward substitution with permutation applied.
     for (std::size_t i = 0; i < n; ++i) {
       T acc = b[perm_[i]];
-      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+      const T* rowi = row(i);
+      for (std::size_t j = 0; j < i; ++j) acc -= rowi[j] * x[j];
       x[i] = acc;
     }
     // Back substitution.
     for (std::size_t ii = n; ii-- > 0;) {
       T acc = x[ii];
-      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
-      x[ii] = acc / lu_(ii, ii);
+      const T* rowi = row(ii);
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= rowi[j] * x[j];
+      x[ii] = acc / rowi[ii];
     }
     return x;
   }
 
-  /// Solve A X = B column-by-column.
+  /// Solve A X = B for all right-hand-side columns at once.  Blocked
+  /// substitution: the RHS block is permuted in place once, then L and U
+  /// sweep it in kLuPanel row blocks with the off-diagonal updates tiled
+  /// over RHS columns — every matrix row streams through cache once per
+  /// sweep instead of once per column, and nothing is allocated per column.
   Matrix<T> solve(const Matrix<T>& b) const {
     const std::size_t n = lu_.rows();
     if (b.rows() != n)
       throw diag::UsageError("lu", "rhs rows " + std::to_string(b.rows()) +
                                        " != system size " +
                                        std::to_string(n));
-    Matrix<T> x(n, b.cols());
-    std::vector<T> col(n);
-    for (std::size_t j = 0; j < b.cols(); ++j) {
-      for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
-      const std::vector<T> xc = solve(col);
-      for (std::size_t i = 0; i < n; ++i) x(i, j) = xc[i];
+    const std::size_t nrhs = b.cols();
+    Matrix<T> x(n, nrhs);
+    for (std::size_t i = 0; i < n; ++i) {
+      const T* src = b.data() + perm_[i] * nrhs;
+      T* dst = x.data() + i * nrhs;
+      for (std::size_t c = 0; c < nrhs; ++c) dst[c] = src[c];
+    }
+    if (n == 0 || nrhs == 0) return x;
+
+    constexpr std::size_t nb = detail::kLuPanel;
+    // Forward: L (unit lower) X = P B.
+    for (std::size_t k = 0; k < n; k += nb) {
+      const std::size_t kend = std::min(n, k + nb);
+      for (std::size_t i = k; i < kend; ++i) {
+        const T* li = row(i);
+        T* xi = x.data() + i * nrhs;
+        for (std::size_t m = k; m < i; ++m) {
+          const T lim = li[m];
+          if (lim == T{}) continue;
+          const T* xm = x.data() + m * nrhs;
+          for (std::size_t c = 0; c < nrhs; ++c) xi[c] -= lim * xm[c];
+        }
+      }
+      const T* xsrc[detail::kLuPanel];
+      for (std::size_t m = k; m < kend; ++m) xsrc[m - k] = x.data() + m * nrhs;
+      for (std::size_t ct = 0; ct < nrhs; ct += detail::kLuTile) {
+        const std::size_t cend = std::min(nrhs, ct + detail::kLuTile);
+        for (std::size_t i = kend; i < n; ++i)
+          detail::rank_update(x.data() + i * nrhs, xsrc, row(i) + k, kend - k,
+                              ct, cend);
+      }
+    }
+    // Backward: U X' = X, row blocks from the bottom; after a block is
+    // solved its contribution is subtracted from every row above it.
+    const std::size_t nblocks = (n + nb - 1) / nb;
+    for (std::size_t blk = nblocks; blk-- > 0;) {
+      const std::size_t ks = blk * nb;
+      const std::size_t kend = std::min(n, ks + nb);
+      for (std::size_t ii = kend; ii-- > ks;) {
+        const T* ui = row(ii);
+        T* xi = x.data() + ii * nrhs;
+        for (std::size_t m = ii + 1; m < kend; ++m) {
+          const T uim = ui[m];
+          if (uim == T{}) continue;
+          const T* xm = x.data() + m * nrhs;
+          for (std::size_t c = 0; c < nrhs; ++c) xi[c] -= uim * xm[c];
+        }
+        const T d = ui[ii];
+        for (std::size_t c = 0; c < nrhs; ++c) xi[c] = xi[c] / d;
+      }
+      const T* xsrc[detail::kLuPanel];
+      for (std::size_t m = ks; m < kend; ++m) xsrc[m - ks] = x.data() + m * nrhs;
+      for (std::size_t ct = 0; ct < nrhs; ct += detail::kLuTile) {
+        const std::size_t cend = std::min(nrhs, ct + detail::kLuTile);
+        for (std::size_t i = 0; i < ks; ++i)
+          detail::rank_update(x.data() + i * nrhs, xsrc, row(i) + ks, kend - ks,
+                              ct, cend);
+      }
     }
     return x;
   }
 
  private:
+  T* row(std::size_t i) { return lu_.data() + i * lu_.cols(); }
+  const T* row(std::size_t i) const { return lu_.data() + i * lu_.cols(); }
+
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
   double pivot_max_ = 0.0;

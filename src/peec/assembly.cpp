@@ -1,6 +1,10 @@
 #include "peec/assembly.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "rt/parallel.h"
 
@@ -12,39 +16,185 @@ double bar_resistance(const Bar& bar, double rho) {
   return rho * bar.length / area;
 }
 
+namespace {
+
+std::atomic<std::size_t> g_pair_lookups{0};
+std::atomic<std::size_t> g_kernel_evals{0};
+std::atomic<std::size_t> g_memo_hits{0};
+
+/// Flat index of (i, j), i <= j, in the row-major upper triangle.
+std::size_t tri_index(std::size_t i, std::size_t j, std::size_t n) {
+  return i * n - i * (i - 1) / 2 + (j - i);
+}
+
+/// Largest coordinate magnitude / dimension in the fill; the PairKey
+/// quantum is this scale times memo_rel_tol, so quantization noise is
+/// measured against the whole structure rather than any single bar.
+double fill_scale(const std::vector<Filament>& filaments) {
+  double s = 0.0;
+  for (const Filament& f : filaments) {
+    const Bar& b = f.bar;
+    s = std::max({s, std::abs(b.a_min), std::abs(b.a_max()),
+                  std::abs(b.t_min), std::abs(b.t_max()),
+                  std::abs(b.z_min), std::abs(b.z_max()),
+                  b.length, b.t_width, b.z_thick});
+  }
+  return s;
+}
+
+// Below this many independent work items the fill is a few hundred kernel
+// calls — cheaper than a dispatch round-trip.
+constexpr std::size_t kParallelThreshold = 16;
+
+constexpr std::uint32_t kOrthogonalClass = 0xffffffffu;
+
+}  // namespace
+
+FillStats fill_stats_total() {
+  FillStats s;
+  s.pair_lookups = g_pair_lookups.load(std::memory_order_relaxed);
+  s.kernel_evals = g_kernel_evals.load(std::memory_order_relaxed);
+  s.memo_hits = g_memo_hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_fill_stats_total() {
+  g_pair_lookups.store(0, std::memory_order_relaxed);
+  g_kernel_evals.store(0, std::memory_order_relaxed);
+  g_memo_hits.store(0, std::memory_order_relaxed);
+}
+
 RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
                                      const PartialOptions& opt,
-                                     rt::Pool* pool) {
+                                     rt::Pool* pool, FillStats* stats) {
   const std::size_t n = filaments.size();
   RealMatrix lp(n, n);
-  // Row i covers the diagonal plus every j > i, mirrored into (j, i):
-  // the mirror slot lies strictly below row j's own span, so rows write
-  // disjoint elements and can fill in any order.  Row cost shrinks with i
-  // (n - i kernel evaluations), which is exactly the imbalance the
-  // work-stealing grain of one row absorbs.
-  auto fill_rows = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      lp(i, i) = self_partial(filaments[i].bar, opt);
+  FillStats local;
+
+  // Chunk every bar exactly once; both fill paths evaluate pairs against
+  // these lists (chunk_lengthwise depends only on the bar, so this is
+  // bit-identical to chunking inside each pair evaluation).
+  std::vector<std::vector<Bar>> chunks(n);
+  for (std::size_t i = 0; i < n; ++i)
+    chunks[i] = chunk_lengthwise(filaments[i].bar, opt.max_aspect);
+
+  const double scale = fill_scale(filaments);
+  const double quantum = scale * opt.memo_rel_tol;
+  const bool memo = opt.memo && quantum > 0.0;
+
+  if (!memo) {
+    // Direct fill: row i covers the diagonal plus every j > i, mirrored
+    // into (j, i); rows write disjoint elements and can run in any order.
+    // Row cost shrinks with i (n - i kernel evaluations), which is exactly
+    // the imbalance the work-stealing grain of one row absorbs.
+    auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        lp(i, i) = self_partial_chunked(chunks[i], opt);
+        for (std::size_t j = i + 1; j < n; ++j) {
+          const double m = filaments[i].sign * filaments[j].sign *
+                           mutual_partial_chunked(filaments[i].bar,
+                                                  filaments[j].bar, chunks[i],
+                                                  chunks[j], opt);
+          lp(i, j) = m;
+          lp(j, i) = m;
+        }
+      }
+    };
+    if (n < kParallelThreshold) {
+      fill_rows(0, n);
+    } else {
+      rt::ParallelOptions popt;
+      popt.grain = 1;
+      popt.pool = pool;
+      rt::parallel_for(0, n, fill_rows, popt);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ++local.pair_lookups;  // the diagonal
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (filaments[i].bar.axis == filaments[j].bar.axis)
+          ++local.pair_lookups;
+    }
+    local.kernel_evals = local.pair_lookups;
+  } else {
+    // Pass 1 (serial): group the upper triangle into relative-geometry
+    // classes.  The first pair scanned becomes the class representative,
+    // so the class list — and therefore every memoized value — is
+    // independent of how pass 2 is scheduled.
+    struct ClassRec {
+      std::uint32_t i, j;
+      double value = 0.0;
+    };
+    std::vector<ClassRec> classes;
+    std::unordered_map<PairKey, std::uint32_t, PairKeyHash> self_ids;
+    std::unordered_map<PairKey, std::uint32_t, PairKeyHash> pair_ids;
+    std::vector<std::uint32_t> cls(n * (n + 1) / 2, kOrthogonalClass);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const Bar& bi = filaments[i].bar;
+        const Bar& bj = filaments[j].bar;
+        if (i != j && bi.axis != bj.axis) continue;  // exact zero, no kernel
+        ++local.pair_lookups;
+        // Self classes and pair classes live in separate maps: a pair of
+        // *distinct* bars whose key degenerates to a self key is a
+        // coincident-bar layout error, and must reach the kernel's
+        // disjointness guard instead of silently reusing a self value.
+        auto& ids = i == j ? self_ids : pair_ids;
+        const PairKey key =
+            i == j ? make_self_key(bi, quantum)
+                   : make_pair_key(bi, bj, quantum, opt.memo_fold_symmetries);
+        const auto [it, inserted] =
+            ids.try_emplace(key, static_cast<std::uint32_t>(classes.size()));
+        if (inserted) {
+          classes.push_back({static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(j), 0.0});
+        } else {
+          ++local.memo_hits;
+        }
+        cls[tri_index(i, j, n)] = it->second;
+      }
+    }
+
+    // Pass 2: one kernel evaluation per class, fanned out across the pool.
+    auto eval_classes = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t c = lo; c < hi; ++c) {
+        ClassRec& r = classes[c];
+        r.value =
+            r.i == r.j
+                ? self_partial_chunked(chunks[r.i], opt)
+                : mutual_partial_chunked(filaments[r.i].bar,
+                                         filaments[r.j].bar, chunks[r.i],
+                                         chunks[r.j], opt);
+      }
+    };
+    if (classes.size() < kParallelThreshold) {
+      eval_classes(0, classes.size());
+    } else {
+      rt::ParallelOptions popt;
+      popt.grain = 1;
+      popt.pool = pool;
+      rt::parallel_for(0, classes.size(), eval_classes, popt);
+    }
+    local.kernel_evals = classes.size();
+
+    // Pass 3: scatter with the orientation signs folded in.  Orthogonal
+    // pairs keep the zero the matrix was initialised with.
+    for (std::size_t i = 0; i < n; ++i) {
+      lp(i, i) = classes[cls[tri_index(i, i, n)]].value;
       for (std::size_t j = i + 1; j < n; ++j) {
+        const std::uint32_t c = cls[tri_index(i, j, n)];
+        if (c == kOrthogonalClass) continue;
         const double m =
-            filaments[i].sign * filaments[j].sign *
-            mutual_partial(filaments[i].bar, filaments[j].bar, opt);
+            filaments[i].sign * filaments[j].sign * classes[c].value;
         lp(i, j) = m;
         lp(j, i) = m;
       }
     }
-  };
-  // Below ~16 filaments the whole fill is a few hundred kernel calls —
-  // cheaper than a dispatch round-trip.
-  constexpr std::size_t kParallelThreshold = 16;
-  if (n < kParallelThreshold) {
-    fill_rows(0, n);
-    return lp;
   }
-  rt::ParallelOptions popt;
-  popt.grain = 1;
-  popt.pool = pool;
-  rt::parallel_for(0, n, fill_rows, popt);
+
+  g_pair_lookups.fetch_add(local.pair_lookups, std::memory_order_relaxed);
+  g_kernel_evals.fetch_add(local.kernel_evals, std::memory_order_relaxed);
+  g_memo_hits.fetch_add(local.memo_hits, std::memory_order_relaxed);
+  if (stats != nullptr) *stats = local;
   return lp;
 }
 

@@ -1,6 +1,7 @@
 // Assembly of the filament-level partial inductance matrix and resistances.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "numeric/matrix.h"
@@ -23,14 +24,43 @@ struct Filament {
 /// DC resistance of a bar of the given resistivity.
 double bar_resistance(const Bar& bar, double rho);
 
+/// What one matrix fill did: how many pair values it needed, and how many
+/// kernel evaluations the relative-geometry memo actually paid for.
+struct FillStats {
+  std::size_t pair_lookups = 0;  ///< upper-triangle pairs incl. the diagonal
+  std::size_t kernel_evals = 0;  ///< bar-pair kernel evaluations performed
+  std::size_t memo_hits = 0;     ///< lookups served from the memo
+  double hit_rate() const {
+    return pair_lookups == 0
+               ? 0.0
+               : static_cast<double>(memo_hits) /
+                     static_cast<double>(pair_lookups);
+  }
+};
+
+/// Process-wide aggregate of every fill's FillStats (relaxed atomics, same
+/// contract as core::table_build_solve_count): BuildStats and the CLI
+/// snapshot deltas around a build to report the memo hit rate.
+FillStats fill_stats_total();
+void reset_fill_stats_total();
+
 /// Dense symmetric partial-inductance matrix [H] over the filaments,
 /// orientation signs folded in (Lp_ij = s_i s_j M_ij).  The O(n^2) fill is
-/// the extraction hot spot: rows fan out across `pool` (nullptr = the
-/// process-global pool) once the matrix is big enough to pay for the trip;
-/// every element is computed independently and written to its own slot, so
-/// the result is bit-identical to the serial fill.
+/// the extraction hot spot; two optimisations apply (see
+/// docs/performance.md):
+///   * every bar is chunked lengthwise once per fill, not once per pair;
+///   * with opt.memo (default on), pairs are grouped into translation/
+///     reflection/exchange-invariant relative-geometry classes (PairKey)
+///     and the kernel runs once per class — on a regular mesh that is
+///     O(n) evaluations for the O(n^2) fill.
+/// Class evaluations fan out across `pool` (nullptr = the process-global
+/// pool) once the fill is big enough to pay for the trip; the class list
+/// and representatives are fixed by a serial scan, so the result is
+/// bit-identical for every thread count.  `stats`, when given, receives
+/// the lookup/eval/hit counters of this fill.
 RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
                                      const PartialOptions& opt = {},
-                                     rt::Pool* pool = nullptr);
+                                     rt::Pool* pool = nullptr,
+                                     FillStats* stats = nullptr);
 
 }  // namespace rlcx::peec

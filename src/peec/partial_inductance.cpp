@@ -1,8 +1,10 @@
 #include "peec/partial_inductance.h"
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "diag/error.h"
@@ -143,8 +145,6 @@ double ruehli_self(double length, double width, double thickness) {
          (std::log(2.0 * length / wt) + 0.5 + 0.2235 * wt / length);
 }
 
-namespace {
-
 // Split a bar lengthwise into chunks whose aspect ratio stays reasonable.
 std::vector<Bar> chunk_lengthwise(const Bar& b, double max_aspect) {
   const double max_len = max_aspect * std::max(b.t_width, b.z_thick);
@@ -160,6 +160,8 @@ std::vector<Bar> chunk_lengthwise(const Bar& b, double max_aspect) {
   }
   return out;
 }
+
+namespace {
 
 // Mutual between two same-axis chunks: filament fast path when the bars are
 // well separated — transversely or by an axial gap — where the filament
@@ -224,8 +226,8 @@ double check_finite(double value, const char* what) {
 
 }  // namespace
 
-double self_partial(const Bar& bar, const PartialOptions& opt) {
-  const std::vector<Bar> chunks = chunk_lengthwise(bar, opt.max_aspect);
+double self_partial_chunked(const std::vector<Bar>& chunks,
+                            const PartialOptions& opt) {
   // L = sum over all chunk pairs (including self terms): the exact series
   // decomposition of partial inductance.
   double total = 0.0;
@@ -237,16 +239,89 @@ double self_partial(const Bar& bar, const PartialOptions& opt) {
   return check_finite(total, "self partial inductance");
 }
 
-double mutual_partial(const Bar& b1, const Bar& b2,
-                      const PartialOptions& opt) {
+double mutual_partial_chunked(const Bar& b1, const Bar& b2,
+                              const std::vector<Bar>& c1,
+                              const std::vector<Bar>& c2,
+                              const PartialOptions& opt) {
   if (b1.axis != b2.axis) return 0.0;  // orthogonal bars do not couple
   check_disjoint(b1, b2);
-  const std::vector<Bar> c1 = chunk_lengthwise(b1, opt.max_aspect);
-  const std::vector<Bar> c2 = chunk_lengthwise(b2, opt.max_aspect);
   double total = 0.0;
   for (const Bar& p : c1)
     for (const Bar& q : c2) total += chunk_mutual(p, q, opt);
   return check_finite(total, "mutual partial inductance");
+}
+
+double self_partial(const Bar& bar, const PartialOptions& opt) {
+  return self_partial_chunked(chunk_lengthwise(bar, opt.max_aspect), opt);
+}
+
+double mutual_partial(const Bar& b1, const Bar& b2,
+                      const PartialOptions& opt) {
+  if (b1.axis != b2.axis) return 0.0;  // orthogonal bars do not couple
+  return mutual_partial_chunked(b1, b2, chunk_lengthwise(b1, opt.max_aspect),
+                                chunk_lengthwise(b2, opt.max_aspect), opt);
+}
+
+namespace {
+
+std::int64_t quantize(double v, double quantum) {
+  return static_cast<std::int64_t>(std::llround(v / quantum));
+}
+
+}  // namespace
+
+std::size_t PairKeyHash::operator()(const PairKey& k) const noexcept {
+  // FNV-1a over the nine quantized fields; cheap and well-mixed enough for
+  // the per-fill table.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::int64_t v) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 1099511628211ull;
+  };
+  mix(k.w1); mix(k.h1); mix(k.l1);
+  mix(k.w2); mix(k.h2); mix(k.l2);
+  mix(k.dt); mix(k.dz); mix(k.da);
+  return static_cast<std::size_t>(h);
+}
+
+PairKey make_self_key(const Bar& bar, double quantum) {
+  PairKey k;
+  k.w1 = k.w2 = quantize(bar.t_width, quantum);
+  k.h1 = k.h2 = quantize(bar.z_thick, quantum);
+  k.l1 = k.l2 = quantize(bar.length, quantum);
+  return k;
+}
+
+PairKey make_pair_key(const Bar& b1, const Bar& b2, double quantum,
+                      bool fold_symmetries) {
+  PairKey k;
+  k.w1 = quantize(b1.t_width, quantum);
+  k.h1 = quantize(b1.z_thick, quantum);
+  k.l1 = quantize(b1.length, quantum);
+  k.w2 = quantize(b2.t_width, quantum);
+  k.h2 = quantize(b2.z_thick, quantum);
+  k.l2 = quantize(b2.length, quantum);
+  k.dt = quantize(b2.t_center() - b1.t_center(), quantum);
+  k.dz = quantize(b2.z_center() - b1.z_center(), quantum);
+  k.da = quantize(b2.a_center() - b1.a_center(), quantum);
+  if (!fold_symmetries) return k;
+  // Mirror symmetry about each coordinate plane through bar 1's center
+  // negates that center offset and changes nothing else, so the absolute
+  // offsets are canonical per axis.  llround is odd, so quantizing before
+  // taking the magnitude keeps reflected copies in the same bucket.
+  k.dt = std::abs(k.dt);
+  k.dz = std::abs(k.dz);
+  k.da = std::abs(k.da);
+  // Reciprocity: exchanging the bars negates every offset (absorbed by the
+  // magnitudes above) and swaps the dimension triples — order them.
+  const auto t1 = std::tie(k.w1, k.h1, k.l1);
+  const auto t2 = std::tie(k.w2, k.h2, k.l2);
+  if (t2 < t1) {
+    std::swap(k.w1, k.w2);
+    std::swap(k.h1, k.h2);
+    std::swap(k.l1, k.l2);
+  }
+  return k;
 }
 
 }  // namespace rlcx::peec

@@ -7,8 +7,15 @@
 //     huge aspect ratios of clock wiring (6000 um long, 1-10 um wide),
 //   * an exact thin-filament fast path for well-separated bar pairs,
 //   * Ruehli's log approximation as an independent cross-check,
+//   * a translation-invariant PairKey so matrix fills evaluate the kernel
+//     once per *relative-geometry class* instead of once per pair
+//     (paper Foundations 1-2: partial inductance depends only on the bars'
+//     own dimensions and their relative offsets),
 // and the Bar-level entry points the rest of the library uses.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "peec/bar.h"
 
@@ -21,6 +28,23 @@ struct PartialOptions {
   /// Center distance (in units of mean cross diagonal) beyond which the
   /// exact filament formula replaces the volume kernel (<0.1 % error).
   double far_factor = 12.0;
+  /// Memoize kernel evaluations by relative-geometry class during matrix
+  /// fills (partial_inductance_matrix).  On a regular mesh this turns the
+  /// O(n^2) pair fill into O(unique classes) kernel evaluations.
+  bool memo = true;
+  /// Additionally fold per-axis mirror reflections and bar exchange into
+  /// the pair key (the kernel's remaining symmetries).  Roughly doubles
+  /// the reuse on symmetric structures, but a mirrored pair sums the
+  /// 64-term bracket's mutually-cancelling terms in a different order, so
+  /// the fill then matches the direct fill only to the kernel's
+  /// cancellation-noise floor (~1e-9 relative) instead of bit-exactly —
+  /// which is why it is opt-in (see docs/performance.md).
+  bool memo_fold_symmetries = false;
+  /// Relative tolerance of the PairKey quantization, in units of the fill's
+  /// largest geometric extent.  1e-12 is ~4 decades above coordinate
+  /// round-off (so translated copies of the same pair land in one class)
+  /// and far below any intentional mesh perturbation.
+  double memo_rel_tol = 1e-12;
 };
 
 /// Exact Hoer-Love mutual partial inductance [H] between two parallel
@@ -49,5 +73,66 @@ double self_partial(const Bar& bar, const PartialOptions& opt = {});
 /// branch orientations oppose.
 double mutual_partial(const Bar& b1, const Bar& b2,
                       const PartialOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// Hoisted-chunking building blocks.  Matrix fills chunk every bar once and
+// evaluate pairs against the precomputed chunk lists; self_partial /
+// mutual_partial are thin wrappers, so both paths are bit-identical.
+
+/// Lengthwise subdivision of a bar into chunks of bounded aspect ratio.
+std::vector<Bar> chunk_lengthwise(const Bar& b, double max_aspect);
+
+/// self_partial with the chunk list precomputed by chunk_lengthwise.
+double self_partial_chunked(const std::vector<Bar>& chunks,
+                            const PartialOptions& opt);
+
+/// mutual_partial with both chunk lists precomputed.  b1/b2 are the
+/// unchunked bars (needed for the axis and disjointness checks).
+double mutual_partial_chunked(const Bar& b1, const Bar& b2,
+                              const std::vector<Bar>& c1,
+                              const std::vector<Bar>& c2,
+                              const PartialOptions& opt);
+
+// ---------------------------------------------------------------------------
+// Relative-geometry memoization.
+//
+// The kernel value for a same-axis bar pair is a function of the two
+// cross-sections, the two lengths, and the center-to-center offset vector
+// only — never of absolute position (paper Foundations 1-2: translation
+// invariance).  It is furthermore unchanged by reflecting any coordinate
+// axis (mirror isometry) and by exchanging the bars (reciprocity).
+// PairKey always canonicalizes under translation (dimensions and signed
+// center offsets quantized to a relative tolerance); with fold_symmetries
+// it additionally takes |center offsets| and puts the bar with the
+// lexicographically smaller (width, thickness, length) triple first.
+// Translation-equal pairs on a regular mesh present bit-identical inputs
+// to the kernel, so the translation-only key preserves the direct fill
+// bit-for-bit; mirror/exchange-equal pairs are mathematically equal but
+// sum the bracket's cancelling terms in a different order, so folding
+// them trades bit-reproducibility (down to the kernel's ~1e-9 relative
+// cancellation noise) for roughly double the reuse.
+
+struct PairKey {
+  // Quantized bar dimensions (bar 1, then bar 2) and center offsets, all
+  // in units of the fill-wide quantum.
+  std::int64_t w1 = 0, h1 = 0, l1 = 0;
+  std::int64_t w2 = 0, h2 = 0, l2 = 0;
+  std::int64_t dt = 0, dz = 0, da = 0;
+  bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const noexcept;
+};
+
+/// Canonical key of a same-axis pair; `quantum` is the absolute geometric
+/// tolerance (fill scale × PartialOptions::memo_rel_tol).  Any translated
+/// copy of the pair maps to the same key; with fold_symmetries, mirrored
+/// copies and both orderings do too.
+PairKey make_pair_key(const Bar& b1, const Bar& b2, double quantum,
+                      bool fold_symmetries = false);
+
+/// Key of a bar's self class: (w, h, l) quantized, offsets zero.
+PairKey make_self_key(const Bar& bar, double quantum);
 
 }  // namespace rlcx::peec

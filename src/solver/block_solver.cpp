@@ -84,29 +84,29 @@ ComplexMatrix conductor_impedance(const std::vector<Conductor>& conductors,
     z(i, i) += all[i].resistance;
   }
 
-  // Y = P^T Z^{-1} P, one triangular solve per drive column.  The columns
-  // are independent O(nf^2) substitutions against the shared factorisation,
-  // so they fan out across the pool (each writes its own column slots).
+  // Y = P^T Z^{-1} P where column c of P is the 0/1 indicator of conductor
+  // c's filaments — so P never materialises beyond `owner`.  Z^{-1} P goes
+  // through the blocked multi-RHS substitution (numeric/lu.h); column
+  // blocks are independent (the substitution never mixes RHS columns), so
+  // they fan out across the pool with each task writing its own columns.
   LuDecomposition<Complex> lu(std::move(z));
-  ComplexMatrix p(nf, nc);
-  for (std::size_t i = 0; i < nf; ++i) p(i, owner[i]) = 1.0;
   ComplexMatrix zinv_p(nf, nc);
   rt::parallel_for(0, nc, [&](std::size_t lo, std::size_t hi) {
-    std::vector<Complex> col(nf);
-    for (std::size_t b = lo; b < hi; ++b) {
-      for (std::size_t i = 0; i < nf; ++i) col[i] = p(i, b);
-      const std::vector<Complex> x = lu.solve(col);
-      for (std::size_t i = 0; i < nf; ++i) zinv_p(i, b) = x[i];
-    }
+    ComplexMatrix rhs(nf, hi - lo);
+    for (std::size_t i = 0; i < nf; ++i)
+      if (owner[i] >= lo && owner[i] < hi) rhs(i, owner[i] - lo) = 1.0;
+    const ComplexMatrix x = lu.solve(rhs);
+    for (std::size_t i = 0; i < nf; ++i)
+      for (std::size_t b = lo; b < hi; ++b) zinv_p(i, b) = x(i, b - lo);
   });
+  // P^T gather: row a of Y accumulates the zinv_p rows of conductor a's
+  // filaments, in ascending filament order (the same order the dense
+  // triple loop this replaces summed its nonzero terms in).
   ComplexMatrix y(nc, nc);
-  for (std::size_t a = 0; a < nc; ++a)
-    for (std::size_t b = 0; b < nc; ++b) {
-      Complex acc = 0.0;
-      for (std::size_t i = 0; i < nf; ++i)
-        acc += p(i, a) * zinv_p(i, b);
-      y(a, b) = acc;
-    }
+  for (std::size_t i = 0; i < nf; ++i) {
+    const std::size_t a = owner[i];
+    for (std::size_t b = 0; b < nc; ++b) y(a, b) += zinv_p(i, b);
+  }
   return inverse(y);
 }
 
@@ -265,15 +265,14 @@ LoopResult extract_loop(const geom::Block& block, const SolveOptions& opt) {
     cvec[i] = acc - Complex(1.0, 0.0);
   }
 
+  // Zsg (Zgg^-1 Zgs) — Zgg^-1 Zgs came out of the blocked multi-RHS solve
+  // above, and the matmul accumulates over g in the same ascending order
+  // the explicit triple loop did.
+  const ComplexMatrix schur = zsg * zgg_inv_zgs;
   ComplexMatrix zloop(ns, ns);
-  for (std::size_t i = 0; i < ns; ++i) {
-    for (std::size_t j = 0; j < ns; ++j) {
-      Complex schur = 0.0;
-      for (std::size_t g = 0; g < ng; ++g)
-        schur += zsg(i, g) * zgg_inv_zgs(g, j);
-      zloop(i, j) = zss(i, j) - schur + cvec[i] * r[j] / denom;
-    }
-  }
+  for (std::size_t i = 0; i < ns; ++i)
+    for (std::size_t j = 0; j < ns; ++j)
+      zloop(i, j) = zss(i, j) - schur(i, j) + cvec[i] * r[j] / denom;
 
   const double omega = 2.0 * std::numbers::pi * opt.frequency;
   LoopResult res;
