@@ -1,0 +1,119 @@
+// R1 — run-controller overhead: what does a checkpoint cost?
+//
+// The cooperative cancellation contract puts run::checkpoint() at every rt
+// chunk claim, SOR sweep, transient step and grid-point solve, so its cost
+// bounds how finely the hot paths may checkpoint.  Three cases matter:
+//
+//   idle      no ScopedRunControl installed (the common library case) —
+//             one relaxed atomic load
+//   armed     a control installed, nothing requested — load + flag check
+//             (+ a steady_clock read when a deadline is set)
+//   end2end   a real table build with and without an installed control —
+//             the observable overhead on the paper's workload
+//
+// Output is JSON rows so CI can track regressions.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/table_builder.h"
+#include "geom/technology.h"
+#include "numeric/units.h"
+#include "run/control.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// ns per checkpoint() call over `iters` calls in the current regime.
+double checkpoint_ns(std::size_t iters) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) run::checkpoint("bench");
+  return 1e9 * seconds_since(t0) / static_cast<double>(iters);
+}
+
+core::TableGrid small_grid() {
+  core::TableGrid g;
+  g.widths = {um(1), um(2), um(4), um(8)};
+  g.spacings = {um(0.5), um(1), um(4)};
+  g.lengths = {um(200), um(600), um(1000)};
+  return g;
+}
+
+/// Best-of-three serial build wall time in the current control regime.
+double build_seconds(const geom::Technology& tech, const core::TableGrid& grid,
+                     const solver::SolveOptions& opt) {
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt, 1);
+    const double s = seconds_since(t0);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kIters = 20'000'000;
+
+  const double idle_ns = checkpoint_ns(kIters);
+
+  run::RunControl rc;
+  double armed_ns = 0.0;
+  double armed_deadline_ns = 0.0;
+  {
+    run::ScopedRunControl scope(rc);
+    armed_ns = checkpoint_ns(kIters);
+  }
+  {
+    run::RunControl with_deadline;
+    with_deadline.deadline = run::Deadline::after(3600.0);
+    run::ScopedRunControl scope(with_deadline);
+    armed_deadline_ns = checkpoint_ns(kIters / 10);
+  }
+
+  // End-to-end: the same small characterisation with and without an
+  // installed control (serial, so every checkpoint is on the one thread).
+  const geom::Technology tech = geom::Technology::generic_025um();
+  solver::SolveOptions opt;
+  opt.frequency = 1e9;
+  opt.auto_mesh = false;
+  opt.mesh.nw = 1;
+  opt.mesh.nt = 1;
+  const core::TableGrid grid = small_grid();
+
+  const double free_s = build_seconds(tech, grid, opt);
+
+  double controlled_s = 0.0;
+  {
+    run::RunControl rc2;
+    run::ScopedRunControl scope(rc2);
+    controlled_s = build_seconds(tech, grid, opt);
+  }
+
+  std::printf("{\"bench\": \"run_control\", \"rows\": [\n");
+  std::printf("  {\"case\": \"checkpoint_idle\", \"ns_per_call\": %.3f},\n",
+              idle_ns);
+  std::printf("  {\"case\": \"checkpoint_armed\", \"ns_per_call\": %.3f},\n",
+              armed_ns);
+  std::printf(
+      "  {\"case\": \"checkpoint_armed_deadline\", \"ns_per_call\": %.3f},\n",
+      armed_deadline_ns);
+  std::printf(
+      "  {\"case\": \"build_no_control\", \"seconds\": %.6f},\n", free_s);
+  std::printf(
+      "  {\"case\": \"build_with_control\", \"seconds\": %.6f, "
+      "\"overhead_pct\": %.3f}\n",
+      controlled_s,
+      free_s > 0.0 ? 100.0 * (controlled_s - free_s) / free_s : 0.0);
+  std::printf("]}\n");
+  return 0;
+}

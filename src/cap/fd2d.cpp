@@ -9,6 +9,8 @@
 #include "diag/error.h"
 #include "diag/warnings.h"
 #include "numeric/units.h"
+#include "run/control.h"
+#include "run/fault_injection.h"
 
 namespace rlcx::cap {
 
@@ -124,6 +126,10 @@ SorAttempt solve_once(Grid& g, int drive, const Fd2dOptions& opt,
 
   SorAttempt result;
   for (int it = 0; it < max_iterations; ++it) {
+    // Sweep boundary: the grid state is consistent here, so a cancelled or
+    // deadline-bound run unwinds without leaving a half-relaxed field that
+    // anything downstream could read.
+    run::checkpoint("fd2d");
     double max_delta = 0.0;
     for (int iz = 0; iz < g.nz; ++iz) {
       const bool bottom = iz == 0;
@@ -171,6 +177,11 @@ SorAttempt solve(Grid& g, int drive, const Fd2dOptions& opt,
                  SorReport& report) {
   SorAttempt attempt = solve_once(g, drive, opt, opt.omega,
                                   opt.max_iterations);
+  // Injection site `sor_diverge`: discard the first attempt's convergence
+  // verdict so the escalation ladder below runs — the deterministic drill
+  // for the omega-1.5/omega-1.0 degradation path (docs/robustness.md).
+  if (run::fault_injection_enabled() && run::fault_point("sor_diverge"))
+    attempt.converged = false;
   if (!attempt.converged && opt.escalate_on_nonconvergence) {
     const struct {
       double omega;

@@ -7,6 +7,7 @@
 #include "diag/error.h"
 #include "numeric/lu.h"
 #include "numeric/matrix.h"
+#include "run/control.h"
 
 namespace rlcx::ckt {
 
@@ -216,6 +217,9 @@ TransientResult simulate(const Netlist& nl, const TransientOptions& opt) {
 
   std::vector<double> rhs(dim, 0.0);
   for (std::size_t step = 1; step < steps; ++step) {
+    // Step boundary: companion state and the result waveforms are
+    // consistent here, so a cancelled march unwinds cleanly.
+    run::checkpoint("transient");
     const double t = dt * static_cast<double>(step);
     std::fill(rhs.begin(), rhs.end(), 0.0);
 

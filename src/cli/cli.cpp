@@ -11,6 +11,7 @@
 #include "diag/error.h"
 #include "diag/warnings.h"
 #include "ckt/transient.h"
+#include "core/batch_extractor.h"
 #include "core/netlist_builder.h"
 #include "core/rlc_extractor.h"
 #include "core/screening.h"
@@ -19,6 +20,9 @@
 #include "geom/builders.h"
 #include "numeric/units.h"
 #include "rt/pool.h"
+#include "run/control.h"
+#include "run/journal.h"
+#include "run/signal.h"
 #include "solver/block_solver.h"
 #include "solver/frequency.h"
 
@@ -197,6 +201,8 @@ int cmd_help(std::ostream& out) {
          "commands:\n"
          "  extract   extract R, L, C of a shielded wire structure\n"
          "  tables    pre-characterise inductance tables and save them\n"
+         "  batch     characterisation campaign over layers x plane\n"
+         "            configs, with checkpoint/resume\n"
          "  delay     simulate buffer->sink delay of the structure\n"
          "  cache     inspect or purge an on-disk table cache\n"
          "  help      this text\n\n"
@@ -215,11 +221,19 @@ int cmd_help(std::ostream& out) {
          "tables:  --out FILE [--planes none|below|above|both] [--points N]\n"
          "         [--threads N] (0 = RLCX_THREADS/all cores) [--binary]\n"
          "         [--table-cache DIR]\n"
+         "batch:   --table-cache DIR [--layers 5,6] [--planes-list\n"
+         "         none,below,...] [--points N] [--journal FILE]\n"
+         "         [--resume [FILE]] (continue an interrupted campaign;\n"
+         "         journaled jobs re-solve nothing)\n"
          "delay:   [--rs OHM] [--sink-ff N] [--vdd V] [--sections N]\n"
          "         [--no-inductance] [--csv FILE] [--table-cache DIR]\n"
          "cache:   --dir DIR [--stat] [--list] [--purge]  (default: stat)\n\n"
+         "run control: --deadline-s N bounds any command's wall clock;\n"
+         "  Ctrl-C on `batch` cancels cooperatively — completed jobs stay\n"
+         "  cached + journaled, relaunch with --resume to continue\n\n"
          "exit codes: 0 success, 1 internal error, 2 usage error,\n"
-         "  3 invalid input (geometry/io/cache), 4 numerical failure;\n"
+         "  3 invalid input (geometry/io/cache), 4 numerical failure,\n"
+         "  5 cancelled or deadline exceeded (resumable for batch);\n"
          "  warnings go to stderr (docs/robustness.md)\n";
   return 0;
 }
@@ -373,6 +387,84 @@ int cmd_cache(const Args& args, std::ostream& out) {
   return 0;
 }
 
+// batch: a characterisation campaign — the cross product of --layers and
+// --planes-list, fanned out as one flat solve range, every completed job
+// stored in the cache and journaled so an interrupted campaign resumes
+// with zero re-solves for finished work.
+int cmd_batch(const Args& args, const run::RunControl& rc,
+              std::ostream& out) {
+  if (!args.has("table-cache"))
+    throw diag::UsageError("cli", "batch: --table-cache DIR is required");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const solver::SolveOptions sopt = solve_options(args);
+  const core::TableGrid grid = grid_from_args(args);
+
+  std::vector<int> layers;
+  for (const std::string& tok : split_commas(args.get("layers", "6"))) {
+    std::size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size())
+      throw diag::UsageError("cli", "bad --layers entry: " + tok);
+    layers.push_back(v);
+  }
+  std::vector<geom::PlaneConfig> plane_list;
+  for (const std::string& tok : split_commas(args.get("planes-list", "none")))
+    plane_list.push_back(parse_planes(tok));
+
+  std::vector<core::BatchJob> jobs;
+  for (int layer : layers)
+    for (geom::PlaneConfig p : plane_list) jobs.push_back({layer, p, grid});
+
+  core::TableCache cache(args.get("table-cache", ""), cache_policy(args));
+  std::string journal_path =
+      args.get("journal", cache.directory() + "/batch.journal");
+  if (args.has("resume") && !args.get("resume", "").empty())
+    journal_path = args.get("resume", "");
+  // Fresh-run guard: an existing journal with completions belongs to a
+  // previous campaign.  Continuing it silently would mask "I forgot this
+  // cache dir is in use"; the operator must opt in with --resume.
+  if (!args.has("resume") && !run::BatchJournal::load(journal_path).empty())
+    throw diag::UsageError(
+        "cli", "journal " + journal_path +
+                   " already records completed jobs; relaunch with --resume "
+                   "to continue the campaign, or delete the journal to "
+                   "start over");
+  run::BatchJournal journal(journal_path);
+  const std::size_t journaled_before = journal.size();
+
+  core::BatchOptions bopt;
+  bopt.cache = &cache;
+  bopt.journal = &journal;
+
+  // Ctrl-C requests cooperative cancellation on the ambient control's
+  // token; the fan-out unwinds at the next checkpoint with every finished
+  // job already stored and journaled (exit code 5, resumable).
+  run::ScopedSigintCancel sigint(rc.token);
+
+  const std::size_t solves_before = core::table_build_solve_count();
+  const core::BatchResult res = core::characterize_batch(tech, jobs, sopt,
+                                                         bopt);
+  const std::size_t solves = core::table_build_solve_count() - solves_before;
+
+  out << "batch: " << jobs.size() << " jobs (" << layers.size()
+      << (layers.size() == 1 ? " layer x " : " layers x ")
+      << plane_list.size() << " plane config"
+      << (plane_list.size() == 1 ? "" : "s") << "), " << res.jobs_resumed
+      << " resumed from journal, " << solves << " field solves\n";
+  const core::CacheStats cs = cache.stats();
+  out << "cache " << cache.directory() << ": " << cs.hits << " hits, "
+      << cs.misses << " misses, " << cs.bytes_written << " bytes written";
+  if (cs.write_retries > 0) out << ", " << cs.write_retries
+                                << " write retries";
+  if (cs.stores_dropped > 0) out << ", " << cs.stores_dropped
+                                 << " stores dropped";
+  out << "\n";
+  out << "journal " << journal.path() << ": " << journal.size()
+      << " completed ids (" << journal.size() - journaled_before
+      << " new)\n";
+  return 0;
+}
+
 int cmd_delay(const Args& args, std::ostream& out) {
   const geom::Technology tech = geom::Technology::generic_025um();
   const geom::Block blk = make_structure(tech, args);
@@ -489,6 +581,14 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (args.has("threads"))
       rt::Pool::set_global_threads(
           static_cast<int>(args.get_num("threads", 0)));
+    // Every command runs under an ambient run control: --deadline-s bounds
+    // the whole invocation, and the `cancel` fault-injection site plus the
+    // batch command's SIGINT handler act on its token.  A triggered
+    // checkpoint unwinds as a typed fault -> exit code 5.
+    run::RunControl rc;
+    if (args.has("deadline-s"))
+      rc.deadline = run::Deadline::after(args.get_num("deadline-s", 0.0));
+    run::ScopedRunControl control(rc);
     int code = 0;
     if (args.command == "help" || args.command == "--help")
       return cmd_help(out);
@@ -496,6 +596,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     else if (args.command == "tables") code = cmd_tables(args, out);
     else if (args.command == "delay") code = cmd_delay(args, out);
     else if (args.command == "cache") code = cmd_cache(args, out);
+    else if (args.command == "batch") code = cmd_batch(args, rc, out);
     else {
       err << "unknown command: " << args.command << " (try 'rlcx help')\n";
       return 2;

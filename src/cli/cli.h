@@ -36,6 +36,8 @@ Args parse_args(const std::vector<std::string>& argv);
 ///   3  invalid input (geometry, file I/O, cache corruption under --strict)
 ///   4  numerical failure (singular system, diverging transient,
 ///      out-of-grid lookup under --extrapolation throw)
+///   5  cancelled (SIGINT) or --deadline-s exceeded — the run unwound at a
+///      safe boundary; `batch` campaigns resume with --resume
 /// --strict escalates any warning to the exit code of its category;
 /// --lenient (the default) reports warnings on `err` and exits 0.
 ///
@@ -47,6 +49,8 @@ Args parse_args(const std::vector<std::string>& argv);
 ///           [--traces g:W,s:W,... --spacings S,S,...]  (custom bus, um)
 ///   tables  --planes none|below|above|both --out FILE
 ///           [--layer N --trise-ps N --points N]
+///   batch   --table-cache DIR [--layers 5,6 --planes-list none,below
+///            --points N --journal FILE --resume [FILE] --deadline-s N]
 ///   delay   (extract flags) [--rs N --sink-ff N --vdd N --sections N
 ///            --no-inductance --csv FILE]
 int run(const std::vector<std::string>& argv, std::ostream& out,

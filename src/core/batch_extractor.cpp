@@ -1,6 +1,7 @@
 #include "core/batch_extractor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -8,9 +9,11 @@
 #include <utility>
 
 #include "diag/error.h"
+#include "diag/warnings.h"
 #include "geom/block.h"
 #include "rt/parallel.h"
 #include "rt/pool.h"
+#include "run/journal.h"
 
 namespace rlcx::core {
 
@@ -24,6 +27,12 @@ struct PendingBuild {
   std::unique_ptr<GridSolvePlan> plan;  ///< unique_ptr: the plan's atomic
                                         ///< counter pins it in place
   std::size_t offset = 0;
+  /// Grid points of this job not yet solved.  The worker that drops it to
+  /// zero owns finalisation (tables assembled, cache store, journal
+  /// record) — so a cancellation arriving later finds every completed job
+  /// already durable.  Heap-held because atomics don't move with the
+  /// vector.
+  std::unique_ptr<std::atomic<std::size_t>> remaining;
 };
 
 }  // namespace
@@ -47,19 +56,30 @@ BatchResult characterize_batch(const geom::Technology& tech,
     canonical[i] = first_of_key.emplace(keys[i], i).first->second;
   }
 
-  // Probe the cache for every canonical job; misses become plans whose
-  // points concatenate into one flat range.
+  // Probe the journal, then the cache, for every canonical job; misses
+  // become plans whose points concatenate into one flat range.
   std::vector<PendingBuild> pending;
   std::vector<std::size_t> offsets;  // pending[k].offset, for upper_bound
   std::size_t total_points = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (canonical[i] != i) continue;
+    const bool journaled =
+        options.journal && options.journal->contains(TableCache::key_id(keys[i]));
     if (options.cache) {
       if (std::optional<InductanceTables> hit = options.cache->load(keys[i])) {
         res.tables[i] = *std::move(hit);
+        if (journaled) ++res.jobs_resumed;
         continue;
       }
     }
+    if (journaled)
+      // The journal only records ids whose store() succeeded, so this means
+      // the cache was purged (or never configured) since the journal was
+      // written — the resume contract degrades to an ordinary rebuild.
+      diag::emit_warning(diag::Category::kCache, "batch",
+                         "journal records " + TableCache::key_id(keys[i]) +
+                             " complete but the cache has no entry for it; "
+                             "re-characterising");
     PendingBuild pb;
     pb.job = i;
     pb.key = keys[i];
@@ -68,12 +88,28 @@ BatchResult characterize_batch(const geom::Technology& tech,
                                               opt);
     pb.offset = total_points;
     total_points += pb.plan->points();
+    pb.remaining =
+        std::make_unique<std::atomic<std::size_t>>(pb.plan->points());
     offsets.push_back(pb.offset);
     pending.push_back(std::move(pb));
   }
 
   rt::Pool& pool = options.pool ? *options.pool : rt::Pool::global();
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Finalises one fully-solved job: assemble its tables into the result
+  // slot, store the cache entry, and only then journal it complete.  Runs
+  // on whichever worker solves the job's last point — exactly once, since
+  // only one thread sees `remaining` hit zero — so a cancellation unwinding
+  // the fan-out afterwards cannot lose the job.
+  auto finalize = [&](PendingBuild& pb) {
+    res.tables[pb.job] = pb.plan->finish();
+    const bool stored =
+        options.cache && options.cache->store(pb.key, res.tables[pb.job]);
+    if (options.journal && (stored || !options.cache))
+      options.journal->record(TableCache::key_id(pb.key));
+  };
+
   if (total_points != 0) {
     rt::ParallelOptions popt;
     popt.grain = 1;
@@ -85,7 +121,10 @@ BatchResult characterize_batch(const geom::Technology& tech,
             const std::size_t k = static_cast<std::size_t>(
                 std::upper_bound(offsets.begin(), offsets.end(), idx) -
                 offsets.begin() - 1);
-            pending[k].plan->solve_point(idx - pending[k].offset);
+            PendingBuild& pb = pending[k];
+            pb.plan->solve_point(idx - pb.offset);
+            if (pb.remaining->fetch_sub(1, std::memory_order_acq_rel) == 1)
+              finalize(pb);
           }
         },
         popt);
@@ -95,13 +134,11 @@ BatchResult characterize_batch(const geom::Technology& tech,
           .count();
 
   for (PendingBuild& pb : pending) {
-    res.tables[pb.job] = pb.plan->finish();
     BuildStats& st = res.stats[pb.job];
     st.solves = pb.plan->solves();
     st.grid_points = pb.plan->points();
     st.threads = static_cast<int>(pool.size());
     st.wall_seconds = wall;
-    if (options.cache) options.cache->store(pb.key, res.tables[pb.job]);
   }
 
   // Duplicates copy their canonical's tables; their stats stay zero-solve.

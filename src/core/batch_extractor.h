@@ -9,6 +9,15 @@
 // pool drains a single bag of 2-trace solves.  The cache is consulted
 // first (warm classes cost zero solves) and duplicate jobs are folded by
 // cache key before any work is scheduled.
+//
+// Interruptibility (docs/robustness.md): each job finalises — tables
+// assembled, cache entry stored, journal record appended — the moment its
+// *last* grid point solves, on whichever pool thread solved it, not at the
+// end of the whole campaign.  A run cancelled via run::checkpoint (SIGINT,
+// deadline) therefore keeps every completed job durably, and a relaunch
+// with the same journal skips exactly the recorded keys: they are served
+// from the cache with zero re-solves, bit-identical to an uninterrupted
+// run.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +29,9 @@
 
 namespace rlcx::rt {
 class Pool;
+}
+namespace rlcx::run {
+class BatchJournal;
 }
 
 namespace rlcx::core {
@@ -35,6 +47,13 @@ struct BatchJob {
 struct BatchOptions {
   TableCache* cache = nullptr;  ///< probe/store entries when set
   rt::Pool* pool = nullptr;     ///< nullptr = the process-global pool
+  /// Completion journal for checkpoint/resume (docs/robustness.md).  When
+  /// set, every job whose tables are durably in the cache has its key id
+  /// (TableCache::key_id) recorded the moment it completes, and jobs whose
+  /// ids the journal already holds are served from the cache with zero
+  /// solves on a relaunch.  A journaled id whose cache entry has gone
+  /// missing degrades to a warning plus an ordinary rebuild.
+  run::BatchJournal* journal = nullptr;
 };
 
 struct BatchResult {
@@ -46,6 +65,10 @@ struct BatchResult {
   std::vector<BuildStats> stats;
   /// All result tables registered under their (layer, plane-config).
   InductanceLibrary library;
+  /// Canonical jobs skipped because the journal recorded them complete
+  /// and the cache served their tables (a --resume relaunch's "no work
+  /// re-done" evidence; cache hits without a journal entry don't count).
+  std::size_t jobs_resumed = 0;
 };
 
 /// Characterises every job, deduplicated by cache key and fanned out as

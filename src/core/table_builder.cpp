@@ -11,6 +11,7 @@
 #include "numeric/units.h"
 #include "peec/assembly.h"
 #include "rt/parallel.h"
+#include "run/control.h"
 #include "solver/block_solver.h"
 
 namespace rlcx::core {
@@ -85,6 +86,12 @@ GridSolvePlan::GridSolvePlan(const geom::Technology& tech, int layer,
 }
 
 void GridSolvePlan::solve_point(std::size_t index) {
+  // Point boundary of the characterisation fan-out: a point either solves
+  // completely (all its table slots written) or not at all, so a cancelled
+  // campaign never leaves a half-written grid point behind.  The rt chunk
+  // checkpoints cover the pooled path; this one covers direct callers
+  // (build_tables' fully-serial loop, external plan drivers).
+  run::checkpoint("table-build");
   const std::size_t nw = grid_.widths.size();
   const std::size_t ns = grid_.spacings.size();
   const std::size_t nl = grid_.lengths.size();

@@ -2,14 +2,17 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "diag/error.h"
 #include "diag/warnings.h"
+#include "run/fault_injection.h"
 
 namespace fs = std::filesystem;
 
@@ -50,6 +53,13 @@ void append_axis(std::string& out, const char* name,
 /// concurrent same-key writers within one process never share a staging
 /// file and cannot publish each other's half-written bytes.
 void atomic_write(const std::string& path, const std::string& content) {
+  // Injection site `cache_write`: a scheduled transient I/O failure, the
+  // deterministic stand-in for EINTR/ENOSPC-class flakes the retry loop in
+  // store() is built for.
+  if (rlcx::run::fault_injection_enabled() &&
+      rlcx::run::fault_point("cache_write"))
+    throw rlcx::diag::CacheError(
+        "cache", "injected transient write failure for " + path);
   static std::atomic<std::uint64_t> seq{0};
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
@@ -115,6 +125,10 @@ std::uint64_t TableCache::key_hash(const std::string& key_text) {
   return h;
 }
 
+std::string TableCache::key_id(const std::string& key_text) {
+  return hex16(key_hash(key_text));
+}
+
 std::string TableCache::entry_path(std::uint64_t hash) const {
   return dir_ + "/" + hex16(hash) + ".tbl";
 }
@@ -147,6 +161,11 @@ std::optional<InductanceTables> TableCache::load(
     }
   }
   try {
+    // Injection site `cache_read`: a scheduled corrupt entry, driving the
+    // quarantine -> re-characterise ladder without hand-editing bytes.
+    if (run::fault_injection_enabled() && run::fault_point("cache_read"))
+      throw diag::CacheError("cache",
+                             "injected corrupt cache entry " + path);
     InductanceTables t = InductanceTables::load_file(path);
     hits_.fetch_add(1, std::memory_order_relaxed);
     bytes_read_.fetch_add(fs::file_size(path, ec), std::memory_order_relaxed);
@@ -179,19 +198,47 @@ void TableCache::quarantine(std::uint64_t hash, const std::string& reason) {
                          "); the table will be re-characterised");
 }
 
-void TableCache::store(const std::string& key_text,
+bool TableCache::store(const std::string& key_text,
                        const InductanceTables& tables) {
   const std::uint64_t hash = key_hash(key_text);
   std::ostringstream blob(std::ios::binary);
   tables.save_binary(blob);
-  // Entry first, sidecar second: load() skips the collision check when the
-  // sidecar is absent, so a reader racing between the two renames still
-  // serves the (complete) entry rather than failing on a half-published
-  // pair.  Both individual writes are atomic renames.
-  atomic_write(entry_path(hash), blob.str());
-  atomic_write(sidecar_path(hash), key_text);
-  bytes_written_.fetch_add(blob.str().size() + key_text.size(),
-                           std::memory_order_relaxed);
+  // Transient write failures (an interrupted write, a directory briefly
+  // unwritable) must not kill an hours-long campaign over one entry: retry
+  // with a small bounded backoff, then degrade per the recovery policy —
+  // the table is already built, losing the cache copy only costs a
+  // re-characterisation next run.
+  constexpr int kStoreAttempts = 3;
+  constexpr std::chrono::milliseconds kBackoff{1};  // 1 ms, then 2 ms
+  for (int attempt = 1;; ++attempt) {
+    try {
+      // Entry first, sidecar second: load() skips the collision check when
+      // the sidecar is absent, so a reader racing between the two renames
+      // still serves the (complete) entry rather than failing on a
+      // half-published pair.  Both individual writes are atomic renames,
+      // and both are idempotent, so a retry may safely redo either.
+      atomic_write(entry_path(hash), blob.str());
+      atomic_write(sidecar_path(hash), key_text);
+      bytes_written_.fetch_add(blob.str().size() + key_text.size(),
+                               std::memory_order_relaxed);
+      return true;
+    } catch (const diag::CacheError& e) {
+      if (attempt < kStoreAttempts) {
+        write_retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(kBackoff * (1 << (attempt - 1)));
+        continue;
+      }
+      stores_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (policy_ == CacheRecoveryPolicy::kStrict) throw;
+      diag::emit_warning(
+          diag::Category::kCache, "cache",
+          "store failed after " + std::to_string(kStoreAttempts) +
+              " attempts (" + e.message() +
+              "); entry skipped — the table will be re-characterised "
+              "next run");
+      return false;
+    }
+  }
 }
 
 std::vector<TableCache::Entry> TableCache::list() const {

@@ -29,6 +29,10 @@ struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t quarantined = 0;  ///< corrupt entries set aside by kRecover
+  std::size_t write_retries = 0;   ///< transient store failures retried
+  std::size_t stores_dropped = 0;  ///< stores abandoned after the retry
+                                   ///< budget (kRecover: warn and rebuild
+                                   ///< next run instead of failing the job)
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
 };
@@ -62,6 +66,11 @@ class TableCache {
   /// lower-case hex form.
   static std::uint64_t key_hash(const std::string& key_text);
 
+  /// The 16-hex-digit entry id (lower-case hex of key_hash) — the stable
+  /// single-token name for one table build, used as the entry file stem
+  /// and as the batch journal's completion id.
+  static std::string key_id(const std::string& key_text);
+
   /// Entry lookup.  Returns the cached tables on a hit; std::nullopt when
   /// absent (or when a hash collision is detected against the stored key
   /// sidecar).  A present-but-corrupt entry is handled per the recovery
@@ -76,7 +85,16 @@ class TableCache {
   /// same key: each writer stages into a uniquely-named temp file and
   /// renames it into place, so readers and racing writers never observe a
   /// torn entry (the last complete write wins).
-  void store(const std::string& key_text, const InductanceTables& tables);
+  ///
+  /// Transient write failures (EINTR-class short writes, a momentarily
+  /// unwritable directory) are retried with a small bounded backoff
+  /// (stats().write_retries counts them).  A store still failing after the
+  /// budget degrades per the recovery policy: kRecover emits a `cache`
+  /// warning and returns without storing — the table is simply
+  /// re-characterised next run (stats().stores_dropped) — while kStrict
+  /// rethrows the categorized `cache` error.  Returns true when the entry
+  /// is durably in place (batch journaling records completion only then).
+  bool store(const std::string& key_text, const InductanceTables& tables);
 
   struct Entry {
     std::string id;         ///< 16-hex-digit key hash (the file stem)
@@ -101,6 +119,8 @@ class TableCache {
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
     s.quarantined = quarantined_.load(std::memory_order_relaxed);
+    s.write_retries = write_retries_.load(std::memory_order_relaxed);
+    s.stores_dropped = stores_dropped_.load(std::memory_order_relaxed);
     s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
     s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
     return s;
@@ -116,6 +136,8 @@ class TableCache {
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> quarantined_{0};
+  std::atomic<std::size_t> write_retries_{0};
+  std::atomic<std::size_t> stores_dropped_{0};
   std::atomic<std::uint64_t> bytes_read_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
 };

@@ -9,6 +9,8 @@ const char* to_string(Category c) {
     case Category::kIo: return "io";
     case Category::kCache: return "cache";
     case Category::kUsage: return "usage";
+    case Category::kCancelled: return "cancelled";
+    case Category::kDeadline: return "deadline";
   }
   return "?";
 }
@@ -20,6 +22,8 @@ int exit_code(Category c) {
     case Category::kIo:
     case Category::kCache: return 3;
     case Category::kNumeric: return 4;
+    case Category::kCancelled:
+    case Category::kDeadline: return 5;
   }
   return 1;
 }

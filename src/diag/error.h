@@ -23,14 +23,16 @@ namespace rlcx::diag {
 
 /// What kind of failure this is.  The CLI exit-code contract keys off the
 /// category (docs/robustness.md): usage -> 2, geometry/io/cache -> 3,
-/// numeric -> 4.
+/// numeric -> 4, cancelled/deadline -> 5.
 enum class Category {
-  kGeometry,  ///< invalid physical/structural input (geometry, netlist)
-  kNumeric,   ///< numerical breakdown: singular/near-singular systems,
-              ///< divergence, NaN, non-convergence
-  kIo,        ///< file and stream failures
-  kCache,     ///< table-cache corruption or recovery failure
-  kUsage,     ///< malformed invocation: bad flags, bad API arguments
+  kGeometry,   ///< invalid physical/structural input (geometry, netlist)
+  kNumeric,    ///< numerical breakdown: singular/near-singular systems,
+               ///< divergence, NaN, non-convergence
+  kIo,         ///< file and stream failures
+  kCache,      ///< table-cache corruption or recovery failure
+  kUsage,      ///< malformed invocation: bad flags, bad API arguments
+  kCancelled,  ///< the run was cancelled cooperatively (SIGINT, caller)
+  kDeadline,   ///< the run exceeded its wall-clock deadline
 };
 
 const char* to_string(Category c);
@@ -127,6 +129,22 @@ class CacheError : public Error {
  public:
   CacheError(std::string stage, std::string message)
       : Error(Category::kCache, std::move(stage), std::move(message)) {}
+};
+
+/// The run was cancelled cooperatively (SIGINT, an owning service, a test).
+/// Thrown from run::checkpoint() at chunk/iteration boundaries, so the
+/// unwind never leaves a partially-written table entry or journal record.
+class CancelledError : public Error {
+ public:
+  CancelledError(std::string stage, std::string message)
+      : Error(Category::kCancelled, std::move(stage), std::move(message)) {}
+};
+
+/// The run exceeded its wall-clock deadline (run::Deadline).
+class DeadlineExceeded : public Error {
+ public:
+  DeadlineExceeded(std::string stage, std::string message)
+      : Error(Category::kDeadline, std::move(stage), std::move(message)) {}
 };
 
 /// A linear system the factorisation could not (or barely could) solve.

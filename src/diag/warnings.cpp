@@ -2,6 +2,7 @@
 
 #include <iostream>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 namespace rlcx::diag {
@@ -21,6 +22,21 @@ std::vector<WarningHandler>& handler_stack() {
   return stack;
 }
 
+// Warn-once dedup state (guarded by handler_mutex()).  The depth counts
+// open ScopedWarningDedup scopes process-wide: worker threads emit while a
+// scope opened on the *calling* thread is alive, so the state cannot be
+// thread-local.  The set and counter reset when the last scope closes.
+struct DedupState {
+  int depth = 0;
+  std::unordered_set<std::string> seen;
+  std::size_t suppressed = 0;
+};
+
+DedupState& dedup_state() {
+  static DedupState s;
+  return s;
+}
+
 }  // namespace
 
 std::string format_warning(const Warning& w) {
@@ -36,6 +52,11 @@ std::string format_warning(const Warning& w) {
 void emit_warning(Category category, std::string stage, std::string message) {
   Warning w{category, std::move(stage), std::move(message)};
   std::lock_guard<std::mutex> lock(handler_mutex());
+  DedupState& dedup = dedup_state();
+  if (dedup.depth > 0 && !dedup.seen.insert(format_warning(w)).second) {
+    ++dedup.suppressed;
+    return;
+  }
   if (!handler_stack().empty()) {
     handler_stack().back()(w);
     return;
@@ -51,6 +72,25 @@ ScopedWarningHandler::ScopedWarningHandler(WarningHandler handler) {
 ScopedWarningHandler::~ScopedWarningHandler() {
   std::lock_guard<std::mutex> lock(handler_mutex());
   handler_stack().pop_back();
+}
+
+ScopedWarningDedup::ScopedWarningDedup() {
+  std::lock_guard<std::mutex> lock(handler_mutex());
+  ++dedup_state().depth;
+}
+
+ScopedWarningDedup::~ScopedWarningDedup() {
+  std::lock_guard<std::mutex> lock(handler_mutex());
+  DedupState& dedup = dedup_state();
+  if (--dedup.depth == 0) {
+    dedup.seen.clear();
+    dedup.suppressed = 0;
+  }
+}
+
+std::size_t ScopedWarningDedup::suppressed_count() noexcept {
+  std::lock_guard<std::mutex> lock(handler_mutex());
+  return dedup_state().suppressed;
 }
 
 }  // namespace rlcx::diag

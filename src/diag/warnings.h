@@ -15,6 +15,7 @@
 // destroyed.  With no handler installed, warnings go to stderr.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 
@@ -46,6 +47,25 @@ class ScopedWarningHandler {
 
   ScopedWarningHandler(const ScopedWarningHandler&) = delete;
   ScopedWarningHandler& operator=(const ScopedWarningHandler&) = delete;
+};
+
+/// RAII: while alive, warnings that render to identical text are delivered
+/// once and then suppressed (the duplicate count is queryable).  rt's
+/// parallel regions install one around every fan-out, so N workers hitting
+/// the same degradation (a non-converged SOR drive solved per grid point,
+/// an extrapolating lookup) produce one report instead of a thread-count-
+/// dependent flood.  Scopes nest; the *outermost* scope owns the dedup set,
+/// so a warning is emitted once per outermost region, from any thread.
+class ScopedWarningDedup {
+ public:
+  ScopedWarningDedup();
+  ~ScopedWarningDedup();
+
+  ScopedWarningDedup(const ScopedWarningDedup&) = delete;
+  ScopedWarningDedup& operator=(const ScopedWarningDedup&) = delete;
+
+  /// Warnings suppressed as duplicates since the outermost scope opened.
+  static std::size_t suppressed_count() noexcept;
 };
 
 }  // namespace rlcx::diag

@@ -5,6 +5,9 @@
 #include <limits>
 #include <mutex>
 
+#include "diag/warnings.h"
+#include "run/control.h"
+
 namespace rlcx::rt {
 
 namespace {
@@ -32,6 +35,12 @@ struct ChunkRun {
       const std::size_t lo = begin + c * grain;
       const std::size_t hi = std::min(end, lo + grain);
       try {
+        // Cooperative cancellation/deadline point: between chunks, so a
+        // triggered stop never interrupts a body mid-write — every chunk
+        // either completes or never starts.  The thrown fault is captured
+        // like any body exception (lowest chunk index wins) and re-thrown
+        // with its type intact.
+        run::checkpoint("rt");
         body(lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(m);
@@ -52,10 +61,15 @@ void run_chunks(std::size_t begin, std::size_t end, std::size_t grain,
   const std::size_t chunks = (end - begin + grain - 1) / grain;
   if (chunks <= 1 || pool.size() <= 1 || in_parallel_region()) {
     if (!force_chunked_serial) {
+      run::checkpoint("rt");
       body(begin, end);
       return;
     }
     for (std::size_t c = 0; c < chunks; ++c) {
+      // Same cancellation granularity as the parallel path: one
+      // checkpoint per chunk, so serial and parallel runs stop at
+      // identical boundaries.
+      run::checkpoint("rt");
       const std::size_t lo = begin + c * grain;
       body(lo, std::min(end, lo + grain));
     }
@@ -63,6 +77,10 @@ void run_chunks(std::size_t begin, std::size_t end, std::size_t grain,
   }
   ChunkRun run(begin, end, grain, chunks, body);
   {
+    // Warn-once per parallel region: identical warnings raised by several
+    // workers (the same degradation hit once per grid point) collapse to
+    // one report instead of a thread-count-dependent flood.
+    diag::ScopedWarningDedup dedup_region;
     TaskGroup group(pool);
     const std::size_t helpers = std::min<std::size_t>(
         static_cast<std::size_t>(pool.size()), chunks);

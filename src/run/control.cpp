@@ -1,0 +1,104 @@
+#include "run/control.h"
+
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "diag/error.h"
+#include "run/fault_injection.h"
+
+namespace rlcx::run {
+
+namespace {
+
+/// The installed control, reference-counted so checkpoints running on pool
+/// threads read a coherent snapshot.  Installation order is guarded by a
+/// mutex (scopes are rare); the hot read is one relaxed pointer load on
+/// g_active_raw to skip all work when no control is installed.
+struct Ambient {
+  std::shared_ptr<detail::CancelState> cancel;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  RunControl control;  ///< the installer's copy, for control()
+  const Ambient* previous = nullptr;
+};
+
+std::mutex g_install_mutex;
+const Ambient* g_active = nullptr;  // guarded by g_install_mutex
+std::atomic<const Ambient*> g_active_raw{nullptr};  // the hot-path view
+
+}  // namespace
+
+Deadline Deadline::after(double seconds) {
+  return at(std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds)));
+}
+
+double Deadline::remaining_seconds() const noexcept {
+  if (!active_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+struct ScopedRunControl::Impl {
+  Ambient ambient;
+};
+
+ScopedRunControl::ScopedRunControl(RunControl control)
+    : impl_(std::make_unique<Impl>()) {
+  Ambient& a = impl_->ambient;
+  a.cancel = control.token.state();
+  a.has_deadline = control.deadline.active();
+  a.deadline = control.deadline.when();
+  a.control = std::move(control);
+  std::lock_guard<std::mutex> lock(g_install_mutex);
+  a.previous = g_active;
+  g_active = &a;
+  g_active_raw.store(&a, std::memory_order_release);
+}
+
+ScopedRunControl::~ScopedRunControl() {
+  std::lock_guard<std::mutex> lock(g_install_mutex);
+  g_active = impl_->ambient.previous;
+  g_active_raw.store(g_active, std::memory_order_release);
+}
+
+const RunControl& ScopedRunControl::control() const noexcept {
+  return impl_->ambient.control;
+}
+
+bool control_active() noexcept {
+  return g_active_raw.load(std::memory_order_relaxed) != nullptr;
+}
+
+bool stop_requested() noexcept {
+  const Ambient* a = g_active_raw.load(std::memory_order_acquire);
+  if (a == nullptr) return false;
+  if (a->cancel->cancelled.load(std::memory_order_relaxed)) return true;
+  return a->has_deadline && std::chrono::steady_clock::now() >= a->deadline;
+}
+
+void checkpoint(const char* where) {
+  const Ambient* a = g_active_raw.load(std::memory_order_acquire);
+  if (a == nullptr) return;
+  // Deterministic "killed mid-campaign": the scheduled checkpoint requests
+  // cancellation exactly as a SIGINT would, then falls through to the
+  // normal observation below.
+  if (fault_injection_enabled() && fault_point("cancel"))
+    a->cancel->cancelled.store(true, std::memory_order_relaxed);
+  if (a->cancel->cancelled.load(std::memory_order_relaxed))
+    throw diag::CancelledError(
+        where, "cancellation requested; unwound at a safe boundary "
+               "(completed work is preserved)");
+  if (a->has_deadline && std::chrono::steady_clock::now() >= a->deadline) {
+    // Late checkpoints keep throwing, so the unwind cannot be re-captured
+    // into further work.
+    throw diag::DeadlineExceeded(
+        where, "wall-clock deadline exceeded; unwound at a safe boundary "
+               "(completed work is preserved)");
+  }
+}
+
+}  // namespace rlcx::run

@@ -1,0 +1,135 @@
+// rlcx::run — cooperative run control for long extraction campaigns.
+//
+// A table pre-computation at f_s = 0.32/t_r is thousands of field solves;
+// the driver of such a campaign (the CLI, a batch service, a test) needs
+// three guarantees the raw pipeline cannot give on its own:
+//
+//   * it can be *stopped* (SIGINT, an owning service shutting down),
+//   * it can be *bounded* in wall-clock time (a deadline), and
+//   * stopping never corrupts durable state (cache entries, journals).
+//
+// The mechanism is cooperative: the driver installs a ScopedRunControl
+// carrying a CancelToken and an optional Deadline, and the hot paths call
+// run::checkpoint() at their natural safe boundaries — rt chunk claims,
+// SOR sweeps, transient steps, grid-point solves.  A triggered checkpoint
+// throws a typed diag::Fault (CancelledError / DeadlineExceeded, CLI exit
+// code 5) which unwinds through the rt pool with its type preserved, so a
+// cancelled run reports *why* it stopped and never observes partial
+// writes: work between two checkpoints either completes or never starts.
+//
+// With no control installed, checkpoint() is one relaxed atomic load —
+// cheap enough for per-iteration placement.
+//
+// Lifetime protocol: the ScopedRunControl must outlive every parallel
+// region it covers (RAII on the driver's stack around the fan-out does
+// this naturally); checkpoints observe the control from any pool thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace rlcx::run {
+
+namespace detail {
+
+/// Shared cancellation flag.  A lock-free atomic, so request() is safe
+/// from any thread *and* from an async signal handler.
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+};
+
+}  // namespace detail
+
+/// Copyable handle to a shared cancellation flag.  Copies observe the same
+/// flag; request() is idempotent, thread-safe and async-signal-safe.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<detail::CancelState>()) {}
+
+  void request() const noexcept {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+  bool requested() const noexcept {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Internal: the shared flag (the SIGINT handler stores a raw pointer to
+  /// it, keeping this shared_ptr alive for the handler's scope).
+  const std::shared_ptr<detail::CancelState>& state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// A wall-clock bound on the steady clock.  Default-constructed = none.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Expires `seconds` from now (negative or zero: already expired).
+  static Deadline after(double seconds);
+  static Deadline at(std::chrono::steady_clock::time_point when) {
+    Deadline d;
+    d.active_ = true;
+    d.when_ = when;
+    return d;
+  }
+
+  bool active() const noexcept { return active_; }
+  bool expired() const noexcept {
+    return active_ && std::chrono::steady_clock::now() >= when_;
+  }
+  /// Seconds until expiry (negative once past; +inf when inactive).
+  double remaining_seconds() const noexcept;
+  std::chrono::steady_clock::time_point when() const noexcept { return when_; }
+
+ private:
+  bool active_ = false;
+  std::chrono::steady_clock::time_point when_{};
+};
+
+/// What a driver installs: a cancellation handle plus an optional deadline.
+struct RunControl {
+  CancelToken token;
+  Deadline deadline;
+};
+
+/// RAII: makes `control` the process-ambient run control for this scope.
+/// Scopes nest (the innermost wins; the previous control is restored on
+/// destruction).  The scope must outlive every parallel region it covers.
+class ScopedRunControl {
+ public:
+  explicit ScopedRunControl(RunControl control);
+  ~ScopedRunControl();
+
+  ScopedRunControl(const ScopedRunControl&) = delete;
+  ScopedRunControl& operator=(const ScopedRunControl&) = delete;
+
+  const RunControl& control() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// True while any ScopedRunControl is installed.
+bool control_active() noexcept;
+
+/// Non-throwing poll: has the ambient control been cancelled or its
+/// deadline passed?  For call sites that prefer a clean early return over
+/// unwinding (none in-tree yet; checkpoint() is the normal form).
+bool stop_requested() noexcept;
+
+/// The cooperative cancellation point.  No-op without an installed
+/// control; otherwise throws diag::CancelledError when cancellation has
+/// been requested, or diag::DeadlineExceeded when the deadline has passed.
+/// `where` names the calling stage ("rt", "fd2d", "transient", ...).
+/// Honours the `cancel` fault-injection site: RLCX_FAULT_SCHEDULE=cancel:N
+/// requests cancellation at the Nth checkpoint, making "killed
+/// mid-campaign" reproducible to the exact chunk boundary.
+void checkpoint(const char* where);
+
+}  // namespace rlcx::run

@@ -1,0 +1,163 @@
+#include "run/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "diag/error.h"
+#include "diag/warnings.h"
+
+namespace rlcx::run {
+
+namespace {
+
+struct SiteSchedule {
+  std::set<std::uint64_t> exact;  ///< fire exactly at these call numbers
+  std::uint64_t from = 0;         ///< fire at every call >= from (0 = off)
+  std::uint64_t calls = 0;
+  std::uint64_t triggered = 0;
+
+  bool armed() const { return !exact.empty() || from != 0; }
+};
+
+/// One parsed `site:N` / `site:N+` entry.
+struct Entry {
+  std::string site;
+  std::uint64_t count = 0;
+  bool persistent = false;
+};
+
+Entry parse_entry(const std::string& token) {
+  const std::size_t colon = token.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == token.size())
+    throw diag::UsageError("fault-injection",
+                           "bad schedule entry '" + token +
+                               "' (expected site:N or site:N+)");
+  Entry e;
+  e.site = token.substr(0, colon);
+  std::string num = token.substr(colon + 1);
+  if (!num.empty() && num.back() == '+') {
+    e.persistent = true;
+    num.pop_back();
+  }
+  if (num.empty())
+    throw diag::UsageError("fault-injection",
+                           "bad schedule entry '" + token + "': missing count");
+  for (char c : num)
+    if (c < '0' || c > '9')
+      throw diag::UsageError("fault-injection",
+                             "bad schedule entry '" + token +
+                                 "': count must be a positive integer");
+  e.count = std::strtoull(num.c_str(), nullptr, 10);
+  if (e.count == 0)
+    throw diag::UsageError("fault-injection",
+                           "bad schedule entry '" + token +
+                               "': call counts are 1-based");
+  return e;
+}
+
+std::vector<Entry> parse_schedule(const std::string& schedule) {
+  std::vector<Entry> entries;
+  std::string cur;
+  for (std::size_t i = 0; i <= schedule.size(); ++i) {
+    if (i < schedule.size() && schedule[i] != ',') {
+      if (schedule[i] != ' ' && schedule[i] != '\t') cur += schedule[i];
+      continue;
+    }
+    if (!cur.empty()) entries.push_back(parse_entry(cur));
+    cur.clear();
+  }
+  return entries;
+}
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  mutable std::mutex m;
+  std::map<std::string, SiteSchedule> sites;
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  const char* env = std::getenv("RLCX_FAULT_SCHEDULE");
+  if (env == nullptr || env[0] == '\0') return;
+  try {
+    set_schedule(env);
+  } catch (const diag::UsageError& e) {
+    diag::emit_warning(diag::Category::kUsage, "fault-injection",
+                       std::string("ignoring RLCX_FAULT_SCHEDULE: ") +
+                           e.message());
+  }
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::set_schedule(const std::string& schedule) {
+  const std::vector<Entry> entries = parse_schedule(schedule);  // may throw
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->sites.clear();
+  for (const Entry& e : entries) {
+    SiteSchedule& s = impl_->sites[e.site];
+    if (e.persistent)
+      s.from = s.from == 0 ? e.count : std::min(s.from, e.count);
+    else
+      s.exact.insert(e.count);
+  }
+  g_enabled.store(!impl_->sites.empty(), std::memory_order_release);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->sites.clear();
+  g_enabled.store(false, std::memory_order_release);
+}
+
+std::uint64_t FaultInjector::calls(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t FaultInjector::triggered(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.triggered;
+}
+
+bool FaultInjector::hit(const char* site) noexcept {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  const auto it = impl_->sites.find(site);
+  if (it == impl_->sites.end() || !it->second.armed()) return false;
+  SiteSchedule& s = it->second;
+  const std::uint64_t call = ++s.calls;
+  const bool fire =
+      s.exact.count(call) != 0 || (s.from != 0 && call >= s.from);
+  if (fire) ++s.triggered;
+  return fire;
+}
+
+namespace {
+// Construct the singleton (and parse RLCX_FAULT_SCHEDULE) before main():
+// the enabled flag must be armed before the first fault_point() call, which
+// deliberately skips the singleton when the flag reads false.
+[[maybe_unused]] const bool g_env_parsed =
+    (FaultInjector::global(), true);
+}  // namespace
+
+bool fault_injection_enabled() noexcept {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+bool fault_point(const char* site) noexcept {
+  if (!fault_injection_enabled()) return false;
+  return FaultInjector::global().hit(site);
+}
+
+}  // namespace rlcx::run

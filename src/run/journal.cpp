@@ -1,0 +1,120 @@
+#include "run/journal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "diag/error.h"
+
+namespace fs = std::filesystem;
+
+namespace rlcx::run {
+
+namespace {
+
+constexpr const char* kHeader = "rlcx-journal 1";
+
+/// Reads the whole file; returns false when it does not exist.
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Parses journal text into completed ids.  Only lines terminated by '\n'
+/// count: a torn trailing append (killed writer) is dropped, so the id it
+/// was recording is simply re-done.  Unknown line types are skipped for
+/// forward compatibility.
+std::set<std::string> parse(const std::string& path,
+                            const std::string& content) {
+  std::set<std::string> done;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: ignore
+    const std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (first) {
+      if (line != kHeader)
+        throw diag::IoError("journal",
+                            path + " is not a batch journal (header '" +
+                                line + "', expected '" + kHeader + "')");
+      first = false;
+      continue;
+    }
+    if (line.rfind("done ", 0) == 0 && line.size() > 5)
+      done.insert(line.substr(5));
+  }
+  if (first && !content.empty())
+    throw diag::IoError("journal",
+                        path + " is not a batch journal (no header line)");
+  return done;
+}
+
+}  // namespace
+
+BatchJournal::BatchJournal(std::string path) : path_(std::move(path)) {
+  if (path_.empty())
+    throw diag::UsageError("journal", "empty journal path");
+  std::string content;
+  if (slurp(path_, content) && !content.empty()) {
+    done_ = parse(path_, content);
+    return;
+  }
+  // Fresh journal: create parent directory and write the header now, so a
+  // campaign that is killed before its first completion still leaves a
+  // well-formed (empty) manifest behind.
+  const fs::path parent = fs::path(path_).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+  if (!os) throw diag::IoError("journal", "cannot create " + path_);
+  os << kHeader << "\n" << std::flush;
+  if (!os) throw diag::IoError("journal", "cannot write header to " + path_);
+}
+
+std::set<std::string> BatchJournal::completed() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return done_;
+}
+
+bool BatchJournal::contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(m_);
+  return done_.count(id) != 0;
+}
+
+std::size_t BatchJournal::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return done_.size();
+}
+
+void BatchJournal::record(const std::string& id) {
+  if (id.empty())
+    throw diag::UsageError("journal", "cannot record an empty id");
+  for (char c : id)
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+      throw diag::UsageError("journal",
+                             "journal ids must not contain whitespace: '" +
+                                 id + "'");
+  std::lock_guard<std::mutex> lock(m_);
+  if (!done_.insert(id).second) return;  // idempotent
+  // One whole line per append, flushed before returning: the record is
+  // durable once record() returns, and a kill mid-write tears at most this
+  // line (which the loader then drops).
+  std::ofstream os(path_, std::ios::binary | std::ios::app);
+  if (!os) throw diag::IoError("journal", "cannot append to " + path_);
+  os << "done " << id << "\n" << std::flush;
+  if (!os) throw diag::IoError("journal", "short append to " + path_);
+}
+
+std::set<std::string> BatchJournal::load(const std::string& path) {
+  std::string content;
+  if (!slurp(path, content) || content.empty()) return {};
+  return parse(path, content);
+}
+
+}  // namespace rlcx::run

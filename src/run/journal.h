@@ -1,0 +1,57 @@
+// Append-only completion journal for batch campaigns (the --resume
+// manifest).
+//
+// A characterisation campaign is a set of independent jobs, each with a
+// stable id (the table cache's 16-hex key hash).  The journal records
+// "this id completed durably" — appended *after* the job's results are
+// stored — so a relaunch can skip finished work exactly: ids present in
+// the journal are served from the cache with zero re-solves.
+//
+// Format (docs/robustness.md): a text file, first line `rlcx-journal 1`,
+// then one `done <id>` line per completed id.  Appends are a single
+// write+flush of one full line, and the loader ignores a trailing line
+// without its newline, so a run killed mid-append (SIGKILL, power loss)
+// loses at most the record being written — never the records before it,
+// and a torn record is re-done rather than trusted.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace rlcx::run {
+
+class BatchJournal {
+ public:
+  /// Opens `path` for appending, creating it (with its header) when
+  /// absent.  An existing file is validated (header line) and its
+  /// completed ids loaded; a file that is not a journal throws an `io`
+  /// fault rather than being clobbered.
+  explicit BatchJournal(std::string path);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Ids already recorded (including those recorded by this process).
+  std::set<std::string> completed() const;
+  bool contains(const std::string& id) const;
+  std::size_t size() const;
+
+  /// Records `id` as complete: appends one `done <id>` line and flushes
+  /// before returning, so a record observed by record() is durable against
+  /// any later kill.  Idempotent and thread-safe (concurrent jobs finish
+  /// on pool threads).  Ids must be non-empty and free of whitespace.
+  void record(const std::string& id);
+
+  /// Parses a journal without opening it for append (the --resume path
+  /// when the manifest is read-only or belongs to another run).  A missing
+  /// file yields an empty set.
+  static std::set<std::string> load(const std::string& path);
+
+ private:
+  std::string path_;
+  mutable std::mutex m_;
+  std::set<std::string> done_;
+};
+
+}  // namespace rlcx::run

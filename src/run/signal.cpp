@@ -1,0 +1,44 @@
+#include "run/signal.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace rlcx::run {
+
+namespace {
+
+// The flag the handler targets.  A raw pointer: the owning
+// ScopedSigintCancel holds the shared_ptr alive for its lifetime, and the
+// handler performs only lock-free atomic operations (the async-signal-safe
+// subset).
+std::atomic<detail::CancelState*> g_target{nullptr};
+
+void on_sigint(int sig) {
+  detail::CancelState* target = g_target.load(std::memory_order_acquire);
+  if (target == nullptr ||
+      target->cancelled.load(std::memory_order_relaxed)) {
+    // No target, or cancellation already pending (a second Ctrl-C on a run
+    // that has not reached a checkpoint yet): fall back to the default
+    // disposition so the process can still be terminated.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  target->cancelled.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ScopedSigintCancel::ScopedSigintCancel(CancelToken token)
+    : token_(std::move(token)) {
+  previous_target_ =
+      g_target.exchange(token_.state().get(), std::memory_order_acq_rel);
+  previous_handler_ = std::signal(SIGINT, on_sigint);
+}
+
+ScopedSigintCancel::~ScopedSigintCancel() {
+  std::signal(SIGINT, previous_handler_);
+  g_target.store(previous_target_, std::memory_order_release);
+}
+
+}  // namespace rlcx::run

@@ -1,0 +1,35 @@
+// SIGINT -> cooperative cancellation.
+//
+// Ctrl-C on an hours-long campaign must not abort mid-write: the handler
+// only sets the CancelToken's lock-free flag (the one async-signal-safe
+// thing it may do), and the pipeline unwinds at its next checkpoint —
+// after which every completed job is already stored and journaled (journal
+// appends flush eagerly, so there is nothing left to save).  A second
+// SIGINT while cancellation is pending falls back to the previous
+// (default) disposition, so a wedged run can still be killed.
+#pragma once
+
+#include "run/control.h"
+
+namespace rlcx::run {
+
+/// RAII: installs a SIGINT handler that requests cancellation on `token`
+/// for this object's lifetime, restoring the previous handler (and target
+/// token) on destruction.  Scopes nest; the innermost wins.  Only
+/// meaningful on the main thread of a process (signal dispositions are
+/// process-global).
+class ScopedSigintCancel {
+ public:
+  explicit ScopedSigintCancel(CancelToken token);
+  ~ScopedSigintCancel();
+
+  ScopedSigintCancel(const ScopedSigintCancel&) = delete;
+  ScopedSigintCancel& operator=(const ScopedSigintCancel&) = delete;
+
+ private:
+  CancelToken token_;  ///< keeps the shared flag alive for the handler
+  void (*previous_handler_)(int) = nullptr;
+  detail::CancelState* previous_target_ = nullptr;
+};
+
+}  // namespace rlcx::run

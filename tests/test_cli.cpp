@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "cli/cli.h"
+#include "run/fault_injection.h"
 
 namespace rlcx::cli {
 namespace {
@@ -342,6 +343,104 @@ TEST(CliExitCodes, CorruptCacheRecoversByDefaultAndFailsUnderStrict) {
   EXPECT_EQ(hard.code, 3) << hard.err;
   EXPECT_NE(hard.err.find("[cache]"), std::string::npos) << hard.err;
   std::filesystem::remove_all(dir, ec);
+}
+
+TEST(CliBatch, RequiresTableCache) {
+  const Result r = drive({"batch"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--table-cache"), std::string::npos);
+}
+
+TEST(CliBatch, CampaignJournalGuardAndResume) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "rlcx_cli_batch")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  const std::vector<std::string> base{"batch",     "--table-cache", dir,
+                                      "--layers",  "6",             "--points",
+                                      "2",         "--planes-list", "none"};
+
+  const Result first = drive(base);
+  ASSERT_EQ(first.code, 0) << first.err;
+  EXPECT_NE(first.out.find("1 jobs"), std::string::npos) << first.out;
+  EXPECT_NE(first.out.find("0 resumed from journal"), std::string::npos);
+  EXPECT_NE(first.out.find("16 field solves"), std::string::npos);
+  EXPECT_NE(first.out.find("1 completed ids"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/batch.journal"));
+
+  // Re-running without --resume must not silently reuse the journal.
+  const Result guarded = drive(base);
+  EXPECT_EQ(guarded.code, 2) << guarded.err;
+  EXPECT_NE(guarded.err.find("--resume"), std::string::npos) << guarded.err;
+
+  // --resume: journaled job served from the cache, zero re-solves.
+  std::vector<std::string> resume = base;
+  resume.push_back("--resume");
+  const Result resumed = drive(resume);
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+  EXPECT_NE(resumed.out.find("1 resumed from journal, 0 field solves"),
+            std::string::npos)
+      << resumed.out;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(CliBatch, CancelledCampaignExitsFiveAndResumes) {
+  struct InjectorReset {
+    ~InjectorReset() { run::FaultInjector::global().clear(); }
+  } injector_reset;
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "rlcx_cli_batch_cancel")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  const std::vector<std::string> base{"batch",     "--table-cache", dir,
+                                      "--layers",  "6,4",           "--points",
+                                      "2",         "--planes-list", "none"};
+
+  // A reproducible SIGINT: cancellation at a mid-campaign checkpoint.
+  run::FaultInjector::global().set_schedule("cancel:40");
+  const Result killed = drive(base);
+  EXPECT_EQ(killed.code, 5) << killed.err;
+  EXPECT_NE(killed.err.find("[cancelled]"), std::string::npos) << killed.err;
+  run::FaultInjector::global().clear();
+
+  // The relaunch completes the campaign; journaled work is not re-done.
+  std::vector<std::string> resume = base;
+  resume.push_back("--resume");
+  const Result resumed = drive(resume);
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+  EXPECT_NE(resumed.out.find("2 completed ids"), std::string::npos)
+      << resumed.out;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(CliBatch, ExpiredDeadlineExitsFive) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "rlcx_cli_batch_dl")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  const Result r = drive({"batch", "--table-cache", dir, "--layers", "6",
+                          "--points", "2", "--planes-list", "none",
+                          "--deadline-s", "0"});
+  EXPECT_EQ(r.code, 5) << r.err;
+  EXPECT_NE(r.err.find("[deadline]"), std::string::npos) << r.err;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(CliBatch, DeadlineAppliesToEveryCommand) {
+  const Result r = drive({"extract", "--structure", "cpw", "--length-um",
+                          "1000", "--deadline-s", "0"});
+  EXPECT_EQ(r.code, 5) << r.err;
+  EXPECT_NE(r.err.find("[deadline]"), std::string::npos) << r.err;
+}
+
+TEST(CliBatch, HelpDocumentsRunControl) {
+  const Result h = drive({"help"});
+  EXPECT_NE(h.out.find("batch"), std::string::npos);
+  EXPECT_NE(h.out.find("--deadline-s"), std::string::npos);
+  EXPECT_NE(h.out.find("5 cancelled"), std::string::npos);
 }
 
 }  // namespace

@@ -1,16 +1,23 @@
 // Batched characterisation/extraction: bit-identity with the serial
-// single-job paths, key-level dedup, cache integration, and the parallel
-// per-level tree sweep.
+// single-job paths, key-level dedup, cache integration, checkpoint/resume
+// via the batch journal, and the parallel per-level tree sweep.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <string>
 
 #include "clocktree/tree_netlist.h"
 #include "core/batch_extractor.h"
 #include "core/rlc_extractor.h"
+#include "diag/error.h"
+#include "diag/warnings.h"
 #include "geom/builders.h"
 #include "numeric/units.h"
 #include "rt/pool.h"
+#include "run/control.h"
+#include "run/fault_injection.h"
+#include "run/journal.h"
 
 namespace rlcx::core {
 namespace {
@@ -123,6 +130,146 @@ TEST(CharacterizeBatch, WarmCachePerformsZeroSolves) {
   EXPECT_EQ(warm.stats().hits, 1u);
   EXPECT_EQ(hit.stats[0].solves, 0u);
   expect_same_tables(cold.tables[0], hit.tables[0]);
+}
+
+TEST(CharacterizeBatch, JournalRecordsEveryCompletedJob) {
+  const ScratchDir dir("rlcx_batch_journal");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const solver::SolveOptions opt = fast_options();
+  const std::vector<BatchJob> jobs = {
+      {6, geom::PlaneConfig::kNone, tiny_grid()},
+      {4, geom::PlaneConfig::kNone, tiny_grid()}};
+
+  TableCache cache(dir.path);
+  run::BatchJournal journal(dir.path + "/batch.journal");
+  BatchOptions bopt;
+  bopt.cache = &cache;
+  bopt.journal = &journal;
+  const BatchResult res = characterize_batch(tech, jobs, opt, bopt);
+  EXPECT_EQ(res.jobs_resumed, 0u);
+  EXPECT_EQ(journal.size(), 2u);
+  for (const BatchJob& job : jobs) {
+    const std::string id = TableCache::key_id(
+        TableCache::key_text(tech, job.layer, job.planes, job.grid, opt));
+    EXPECT_TRUE(journal.contains(id)) << id;
+    // Journal/cache consistency: a journaled id has its entry on disk.
+    EXPECT_TRUE(fs::exists(fs::path(dir.path) / (id + ".tbl"))) << id;
+  }
+}
+
+TEST(CharacterizeBatch, JournaledKeyMissingFromCacheRebuildsWithWarning) {
+  const ScratchDir dir("rlcx_batch_journal_miss");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const solver::SolveOptions opt = fast_options();
+  const std::vector<BatchJob> jobs = {
+      {6, geom::PlaneConfig::kNone, tiny_grid()}};
+  const std::string id = TableCache::key_id(TableCache::key_text(
+      tech, jobs[0].layer, jobs[0].planes, jobs[0].grid, opt));
+
+  TableCache cache(dir.path);
+  run::BatchJournal journal(dir.path + "/batch.journal");
+  journal.record(id);  // journaled complete, but the cache is empty
+
+  std::vector<diag::Warning> warnings;
+  const diag::ScopedWarningHandler handler(
+      [&](const diag::Warning& w) { warnings.push_back(w); });
+  BatchOptions bopt;
+  bopt.cache = &cache;
+  bopt.journal = &journal;
+  reset_table_build_solve_count();
+  const BatchResult res = characterize_batch(tech, jobs, opt, bopt);
+  // Degrades to an ordinary rebuild, loudly.
+  EXPECT_EQ(res.jobs_resumed, 0u);
+  EXPECT_EQ(table_build_solve_count(), 16u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].message.find(id), std::string::npos);
+  EXPECT_NE(warnings[0].message.find("re-characterising"), std::string::npos);
+}
+
+// The acceptance scenario: a campaign killed mid-flight (deterministically,
+// via the `cancel` injection site) relaunches with the same journal and
+// completes with ZERO re-solves for journaled jobs and tables byte-equal
+// to an uninterrupted run.
+TEST(CharacterizeBatch, InterruptedCampaignResumesWithZeroReSolves) {
+  struct InjectorReset {
+    ~InjectorReset() { run::FaultInjector::global().clear(); }
+  } injector_reset;
+
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const solver::SolveOptions opt = fast_options();
+  std::vector<BatchJob> jobs(2);
+  jobs[0] = {6, geom::PlaneConfig::kNone, tiny_grid()};
+  jobs[1] = {4, geom::PlaneConfig::kNone, tiny_grid()};
+  rt::Pool pool(1);  // single worker: a deterministic checkpoint sequence
+
+  // Reference: an uninterrupted campaign.  The armed-but-unreachable
+  // `cancel` entry counts the total checkpoints this workload passes.
+  run::FaultInjector::global().set_schedule("cancel:1000000000");
+  const ScratchDir ref_dir("rlcx_resume_ref");
+  TableCache ref_cache(ref_dir.path);
+  run::BatchJournal ref_journal(ref_dir.path + "/batch.journal");
+  BatchOptions ref_opt;
+  ref_opt.cache = &ref_cache;
+  ref_opt.pool = &pool;
+  ref_opt.journal = &ref_journal;
+  BatchResult reference;
+  {
+    run::RunControl rc;
+    run::ScopedRunControl scope(rc);
+    reference = characterize_batch(tech, jobs, opt, ref_opt);
+  }
+  const std::uint64_t total_checkpoints =
+      run::FaultInjector::global().calls("cancel");
+  ASSERT_GT(total_checkpoints, 8u);
+  EXPECT_EQ(ref_journal.size(), 2u);
+
+  // Interrupted campaign: cancel at ~60% of those checkpoints — past the
+  // first job's half of the flat range, inside the second job's.
+  const ScratchDir dir("rlcx_resume");
+  TableCache cache(dir.path);
+  std::size_t done_after_interrupt = 0;
+  {
+    run::BatchJournal journal(dir.path + "/batch.journal");
+    BatchOptions bopt;
+    bopt.cache = &cache;
+    bopt.pool = &pool;
+    bopt.journal = &journal;
+    run::FaultInjector::global().set_schedule(
+        "cancel:" + std::to_string(3 * total_checkpoints / 5));
+    run::RunControl rc;
+    run::ScopedRunControl scope(rc);
+    EXPECT_THROW(characterize_batch(tech, jobs, opt, bopt),
+                 diag::CancelledError);
+    done_after_interrupt = journal.size();
+    // Partial progress, not none and not all; every journaled id is
+    // durable in the cache (no partially-written entries).
+    EXPECT_GE(done_after_interrupt, 1u);
+    EXPECT_LT(done_after_interrupt, 2u);
+    for (const std::string& id : journal.completed()) {
+      EXPECT_TRUE(fs::exists(fs::path(dir.path) / (id + ".tbl"))) << id;
+      EXPECT_TRUE(fs::exists(fs::path(dir.path) / (id + ".key"))) << id;
+    }
+  }
+  run::FaultInjector::global().clear();
+
+  // Resume: reopen the same journal and cache, rerun the same jobs.
+  run::BatchJournal journal(dir.path + "/batch.journal");
+  ASSERT_EQ(journal.size(), done_after_interrupt);
+  TableCache warm(dir.path);
+  BatchOptions ropt;
+  ropt.cache = &warm;
+  ropt.pool = &pool;
+  ropt.journal = &journal;
+  reset_table_build_solve_count();
+  const BatchResult resumed = characterize_batch(tech, jobs, opt, ropt);
+  // Zero re-solves for journaled jobs: only the unfinished ones build.
+  EXPECT_EQ(resumed.jobs_resumed, done_after_interrupt);
+  EXPECT_EQ(table_build_solve_count(),
+            16u * (jobs.size() - done_after_interrupt));
+  EXPECT_EQ(journal.size(), 2u);
+  // Byte-identical tables vs the uninterrupted campaign.
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    expect_same_tables(reference.tables[j], resumed.tables[j]);
 }
 
 TEST(ExtractSegmentsBatch, MatchesSerialExtraction) {

@@ -12,6 +12,7 @@
 #include "diag/warnings.h"
 #include "geom/technology.h"
 #include "numeric/units.h"
+#include "run/fault_injection.h"
 
 namespace rlcx::core {
 namespace {
@@ -294,6 +295,102 @@ TEST(TableCache, ConcurrentSameKeyStoresNeverTearTheEntry) {
     EXPECT_EQ(de.path().filename().string().find(".tmp."),
               std::string::npos)
         << de.path();
+}
+
+// --- store() retry ladder, driven by the deterministic fault injector ---
+
+struct InjectorReset {
+  ~InjectorReset() { run::FaultInjector::global().clear(); }
+};
+
+TEST(TableCacheRetry, TransientWriteFailureIsRetriedAndCounted) {
+  InjectorReset reset;
+  const ScratchDir dir("rlcx_cache_retry");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+  TableCache cache(dir.path);
+  const InductanceTables built =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+
+  // First staging write fails once; the retry succeeds silently.
+  run::FaultInjector::global().set_schedule("cache_write:1");
+  EXPECT_TRUE(cache.store(key, built));
+  EXPECT_EQ(cache.stats().write_retries, 1u);
+  EXPECT_EQ(cache.stats().stores_dropped, 0u);
+
+  // The entry is whole: a strict reader accepts it.
+  TableCache reader(dir.path, CacheRecoveryPolicy::kStrict);
+  EXPECT_TRUE(reader.load(key).has_value());
+}
+
+TEST(TableCacheRetry, PersistentFailureDegradesToWarnAndSkipUnderRecover) {
+  InjectorReset reset;
+  const ScratchDir dir("rlcx_cache_retry_drop");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+  TableCache cache(dir.path);  // kRecover (default)
+  const InductanceTables built =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+
+  std::vector<diag::Warning> warnings;
+  const diag::ScopedWarningHandler handler(
+      [&](const diag::Warning& w) { warnings.push_back(w); });
+  run::FaultInjector::global().set_schedule("cache_write:1+");  // a full disk
+  EXPECT_FALSE(cache.store(key, built));
+  EXPECT_EQ(cache.stats().write_retries, 2u);  // 3 attempts = 2 retries
+  EXPECT_EQ(cache.stats().stores_dropped, 1u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].category, diag::Category::kCache);
+  EXPECT_NE(warnings[0].message.find("re-characterised"), std::string::npos);
+
+  run::FaultInjector::global().clear();
+  EXPECT_FALSE(cache.load(key).has_value());  // nothing was published
+}
+
+TEST(TableCacheRetry, PersistentFailureThrowsUnderStrict) {
+  InjectorReset reset;
+  const ScratchDir dir("rlcx_cache_retry_strict");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+  TableCache cache(dir.path, CacheRecoveryPolicy::kStrict);
+  const InductanceTables built =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+
+  run::FaultInjector::global().set_schedule("cache_write:1+");
+  EXPECT_THROW(cache.store(key, built), diag::CacheError);
+  EXPECT_EQ(cache.stats().stores_dropped, 1u);
+}
+
+TEST(TableCacheRetry, InjectedCorruptReadQuarantinesUnderRecover) {
+  InjectorReset reset;
+  const ScratchDir dir("rlcx_cache_read_inject");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+  TableCache cache(dir.path);
+  const InductanceTables built =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  ASSERT_TRUE(cache.store(key, built));
+
+  std::vector<diag::Warning> warnings;
+  const diag::ScopedWarningHandler handler(
+      [&](const diag::Warning& w) { warnings.push_back(w); });
+  run::FaultInjector::global().set_schedule("cache_read:1");
+  EXPECT_FALSE(cache.load(key).has_value());  // treated as corrupt -> miss
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].message.find("quarantined"), std::string::npos);
 }
 
 }  // namespace

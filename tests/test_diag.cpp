@@ -18,6 +18,8 @@ TEST(DiagTaxonomy, CategoryNames) {
   EXPECT_STREQ(to_string(Category::kIo), "io");
   EXPECT_STREQ(to_string(Category::kCache), "cache");
   EXPECT_STREQ(to_string(Category::kUsage), "usage");
+  EXPECT_STREQ(to_string(Category::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(Category::kDeadline), "deadline");
 }
 
 TEST(DiagTaxonomy, ExitCodeContract) {
@@ -27,6 +29,24 @@ TEST(DiagTaxonomy, ExitCodeContract) {
   EXPECT_EQ(exit_code(Category::kIo), 3);
   EXPECT_EQ(exit_code(Category::kCache), 3);
   EXPECT_EQ(exit_code(Category::kNumeric), 4);
+  EXPECT_EQ(exit_code(Category::kCancelled), 5);
+  EXPECT_EQ(exit_code(Category::kDeadline), 5);
+}
+
+TEST(DiagTaxonomy, CancellationFaultsAreTypedAndCatchableAsFault) {
+  try {
+    throw CancelledError("rt", "cancellation requested");
+  } catch (const Fault& f) {
+    EXPECT_EQ(f.category(), Category::kCancelled);
+  }
+  try {
+    throw DeadlineExceeded("rt", "deadline passed");
+  } catch (const Fault& f) {
+    EXPECT_EQ(f.category(), Category::kDeadline);
+  }
+  // Both stay on the runtime_error side of the dual hierarchy.
+  EXPECT_THROW(throw CancelledError("rt", "m"), std::runtime_error);
+  EXPECT_THROW(throw DeadlineExceeded("rt", "m"), std::runtime_error);
 }
 
 TEST(DiagTaxonomy, FormatError) {
@@ -104,6 +124,51 @@ TEST(DiagWarnings, ScopedHandlerCapturesAndRestores) {
   EXPECT_EQ(outer_seen[1].message, "three");
   ASSERT_EQ(inner_seen.size(), 1u);
   EXPECT_EQ(inner_seen[0].category, Category::kIo);
+}
+
+TEST(DiagWarnings, DedupScopeSuppressesIdenticalWarnings) {
+  std::vector<Warning> seen;
+  ScopedWarningHandler handler(
+      [&](const Warning& w) { seen.push_back(w); });
+  {
+    ScopedWarningDedup dedup;
+    emit_warning(Category::kNumeric, "sor", "slow convergence");
+    emit_warning(Category::kNumeric, "sor", "slow convergence");  // dup
+    emit_warning(Category::kNumeric, "sor", "slow convergence");  // dup
+    emit_warning(Category::kNumeric, "sor", "another message");
+    EXPECT_EQ(ScopedWarningDedup::suppressed_count(), 2u);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].message, "slow convergence");
+  EXPECT_EQ(seen[1].message, "another message");
+
+  // Outside any dedup scope every emission passes through again.
+  emit_warning(Category::kNumeric, "sor", "slow convergence");
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(DiagWarnings, DedupScopesNestAsOneWindow) {
+  std::vector<Warning> seen;
+  ScopedWarningHandler handler(
+      [&](const Warning& w) { seen.push_back(w); });
+  {
+    ScopedWarningDedup outer;
+    emit_warning(Category::kCache, "cache", "same");
+    {
+      // A nested scope (a nested parallel region) joins the outer window
+      // rather than resetting it.
+      ScopedWarningDedup inner;
+      emit_warning(Category::kCache, "cache", "same");
+    }
+    emit_warning(Category::kCache, "cache", "same");
+  }
+  EXPECT_EQ(seen.size(), 1u);
+  // A fresh window starts clean.
+  {
+    ScopedWarningDedup again;
+    emit_warning(Category::kCache, "cache", "same");
+  }
+  EXPECT_EQ(seen.size(), 2u);
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include "geom/technology.h"
 #include "numeric/lu.h"
 #include "numeric/units.h"
+#include "run/fault_injection.h"
 
 namespace rlcx {
 namespace {
@@ -269,6 +270,31 @@ TEST(FaultInjectionSor, NonConvergenceWarnsWithResidual) {
     EXPECT_NE(w.message.find("not converged"), std::string::npos);
     EXPECT_NE(w.message.find("residual"), std::string::npos);
   }
+}
+
+TEST(FaultInjectionSor, ScheduledDivergenceDrivesTheEscalationLadder) {
+  // The RLCX_FAULT_SCHEDULE path: `sor_diverge:1` discards the first
+  // attempt's convergence verdict, so a perfectly healthy solve must walk
+  // the escalation ladder, recover, and stay silent.
+  struct InjectorReset {
+    ~InjectorReset() { run::FaultInjector::global().clear(); }
+  } injector_reset;
+  const std::vector<cap::FdConductor> traces{
+      {0.0, um(2), 0.0, um(0.5)}, {um(4), um(6), 0.0, um(0.5)}};
+  const cap::Fd2dOptions opt;  // generous default budget
+
+  run::FaultInjector::global().set_schedule("sor_diverge:1");
+  std::vector<diag::Warning> warnings;
+  cap::SorReport report;
+  {
+    const diag::ScopedWarningHandler capture(
+        [&](const diag::Warning& w) { warnings.push_back(w); });
+    cap::fd_capacitance_matrix(traces, 3.9, -um(1), opt, &report);
+  }
+  EXPECT_EQ(run::FaultInjector::global().triggered("sor_diverge"), 1u);
+  EXPECT_GT(report.retries, 0);         // the ladder visibly ran
+  EXPECT_TRUE(report.converged);        // and recovered
+  EXPECT_TRUE(warnings.empty());        // recovery is not warning-worthy
 }
 
 TEST(FaultInjectionSor, EscalationLadderRetriesAStarvedBudget) {

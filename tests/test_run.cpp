@@ -1,0 +1,297 @@
+// Tests for rlcx::run — cooperative cancellation/deadlines, the ambient
+// run-control scope, the deterministic fault injector, the batch journal
+// and the SIGINT bridge.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "diag/error.h"
+#include "diag/warnings.h"
+#include "run/control.h"
+#include "run/fault_injection.h"
+#include "run/journal.h"
+#include "run/signal.h"
+
+namespace rlcx::run {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir {
+  std::string path;
+  explicit ScratchDir(const std::string& name)
+      : path((fs::path(::testing::TempDir()) / name).string()) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+// ---------------------------------------------------------------- control
+
+TEST(CancelToken, CopiesShareOneFlag) {
+  CancelToken a;
+  CancelToken b = a;
+  EXPECT_FALSE(a.requested());
+  b.request();
+  EXPECT_TRUE(a.requested());
+  EXPECT_TRUE(b.requested());
+  b.request();  // idempotent
+  EXPECT_TRUE(a.requested());
+}
+
+TEST(Deadline, DefaultIsInactiveAndNeverExpires) {
+  const Deadline d;
+  EXPECT_FALSE(d.active());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 1e30);
+}
+
+TEST(Deadline, AfterZeroIsAlreadyExpired) {
+  const Deadline d = Deadline::after(0.0);
+  EXPECT_TRUE(d.active());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, FutureDeadlineReportsRemaining) {
+  const Deadline d = Deadline::after(3600.0);
+  EXPECT_TRUE(d.active());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3500.0);
+}
+
+TEST(Checkpoint, NoOpWithoutInstalledControl) {
+  EXPECT_FALSE(control_active());
+  EXPECT_FALSE(stop_requested());
+  EXPECT_NO_THROW(checkpoint("test"));
+}
+
+TEST(Checkpoint, ThrowsTypedCancelledErrorAfterRequest) {
+  RunControl rc;
+  ScopedRunControl scope(rc);
+  EXPECT_TRUE(control_active());
+  EXPECT_NO_THROW(checkpoint("test"));
+  rc.token.request();
+  EXPECT_TRUE(stop_requested());
+  try {
+    checkpoint("stage-x");
+    FAIL() << "checkpoint did not throw";
+  } catch (const diag::CancelledError& e) {
+    EXPECT_EQ(e.category(), diag::Category::kCancelled);
+    EXPECT_EQ(e.stage(), "stage-x");
+  }
+}
+
+TEST(Checkpoint, ThrowsDeadlineExceededWhenPastDeadline) {
+  RunControl rc;
+  rc.deadline = Deadline::after(0.0);
+  ScopedRunControl scope(rc);
+  EXPECT_TRUE(stop_requested());
+  EXPECT_THROW(checkpoint("test"), diag::DeadlineExceeded);
+}
+
+TEST(Checkpoint, CancellationObservableFromOtherThreads) {
+  RunControl rc;
+  ScopedRunControl scope(rc);
+  rc.token.request();
+  bool threw = false;
+  std::thread t([&] {
+    try {
+      checkpoint("worker");
+    } catch (const diag::CancelledError&) {
+      threw = true;
+    }
+  });
+  t.join();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ScopedRunControl, ScopesNestInnermostWins) {
+  RunControl outer;
+  outer.token.request();  // outer is cancelled...
+  ScopedRunControl outer_scope(outer);
+  {
+    RunControl inner;  // ...but the innermost (clean) control wins
+    ScopedRunControl inner_scope(inner);
+    EXPECT_NO_THROW(checkpoint("inner"));
+  }
+  // Outer restored on inner destruction.
+  EXPECT_THROW(checkpoint("outer"), diag::CancelledError);
+}
+
+// --------------------------------------------------------- fault injector
+
+struct InjectorReset {
+  ~InjectorReset() { FaultInjector::global().clear(); }
+};
+
+TEST(FaultInjector, DisabledByDefaultAndCostsNothing) {
+  InjectorReset reset;
+  FaultInjector::global().clear();
+  EXPECT_FALSE(fault_injection_enabled());
+  EXPECT_FALSE(fault_point("cache_write"));
+  EXPECT_EQ(FaultInjector::global().calls("cache_write"), 0u);
+}
+
+TEST(FaultInjector, ExactEntryFiresOnlyAtTheNthCall) {
+  InjectorReset reset;
+  FaultInjector::global().set_schedule("cache_write:3");
+  EXPECT_TRUE(fault_injection_enabled());
+  EXPECT_FALSE(fault_point("cache_write"));
+  EXPECT_FALSE(fault_point("cache_write"));
+  EXPECT_TRUE(fault_point("cache_write"));  // the 3rd call
+  EXPECT_FALSE(fault_point("cache_write"));
+  EXPECT_EQ(FaultInjector::global().calls("cache_write"), 4u);
+  EXPECT_EQ(FaultInjector::global().triggered("cache_write"), 1u);
+}
+
+TEST(FaultInjector, PersistentEntryFiresFromTheNthCallOn) {
+  InjectorReset reset;
+  FaultInjector::global().set_schedule("cache_write:2+");
+  EXPECT_FALSE(fault_point("cache_write"));
+  EXPECT_TRUE(fault_point("cache_write"));
+  EXPECT_TRUE(fault_point("cache_write"));
+  EXPECT_EQ(FaultInjector::global().triggered("cache_write"), 2u);
+}
+
+TEST(FaultInjector, SitesAreIndependentAndUnscheduledSitesDoNotCount) {
+  InjectorReset reset;
+  FaultInjector::global().set_schedule("cache_write:1,sor_diverge:2");
+  EXPECT_FALSE(fault_point("sor_diverge"));
+  EXPECT_TRUE(fault_point("cache_write"));
+  EXPECT_TRUE(fault_point("sor_diverge"));
+  EXPECT_FALSE(fault_point("cache_read"));  // not scheduled
+  EXPECT_EQ(FaultInjector::global().calls("cache_read"), 0u);
+}
+
+TEST(FaultInjector, BadGrammarIsAUsageError) {
+  InjectorReset reset;
+  FaultInjector& fi = FaultInjector::global();
+  fi.clear();
+  EXPECT_THROW(fi.set_schedule("cache_write"), diag::UsageError);
+  EXPECT_THROW(fi.set_schedule("cache_write:"), diag::UsageError);
+  EXPECT_THROW(fi.set_schedule("cache_write:0"), diag::UsageError);
+  EXPECT_THROW(fi.set_schedule("cache_write:abc"), diag::UsageError);
+  EXPECT_THROW(fi.set_schedule(":3"), diag::UsageError);
+  // set_schedule is parse-then-commit: a rejected schedule arms nothing.
+  EXPECT_FALSE(fault_injection_enabled());
+  // Whitespace and stray commas are tolerated.
+  EXPECT_NO_THROW(fi.set_schedule(" cache_write:1 , ,sor_diverge:2 "));
+  EXPECT_TRUE(fault_injection_enabled());
+}
+
+TEST(FaultInjector, CancelSiteRequestsCancellationAtTheNthCheckpoint) {
+  InjectorReset reset;
+  RunControl rc;
+  ScopedRunControl scope(rc);
+  FaultInjector::global().set_schedule("cancel:3");
+  EXPECT_NO_THROW(checkpoint("test"));
+  EXPECT_NO_THROW(checkpoint("test"));
+  EXPECT_THROW(checkpoint("test"), diag::CancelledError);
+  EXPECT_TRUE(rc.token.requested());
+}
+
+// ---------------------------------------------------------------- journal
+
+TEST(BatchJournal, FreshFileRoundTrips) {
+  const ScratchDir dir("rlcx_journal");
+  const std::string path = dir.path + "/batch.journal";
+  BatchJournal j(path);
+  EXPECT_EQ(j.size(), 0u);
+  j.record("00000000000000aa");
+  j.record("00000000000000bb");
+  j.record("00000000000000aa");  // idempotent
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_TRUE(j.contains("00000000000000aa"));
+  EXPECT_FALSE(j.contains("00000000000000cc"));
+
+  // A second instance (a resumed process) sees exactly the same ids.
+  BatchJournal reopened(path);
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_TRUE(reopened.contains("00000000000000bb"));
+  EXPECT_EQ(BatchJournal::load(path), j.completed());
+}
+
+TEST(BatchJournal, LoadOfMissingFileIsEmpty) {
+  EXPECT_TRUE(BatchJournal::load("/nonexistent/rlcx.journal").empty());
+}
+
+TEST(BatchJournal, TornTailIsDroppedNotTrusted) {
+  const ScratchDir dir("rlcx_journal_torn");
+  const std::string path = dir.path + "/batch.journal";
+  {
+    BatchJournal j(path);
+    j.record("00000000000000aa");
+  }
+  // Simulate a kill mid-append: a record without its terminating newline.
+  {
+    std::ofstream os(path, std::ios::app | std::ios::binary);
+    os << "done 00000000000000bb";
+  }
+  BatchJournal j(path);
+  EXPECT_TRUE(j.contains("00000000000000aa"));
+  EXPECT_FALSE(j.contains("00000000000000bb"));  // torn: will be re-done
+  EXPECT_EQ(j.size(), 1u);
+}
+
+TEST(BatchJournal, ForeignFileIsNotClobbered) {
+  const ScratchDir dir("rlcx_journal_foreign");
+  const std::string path = dir.path + "/notes.txt";
+  fs::create_directories(dir.path);
+  {
+    std::ofstream os(path);
+    os << "these are not the droids\n";
+  }
+  EXPECT_THROW(BatchJournal j(path), diag::IoError);
+  // The original content survives the rejection.
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "these are not the droids");
+}
+
+TEST(BatchJournal, RejectsMalformedIds) {
+  const ScratchDir dir("rlcx_journal_ids");
+  BatchJournal j(dir.path + "/batch.journal");
+  EXPECT_THROW(j.record(""), diag::UsageError);
+  EXPECT_THROW(j.record("has space"), diag::UsageError);
+  EXPECT_THROW(j.record("has\nnewline"), diag::UsageError);
+}
+
+// ----------------------------------------------------------------- SIGINT
+
+TEST(ScopedSigintCancel, SigintRequestsCancellation) {
+  RunControl rc;
+  ScopedRunControl scope(rc);
+  {
+    ScopedSigintCancel sigint(rc.token);
+    std::raise(SIGINT);
+    EXPECT_TRUE(rc.token.requested());
+    EXPECT_THROW(checkpoint("post-sigint"), diag::CancelledError);
+  }
+}
+
+TEST(ScopedSigintCancel, ScopesNestAndRestore) {
+  CancelToken outer_token;
+  ScopedSigintCancel outer(outer_token);
+  {
+    CancelToken inner_token;
+    ScopedSigintCancel inner(inner_token);
+    std::raise(SIGINT);
+    EXPECT_TRUE(inner_token.requested());
+    EXPECT_FALSE(outer_token.requested());
+  }
+  std::raise(SIGINT);
+  EXPECT_TRUE(outer_token.requested());
+}
+
+}  // namespace
+}  // namespace rlcx::run
