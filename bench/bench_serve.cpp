@@ -1,0 +1,334 @@
+// Warm daemon vs cold CLI: the latency case for `rlcx serve`.
+//
+// A one-shot CLI extraction pays process start, table-cache open and
+// bundle deserialisation on every invocation; the daemon pays them once
+// and answers from its warm table store.  This bench measures both sides
+// of that trade for the same request — a cached-table extract lookup —
+// and reports p50/p99 latency and throughput at 1/4/16/64 concurrent
+// clients.  Output is JSON; the committed reference run lives in
+// BENCH_serve.json (acceptance: warm p50 >= 10x below cold CLI p50).
+//
+// Modes:
+//   (default)             self-contained: starts an in-process daemon on
+//                         a temp socket, measures, drains.  Cold-CLI
+//                         timing spawns the real binary (--rlcx PATH, or
+//                         RLCX_BIN, default build/src/cli/rlcx; skipped
+//                         with a note when absent).
+//   --smoke --socket S    load-check an EXTERNAL daemon: 100 mixed
+//                         requests over 4 connections (valid, warm,
+//                         disallowed, malformed-empty), verify every
+//                         documented status, then send shutdown.  Exit
+//                         nonzero on any protocol violation — the CI
+//                         serve job runs this under ASan.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace rlcx;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(samples.size())));
+  return samples[idx];
+}
+
+std::vector<std::string> extract_argv() {
+  // Signals-only bus: a pure cached-table lookup, no screening solves —
+  // the headline workload of the warm store.
+  return {"extract",  "--structure", "cpw",        "--length-um", "6000",
+          "--traces", "s:10,s:5",    "--spacings", "2"};
+}
+
+/// One timed cold CLI invocation: fork/exec the real binary, wall-clock
+/// the whole process. Returns -1 when the spawn fails.
+double cold_cli_ms(const std::string& rlcx_bin,
+                   const std::string& cache_dir) {
+  std::vector<std::string> argv_s = extract_argv();
+  argv_s.insert(argv_s.begin(), rlcx_bin);
+  argv_s.push_back("--table-cache");
+  argv_s.push_back(cache_dir);
+  std::vector<char*> argv;
+  argv.reserve(argv_s.size() + 1);
+  for (std::string& a : argv_s) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const Clock::time_point t0 = Clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1.0;
+  if (pid == 0) {
+    ::freopen("/dev/null", "w", stdout);
+    ::freopen("/dev/null", "w", stderr);
+    ::execv(rlcx_bin.c_str(), argv.data());
+    ::_exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return -1.0;
+  return ms_since(t0);
+}
+
+struct Level {
+  int clients = 0;
+  std::size_t requests = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double throughput_rps = 0.0;
+};
+
+Level run_level(const std::string& socket, int clients,
+                std::size_t per_client) {
+  std::vector<std::vector<double>> lat(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const Clock::time_point t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client(socket);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const Clock::time_point r0 = Clock::now();
+        const serve::Response resp = client.request(extract_argv());
+        if (resp.status != 0)
+          throw std::runtime_error("request failed: " + resp.err);
+        lat[static_cast<std::size_t>(c)].push_back(ms_since(r0));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = ms_since(t0) / 1000.0;
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  Level lvl;
+  lvl.clients = clients;
+  lvl.requests = all.size();
+  lvl.p50_ms = percentile(all, 0.50);
+  lvl.p99_ms = percentile(all, 0.99);
+  lvl.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  return lvl;
+}
+
+int run_bench(const std::string& rlcx_bin) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "rlcx_bench_serve")
+          .string();
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  const std::string cache_dir = root + "/cache";
+  const std::string socket = root + "/serve.sock";
+
+  // Characterise once so both sides measure pure lookup cost.
+  {
+    std::vector<std::string> argv = extract_argv();
+    argv.push_back("--table-cache");
+    argv.push_back(cache_dir);
+    std::ostringstream out, err;
+    if (cli::run(argv, out, err) != 0) {
+      std::fprintf(stderr, "precharacterisation failed:\n%s",
+                   err.str().c_str());
+      return 1;
+    }
+  }
+
+  serve::ServeConfig cfg;
+  cfg.cache_dir = cache_dir;
+  cfg.socket_path = socket;
+  cfg.max_active = 8;
+  cfg.queue_depth = 256;
+  std::ostringstream daemon_log;
+  serve::Server server(cfg, daemon_log);
+  std::thread daemon([&] { server.run_socket(); });
+  for (int i = 0; i < 100 && !std::filesystem::exists(socket); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Prime the warm store so measurements see steady state.
+  {
+    serve::Client client(socket);
+    client.request(extract_argv());
+  }
+
+  std::vector<Level> levels;
+  for (const int clients : {1, 4, 16, 64})
+    levels.push_back(
+        run_level(socket, clients, clients >= 16 ? 16 : 64));
+
+  // Cold CLI: true process starts against the same cache.
+  std::vector<double> cold;
+  const bool have_bin = std::filesystem::exists(rlcx_bin);
+  if (have_bin) {
+    for (int i = 0; i < 7; ++i) {
+      const double ms = cold_cli_ms(rlcx_bin, cache_dir);
+      if (ms >= 0.0) cold.push_back(ms);
+    }
+  }
+
+  {
+    serve::Client client(socket);
+    client.request({"shutdown"});
+  }
+  daemon.join();
+  std::filesystem::remove_all(root);
+
+  const double cold_p50 = percentile(cold, 0.50);
+  const double warm_p50 = levels.front().p50_ms;
+  std::printf("{\n  \"experiment\": \"serve\",\n  \"smoke\": false,\n");
+  if (!cold.empty())
+    std::printf("  \"cold_cli\": {\"runs\": %zu, \"p50_ms\": %.3f},\n",
+                cold.size(), cold_p50);
+  else
+    std::printf("  \"cold_cli\": null,\n");
+  std::printf("  \"warm_daemon\": [\n");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const Level& l = levels[i];
+    std::printf("    {\"clients\": %d, \"requests\": %zu, \"p50_ms\": "
+                "%.3f, \"p99_ms\": %.3f, \"throughput_rps\": %.1f}%s\n",
+                l.clients, l.requests, l.p50_ms, l.p99_ms,
+                l.throughput_rps, i + 1 < levels.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  if (!cold.empty() && warm_p50 > 0.0)
+    std::printf("  \"speedup_p50\": %.1f\n", cold_p50 / warm_p50);
+  else
+    std::printf("  \"speedup_p50\": null\n");
+  std::printf("}\n");
+  if (cold.empty())
+    std::fprintf(stderr,
+                 "note: rlcx binary not found at %s — cold-CLI side "
+                 "skipped (set RLCX_BIN or --rlcx)\n",
+                 rlcx_bin.c_str());
+  return 0;
+}
+
+/// --smoke: drive an external daemon with a mixed request load and
+/// verify every documented behaviour; used by the CI serve job.
+int run_smoke(const std::string& socket, std::size_t total_requests) {
+  // The daemon may still be binding its socket.
+  for (int i = 0; i < 100 && !std::filesystem::exists(socket); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  constexpr int kThreads = 4;
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        serve::Client client(socket);
+        const std::size_t share =
+            total_requests / kThreads +
+            (static_cast<std::size_t>(t) <
+                     total_requests % kThreads
+                 ? 1u
+                 : 0u);
+        for (std::size_t i = 0; i < share; ++i) {
+          switch (i % 5) {
+            case 0: {
+              if (client.request({"ping"}).out != "pong\n") ++failures;
+              break;
+            }
+            case 1: {
+              const serve::Response r = client.request(extract_argv());
+              if (r.status != 0) ++failures;
+              break;
+            }
+            case 2: {
+              if (client.request({"stats"}).status != 0) ++failures;
+              break;
+            }
+            case 3: {  // disallowed command -> status 2 error frame
+              const serve::Response r = client.request({"batch"});
+              if (r.status != 2 ||
+                  client.last_kind() != serve::FrameKind::kError)
+                ++failures;
+              break;
+            }
+            default: {  // malformed empty request; connection survives
+              const serve::Response r = client.request({});
+              if (r.status != 2 ||
+                  client.last_kind() != serve::FrameKind::kError)
+                ++failures;
+              break;
+            }
+          }
+          ++done;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "smoke client %d: %s\n", t, e.what());
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  bool drained = false;
+  try {
+    serve::Client client(socket);
+    drained = client.request({"shutdown"}).out == "draining\n";
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smoke shutdown: %s\n", e.what());
+  }
+  const std::size_t failed = failures.load();
+  std::printf("{\"experiment\": \"serve\", \"smoke\": true, "
+              "\"requests\": %zu, \"failures\": %zu, \"drained\": %s}\n",
+              done.load(), failed, drained ? "true" : "false");
+  return (failed == 0 && drained) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string socket;
+  std::size_t requests = 100;
+  std::string rlcx_bin = "build/src/cli/rlcx";
+  if (const char* env = std::getenv("RLCX_BIN")) rlcx_bin = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
+      socket = argv[++i];
+    else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+      requests = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (std::strcmp(argv[i], "--rlcx") == 0 && i + 1 < argc)
+      rlcx_bin = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--rlcx PATH] | --smoke --socket "
+                   "PATH [--requests N]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    if (socket.empty()) {
+      std::fprintf(stderr, "--smoke requires --socket PATH\n");
+      return 2;
+    }
+    return run_smoke(socket, requests);
+  }
+  return run_bench(rlcx_bin);
+}

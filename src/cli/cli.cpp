@@ -19,6 +19,7 @@
 #include "core/table_cache.h"
 #include "geom/builders.h"
 #include "numeric/units.h"
+#include "peec/assembly.h"
 #include "rt/pool.h"
 #include "run/control.h"
 #include "run/journal.h"
@@ -163,35 +164,70 @@ core::TableGrid grid_from_args(const Args& args) {
   return grid;
 }
 
+/// The shared cache-stats report of every cache-backed command (extract /
+/// tables / batch): one line of hit/miss + traffic counters — including
+/// the store-retry counters PRs 4-5 added — and, when the build ran any
+/// matrix fills, the kernel-memo hit rate.  The `rlcx serve` stats
+/// request reports the same shape, so one runbook covers both paths.
+void print_cache_stats(const core::TableCache& cache, std::size_t solves,
+                       const core::BuildStats* build, std::ostream& out) {
+  const core::CacheStats cs = cache.stats();
+  out << "table cache " << cache.directory() << ": "
+      << (cs.hits > 0 ? "cache hit" : "cache miss") << ", " << solves
+      << " field solves, " << cs.bytes_read << " bytes read, "
+      << cs.bytes_written << " bytes written";
+  if (cs.write_retries > 0) out << ", " << cs.write_retries
+                                << " write retries";
+  if (cs.stores_dropped > 0) out << ", " << cs.stores_dropped
+                                 << " stores dropped";
+  out << "\n";
+  if (build != nullptr && build->pair_lookups > 0)
+    out << "kernel memo: " << build->memo_hits << "/"
+        << build->pair_lookups << " pair lookups served ("
+        << static_cast<int>(100.0 * build->memo_hit_rate() + 0.5)
+        << "% hit rate, " << build->kernel_evals << " evaluations)\n";
+  if (cs.quarantined > 0)
+    out << "table cache: " << cs.quarantined << " corrupt entr"
+        << (cs.quarantined == 1 ? "y" : "ies")
+        << " quarantined and re-characterised\n";
+}
+
 /// The inductance provider for extract/delay: the direct field solver by
-/// default, or — with --table-cache DIR — pre-characterised tables served
-/// cache-first, with the hit/miss and solve counters reported on `out`.
-std::unique_ptr<const core::InductanceProvider> make_inductance_model(
+/// default; with --table-cache DIR pre-characterised tables served
+/// cache-first, with the hit/miss and solve counters reported on `out`;
+/// with a warm ProviderSource (the serve daemon) the source's in-memory
+/// store, skipping the per-invocation cache open entirely.
+std::shared_ptr<const core::InductanceProvider> make_inductance_model(
     const Args& args, const geom::Technology& tech, const geom::Block& blk,
-    const solver::SolveOptions& sopt, std::ostream& out) {
+    const solver::SolveOptions& sopt, std::ostream& out,
+    ProviderSource* warm) {
   // Validate the policy flag up front so a typo is a usage error even on
   // the direct-solver path, where it would otherwise never be read.
   const core::ExtrapolationPolicy extrapolation =
       parse_extrapolation(args.get("extrapolation", "warn"));
+  if (warm != nullptr) {
+    ProviderRequest req;
+    req.tech = &tech;
+    req.layer = blk.layer_index();
+    req.planes = blk.planes();
+    req.grid = grid_from_args(args);
+    req.options = sopt;
+    req.extrapolation = extrapolation;
+    return warm->provider(req, out);
+  }
   if (!args.has("table-cache"))
-    return std::make_unique<core::DirectInductanceModel>(
+    return std::make_shared<core::DirectInductanceModel>(
         &tech, blk.layer_index(), blk.planes(), sopt);
   core::TableCache cache(args.get("table-cache", ""), cache_policy(args));
   const std::size_t solves_before = core::table_build_solve_count();
+  core::BuildStats bstats;
   core::InductanceTables tables = core::build_tables_cached(
       blk.tech(), blk.layer_index(), blk.planes(), grid_from_args(args),
-      sopt, cache, static_cast<int>(args.get_num("threads", 0)));
-  out << "table cache " << cache.directory() << ": "
-      << (cache.stats().hits > 0 ? "cache hit" : "cache miss") << ", "
-      << core::table_build_solve_count() - solves_before
-      << " field solves, " << cache.stats().bytes_read << " bytes read, "
-      << cache.stats().bytes_written << " bytes written\n";
-  if (cache.stats().quarantined > 0)
-    out << "table cache: " << cache.stats().quarantined
-        << " corrupt entr" << (cache.stats().quarantined == 1 ? "y" : "ies")
-        << " quarantined and re-characterised\n";
+      sopt, cache, static_cast<int>(args.get_num("threads", 0)), &bstats);
+  print_cache_stats(cache, core::table_build_solve_count() - solves_before,
+                    &bstats, out);
   auto model =
-      std::make_unique<core::TableInductanceModel>(std::move(tables));
+      std::make_shared<core::TableInductanceModel>(std::move(tables));
   model->set_extrapolation_policy(extrapolation);
   return model;
 }
@@ -205,6 +241,9 @@ int cmd_help(std::ostream& out) {
          "            configs, with checkpoint/resume\n"
          "  delay     simulate buffer->sink delay of the structure\n"
          "  cache     inspect or purge an on-disk table cache\n"
+         "  serve     long-lived extraction daemon with a warm table\n"
+         "            store (docs/serve-protocol.md)\n"
+         "  query     send one request to a running daemon\n"
          "  help      this text\n\n"
          "common flags: --structure cpw|microstrip|stripline --layer N\n"
          "  --length-um N --signal-um N --ground-um N --spacing-um N\n"
@@ -227,23 +266,29 @@ int cmd_help(std::ostream& out) {
          "         journaled jobs re-solve nothing)\n"
          "delay:   [--rs OHM] [--sink-ff N] [--vdd V] [--sections N]\n"
          "         [--no-inductance] [--csv FILE] [--table-cache DIR]\n"
-         "cache:   --dir DIR [--stat] [--list] [--purge]  (default: stat)\n\n"
+         "cache:   --dir DIR [--stat] [--list] [--purge]  (default: stat)\n"
+         "serve:   --table-cache DIR (--socket PATH | --stdio)\n"
+         "         [--max-tables N] [--max-active N] [--queue-depth N]\n"
+         "         [--request-deadline-s S] [--log FILE]\n"
+         "query:   --socket PATH CMD [flags...]  (e.g. query --socket S\n"
+         "         extract --structure cpw --length-um 6000)\n\n"
          "run control: --deadline-s N bounds any command's wall clock;\n"
          "  Ctrl-C on `batch` cancels cooperatively — completed jobs stay\n"
          "  cached + journaled, relaunch with --resume to continue\n\n"
          "exit codes: 0 success, 1 internal error, 2 usage error,\n"
          "  3 invalid input (geometry/io/cache), 4 numerical failure,\n"
-         "  5 cancelled or deadline exceeded (resumable for batch);\n"
+         "  5 cancelled or deadline exceeded (resumable for batch),\n"
+         "  6 overloaded (serve admission queue full — back off, retry);\n"
          "  warnings go to stderr (docs/robustness.md)\n";
   return 0;
 }
 
-int cmd_extract(const Args& args, std::ostream& out) {
+int cmd_extract(const Args& args, std::ostream& out, ProviderSource* warm) {
   const geom::Technology tech = geom::Technology::generic_025um();
   const geom::Block blk = make_structure(tech, args);
   const solver::SolveOptions sopt = solve_options(args);
-  const std::unique_ptr<const core::InductanceProvider> model =
-      make_inductance_model(args, tech, blk, sopt, out);
+  const std::shared_ptr<const core::InductanceProvider> model =
+      make_inductance_model(args, tech, blk, sopt, out, warm);
   core::ExtractOptions eopt;
   eopt.ac_resistance = args.has("ac-resistance");
   const core::SegmentRlc seg = core::extract_segment_rlc(blk, *model, eopt);
@@ -332,14 +377,12 @@ int cmd_tables(const Args& args, std::ostream& out) {
   if (args.has("table-cache")) {
     core::TableCache cache(args.get("table-cache", ""), cache_policy(args));
     const std::size_t solves_before = core::table_build_solve_count();
+    core::BuildStats bstats;
     tables = core::build_tables_cached(tech, layer, planes, grid, sopt,
-                                       cache, threads);
-    out << "table cache " << cache.directory() << ": "
-        << (cache.stats().hits > 0 ? "cache hit" : "cache miss") << ", "
-        << core::table_build_solve_count() - solves_before
-        << " field solves, " << cache.stats().bytes_read
-        << " bytes read, " << cache.stats().bytes_written
-        << " bytes written\n";
+                                       cache, threads, &bstats);
+    print_cache_stats(cache,
+                      core::table_build_solve_count() - solves_before,
+                      &bstats, out);
   } else {
     tables = core::build_tables(tech, layer, planes, grid, sopt, threads);
   }
@@ -442,6 +485,7 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
   run::ScopedSigintCancel sigint(rc.token);
 
   const std::size_t solves_before = core::table_build_solve_count();
+  const peec::FillStats fills_before = peec::fill_stats_total();
   const core::BatchResult res = core::characterize_batch(tech, jobs, sopt,
                                                          bopt);
   const std::size_t solves = core::table_build_solve_count() - solves_before;
@@ -459,18 +503,29 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
   if (cs.stores_dropped > 0) out << ", " << cs.stores_dropped
                                  << " stores dropped";
   out << "\n";
+  // The fan-out phase is shared across jobs, so report the campaign-wide
+  // memo rate from the process aggregate delta.
+  const peec::FillStats fills_delta{
+      peec::fill_stats_total().pair_lookups - fills_before.pair_lookups,
+      peec::fill_stats_total().kernel_evals - fills_before.kernel_evals,
+      peec::fill_stats_total().memo_hits - fills_before.memo_hits};
+  if (fills_delta.pair_lookups > 0)
+    out << "kernel memo: " << fills_delta.memo_hits << "/"
+        << fills_delta.pair_lookups << " pair lookups served ("
+        << static_cast<int>(100.0 * fills_delta.hit_rate() + 0.5)
+        << "% hit rate, " << fills_delta.kernel_evals << " evaluations)\n";
   out << "journal " << journal.path() << ": " << journal.size()
       << " completed ids (" << journal.size() - journaled_before
       << " new)\n";
   return 0;
 }
 
-int cmd_delay(const Args& args, std::ostream& out) {
+int cmd_delay(const Args& args, std::ostream& out, ProviderSource* warm) {
   const geom::Technology tech = geom::Technology::generic_025um();
   const geom::Block blk = make_structure(tech, args);
   const solver::SolveOptions sopt = solve_options(args);
-  const std::unique_ptr<const core::InductanceProvider> model =
-      make_inductance_model(args, tech, blk, sopt, out);
+  const std::shared_ptr<const core::InductanceProvider> model =
+      make_inductance_model(args, tech, blk, sopt, out, warm);
   const core::SegmentRlc seg = core::extract_segment_rlc(blk, *model);
 
   const double vdd = args.get_num("vdd", 1.8);
@@ -558,7 +613,7 @@ Args parse_args(const std::vector<std::string>& argv) {
 }
 
 int run(const std::vector<std::string>& argv, std::ostream& out,
-        std::ostream& err) {
+        std::ostream& err, ProviderSource* warm) {
   // Route the library's warnings channel to this invocation's error stream
   // and remember the worst category so --strict can escalate it.
   std::size_t warning_count = 0;
@@ -584,17 +639,29 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     // Every command runs under an ambient run control: --deadline-s bounds
     // the whole invocation, and the `cancel` fault-injection site plus the
     // batch command's SIGINT handler act on its token.  A triggered
-    // checkpoint unwinds as a typed fault -> exit code 5.
+    // checkpoint unwinds as a typed fault -> exit code 5.  When an outer
+    // control is already installed (the serve daemon wrapping a request),
+    // chain onto it: share its cancellation token and inherit its deadline
+    // — the nested scope must tighten the embedder's bounds, not mask them.
     run::RunControl rc;
-    if (args.has("deadline-s"))
-      rc.deadline = run::Deadline::after(args.get_num("deadline-s", 0.0));
+    run::RunControl ambient;
+    if (run::current_control(&ambient)) {
+      rc.token = ambient.token;
+      rc.deadline = ambient.deadline;
+    }
+    if (args.has("deadline-s")) {
+      const run::Deadline d =
+          run::Deadline::after(args.get_num("deadline-s", 0.0));
+      if (!rc.deadline.active() || d.when() < rc.deadline.when())
+        rc.deadline = d;
+    }
     run::ScopedRunControl control(rc);
     int code = 0;
     if (args.command == "help" || args.command == "--help")
       return cmd_help(out);
-    else if (args.command == "extract") code = cmd_extract(args, out);
+    else if (args.command == "extract") code = cmd_extract(args, out, warm);
     else if (args.command == "tables") code = cmd_tables(args, out);
-    else if (args.command == "delay") code = cmd_delay(args, out);
+    else if (args.command == "delay") code = cmd_delay(args, out, warm);
     else if (args.command == "cache") code = cmd_cache(args, out);
     else if (args.command == "batch") code = cmd_batch(args, rc, out);
     else {

@@ -1,13 +1,23 @@
 // Command-line front end: extract / tables / delay as one-shot commands.
 //
 // The logic lives in run() so tests can drive it with argument vectors and
-// captured streams; src/cli/main.cpp is a thin shell around it.
+// captured streams; src/cli/main.cpp is a thin shell around it.  The same
+// entry point backs the `rlcx serve` daemon: the server turns each framed
+// request into an argument vector and drives run() with a ProviderSource
+// that serves inductance tables from its warm in-memory store, so daemon
+// responses are formatted by exactly the code path the one-shot CLI uses.
 #pragma once
 
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "core/inductance_model.h"
+#include "core/table_builder.h"
+#include "geom/block.h"
+#include "solver/options.h"
 
 namespace rlcx::cli {
 
@@ -26,6 +36,32 @@ struct Args {
 /// shape).
 Args parse_args(const std::vector<std::string>& argv);
 
+/// Everything that determines which inductance tables a command needs —
+/// the same tuple that content-addresses a table-cache entry
+/// (core::TableCache::key_text).
+struct ProviderRequest {
+  const geom::Technology* tech = nullptr;
+  int layer = 0;
+  geom::PlaneConfig planes = geom::PlaneConfig::kNone;
+  core::TableGrid grid;
+  solver::SolveOptions options;
+  core::ExtrapolationPolicy extrapolation = core::ExtrapolationPolicy::kWarn;
+};
+
+/// Hook for an embedding service: supplies ready inductance providers so
+/// per-invocation cache opens and table deserialisation are skipped.  The
+/// `rlcx serve` daemon implements this over its LRU-bounded warm table
+/// store; when run() receives a source, extract/delay resolve their
+/// tables through it instead of the --table-cache/direct-solver path.
+/// provider() may write a one-line provenance note to `out` (the warm
+/// analogue of the cold path's "table cache ..." line).
+class ProviderSource {
+ public:
+  virtual ~ProviderSource() = default;
+  virtual std::shared_ptr<const core::InductanceProvider> provider(
+      const ProviderRequest& request, std::ostream& out) = 0;
+};
+
 /// Execute.  Returns a process exit code; normal output goes to `out`,
 /// diagnostics (errors and the library's warnings channel) to `err`.
 ///
@@ -38,6 +74,8 @@ Args parse_args(const std::vector<std::string>& argv);
 ///      out-of-grid lookup under --extrapolation throw)
 ///   5  cancelled (SIGINT) or --deadline-s exceeded — the run unwound at a
 ///      safe boundary; `batch` campaigns resume with --resume
+///   6  overloaded — an admission-controlled service (`rlcx serve`)
+///      rejected the request because its queue was full; back off & retry
 /// --strict escalates any warning to the exit code of its category;
 /// --lenient (the default) reports warnings on `err` and exits 0.
 ///
@@ -53,7 +91,16 @@ Args parse_args(const std::vector<std::string>& argv);
 ///            --points N --journal FILE --resume [FILE] --deadline-s N]
 ///   delay   (extract flags) [--rs N --sink-ff N --vdd N --sections N
 ///            --no-inductance --csv FILE]
+/// (`serve` and `query` are dispatched by main.cpp to the rlcx_serve
+/// library before run() is reached; see docs/serve-protocol.md.)
+///
+/// `warm`, when non-null, supplies inductance providers for extract/delay
+/// from an embedding service's warm store (see ProviderSource).  When an
+/// ambient run::ScopedRunControl is already installed, run() chains onto
+/// it: the nested control shares its cancellation token and inherits its
+/// deadline (tightened further by --deadline-s), so a server's shutdown
+/// signal reaches in-flight requests.
 int run(const std::vector<std::string>& argv, std::ostream& out,
-        std::ostream& err);
+        std::ostream& err, ProviderSource* warm = nullptr);
 
 }  // namespace rlcx::cli

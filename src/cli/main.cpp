@@ -3,9 +3,18 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  // The daemon commands live in rlcx_serve (which itself embeds
+  // cli::run for request execution), so they dispatch here rather than
+  // inside cli::run — that keeps rlcx_cli free of a dependency cycle.
+  if (!args.empty() && args[0] == "serve")
+    return rlcx::serve::serve_main(args, std::cout, std::cerr);
+  if (!args.empty() && args[0] == "query")
+    return rlcx::serve::query_main(args, std::cout, std::cerr);
   return rlcx::cli::run(args, std::cout, std::cerr);
 }

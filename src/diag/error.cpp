@@ -11,6 +11,7 @@ const char* to_string(Category c) {
     case Category::kUsage: return "usage";
     case Category::kCancelled: return "cancelled";
     case Category::kDeadline: return "deadline";
+    case Category::kOverloaded: return "overloaded";
   }
   return "?";
 }
@@ -24,6 +25,7 @@ int exit_code(Category c) {
     case Category::kNumeric: return 4;
     case Category::kCancelled:
     case Category::kDeadline: return 5;
+    case Category::kOverloaded: return 6;
   }
   return 1;
 }

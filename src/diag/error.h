@@ -23,16 +23,18 @@ namespace rlcx::diag {
 
 /// What kind of failure this is.  The CLI exit-code contract keys off the
 /// category (docs/robustness.md): usage -> 2, geometry/io/cache -> 3,
-/// numeric -> 4, cancelled/deadline -> 5.
+/// numeric -> 4, cancelled/deadline -> 5, overloaded -> 6.
 enum class Category {
-  kGeometry,   ///< invalid physical/structural input (geometry, netlist)
-  kNumeric,    ///< numerical breakdown: singular/near-singular systems,
-               ///< divergence, NaN, non-convergence
-  kIo,         ///< file and stream failures
-  kCache,      ///< table-cache corruption or recovery failure
-  kUsage,      ///< malformed invocation: bad flags, bad API arguments
-  kCancelled,  ///< the run was cancelled cooperatively (SIGINT, caller)
-  kDeadline,   ///< the run exceeded its wall-clock deadline
+  kGeometry,    ///< invalid physical/structural input (geometry, netlist)
+  kNumeric,     ///< numerical breakdown: singular/near-singular systems,
+                ///< divergence, NaN, non-convergence
+  kIo,          ///< file and stream failures
+  kCache,       ///< table-cache corruption or recovery failure
+  kUsage,       ///< malformed invocation: bad flags, bad API arguments
+  kCancelled,   ///< the run was cancelled cooperatively (SIGINT, caller)
+  kDeadline,    ///< the run exceeded its wall-clock deadline
+  kOverloaded,  ///< an admission-controlled service rejected the request
+                ///< because its queue was full (back off and retry)
 };
 
 const char* to_string(Category c);
@@ -145,6 +147,15 @@ class DeadlineExceeded : public Error {
  public:
   DeadlineExceeded(std::string stage, std::string message)
       : Error(Category::kDeadline, std::move(stage), std::move(message)) {}
+};
+
+/// An admission-controlled service (the `rlcx serve` daemon) rejected the
+/// request because both its execution slots and its wait queue were full.
+/// The request was never started; clients should back off and retry.
+class OverloadedError : public Error {
+ public:
+  OverloadedError(std::string stage, std::string message)
+      : Error(Category::kOverloaded, std::move(stage), std::move(message)) {}
 };
 
 /// A linear system the factorisation could not (or barely could) solve.

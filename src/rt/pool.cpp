@@ -11,6 +11,7 @@
 
 #include "diag/error.h"
 #include "diag/warnings.h"
+#include "run/control.h"
 
 namespace rlcx::rt {
 
@@ -34,6 +35,11 @@ SerialRegion::~SerialRegion() { --t_region_depth; }
 struct Pool::Task {
   std::function<void()> fn;
   TaskGroup* group = nullptr;
+  // The submitting thread's ambient run control, adopted for the task
+  // body so checkpoints inside fanned-out work observe the driver that
+  // spawned it (valid for the task's lifetime: the driver's scope must
+  // outlive the parallel region — see run/control.h).
+  const void* ambient = nullptr;
 };
 
 // All queues share one mutex: the pool schedules coarse tasks (a 2-trace
@@ -76,6 +82,7 @@ struct Pool::Impl {
 
 void Pool::run_task(Task& task) {
   RegionGuard in_region;
+  run::detail::ScopedAmbientAdopt adopt(task.ambient);
   std::exception_ptr error;
   try {
     task.fn();
@@ -132,7 +139,8 @@ void Pool::submit(TaskGroup* group, std::function<void()> fn) {
                         impl_->queues.size();
   {
     std::lock_guard<std::mutex> lock(impl_->m);
-    impl_->queues[q].push_back(Task{std::move(fn), group});
+    impl_->queues[q].push_back(
+        Task{std::move(fn), group, run::detail::ambient_snapshot()});
   }
   impl_->cv.notify_one();
 }

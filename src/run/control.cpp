@@ -11,21 +11,41 @@ namespace rlcx::run {
 
 namespace {
 
-/// The installed control, reference-counted so checkpoints running on pool
-/// threads read a coherent snapshot.  Installation order is guarded by a
-/// mutex (scopes are rare); the hot read is one relaxed pointer load on
-/// g_active_raw to skip all work when no control is installed.
+/// One installed control scope.  Scoping is *per thread*: each thread
+/// keeps its own stack (t_active), so independent drivers — the serve
+/// daemon's concurrent request handlers — can each install their own
+/// token/deadline without corrupting a shared stack.  Two mechanisms make
+/// a driver's control visible beyond its own thread:
+///
+///   * pool-task adoption: rt::Pool captures the submitting thread's
+///     ambient at submit() (detail::ambient_snapshot) and installs it
+///     around the task body (detail::ScopedAmbientAdopt), so checkpoints
+///     inside fanned-out work observe the driver that spawned it;
+///   * the process fallback (g_fallback): the outermost control installed
+///     anywhere is visible to threads with no ambient of their own, so
+///     e.g. a server-wide shutdown token reaches auxiliary threads.
+///
+/// Hot-path reads are one thread_local load plus, when that is empty, one
+/// atomic load.  All non-atomic Ambient fields are written before the
+/// scope is published and never after.
 struct Ambient {
   std::shared_ptr<detail::CancelState> cancel;
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
   RunControl control;  ///< the installer's copy, for control()
-  const Ambient* previous = nullptr;
+  const Ambient* previous = nullptr;  ///< this thread's outer scope
+  bool owns_fallback = false;
 };
 
-std::mutex g_install_mutex;
-const Ambient* g_active = nullptr;  // guarded by g_install_mutex
-std::atomic<const Ambient*> g_active_raw{nullptr};  // the hot-path view
+thread_local const Ambient* t_active = nullptr;
+
+std::mutex g_install_mutex;  // guards g_fallback hand-over + control copies
+std::atomic<const Ambient*> g_fallback{nullptr};
+
+const Ambient* current_ambient() noexcept {
+  const Ambient* a = t_active;
+  return a != nullptr ? a : g_fallback.load(std::memory_order_acquire);
+}
 
 }  // namespace
 
@@ -53,35 +73,74 @@ ScopedRunControl::ScopedRunControl(RunControl control)
   a.has_deadline = control.deadline.active();
   a.deadline = control.deadline.when();
   a.control = std::move(control);
-  std::lock_guard<std::mutex> lock(g_install_mutex);
-  a.previous = g_active;
-  g_active = &a;
-  g_active_raw.store(&a, std::memory_order_release);
+  a.previous = t_active;
+  // The outermost control of the whole process doubles as the fallback
+  // for threads with no ambient of their own.  Only the scope that set
+  // the fallback clears it, so a concurrent scope on another thread can
+  // never install a dangling pointer.
+  if (a.previous == nullptr) {
+    std::lock_guard<std::mutex> lock(g_install_mutex);
+    if (g_fallback.load(std::memory_order_relaxed) == nullptr) {
+      a.owns_fallback = true;
+      g_fallback.store(&a, std::memory_order_release);
+    }
+  }
+  t_active = &a;
 }
 
 ScopedRunControl::~ScopedRunControl() {
-  std::lock_guard<std::mutex> lock(g_install_mutex);
-  g_active = impl_->ambient.previous;
-  g_active_raw.store(g_active, std::memory_order_release);
+  t_active = impl_->ambient.previous;
+  if (impl_->ambient.owns_fallback) {
+    std::lock_guard<std::mutex> lock(g_install_mutex);
+    g_fallback.store(nullptr, std::memory_order_release);
+  }
 }
 
 const RunControl& ScopedRunControl::control() const noexcept {
   return impl_->ambient.control;
 }
 
-bool control_active() noexcept {
-  return g_active_raw.load(std::memory_order_relaxed) != nullptr;
+bool control_active() noexcept { return current_ambient() != nullptr; }
+
+bool current_control(RunControl* out) noexcept {
+  // This thread's own scope cannot be popped concurrently: copy directly.
+  if (t_active != nullptr) {
+    *out = t_active->control;
+    return true;
+  }
+  // The fallback's owner may pop on another thread; copy under the mutex
+  // its clearing path also takes.
+  std::lock_guard<std::mutex> lock(g_install_mutex);
+  const Ambient* a = g_fallback.load(std::memory_order_relaxed);
+  if (a == nullptr) return false;
+  *out = a->control;
+  return true;
 }
 
+namespace detail {
+
+const void* ambient_snapshot() noexcept { return t_active; }
+
+ScopedAmbientAdopt::ScopedAmbientAdopt(const void* ambient) noexcept
+    : previous_(t_active) {
+  t_active = static_cast<const Ambient*>(ambient);
+}
+
+ScopedAmbientAdopt::~ScopedAmbientAdopt() {
+  t_active = static_cast<const Ambient*>(previous_);
+}
+
+}  // namespace detail
+
 bool stop_requested() noexcept {
-  const Ambient* a = g_active_raw.load(std::memory_order_acquire);
+  const Ambient* a = current_ambient();
   if (a == nullptr) return false;
   if (a->cancel->cancelled.load(std::memory_order_relaxed)) return true;
   return a->has_deadline && std::chrono::steady_clock::now() >= a->deadline;
 }
 
 void checkpoint(const char* where) {
-  const Ambient* a = g_active_raw.load(std::memory_order_acquire);
+  const Ambient* a = current_ambient();
   if (a == nullptr) return;
   // Deterministic "killed mid-campaign": the scheduled checkpoint requests
   // cancellation exactly as a SIGINT would, then falls through to the

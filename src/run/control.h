@@ -17,8 +17,17 @@
 // cancelled run reports *why* it stopped and never observes partial
 // writes: work between two checkpoints either completes or never starts.
 //
-// With no control installed, checkpoint() is one relaxed atomic load —
-// cheap enough for per-iteration placement.
+// With no control installed, checkpoint() is one thread_local load plus
+// one relaxed atomic load — cheap enough for per-iteration placement.
+//
+// Scoping is per thread, so independent drivers (the `rlcx serve`
+// daemon's concurrent request handlers) can each install their own
+// control without interfering.  A driver's control still reaches its
+// fanned-out work: rt::Pool snapshots the submitting thread's ambient at
+// submit() and adopts it around each task body, and the process's
+// *outermost* control additionally acts as a fallback for threads with no
+// ambient of their own (so a server-wide shutdown token is observable
+// everywhere).
 //
 // Lifetime protocol: the ScopedRunControl must outlive every parallel
 // region it covers (RAII on the driver's stack around the fan-out does
@@ -97,9 +106,11 @@ struct RunControl {
   Deadline deadline;
 };
 
-/// RAII: makes `control` the process-ambient run control for this scope.
-/// Scopes nest (the innermost wins; the previous control is restored on
-/// destruction).  The scope must outlive every parallel region it covers.
+/// RAII: makes `control` the calling thread's ambient run control for
+/// this scope (and, when it is the process's outermost control, the
+/// fallback every uncovered thread observes).  Scopes nest per thread
+/// (the innermost wins; the previous control is restored on destruction).
+/// The scope must outlive every parallel region it covers.
 class ScopedRunControl {
  public:
   explicit ScopedRunControl(RunControl control);
@@ -118,6 +129,16 @@ class ScopedRunControl {
 /// True while any ScopedRunControl is installed.
 bool control_active() noexcept;
 
+/// Snapshot of the innermost installed control: `*out` receives a copy
+/// whose token shares the ambient cancellation flag (so requesting or
+/// observing cancellation through the copy is equivalent) and whose
+/// deadline is the ambient one.  Returns false — leaving `*out` untouched
+/// — when no control is installed.  An embedding driver (the `rlcx serve`
+/// daemon wrapping per-request cli::run invocations) uses this to chain a
+/// nested control onto the server's token and deadline instead of masking
+/// them.
+bool current_control(RunControl* out) noexcept;
+
 /// Non-throwing poll: has the ambient control been cancelled or its
 /// deadline passed?  For call sites that prefer a clean early return over
 /// unwinding (none in-tree yet; checkpoint() is the normal form).
@@ -131,5 +152,30 @@ bool stop_requested() noexcept;
 /// requests cancellation at the Nth checkpoint, making "killed
 /// mid-campaign" reproducible to the exact chunk boundary.
 void checkpoint(const char* where);
+
+namespace detail {
+
+/// Internal (rt::Pool): the calling thread's ambient scope as an opaque
+/// pointer, captured at task submission so the task body can observe the
+/// submitting driver's control.  Valid only while that driver's
+/// ScopedRunControl lives — guaranteed by the documented lifetime
+/// protocol (the scope outlives every parallel region it covers).
+const void* ambient_snapshot() noexcept;
+
+/// Internal (rt::Pool): RAII that makes a snapshot the calling thread's
+/// ambient for the scope's lifetime (restoring the previous one after),
+/// installed around each pool task body.
+class ScopedAmbientAdopt {
+ public:
+  explicit ScopedAmbientAdopt(const void* ambient) noexcept;
+  ~ScopedAmbientAdopt();
+  ScopedAmbientAdopt(const ScopedAmbientAdopt&) = delete;
+  ScopedAmbientAdopt& operator=(const ScopedAmbientAdopt&) = delete;
+
+ private:
+  const void* previous_;
+};
+
+}  // namespace detail
 
 }  // namespace rlcx::run

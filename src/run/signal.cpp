@@ -41,4 +41,16 @@ ScopedSigintCancel::~ScopedSigintCancel() {
   g_target.store(previous_target_, std::memory_order_release);
 }
 
+ScopedSigtermCancel::ScopedSigtermCancel(CancelToken token)
+    : token_(std::move(token)) {
+  previous_target_ =
+      g_target.exchange(token_.state().get(), std::memory_order_acq_rel);
+  previous_handler_ = std::signal(SIGTERM, on_sigint);
+}
+
+ScopedSigtermCancel::~ScopedSigtermCancel() {
+  std::signal(SIGTERM, previous_handler_);
+  g_target.store(previous_target_, std::memory_order_release);
+}
+
 }  // namespace rlcx::run

@@ -32,4 +32,24 @@ class ScopedSigintCancel {
   detail::CancelState* previous_target_ = nullptr;
 };
 
+/// As ScopedSigintCancel, but for SIGTERM — the polite stop a service
+/// manager sends a daemon.  The `rlcx serve` loop installs both, so
+/// Ctrl-C in a terminal and `kill <pid>` take the same graceful-drain
+/// path (in-flight requests unwind at their next checkpoint, the request
+/// journal stays consistent).  Shares the handler target with
+/// ScopedSigintCancel; install both with the same token.
+class ScopedSigtermCancel {
+ public:
+  explicit ScopedSigtermCancel(CancelToken token);
+  ~ScopedSigtermCancel();
+
+  ScopedSigtermCancel(const ScopedSigtermCancel&) = delete;
+  ScopedSigtermCancel& operator=(const ScopedSigtermCancel&) = delete;
+
+ private:
+  CancelToken token_;
+  void (*previous_handler_)(int) = nullptr;
+  detail::CancelState* previous_target_ = nullptr;
+};
+
 }  // namespace rlcx::run

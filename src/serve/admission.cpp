@@ -1,0 +1,73 @@
+#include "serve/admission.h"
+
+#include <chrono>
+#include <string>
+
+#include "diag/error.h"
+
+namespace rlcx::serve {
+
+AdmissionQueue::AdmissionQueue(int max_active, int max_queued)
+    : max_active_(max_active), max_queued_(max_queued) {
+  if (max_active < 1)
+    throw diag::UsageError(
+        "serve", "--max-active must be >= 1, got " +
+                     std::to_string(max_active));
+  if (max_queued < 0)
+    throw diag::UsageError(
+        "serve", "--queue-depth must be >= 0, got " +
+                     std::to_string(max_queued));
+}
+
+AdmissionQueue::Admission AdmissionQueue::enter(
+    const run::CancelToken& shutdown) {
+  std::unique_lock<std::mutex> lock(m_);
+  if (active_ < max_active_) {
+    ++active_;
+    ++admitted_;
+    return Admission::kAdmitted;
+  }
+  if (queued_ >= max_queued_) {
+    ++rejected_;
+    return Admission::kOverloaded;
+  }
+  ++queued_;
+  // The CancelToken is a plain flag with no condition variable, so the
+  // wait polls it on a short period; shutdown latency for queued
+  // requests is bounded by this interval.
+  while (true) {
+    cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
+      return active_ < max_active_ || shutdown.requested();
+    });
+    if (shutdown.requested()) {
+      --queued_;
+      return Admission::kCancelled;
+    }
+    if (active_ < max_active_) {
+      --queued_;
+      ++active_;
+      ++admitted_;
+      return Admission::kAdmitted;
+    }
+  }
+}
+
+void AdmissionQueue::leave() noexcept {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    --active_;
+  }
+  cv_.notify_one();
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  Stats s;
+  s.active = active_;
+  s.queued = queued_;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  return s;
+}
+
+}  // namespace rlcx::serve

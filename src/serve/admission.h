@@ -1,0 +1,63 @@
+// Admission control for the daemon's request path.
+//
+// The pool can absorb any number of queued solves, but unbounded queueing
+// turns overload into unbounded latency for everyone.  The daemon instead
+// bounds both the number of requests *executing* (max_active — each one
+// fans its solves onto the shared rt pool) and the number *waiting for a
+// slot* (max_queued).  A request arriving beyond both bounds is rejected
+// immediately with the typed `overloaded` fault (CLI exit code 6), which
+// the protocol reports as a status-6 error frame: the client learns in
+// microseconds that it should back off, instead of timing out minutes
+// later.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "run/control.h"
+
+namespace rlcx::serve {
+
+class AdmissionQueue {
+ public:
+  /// Throws a `usage` fault unless max_active >= 1 and max_queued >= 0.
+  AdmissionQueue(int max_active, int max_queued);
+
+  enum class Admission {
+    kAdmitted,    ///< a slot is held; the caller must leave() when done
+    kOverloaded,  ///< both bounds full — reject with exit code 6
+    kCancelled,   ///< shutdown requested while waiting for a slot
+  };
+
+  /// Claims an execution slot, waiting in the bounded queue when all
+  /// slots are busy.  Returns kOverloaded without blocking when the queue
+  /// is full, kCancelled when `shutdown` is requested while waiting.
+  Admission enter(const run::CancelToken& shutdown);
+
+  /// Releases the slot claimed by a successful enter().
+  void leave() noexcept;
+
+  struct Stats {
+    int active = 0;
+    int queued = 0;
+    std::size_t admitted = 0;
+    std::size_t rejected = 0;
+  };
+  Stats stats() const;
+
+  int max_active() const noexcept { return max_active_; }
+  int max_queued() const noexcept { return max_queued_; }
+
+ private:
+  const int max_active_;
+  const int max_queued_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  int queued_ = 0;
+  std::size_t admitted_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace rlcx::serve

@@ -1,0 +1,87 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "diag/error.h"
+
+namespace rlcx::serve {
+
+Client::Client(const std::string& socket_path) : stream_(-1, -1) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+    throw diag::UsageError(
+        "serve", "--socket path must be 1.." +
+                     std::to_string(sizeof(addr.sun_path) - 1) +
+                     " bytes, got " + std::to_string(socket_path.size()));
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw diag::IoError("serve", std::string("socket: ") +
+                                     std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw diag::IoError("serve",
+                        "connect " + socket_path + ": " +
+                            std::strerror(e) +
+                            " (is the daemon running? start it with "
+                            "`rlcx serve --table-cache DIR --socket " +
+                            socket_path + "`)");
+  }
+  stream_ = FdStream(fd_, fd_);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::request(const std::vector<std::string>& argv) {
+  write_frame(stream_, FrameKind::kRequest, join_request(argv));
+  Frame frame;
+  if (!read_frame(stream_, &frame))
+    throw diag::IoError("serve",
+                        "connection closed before a reply arrived");
+  if (frame.kind == FrameKind::kRequest)
+    throw diag::IoError("serve", "peer sent a request frame as a reply");
+  last_kind_ = frame.kind;
+  return parse_response(frame.payload);
+}
+
+int query_main(const std::vector<std::string>& argv, std::ostream& out,
+               std::ostream& err) {
+  try {
+    // argv is ["query", "--socket", PATH, CMD, flags...]: everything
+    // after the socket is forwarded verbatim as the request.
+    if (argv.size() < 4 || argv[0] != "query" || argv[1] != "--socket")
+      throw diag::UsageError(
+          "serve",
+          "usage: rlcx query --socket PATH CMD [flags...] (e.g. rlcx "
+          "query --socket /tmp/rlcx.sock extract --structure cpw "
+          "--length-um 6000)");
+    const std::string socket_path = argv[2];
+    const std::vector<std::string> request(argv.begin() + 3, argv.end());
+    Client client(socket_path);
+    const Response resp = client.request(request);
+    out << resp.out;
+    err << resp.err;
+    return resp.status;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    if (dynamic_cast<const diag::Fault*>(&e) != nullptr)
+      return diag::exit_code(
+          diag::category_of(e, diag::Category::kUsage));
+    if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr)
+      return 2;
+    return 1;
+  }
+}
+
+}  // namespace rlcx::serve

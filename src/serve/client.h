@@ -1,0 +1,48 @@
+// Client side of the daemon protocol: connect, send one framed request,
+// parse the framed reply.  Backs `rlcx query` and the bench_serve load
+// generator.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace rlcx::serve {
+
+/// One connection to a running daemon.  Not thread-safe; open one Client
+/// per concurrent requester (the daemon dedicates a thread to each
+/// connection anyway).
+class Client {
+ public:
+  /// Connects to the daemon's Unix socket; throws diag::IoError when the
+  /// socket is absent or refuses.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `argv` as one request frame and blocks for the reply.  Returns
+  /// the parsed response — for error frames too; last_kind() tells which
+  /// (kError = the request never executed: framing violation, disallowed
+  /// command, admission rejection).  Throws diag::IoError when the
+  /// connection drops or the reply is malformed.
+  Response request(const std::vector<std::string>& argv);
+
+  FrameKind last_kind() const noexcept { return last_kind_; }
+
+ private:
+  int fd_ = -1;
+  FdStream stream_;
+  FrameKind last_kind_ = FrameKind::kResponse;
+};
+
+/// `rlcx query --socket PATH CMD [flags...]`: one request, response
+/// streams replayed onto out/err, the response status as the exit code —
+/// so `rlcx query --socket S extract ...` is script-compatible with
+/// `rlcx extract ...`.
+int query_main(const std::vector<std::string>& argv, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace rlcx::serve

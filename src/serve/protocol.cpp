@@ -1,0 +1,275 @@
+#include "serve/protocol.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "diag/error.h"
+
+namespace rlcx::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw diag::IoError("serve", std::string(what) + ": " +
+                                   std::strerror(errno));
+}
+
+/// Fills `buf` with exactly `n` bytes; false on clean EOF before the
+/// first byte, IoError on EOF mid-read (a truncated frame).
+bool read_exact(ByteStream& stream, char* buf, std::size_t n,
+                const char* what) {
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = stream.read_some(buf + got, n - got);
+    if (r == 0) {
+      if (got == 0) return false;
+      throw diag::IoError("serve",
+                          std::string("truncated ") + what + ": got " +
+                              std::to_string(got) + " of " +
+                              std::to_string(n) + " bytes before EOF");
+    }
+    got += r;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t FdStream::read_some(char* buf, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::read(fd_in_, buf, n);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    throw_errno("read");
+  }
+}
+
+void FdStream::write_all(const char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd_out_, buf + done, n - done);
+    if (w >= 0) {
+      done += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("write");
+  }
+}
+
+ByteStream::PollResult FdStream::poll_readable(int timeout_ms) {
+  pollfd p{};
+  p.fd = fd_in_;
+  p.events = POLLIN;
+  while (true) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (r == 0) return PollResult::kTimeout;
+    if ((p.revents & POLLIN) != 0) return PollResult::kReady;
+    return PollResult::kClosed;  // POLLHUP / POLLERR / POLLNVAL
+  }
+}
+
+std::size_t MemoryStream::read_some(char* buf, std::size_t n) {
+  const std::size_t avail = input_.size() - pos_;
+  const std::size_t take = n < avail ? n : avail;
+  std::memcpy(buf, input_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+void MemoryStream::write_all(const char* buf, std::size_t n) {
+  output_.append(buf, n);
+}
+
+std::string encode_header(FrameKind kind, std::uint32_t payload_bytes) {
+  if (payload_bytes > kMaxPayloadBytes)
+    throw diag::UsageError(
+        "serve", "frame payload of " + std::to_string(payload_bytes) +
+                     " bytes exceeds the protocol maximum of " +
+                     std::to_string(kMaxPayloadBytes));
+  std::string h(kHeaderBytes, '\0');
+  h[0] = static_cast<char>(kMagic0);
+  h[1] = static_cast<char>(kMagic1);
+  h[2] = static_cast<char>(kProtocolVersion);
+  h[3] = static_cast<char>(kind);
+  h[4] = static_cast<char>(payload_bytes & 0xff);
+  h[5] = static_cast<char>((payload_bytes >> 8) & 0xff);
+  h[6] = static_cast<char>((payload_bytes >> 16) & 0xff);
+  h[7] = static_cast<char>((payload_bytes >> 24) & 0xff);
+  return h;
+}
+
+std::string encode_frame(FrameKind kind, std::string_view payload) {
+  std::string f =
+      encode_header(kind, static_cast<std::uint32_t>(payload.size()));
+  f.append(payload.data(), payload.size());
+  return f;
+}
+
+bool read_frame(ByteStream& stream, Frame* out) {
+  char header[kHeaderBytes];
+  if (!read_exact(stream, header, kHeaderBytes, "frame header"))
+    return false;
+  const auto u8 = [&](std::size_t i) {
+    return static_cast<unsigned char>(header[i]);
+  };
+  if (u8(0) != kMagic0 || u8(1) != kMagic1)
+    throw diag::IoError("serve",
+                        "bad frame magic (expected 0x52 0x58 'RX'): "
+                        "stream out of sync, closing connection");
+  if (u8(2) != kProtocolVersion)
+    throw diag::IoError("serve",
+                        "unsupported protocol version " +
+                            std::to_string(u8(2)) + " (this build speaks " +
+                            std::to_string(kProtocolVersion) + ")");
+  if (u8(3) != static_cast<unsigned char>(FrameKind::kRequest) &&
+      u8(3) != static_cast<unsigned char>(FrameKind::kResponse) &&
+      u8(3) != static_cast<unsigned char>(FrameKind::kError))
+    throw diag::IoError("serve", "unknown frame kind " +
+                                     std::to_string(u8(3)));
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(u8(4)) |
+      (static_cast<std::uint32_t>(u8(5)) << 8) |
+      (static_cast<std::uint32_t>(u8(6)) << 16) |
+      (static_cast<std::uint32_t>(u8(7)) << 24);
+  if (length > kMaxPayloadBytes)
+    throw diag::IoError(
+        "serve", "frame payload of " + std::to_string(length) +
+                     " bytes exceeds the protocol maximum of " +
+                     std::to_string(kMaxPayloadBytes));
+  out->kind = static_cast<FrameKind>(u8(3));
+  out->payload.resize(length);
+  if (length > 0 &&
+      !read_exact(stream, out->payload.data(), length, "frame payload"))
+    throw diag::IoError("serve", "truncated frame payload: EOF after "
+                                 "header promised " +
+                                     std::to_string(length) + " bytes");
+  return true;
+}
+
+void write_frame(ByteStream& stream, FrameKind kind,
+                 std::string_view payload) {
+  const std::string f = encode_frame(kind, payload);
+  stream.write_all(f.data(), f.size());
+}
+
+const char* status_label(int exit_code) {
+  switch (exit_code) {
+    case 0: return "ok";
+    case 1: return "internal";
+    case 2: return "usage";
+    case 3: return "invalid-input";
+    case 4: return "numeric";
+    case 5: return "cancelled";
+    case 6: return "overloaded";
+    default: return "unknown";
+  }
+}
+
+std::string encode_response(const Response& response) {
+  std::string p = "status " + std::to_string(response.status) + " " +
+                  (response.label.empty() ? status_label(response.status)
+                                          : response.label) +
+                  "\nout " + std::to_string(response.out.size()) +
+                  "\nerr " + std::to_string(response.err.size()) + "\n\n";
+  p += response.out;
+  p += response.err;
+  return p;
+}
+
+namespace {
+
+/// Consumes "<keyword> " from the head of `rest`, then a decimal integer
+/// up to `stop`, advancing `rest` past `stop`.
+std::size_t parse_sized_field(std::string_view& rest, const char* keyword,
+                              char stop) {
+  const std::string prefix = std::string(keyword) + " ";
+  if (rest.substr(0, prefix.size()) != prefix)
+    throw diag::IoError("serve",
+                        std::string("malformed response payload: expected "
+                                    "\"") +
+                            keyword + " \"");
+  rest.remove_prefix(prefix.size());
+  const std::size_t end = rest.find(stop);
+  if (end == std::string_view::npos)
+    throw diag::IoError("serve", std::string("malformed response payload: "
+                                             "unterminated ") +
+                                     keyword + " field");
+  std::size_t value = 0;
+  const std::string_view digits = rest.substr(0, end);
+  if (digits.empty())
+    throw diag::IoError("serve", std::string("malformed response payload: "
+                                             "empty ") +
+                                     keyword + " field");
+  for (const char c : digits) {
+    if (c < '0' || c > '9')
+      throw diag::IoError("serve",
+                          std::string("malformed response payload: "
+                                      "non-numeric ") +
+                              keyword + " field");
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  rest.remove_prefix(end + 1);
+  return value;
+}
+
+}  // namespace
+
+Response parse_response(std::string_view payload) {
+  std::string_view rest = payload;
+  Response r;
+  r.status = static_cast<int>(parse_sized_field(rest, "status", ' '));
+  const std::size_t label_end = rest.find('\n');
+  if (label_end == std::string_view::npos)
+    throw diag::IoError("serve", "malformed response payload: "
+                                 "unterminated status label");
+  r.label = std::string(rest.substr(0, label_end));
+  rest.remove_prefix(label_end + 1);
+  const std::size_t out_bytes = parse_sized_field(rest, "out", '\n');
+  const std::size_t err_bytes = parse_sized_field(rest, "err", '\n');
+  if (rest.empty() || rest.front() != '\n')
+    throw diag::IoError("serve", "malformed response payload: missing "
+                                 "blank line after header");
+  rest.remove_prefix(1);
+  if (rest.size() != out_bytes + err_bytes)
+    throw diag::IoError(
+        "serve", "malformed response payload: header promised " +
+                     std::to_string(out_bytes + err_bytes) +
+                     " body bytes, got " + std::to_string(rest.size()));
+  r.out = std::string(rest.substr(0, out_bytes));
+  r.err = std::string(rest.substr(out_bytes));
+  return r;
+}
+
+std::string join_request(const std::vector<std::string>& argv) {
+  std::string p;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    if (i > 0) p += '\n';
+    p += argv[i];
+  }
+  return p;
+}
+
+std::vector<std::string> split_request(std::string_view payload) {
+  std::vector<std::string> tokens;
+  if (payload.empty()) return tokens;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t lf = payload.find('\n', start);
+    if (lf == std::string_view::npos) {
+      tokens.emplace_back(payload.substr(start));
+      return tokens;
+    }
+    tokens.emplace_back(payload.substr(start, lf - start));
+    start = lf + 1;
+  }
+}
+
+}  // namespace rlcx::serve

@@ -1,0 +1,165 @@
+// rlcx::serve — the daemon's wire protocol.
+//
+// This header implements the framing that docs/serve-protocol.md
+// specifies; the document is normative and the constants below are quoted
+// there byte for byte (test_serve cross-checks them against the doc
+// text).  The protocol is a length-prefixed frame stream over a byte
+// transport — a Unix domain socket in daemon mode, stdin/stdout in
+// --stdio mode, an in-memory buffer in tests:
+//
+//   frame  = header payload
+//   header = magic0 magic1 version kind length
+//            byte 0: 0x52 ('R')
+//            byte 1: 0x58 ('X')
+//            byte 2: 0x01 (protocol version)
+//            byte 3: frame kind (0x01 request, 0x02 response, 0x03 error)
+//            bytes 4..7: u32 little-endian payload length
+//   payload length <= 1048576 bytes (1 MiB)
+//
+// A request payload is the command's argument vector, tokens separated by
+// single LF bytes (no trailing LF) — exactly what cli::run() takes, so a
+// request is a remote CLI invocation.  Response and error payloads share
+// one schema:
+//
+//   status <code> <label> LF
+//   out <n> LF
+//   err <m> LF
+//   LF
+//   <n bytes of stdout> <m bytes of stderr>
+//
+// where <code> is the CLI exit code the same invocation would have
+// returned (docs/robustness.md: 0..6) and <label> its stable name
+// (status_label()).  kResponse frames carry the result of an executed
+// command; kError frames report a request that never executed (malformed
+// payload, disallowed command, admission rejection).  Framing violations
+// that lose stream sync (bad magic, unknown version, oversize length,
+// truncation) throw a typed diag::IoError and the connection must close;
+// everything after a well-formed header is recoverable and the
+// connection survives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlcx::serve {
+
+inline constexpr unsigned char kMagic0 = 0x52;  // 'R'
+inline constexpr unsigned char kMagic1 = 0x58;  // 'X'
+inline constexpr unsigned char kProtocolVersion = 0x01;
+inline constexpr std::size_t kHeaderBytes = 8;
+inline constexpr std::uint32_t kMaxPayloadBytes = 1048576;
+
+enum class FrameKind : unsigned char {
+  kRequest = 0x01,
+  kResponse = 0x02,
+  kError = 0x03,
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kRequest;
+  std::string payload;
+};
+
+/// Minimal byte transport the framing runs over.  Implementations must be
+/// usable from one thread at a time (the daemon dedicates a thread per
+/// connection).
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Reads up to `n` bytes into `buf`; returns the count read, 0 on end
+  /// of stream.  Throws diag::IoError on transport failure.
+  virtual std::size_t read_some(char* buf, std::size_t n) = 0;
+
+  /// Writes all `n` bytes or throws diag::IoError.
+  virtual void write_all(const char* buf, std::size_t n) = 0;
+
+  enum class PollResult { kReady, kTimeout, kClosed };
+
+  /// Waits up to `timeout_ms` for read_some() to have bytes (or EOF)
+  /// available, so a server loop can interleave shutdown checks with
+  /// blocking reads.  The in-memory default is always-ready.
+  virtual PollResult poll_readable(int timeout_ms) {
+    (void)timeout_ms;
+    return PollResult::kReady;
+  }
+};
+
+/// ByteStream over a pair of file descriptors (a connected socket uses
+/// the same fd for both; --stdio mode uses 0/1).  Does not own the fds.
+class FdStream : public ByteStream {
+ public:
+  FdStream(int fd_in, int fd_out) : fd_in_(fd_in), fd_out_(fd_out) {}
+
+  std::size_t read_some(char* buf, std::size_t n) override;
+  void write_all(const char* buf, std::size_t n) override;
+  PollResult poll_readable(int timeout_ms) override;
+
+ private:
+  int fd_in_;
+  int fd_out_;
+};
+
+/// In-memory ByteStream for protocol tests: reads consume `input`,
+/// writes append to `output`.
+class MemoryStream : public ByteStream {
+ public:
+  explicit MemoryStream(std::string input = "")
+      : input_(std::move(input)) {}
+
+  std::size_t read_some(char* buf, std::size_t n) override;
+  void write_all(const char* buf, std::size_t n) override;
+
+  const std::string& output() const { return output_; }
+
+ private:
+  std::string input_;
+  std::size_t pos_ = 0;
+  std::string output_;
+};
+
+/// The 8-byte header for a frame of `payload_bytes` (which must be
+/// <= kMaxPayloadBytes; throws diag::UsageError otherwise).
+std::string encode_header(FrameKind kind, std::uint32_t payload_bytes);
+
+/// Header + payload as one contiguous buffer.
+std::string encode_frame(FrameKind kind, std::string_view payload);
+
+/// Reads one frame.  Returns false on a clean end of stream (no header
+/// byte read); throws diag::IoError on a truncated frame, bad magic,
+/// unsupported version, unknown kind or oversize length — after which the
+/// stream has lost sync and the connection must close.
+bool read_frame(ByteStream& stream, Frame* out);
+
+void write_frame(ByteStream& stream, FrameKind kind,
+                 std::string_view payload);
+
+/// One response (or error) payload, parsed.
+struct Response {
+  int status = 0;     ///< CLI exit code, 0..6 (docs/robustness.md)
+  std::string label;  ///< stable name for status (status_label())
+  std::string out;    ///< the command's stdout bytes
+  std::string err;    ///< the command's stderr bytes
+};
+
+/// The stable label for a CLI exit code: 0 "ok", 1 "internal", 2 "usage",
+/// 3 "invalid-input", 4 "numeric", 5 "cancelled", 6 "overloaded";
+/// anything else "unknown".
+const char* status_label(int exit_code);
+
+std::string encode_response(const Response& response);
+
+/// Parses a response/error payload; throws diag::IoError when it does not
+/// match the documented schema (the status code is authoritative; the
+/// label is carried verbatim).
+Response parse_response(std::string_view payload);
+
+/// Request payload <-> argument vector (LF-separated, no trailing LF).
+/// An empty vector encodes to an empty payload and vice versa.
+std::string join_request(const std::vector<std::string>& argv);
+std::vector<std::string> split_request(std::string_view payload);
+
+}  // namespace rlcx::serve

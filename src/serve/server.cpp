@@ -1,0 +1,375 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "cli/cli.h"
+#include "diag/error.h"
+#include "run/signal.h"
+
+namespace rlcx::serve {
+
+namespace {
+
+/// Commands a daemon executes through cli::run().  Everything that
+/// manages a process or a cache directory (serve, query, batch, tables,
+/// cache) stays off the wire: the daemon owns its cache, and nesting
+/// servers or hour-long campaigns inside a request slot would wedge the
+/// admission queue.
+bool wire_allowed(const std::string& command) {
+  return command == "extract" || command == "delay" || command == "help";
+}
+
+/// Blocks until `fd` is readable or shutdown is requested (polling the
+/// token, which has no wakeup primitive).  False on shutdown or hangup.
+bool wait_readable(int fd, const run::CancelToken& shutdown) {
+  while (!shutdown.requested()) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, /*timeout_ms=*/100);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw diag::IoError("serve", std::string("poll: ") +
+                                       std::strerror(errno));
+    }
+    if (r > 0) {
+      if ((p.revents & POLLIN) != 0) return true;
+      if ((p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) return false;
+    }
+  }
+  return false;
+}
+
+/// An execution slot as RAII, so a slot can never leak past a response.
+class SlotGuard {
+ public:
+  explicit SlotGuard(AdmissionQueue& q) : q_(q) {}
+  ~SlotGuard() { q_.leave(); }
+  SlotGuard(const SlotGuard&) = delete;
+  SlotGuard& operator=(const SlotGuard&) = delete;
+
+ private:
+  AdmissionQueue& q_;
+};
+
+/// Journal ids must be whitespace-free single tokens; requests arrive
+/// from the network.
+std::string sanitize_command(const std::string& command) {
+  std::string s;
+  for (const char c : command) {
+    if (s.size() >= 24) break;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-';
+    s += ok ? c : '_';
+  }
+  return s.empty() ? "none" : s;
+}
+
+}  // namespace
+
+Server::Server(ServeConfig config, std::ostream& diag)
+    : config_(std::move(config)),
+      diag_(diag),
+      warm_(config_.cache_dir, config_.max_tables,
+            config_.strict ? core::CacheRecoveryPolicy::kStrict
+                           : core::CacheRecoveryPolicy::kRecover),
+      admission_(config_.max_active, config_.queue_depth) {
+  if (config_.log_path.empty())
+    config_.log_path = config_.cache_dir + "/serve.journal";
+  journal_ = std::make_unique<run::BatchJournal>(config_.log_path);
+}
+
+Server::~Server() {
+  shutdown_.request();
+  std::lock_guard<std::mutex> lock(threads_m_);
+  for (std::thread& t : connections_)
+    if (t.joinable()) t.join();
+}
+
+int Server::run_socket() {
+  const std::string& path = config_.socket_path;
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw diag::UsageError(
+        "serve", "--socket path must be 1.." +
+                     std::to_string(sizeof(addr.sun_path) - 1) +
+                     " bytes, got " + std::to_string(path.size()));
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0)
+    throw diag::IoError("serve", std::string("socket: ") +
+                                     std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // a stale file from a dead daemon
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int e = errno;
+    ::close(listen_fd);
+    throw diag::IoError("serve", "bind " + path + ": " +
+                                     std::strerror(e));
+  }
+  if (::listen(listen_fd, 128) < 0) {
+    const int e = errno;
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    throw diag::IoError("serve", "listen " + path + ": " +
+                                     std::strerror(e));
+  }
+  diag_ << "rlcx serve: listening on " << path << " (max-active "
+        << config_.max_active << ", queue-depth " << config_.queue_depth
+        << ", max-tables " << config_.max_tables << ", log "
+        << config_.log_path << ")\n"
+        << std::flush;
+
+  while (wait_readable(listen_fd, shutdown_)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener broken; drain what we have
+    }
+    std::lock_guard<std::mutex> lock(threads_m_);
+    connections_.emplace_back([this, fd] {
+      FdStream stream(fd, fd);
+      try {
+        handle_connection(stream);
+      } catch (...) {
+        // A connection must never take the daemon down.
+      }
+      ::close(fd);
+    });
+  }
+
+  ::close(listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(threads_m_);
+    for (std::thread& t : connections_)
+      if (t.joinable()) t.join();
+    connections_.clear();
+  }
+  ::unlink(path.c_str());
+  diag_ << "rlcx serve: drained, "
+        << served_.load(std::memory_order_relaxed)
+        << " requests served\n";
+  return 0;
+}
+
+int Server::run_stdio() {
+  FdStream stream(STDIN_FILENO, STDOUT_FILENO);
+  diag_ << "rlcx serve: speaking the wire protocol on stdio (log "
+        << config_.log_path << ")\n"
+        << std::flush;
+  handle_connection(stream);
+  diag_ << "rlcx serve: drained, "
+        << served_.load(std::memory_order_relaxed)
+        << " requests served\n";
+  return 0;
+}
+
+void Server::handle_connection(ByteStream& stream) {
+  while (!shutdown_.requested()) {
+    // Interleave shutdown checks with blocking reads, so an idle
+    // connection cannot hold up the drain.
+    const ByteStream::PollResult pr = stream.poll_readable(100);
+    if (pr == ByteStream::PollResult::kClosed) return;
+    if (pr == ByteStream::PollResult::kTimeout) continue;
+    Frame frame;
+    try {
+      if (!read_frame(stream, &frame)) return;  // clean EOF
+    } catch (const diag::Fault& f) {
+      // Framing violation: the byte stream has lost sync, so report and
+      // close — docs/serve-protocol.md "fatal framing errors".
+      Response r;
+      r.status = diag::exit_code(f.category());
+      r.label = status_label(r.status);
+      r.err = diag::format_error(f.category(), f.stage(), f.message()) +
+              "\n";
+      try {
+        write_frame(stream, FrameKind::kError, encode_response(r));
+      } catch (...) {
+        // Peer already gone.
+      }
+      return;
+    }
+    if (frame.kind != FrameKind::kRequest) {
+      // Header was sound, so the stream is still in sync: reject the
+      // frame and keep the connection ("survivable errors").
+      Response r;
+      r.status = 2;
+      r.label = status_label(2);
+      r.err = "[usage] serve: expected a request frame (kind 0x01)\n";
+      write_frame(stream, FrameKind::kError, encode_response(r));
+      continue;
+    }
+    handle_request(stream, frame.payload);
+  }
+}
+
+void Server::handle_request(ByteStream& stream,
+                            const std::string& payload) {
+  const std::vector<std::string> tokens = split_request(payload);
+  const std::uint64_t seq =
+      seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  FrameKind kind = FrameKind::kResponse;
+  Response resp = execute(tokens, &kind);
+  resp.label = status_label(resp.status);
+  if (resp.status == 5) cancelled_.fetch_add(1, std::memory_order_relaxed);
+  record_request(seq, tokens, resp.status);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  const bool drain = !tokens.empty() && tokens[0] == "shutdown";
+  write_frame(stream, kind, encode_response(resp));
+  if (drain) shutdown_.request();
+}
+
+Response Server::execute(const std::vector<std::string>& tokens,
+                         FrameKind* kind) {
+  Response resp;
+  if (tokens.empty()) {
+    *kind = FrameKind::kError;
+    resp.status = 2;
+    resp.err = "[usage] serve: empty request payload\n";
+    return resp;
+  }
+  const std::string& cmd = tokens[0];
+  if (cmd == "ping") {
+    resp.out = "pong\n";
+    return resp;
+  }
+  if (cmd == "stats") {
+    resp.out = stats_text();
+    return resp;
+  }
+  if (cmd == "shutdown") {
+    resp.out = "draining\n";
+    return resp;
+  }
+  if (!wire_allowed(cmd)) {
+    *kind = FrameKind::kError;
+    resp.status = 2;
+    resp.err = "[usage] serve: command not allowed over the wire: " +
+               cmd + " (allowed: ping, stats, shutdown, extract, delay, "
+                     "help)\n";
+    return resp;
+  }
+  switch (admission_.enter(shutdown_)) {
+    case AdmissionQueue::Admission::kOverloaded: {
+      *kind = FrameKind::kError;
+      const diag::OverloadedError e(
+          "serve", "admission queue full (" +
+                       std::to_string(admission_.max_active()) +
+                       " active, " +
+                       std::to_string(admission_.max_queued()) +
+                       " queued); back off and retry");
+      resp.status = diag::exit_code(e.category());
+      resp.err = std::string(e.what()) + "\n";
+      return resp;
+    }
+    case AdmissionQueue::Admission::kCancelled: {
+      *kind = FrameKind::kError;
+      resp.status = 5;
+      resp.err = "[cancelled] serve: daemon draining, request not "
+                 "started\n";
+      return resp;
+    }
+    case AdmissionQueue::Admission::kAdmitted:
+      break;
+  }
+  const SlotGuard slot(admission_);
+  // The ambient control every checkpoint under this request observes:
+  // the daemon's shutdown token (so draining cancels in-flight work) plus
+  // the per-request deadline.  cli::run() chains onto it — a request's
+  // own --deadline-s can only tighten the bound.
+  run::RunControl rc;
+  rc.token = shutdown_;
+  if (config_.request_deadline_s > 0.0)
+    rc.deadline = run::Deadline::after(config_.request_deadline_s);
+  const run::ScopedRunControl control(rc);
+  std::ostringstream out, err;
+  resp.status = cli::run(tokens, out, err, &warm_);
+  resp.out = out.str();
+  resp.err = err.str();
+  return resp;
+}
+
+std::string Server::stats_text() {
+  const WarmTableStore::Stats ws = warm_.stats();
+  const AdmissionQueue::Stats as = admission_.stats();
+  const core::CacheStats cs = warm_.cache().stats();
+  std::ostringstream os;
+  os << "rlcx serve stats\n"
+     << "requests: " << served_.load(std::memory_order_relaxed)
+     << " served, " << as.rejected << " overloaded, "
+     << cancelled_.load(std::memory_order_relaxed) << " cancelled\n"
+     << "warm store: " << ws.hits << " hits, " << ws.misses
+     << " misses, " << ws.evictions << " evictions, " << ws.resident
+     << " resident (max " << warm_.max_tables() << ")\n"
+     << "admission: " << as.active << " active, " << as.queued
+     << " queued (max-active " << admission_.max_active()
+     << ", queue-depth " << admission_.max_queued() << ")\n"
+     << "table cache " << warm_.cache().directory() << ": " << cs.hits
+     << " hits, " << cs.misses << " misses, " << cs.bytes_read
+     << " bytes read, " << cs.bytes_written << " bytes written, "
+     << cs.write_retries << " write retries, " << cs.stores_dropped
+     << " stores dropped\n";
+  return os.str();
+}
+
+void Server::record_request(std::uint64_t seq,
+                            const std::vector<std::string>& tokens,
+                            int status) {
+  const std::string command =
+      tokens.empty() ? std::string("none") : sanitize_command(tokens[0]);
+  try {
+    journal_->record("r" + std::to_string(seq) + "-" + command + "-x" +
+                     std::to_string(status));
+  } catch (...) {
+    // Logging must never fail a request (disk full on the log volume).
+  }
+}
+
+int serve_main(const std::vector<std::string>& argv, std::ostream& out,
+               std::ostream& err) {
+  try {
+    const cli::Args args = cli::parse_args(argv);
+    ServeConfig cfg;
+    cfg.cache_dir = args.get("table-cache", "");
+    if (cfg.cache_dir.empty())
+      throw diag::UsageError("serve", "serve requires --table-cache DIR");
+    cfg.socket_path = args.get("socket", "");
+    cfg.stdio = args.has("stdio");
+    if (cfg.stdio == !cfg.socket_path.empty())
+      throw diag::UsageError(
+          "serve", "serve requires exactly one of --socket PATH or "
+                   "--stdio");
+    cfg.max_tables =
+        static_cast<std::size_t>(args.get_num("max-tables", 16));
+    cfg.max_active = static_cast<int>(args.get_num("max-active", 4));
+    cfg.queue_depth = static_cast<int>(args.get_num("queue-depth", 64));
+    cfg.request_deadline_s = args.get_num("request-deadline-s", 0.0);
+    cfg.log_path = args.get("log", "");
+    cfg.strict = args.has("strict");
+
+    // In stdio mode stdout carries frames, so lifecycle lines go to err.
+    Server server(cfg, cfg.stdio ? err : out);
+    const run::ScopedSigintCancel on_sigint(server.shutdown_token());
+    const run::ScopedSigtermCancel on_sigterm(server.shutdown_token());
+    return cfg.stdio ? server.run_stdio() : server.run_socket();
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    if (dynamic_cast<const diag::Fault*>(&e) != nullptr)
+      return diag::exit_code(
+          diag::category_of(e, diag::Category::kUsage));
+    if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr)
+      return 2;
+    return 1;
+  }
+}
+
+}  // namespace rlcx::serve

@@ -1,0 +1,110 @@
+// The `rlcx serve` daemon: a long-lived extraction service.
+//
+// One process opens the table cache once, keeps deserialised tables hot
+// in a WarmTableStore, and answers framed requests (serve/protocol.h,
+// normative spec in docs/serve-protocol.md) over a Unix domain socket —
+// or over stdin/stdout in --stdio mode, which lets tests and tooling
+// drive the full protocol without a socket.
+//
+// Threading model: the accept loop hands each connection a dedicated
+// protocol thread; requests execute on that thread under an ambient
+// run::ScopedRunControl (the server's shutdown token + the per-request
+// deadline), and the extraction inside fans its field solves onto the
+// shared rt pool.  Admission control (serve/admission.h) bounds how many
+// requests execute or wait; beyond that clients get an immediate typed
+// `overloaded` rejection (exit code 6).
+//
+// Lifecycle: SIGINT/SIGTERM (or a `shutdown` request) request the
+// shutdown token; the accept loop stops, in-flight requests unwind at
+// their next checkpoint (status-5 responses), connections drain, the
+// socket file is removed.  Every answered request is appended to a
+// run::BatchJournal repurposed as a request log, so an operator can
+// replay what a daemon did.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "run/control.h"
+#include "run/journal.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/table_store.h"
+
+namespace rlcx::serve {
+
+struct ServeConfig {
+  std::string cache_dir;    ///< --table-cache (required)
+  std::string socket_path;  ///< --socket; empty with stdio=true
+  bool stdio = false;       ///< --stdio: speak the protocol on stdin/stdout
+  std::size_t max_tables = 16;     ///< --max-tables: warm-store LRU bound
+  int max_active = 4;              ///< --max-active: executing requests
+  int queue_depth = 64;            ///< --queue-depth: waiting requests
+  double request_deadline_s = 0.0; ///< --request-deadline-s (0 = none)
+  std::string log_path;     ///< --log (default <cache_dir>/serve.journal)
+  bool strict = false;      ///< --strict: kStrict cache recovery
+};
+
+class Server {
+ public:
+  /// Opens the cache and the request log; throws typed faults on invalid
+  /// configuration.  `diag` receives the daemon's own lifecycle lines
+  /// (listening/drained) — stdout in socket mode, stderr in stdio mode
+  /// (where stdout carries frames).
+  Server(ServeConfig config, std::ostream& diag);
+  ~Server();
+
+  /// Binds the Unix socket (removing a stale file first), then accepts
+  /// until shutdown.  Returns 0 after a graceful drain.
+  int run_socket();
+
+  /// Speaks the protocol on stdin/stdout: one connection, then exit.
+  int run_stdio();
+
+  /// Full protocol loop over one established transport (used directly by
+  /// tests; run_socket()/run_stdio() call it per connection).
+  void handle_connection(ByteStream& stream);
+
+  /// The shutdown token: requesting it drains the daemon.  serve_main
+  /// points SIGINT/SIGTERM at it.
+  const run::CancelToken& shutdown_token() const noexcept {
+    return shutdown_;
+  }
+
+  /// The admission queue (stats; tests occupy slots deterministically).
+  AdmissionQueue& admission() noexcept { return admission_; }
+
+ private:
+  void handle_request(ByteStream& stream, const std::string& payload);
+  Response execute(const std::vector<std::string>& tokens,
+                   FrameKind* kind);
+  std::string stats_text();
+  void record_request(std::uint64_t seq,
+                      const std::vector<std::string>& tokens, int status);
+
+  ServeConfig config_;
+  std::ostream& diag_;
+  WarmTableStore warm_;
+  AdmissionQueue admission_;
+  run::CancelToken shutdown_;
+  std::unique_ptr<run::BatchJournal> journal_;
+  std::mutex threads_m_;
+  std::vector<std::thread> connections_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::size_t> served_{0};
+  std::atomic<std::size_t> cancelled_{0};
+};
+
+/// `rlcx serve ...`: parses flags (argv starts with "serve"), runs the
+/// daemon, maps faults to the documented exit codes.
+int serve_main(const std::vector<std::string>& argv, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace rlcx::serve

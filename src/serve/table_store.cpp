@@ -1,0 +1,92 @@
+#include "serve/table_store.h"
+
+#include <ostream>
+#include <utility>
+
+#include "diag/error.h"
+
+namespace rlcx::serve {
+
+namespace {
+
+/// The resident key: the cache's content address plus the extrapolation
+/// policy, which is baked into the model object.
+std::string store_key(const std::string& key_text,
+                      core::ExtrapolationPolicy policy) {
+  return key_text + "\n@extrapolation=" + core::to_string(policy);
+}
+
+}  // namespace
+
+WarmTableStore::WarmTableStore(const std::string& cache_dir,
+                               std::size_t max_tables,
+                               core::CacheRecoveryPolicy policy)
+    : max_tables_(max_tables), cache_(cache_dir, policy) {
+  if (max_tables < 1)
+    throw diag::UsageError("serve", "--max-tables must be >= 1");
+}
+
+std::shared_ptr<const core::InductanceProvider> WarmTableStore::provider(
+    const cli::ProviderRequest& request, std::ostream& out) {
+  const std::string key_text = core::TableCache::key_text(
+      *request.tech, request.layer, request.planes, request.grid,
+      request.options);
+  const std::string id = core::TableCache::key_id(key_text);
+  const std::string key = store_key(key_text, request.extrapolation);
+
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      out << "table store: warm hit, key " << id << "\n";
+      return it->second->model;
+    }
+  }
+
+  // Miss: characterise (or load) through the on-disk cache outside the
+  // lock — a second request for a different table must not serialise
+  // behind this build.
+  core::BuildStats bstats;
+  core::InductanceTables tables = core::build_tables_cached(
+      *request.tech, request.layer, request.planes, request.grid,
+      request.options, cache_, /*threads=*/0, &bstats);
+  auto model =
+      std::make_shared<core::TableInductanceModel>(std::move(tables));
+  model->set_extrapolation_policy(request.extrapolation);
+
+  std::lock_guard<std::mutex> lock(m_);
+  ++misses_;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost a build race for the same key: keep the resident model so
+    // every holder shares one instance.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    out << "table store: warm miss, key " << id << ", "
+        << bstats.solves << " field solves\n";
+    return it->second->model;
+  }
+  lru_.push_front(Entry{key, model});
+  index_[key] = lru_.begin();
+  while (lru_.size() > max_tables_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  out << "table store: warm miss, key " << id << ", " << bstats.solves
+      << " field solves\n";
+  return model;
+}
+
+WarmTableStore::Stats WarmTableStore::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident = lru_.size();
+  return s;
+}
+
+}  // namespace rlcx::serve

@@ -1,0 +1,81 @@
+// The daemon's warm table store: the reason `rlcx serve` exists.
+//
+// A one-shot CLI invocation pays a fixed tax before its first lookup —
+// open the table cache, read the entry bundle, deserialise three NdTables
+// — every single time, even when the tables were characterised long ago.
+// The daemon pays it once: this store keeps deserialised
+// TableInductanceModels resident in memory, keyed by the same
+// content-address the on-disk cache uses (TableCache::key_text) plus the
+// extrapolation policy (a model member), bounded by an LRU over
+// --max-tables entries.
+//
+// It plugs into the one-shot code path as a cli::ProviderSource, so a
+// daemon response is produced by exactly the code that produces the CLI's
+// — warm and cold results are bit-identical by construction, which
+// test_serve asserts.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cli/cli.h"
+#include "core/table_cache.h"
+
+namespace rlcx::serve {
+
+class WarmTableStore : public cli::ProviderSource {
+ public:
+  /// Opens the on-disk cache at `cache_dir` once for the store's
+  /// lifetime; at most `max_tables` (>= 1, else a `usage` fault) models
+  /// stay resident.
+  WarmTableStore(const std::string& cache_dir, std::size_t max_tables,
+                 core::CacheRecoveryPolicy policy =
+                     core::CacheRecoveryPolicy::kRecover);
+
+  /// The ProviderSource hook cli::run() calls for extract/delay.  A warm
+  /// hit returns the resident model and writes
+  ///   "table store: warm hit, key <id>"
+  /// to `out`; a miss builds through the on-disk cache (zero field solves
+  /// when the entry exists), inserts the model (evicting the least
+  /// recently used beyond the bound) and writes
+  ///   "table store: warm miss, key <id>, <n> field solves".
+  /// Misses build outside the store lock, so concurrent requests for
+  /// *different* tables characterise in parallel; a lost race to insert
+  /// the same key keeps the first model.
+  std::shared_ptr<const core::InductanceProvider> provider(
+      const cli::ProviderRequest& request, std::ostream& out) override;
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t resident = 0;
+  };
+  Stats stats() const;
+
+  std::size_t max_tables() const noexcept { return max_tables_; }
+
+  /// The underlying on-disk cache (for the daemon's stats report).
+  const core::TableCache& cache() const noexcept { return cache_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const core::TableInductanceModel> model;
+  };
+
+  const std::size_t max_tables_;
+  core::TableCache cache_;
+  mutable std::mutex m_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace rlcx::serve

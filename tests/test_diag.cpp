@@ -20,6 +20,7 @@ TEST(DiagTaxonomy, CategoryNames) {
   EXPECT_STREQ(to_string(Category::kUsage), "usage");
   EXPECT_STREQ(to_string(Category::kCancelled), "cancelled");
   EXPECT_STREQ(to_string(Category::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(Category::kOverloaded), "overloaded");
 }
 
 TEST(DiagTaxonomy, ExitCodeContract) {
@@ -31,6 +32,16 @@ TEST(DiagTaxonomy, ExitCodeContract) {
   EXPECT_EQ(exit_code(Category::kNumeric), 4);
   EXPECT_EQ(exit_code(Category::kCancelled), 5);
   EXPECT_EQ(exit_code(Category::kDeadline), 5);
+  EXPECT_EQ(exit_code(Category::kOverloaded), 6);
+}
+
+TEST(DiagTaxonomy, OverloadedIsTypedAndCatchableAsFault) {
+  try {
+    throw OverloadedError("serve", "admission queue full");
+  } catch (const Fault& f) {
+    EXPECT_EQ(f.category(), Category::kOverloaded);
+  }
+  EXPECT_THROW(throw OverloadedError("serve", "m"), std::runtime_error);
 }
 
 TEST(DiagTaxonomy, CancellationFaultsAreTypedAndCatchableAsFault) {

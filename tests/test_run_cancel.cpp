@@ -140,6 +140,58 @@ TEST(CancelParallelFor, SerialInlinePathAlsoCheckpoints) {
 
 // Satellite: warnings raised from rt worker threads inside one parallel
 // region are deduplicated to a single emission.
+// Two drivers on separate threads install independent controls; each
+// thread's pool-fanned work must observe its *own* driver's control (the
+// submit-time ambient snapshot rt::Pool adopts around task bodies), not
+// whichever scope happens to be innermost process-wide.  This is the
+// property the `rlcx serve` daemon's concurrent per-request deadlines
+// rest on.
+TEST(ScopedControl, ConcurrentScopesIsolatePerSubmitter) {
+  rt::Pool pool(4);
+  RunControl cancelled_rc;
+  cancelled_rc.token.request();
+  RunControl live_rc;
+
+  std::atomic<int> cancelled_seen{0}, live_seen{0};
+  std::thread cancelled_driver([&] {
+    ScopedRunControl control(cancelled_rc);
+    rt::TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i)
+      group.run([&] { cancelled_seen += stop_requested() ? 1 : 0; });
+    group.wait();
+  });
+  std::thread live_driver([&] {
+    ScopedRunControl control(live_rc);
+    rt::TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i)
+      group.run([&] { live_seen += stop_requested() ? 1 : 0; });
+    group.wait();
+  });
+  cancelled_driver.join();
+  live_driver.join();
+
+  EXPECT_EQ(cancelled_seen.load(), 8);
+  EXPECT_EQ(live_seen.load(), 0);
+}
+
+// A nested cli::run-style scope chains by copying the ambient control:
+// current_control() must surface the innermost scope of the calling
+// thread so the copy shares its cancellation flag and deadline.
+TEST(ScopedControl, CurrentControlSnapshotsTheInnermostScope) {
+  RunControl none;
+  EXPECT_FALSE(current_control(&none));
+
+  RunControl outer;
+  outer.deadline = Deadline::after(1000.0);
+  ScopedRunControl scope(outer);
+  RunControl seen;
+  ASSERT_TRUE(current_control(&seen));
+  EXPECT_EQ(seen.deadline.when(), outer.deadline.when());
+  seen.token.request();  // the copy shares the ambient flag...
+  EXPECT_TRUE(outer.token.requested());
+  EXPECT_TRUE(stop_requested());  // ...so the ambient scope observes it
+}
+
 TEST(WarnDedup, IdenticalWarningsInsideOneRegionEmitOnce) {
   rt::Pool pool(4);
   std::vector<diag::Warning> seen;

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans README.md and docs/*.md for markdown links/images whose target is a
+relative path (external URLs and pure in-page anchors are ignored),
+resolves each against the containing file, and exits 1 listing every
+target that does not exist.  Anchored file links (docs/foo.md#section)
+are checked for file existence only.
+
+Run from anywhere:  python3 tools/check_doc_links.py
+CI runs this in the docs job so a moved or renamed page cannot leave a
+dangling reference behind.
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) or ![alt](target); target may carry a "title".  Inline
+# code spans are stripped first so protocol examples such as
+# `[cancelled]` banners never parse as links.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def strip_fenced_code(text: str) -> str:
+    # Drop ``` blocks: ASCII diagrams and shell examples contain bracket/
+    # paren sequences that are not links.
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors = []
+    text = CODE_SPAN.sub("", strip_fenced_code(path.read_text(encoding="utf-8")))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if EXTERNAL.match(target) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(REPO)}: dead link '{target}' "
+                f"(resolved {resolved})"
+            )
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    errors = [e for f in files for e in check_file(f)]
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} files, {len(errors)} dead links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
