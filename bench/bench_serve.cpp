@@ -20,6 +20,15 @@
 //                         documented status, then send shutdown.  Exit
 //                         nonzero on any protocol violation — the CI
 //                         serve job runs this under ASan.
+//   --hostile --socket S  abuse an EXTERNAL daemon with 100 mixed hostile
+//                         clients — mid-frame closes, slow-loris dribbles,
+//                         garbage magic, connection floods — then verify
+//                         it still answers ping and health.  The daemon is
+//                         left running (CI follows with --smoke, which
+//                         shuts it down).  Exit nonzero if the daemon
+//                         stopped answering.
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -300,16 +309,118 @@ int run_smoke(const std::string& socket, std::size_t total_requests) {
   return (failed == 0 && drained) ? 0 : 1;
 }
 
+/// Raw AF_UNIX connect for clients that deliberately violate the
+/// protocol; returns -1 when the daemon (or kernel) refuses.
+int raw_connect(const std::string& socket) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket.c_str(), socket.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// --hostile: every class of client the daemon must shrug off.  None of
+/// these speak the protocol to completion; the only pass criterion is
+/// that a well-behaved client still gets answers afterwards.
+int run_hostile(const std::string& socket, std::size_t total_clients) {
+  for (int i = 0; i < 100 && !std::filesystem::exists(socket); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const std::string ping_frame =
+      serve::encode_frame(serve::FrameKind::kRequest, "ping");
+  constexpr int kThreads = 4;
+  std::atomic<std::size_t> launched{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t share =
+          total_clients / kThreads +
+          (static_cast<std::size_t>(t) < total_clients % kThreads ? 1u
+                                                                  : 0u);
+      for (std::size_t i = 0; i < share; ++i) {
+        switch (i % 4) {
+          case 0: {  // mid-frame close: header promises bytes, then gone
+            const int fd = raw_connect(socket);
+            if (fd < 0) break;
+            (void)!::write(fd, ping_frame.data(), 5);
+            ::close(fd);
+            break;
+          }
+          case 1: {  // slow loris: a dribble, a stall, then vanish
+            const int fd = raw_connect(socket);
+            if (fd < 0) break;
+            (void)!::write(fd, ping_frame.data(), 2);
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            ::close(fd);
+            break;
+          }
+          case 2: {  // garbage magic: the daemon replies error and closes
+            const int fd = raw_connect(socket);
+            if (fd < 0) break;
+            (void)!::write(fd, "XXXXXXXX", 8);
+            char reply[64];
+            (void)!::read(fd, reply, sizeof reply);
+            ::close(fd);
+            break;
+          }
+          default: {  // connect flood: a burst of silent connections,
+                      // enough to brush the process fd ceiling under the
+                      // CI job's lowered ulimit
+            int burst[16];
+            for (int& fd : burst) fd = raw_connect(socket);
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            for (const int fd : burst)
+              if (fd >= 0) ::close(fd);
+            break;
+          }
+        }
+        ++launched;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The daemon must still be standing and answering.
+  bool ping_ok = false;
+  bool health_ok = false;
+  try {
+    serve::Client client(socket);
+    ping_ok = client.request({"ping"}).out == "pong\n";
+    const serve::Response health = client.request({"health"});
+    health_ok = health.status == 0 &&
+                health.out.substr(0, 8) == "healthy\n";
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hostile verify: %s\n", e.what());
+  }
+  std::printf("{\"experiment\": \"serve\", \"hostile\": true, "
+              "\"clients\": %zu, \"ping_ok\": %s, \"health_ok\": %s}\n",
+              launched.load(), ping_ok ? "true" : "false",
+              health_ok ? "true" : "false");
+  return (ping_ok && health_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool hostile = false;
   std::string socket;
   std::size_t requests = 100;
   std::string rlcx_bin = "build/src/cli/rlcx";
   if (const char* env = std::getenv("RLCX_BIN")) rlcx_bin = env;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--hostile") == 0) hostile = true;
     else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
       socket = argv[++i];
     else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
@@ -318,17 +429,18 @@ int main(int argc, char** argv) {
       rlcx_bin = argv[++i];
     else {
       std::fprintf(stderr,
-                   "usage: bench_serve [--rlcx PATH] | --smoke --socket "
-                   "PATH [--requests N]\n");
+                   "usage: bench_serve [--rlcx PATH] | (--smoke | "
+                   "--hostile) --socket PATH [--requests N]\n");
       return 2;
     }
   }
-  if (smoke) {
+  if (smoke || hostile) {
     if (socket.empty()) {
-      std::fprintf(stderr, "--smoke requires --socket PATH\n");
+      std::fprintf(stderr, "--smoke/--hostile require --socket PATH\n");
       return 2;
     }
-    return run_smoke(socket, requests);
+    return hostile ? run_hostile(socket, requests)
+                   : run_smoke(socket, requests);
   }
   return run_bench(rlcx_bin);
 }

@@ -180,6 +180,11 @@ void print_cache_stats(const core::TableCache& cache, std::size_t solves,
                                 << " write retries";
   if (cs.stores_dropped > 0) out << ", " << cs.stores_dropped
                                  << " stores dropped";
+  if (cs.quarantined_at_startup > 0)
+    out << ", " << cs.quarantined_at_startup << " quarantined at startup";
+  if (cs.tmp_swept > 0)
+    out << ", " << cs.tmp_swept << " staging files swept";
+  if (cs.fsyncs > 0) out << ", " << cs.fsyncs << " fsyncs";
   out << "\n";
   if (build != nullptr && build->pair_lookups > 0)
     out << "kernel memo: " << build->memo_hits << "/"
@@ -263,15 +268,18 @@ int cmd_help(std::ostream& out) {
          "batch:   --table-cache DIR [--layers 5,6] [--planes-list\n"
          "         none,below,...] [--points N] [--journal FILE]\n"
          "         [--resume [FILE]] (continue an interrupted campaign;\n"
-         "         journaled jobs re-solve nothing)\n"
+         "         journaled jobs re-solve nothing) [--fsync] (fsync the\n"
+         "         journal per job: resume survives power loss)\n"
          "delay:   [--rs OHM] [--sink-ff N] [--vdd V] [--sections N]\n"
          "         [--no-inductance] [--csv FILE] [--table-cache DIR]\n"
          "cache:   --dir DIR [--stat] [--list] [--purge]  (default: stat)\n"
          "serve:   --table-cache DIR (--socket PATH | --stdio)\n"
          "         [--max-tables N] [--max-active N] [--queue-depth N]\n"
-         "         [--request-deadline-s S] [--log FILE]\n"
-         "query:   --socket PATH CMD [flags...]  (e.g. query --socket S\n"
-         "         extract --structure cpw --length-um 6000)\n\n"
+         "         [--request-deadline-s S] [--idle-timeout-s S] (drop\n"
+         "         connections silent this long) [--log FILE]\n"
+         "query:   [--retries N] [--backoff-ms MS] [--connect-timeout-s S]\n"
+         "         [--timeout-s S] --socket PATH CMD [flags...]  (retries\n"
+         "         only idempotent commands, with jittered backoff)\n\n"
          "run control: --deadline-s N bounds any command's wall clock;\n"
          "  Ctrl-C on `batch` cancels cooperatively — completed jobs stay\n"
          "  cached + journaled, relaunch with --resume to continue\n\n"
@@ -417,9 +425,15 @@ int cmd_cache(const Args& args, std::ostream& out) {
         (de.path().extension() == ".quarantine" &&
          de.path().stem().extension() == ".tbl"))
       ++quarantined;
+  const core::CacheStats cs = cache.stats();
   out << "cache " << cache.directory() << ": " << entries.size()
       << " entries, " << bytes << " bytes";
   if (quarantined > 0) out << ", " << quarantined << " quarantined";
+  if (cs.quarantined_at_startup > 0)
+    out << ", " << cs.quarantined_at_startup
+        << " torn entries quarantined at open";
+  if (cs.tmp_swept > 0)
+    out << ", " << cs.tmp_swept << " orphaned staging files swept";
   out << "\n";
   if (args.has("list"))
     for (const core::TableCache::Entry& e : entries)
@@ -472,7 +486,11 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
                    " already records completed jobs; relaunch with --resume "
                    "to continue the campaign, or delete the journal to "
                    "start over");
-  run::BatchJournal journal(journal_path);
+  // --fsync: pay one disk flush per completed job so the journal (and
+  // therefore --resume) survives a power cut, not just a process kill.
+  run::BatchJournal journal(journal_path, args.has("fsync")
+                                              ? run::Durability::kFsync
+                                              : run::Durability::kFlush);
   const std::size_t journaled_before = journal.size();
 
   core::BatchOptions bopt;
@@ -502,6 +520,11 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
                                 << " write retries";
   if (cs.stores_dropped > 0) out << ", " << cs.stores_dropped
                                  << " stores dropped";
+  if (cs.quarantined_at_startup > 0)
+    out << ", " << cs.quarantined_at_startup << " quarantined at startup";
+  if (cs.tmp_swept > 0)
+    out << ", " << cs.tmp_swept << " staging files swept";
+  if (cs.fsyncs > 0) out << ", " << cs.fsyncs << " fsyncs";
   out << "\n";
   // The fan-out phase is shared across jobs, so report the campaign-wide
   // memo rate from the process aggregate delta.
@@ -516,7 +539,10 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
         << "% hit rate, " << fills_delta.kernel_evals << " evaluations)\n";
   out << "journal " << journal.path() << ": " << journal.size()
       << " completed ids (" << journal.size() - journaled_before
-      << " new)\n";
+      << " new";
+  if (journal.durability() == run::Durability::kFsync)
+    out << ", " << journal.fsyncs() << " fsyncs";
+  out << ")\n";
   return 0;
 }
 

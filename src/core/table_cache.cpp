@@ -1,9 +1,12 @@
 #include "core/table_cache.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -46,37 +49,18 @@ void append_axis(std::string& out, const char* name,
   out += "\n";
 }
 
-/// Writes `content` to `path` via a temp file in the same directory plus
-/// rename, so readers never observe a partial file and a killed writer
-/// leaves at most a .tmp to be overwritten later.  The temp name carries
-/// the pid (cross-process uniqueness) plus a process-wide counter, so
-/// concurrent same-key writers within one process never share a staging
-/// file and cannot publish each other's half-written bytes.
-void atomic_write(const std::string& path, const std::string& content) {
-  // Injection site `cache_write`: a scheduled transient I/O failure, the
-  // deterministic stand-in for EINTR/ENOSPC-class flakes the retry loop in
-  // store() is built for.
-  if (rlcx::run::fault_injection_enabled() &&
-      rlcx::run::fault_point("cache_write"))
-    throw rlcx::diag::CacheError(
-        "cache", "injected transient write failure for " + path);
-  static std::atomic<std::uint64_t> seq{0};
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
-      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw rlcx::diag::CacheError("cache", "cannot write " + tmp);
-    os.write(content.data(), static_cast<std::streamsize>(content.size()));
-    if (!os) throw rlcx::diag::CacheError("cache", "short write to " + tmp);
+/// RAII fd so every throw path below closes (and for staging files,
+/// unlinks) what it opened.
+struct ScopedFd {
+  int fd = -1;
+  ~ScopedFd() {
+    if (fd >= 0) ::close(fd);
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw rlcx::diag::CacheError("cache", "cannot rename into " + path);
+  void close_now() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
   }
-}
+};
 
 bool is_hex16(const std::string& s) {
   if (s.size() != 16) return false;
@@ -95,6 +79,152 @@ TableCache::TableCache(std::string directory, CacheRecoveryPolicy policy)
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_))
     throw diag::CacheError("cache", "cannot create directory " + dir_);
+  startup_sweep();
+}
+
+void TableCache::startup_sweep() {
+  std::error_code ec;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
+    const fs::path& p = de.path();
+    const std::string name = p.filename().string();
+    // Orphaned staging file from a writer killed mid-store.  Removing a
+    // *live* staging file of a concurrent writer is also safe: its rename
+    // then fails and store()'s retry loop re-stages from scratch.
+    if (name.find(".tmp.") != std::string::npos) {
+      std::error_code rec;
+      if (fs::remove(p, rec) && !rec) {
+        tmp_swept_.fetch_add(1, std::memory_order_relaxed);
+        diag::emit_warning(diag::Category::kIo, "cache",
+                           "removed orphaned staging file " + p.string() +
+                               " (writer crashed mid-store)");
+      }
+      continue;
+    }
+    if (p.extension() != ".tbl" || !is_hex16(p.stem().string())) continue;
+    // Cheap torn-entry check: a power cut can publish a rename whose data
+    // blocks never reached the disk, leaving a short or zeroed file.  The
+    // full parse still guards load(); this catches the obvious wrecks
+    // before anything can try to serve them.
+    std::string reason;
+    std::error_code sec;
+    const std::uintmax_t size = fs::file_size(p, sec);
+    if (sec || size < 12) {
+      reason = "entry shorter than any valid bundle header";
+    } else {
+      char magic[4] = {};
+      std::ifstream is(p.string(), std::ios::binary);
+      if (!is.read(magic, 4) || std::memcmp(magic, "RLXB", 4) != 0)
+        reason = "bad magic bytes (torn or foreign entry)";
+    }
+    if (reason.empty()) continue;
+    // kStrict keeps its contract — bad bytes fail loudly — whether load()
+    // or this sweep finds them first.
+    if (policy_ == CacheRecoveryPolicy::kStrict)
+      throw diag::CacheError("cache", "corrupt entry " + p.string() + ": " +
+                                          reason + ", found at startup");
+    const std::uint64_t hash =
+        std::strtoull(p.stem().string().c_str(), nullptr, 16);
+    quarantine(hash, reason + ", found at startup");
+    quarantined_at_startup_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Writes `content` to `path` via a temp file in the same directory that
+/// is fully written and fsynced *before* the rename publishes it, followed
+/// by an fsync of the containing directory — the classic crash-consistent
+/// publish: after a power cut the entry is either absent or complete,
+/// never torn.  Readers and killed writers see at most an orphan .tmp (the
+/// startup sweep removes those).  The temp name carries the pid
+/// (cross-process uniqueness) plus a process-wide counter, so concurrent
+/// same-key writers within one process never share a staging file and
+/// cannot publish each other's half-written bytes.
+void TableCache::atomic_write(const std::string& path,
+                              const std::string& content) {
+  const bool inject = run::fault_injection_enabled();
+  // Injection site `cache_write`: a scheduled transient I/O failure, the
+  // deterministic stand-in for EINTR/ENOSPC-class flakes the retry loop in
+  // store() is built for.
+  if (inject && run::fault_point("cache_write"))
+    throw diag::CacheError("cache",
+                           "injected transient write failure for " + path);
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  ScopedFd f;
+  f.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (f.fd < 0)
+    throw diag::CacheError(
+        "cache", "cannot write " + tmp + ": " + std::strerror(errno));
+  // Injection site `io_enospc`: the staging write fails outright (disk
+  // full) — nothing was published, the retry loop owns what happens next.
+  if (inject && run::fault_point("io_enospc")) {
+    f.close_now();
+    throw diag::CacheError("cache", "cannot write " + tmp +
+                                        ": No space left on device "
+                                        "(injected)");
+  }
+  const auto write_span = [&](const char* data, std::size_t n) {
+    while (n > 0) {
+      const ssize_t w = ::write(f.fd, data, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        f.close_now();
+        throw diag::CacheError(
+            "cache", "short write to " + tmp + ": " + std::strerror(err));
+      }
+      data += w;
+      n -= static_cast<std::size_t>(w);
+    }
+  };
+  // Injection site `io_short_write` sits between two halves of the staging
+  // write: when it fires the write stops partway, leaving torn bytes in
+  // the staging file (as a crash action `io_short_write:N!` the process
+  // dies with them on disk — exactly what the rename discipline must
+  // survive).
+  const std::size_t half = inject ? content.size() / 2 : content.size();
+  write_span(content.data(), half);
+  if (inject && run::fault_point("io_short_write")) {
+    f.close_now();
+    throw diag::CacheError(
+        "cache", "short write to " + tmp + " (injected, " +
+                     std::to_string(half) + " of " +
+                     std::to_string(content.size()) + " bytes)");
+  }
+  write_span(content.data() + half, content.size() - half);
+  // fsync the staged bytes *before* the rename: once the entry name is
+  // visible its content must already be on the platter, or a power cut
+  // could publish a torn entry through a clean-looking rename.
+  if (::fsync(f.fd) != 0) {
+    const int err = errno;
+    f.close_now();
+    throw diag::CacheError("cache",
+                           "fsync " + tmp + ": " + std::strerror(err));
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  f.close_now();
+  // Injection site `cache_staged`: the exact crash boundary between a
+  // fully-fsynced staging file and its publishing rename.  A crash here
+  // must leave only an orphan .tmp for the startup sweep — never an entry.
+  if (inject && run::fault_point("cache_staged")) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw diag::CacheError(
+        "cache", "injected failure between staging and publish of " + path);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw diag::CacheError("cache", "cannot rename into " + path);
+  }
+  // fsync the containing directory so the rename itself (the entry's
+  // directory record) survives a power cut.
+  ScopedFd d;
+  d.fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (d.fd >= 0 && ::fsync(d.fd) == 0)
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::string TableCache::key_text(const geom::Technology& tech, int layer,

@@ -9,8 +9,12 @@
 // grid and the solver options including frequency — so a changed input can
 // never serve a stale table.  Entries are the versioned binary bundle of
 // InductanceTables (docs/table-format.md); writes go through a temp file
-// plus atomic rename, so concurrent builders and killed runs never leave a
-// torn entry behind.
+// that is fully written and fsynced before an atomic rename (followed by a
+// directory fsync), so concurrent builders, killed runs and power cuts
+// never leave a torn entry behind.  Opening a cache sweeps the directory:
+// orphaned staging files from crashed writers are removed and entries that
+// fail a cheap integrity check (magic bytes, minimum size) are quarantined
+// before anything can be served from them.
 #pragma once
 
 #include <atomic>
@@ -33,6 +37,10 @@ struct CacheStats {
   std::size_t stores_dropped = 0;  ///< stores abandoned after the retry
                                    ///< budget (kRecover: warn and rebuild
                                    ///< next run instead of failing the job)
+  std::size_t quarantined_at_startup = 0;  ///< torn entries set aside by the
+                                           ///< open-time integrity sweep
+  std::size_t tmp_swept = 0;  ///< orphaned staging files removed at open
+  std::uint64_t fsyncs = 0;   ///< fsync(2) calls (staged files + directory)
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
 };
@@ -47,7 +55,13 @@ enum class CacheRecoveryPolicy {
 
 class TableCache {
  public:
-  /// Opens (creating if needed) the cache rooted at `directory`.
+  /// Opens (creating if needed) the cache rooted at `directory`, then runs
+  /// the crash-recovery sweep: orphaned `*.tmp.*` staging files left by a
+  /// killed writer are removed (stats().tmp_swept) and entries failing a
+  /// cheap integrity check — wrong magic bytes or an impossible size, the
+  /// signature of a torn rename after power loss — are quarantined with an
+  /// `io` warning (stats().quarantined_at_startup) so they can never be
+  /// served.
   explicit TableCache(std::string directory,
                       CacheRecoveryPolicy policy = CacheRecoveryPolicy::kRecover);
 
@@ -121,6 +135,10 @@ class TableCache {
     s.quarantined = quarantined_.load(std::memory_order_relaxed);
     s.write_retries = write_retries_.load(std::memory_order_relaxed);
     s.stores_dropped = stores_dropped_.load(std::memory_order_relaxed);
+    s.quarantined_at_startup =
+        quarantined_at_startup_.load(std::memory_order_relaxed);
+    s.tmp_swept = tmp_swept_.load(std::memory_order_relaxed);
+    s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
     s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
     s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
     return s;
@@ -130,6 +148,8 @@ class TableCache {
   std::string entry_path(std::uint64_t hash) const;
   std::string sidecar_path(std::uint64_t hash) const;
   void quarantine(std::uint64_t hash, const std::string& reason);
+  void atomic_write(const std::string& path, const std::string& content);
+  void startup_sweep();
 
   std::string dir_;
   CacheRecoveryPolicy policy_;
@@ -138,6 +158,9 @@ class TableCache {
   std::atomic<std::size_t> quarantined_{0};
   std::atomic<std::size_t> write_retries_{0};
   std::atomic<std::size_t> stores_dropped_{0};
+  std::atomic<std::size_t> quarantined_at_startup_{0};
+  std::atomic<std::size_t> tmp_swept_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
   std::atomic<std::uint64_t> bytes_read_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
 };

@@ -1,5 +1,7 @@
 #include "run/fault_injection.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <map>
@@ -17,17 +19,23 @@ namespace {
 struct SiteSchedule {
   std::set<std::uint64_t> exact;  ///< fire exactly at these call numbers
   std::uint64_t from = 0;         ///< fire at every call >= from (0 = off)
+  std::set<std::uint64_t> crash_exact;  ///< _exit(137) at these calls
+  std::uint64_t crash_from = 0;         ///< _exit(137) at every call >= this
   std::uint64_t calls = 0;
   std::uint64_t triggered = 0;
 
-  bool armed() const { return !exact.empty() || from != 0; }
+  bool armed() const {
+    return !exact.empty() || from != 0 || !crash_exact.empty() ||
+           crash_from != 0;
+  }
 };
 
-/// One parsed `site:N` / `site:N+` entry.
+/// One parsed `site:N` / `site:N+` / `site:N!` / `site:N+!` entry.
 struct Entry {
   std::string site;
   std::uint64_t count = 0;
   bool persistent = false;
+  bool crash = false;
 };
 
 Entry parse_entry(const std::string& token) {
@@ -35,10 +43,15 @@ Entry parse_entry(const std::string& token) {
   if (colon == std::string::npos || colon == 0 || colon + 1 == token.size())
     throw diag::UsageError("fault-injection",
                            "bad schedule entry '" + token +
-                               "' (expected site:N or site:N+)");
+                               "' (expected site:N, site:N+, site:N! or "
+                               "site:N+!)");
   Entry e;
   e.site = token.substr(0, colon);
   std::string num = token.substr(colon + 1);
+  if (!num.empty() && num.back() == '!') {
+    e.crash = true;
+    num.pop_back();
+  }
   if (!num.empty() && num.back() == '+') {
     e.persistent = true;
     num.pop_back();
@@ -105,10 +118,17 @@ void FaultInjector::set_schedule(const std::string& schedule) {
   impl_->sites.clear();
   for (const Entry& e : entries) {
     SiteSchedule& s = impl_->sites[e.site];
-    if (e.persistent)
+    if (e.crash) {
+      if (e.persistent)
+        s.crash_from =
+            s.crash_from == 0 ? e.count : std::min(s.crash_from, e.count);
+      else
+        s.crash_exact.insert(e.count);
+    } else if (e.persistent) {
       s.from = s.from == 0 ? e.count : std::min(s.from, e.count);
-    else
+    } else {
       s.exact.insert(e.count);
+    }
   }
   g_enabled.store(!impl_->sites.empty(), std::memory_order_release);
 }
@@ -137,6 +157,14 @@ bool FaultInjector::hit(const char* site) noexcept {
   if (it == impl_->sites.end() || !it->second.armed()) return false;
   SiteSchedule& s = it->second;
   const std::uint64_t call = ++s.calls;
+  // Crash action: die where the armed syscall would have run.  _exit (not
+  // exit) so no atexit/static destructors fire — a kill -9 does not flush
+  // buffers either, and the crash-recovery harness depends on the torn
+  // state being exactly what the interrupted write left behind.  137 is
+  // the 128+SIGKILL convention a supervisor would report.
+  if (s.crash_exact.count(call) != 0 ||
+      (s.crash_from != 0 && call >= s.crash_from))
+    ::_exit(137);
   const bool fire =
       s.exact.count(call) != 0 || (s.from != 0 && call >= s.from);
   if (fire) ++s.triggered;

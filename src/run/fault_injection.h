@@ -10,17 +10,38 @@
 // arms the 3rd call to fault_point("cache_write") and the 1st call to
 // fault_point("sor_diverge").  Each entry is `site:N` (fire exactly at the
 // Nth call, 1-based) or `site:N+` (fire at the Nth and every later call —
-// how a *persistent* failure is modelled, e.g. a full disk).  Entries for
-// the same site accumulate.  Call counts are process-wide and advance on
-// every fault_point() call for an armed site, from any thread, so a given
-// schedule triggers at the same call regardless of pool width.
+// how a *persistent* failure is modelled, e.g. a full disk).  A trailing
+// `!` (`site:N!`, `site:N+!`) upgrades the entry to a *crash* action: the
+// armed call does not return — the process dies on the spot via
+// `_exit(137)` (the wait-status of a kill -9), simulating a power cut or
+// OOM kill at an exact syscall boundary.  The crash-recovery harness arms
+// these inside forked children and asserts the parent-side recovery
+// invariants.  Entries for the same site accumulate.  Call counts are
+// process-wide and advance on every fault_point() call for an armed site,
+// from any thread, so a given schedule triggers at the same call
+// regardless of pool width.
 //
 // In-tree sites:
-//   cache_write  TableCache::store staging write (transient I/O failure)
-//   cache_read   TableCache::load entry parse (corruption -> quarantine)
-//   sor_diverge  cap::fd2d first SOR attempt (forces the escalation ladder)
-//   cancel       run::checkpoint (requests cancellation at the Nth
-//                checkpoint — a reproducible SIGINT)
+//   cache_write    TableCache::store staging write (transient I/O failure)
+//   cache_read     TableCache::load entry parse (corruption -> quarantine)
+//   cache_staged   TableCache::store after the tmp file is written and
+//                  fsynced, before the rename publishes it (a crash here
+//                  must leave only an orphan tmp file, never a torn entry)
+//   sor_diverge    cap::fd2d first SOR attempt (forces the escalation
+//                  ladder)
+//   cancel         run::checkpoint (requests cancellation at the Nth
+//                  checkpoint — a reproducible SIGINT)
+//   io_short_write TableCache staging / protocol write loops: the write
+//                  stops partway (torn bytes on disk / on the wire)
+//   io_enospc      TableCache staging + BatchJournal append: ENOSPC-style
+//                  hard write failure
+//   journal_tear   BatchJournal::record between the two halves of a record
+//                  write (crash here = torn journal tail at an exact byte
+//                  offset)
+//   journal_fsync  BatchJournal fsync (Durability::kFsync) failure
+//   accept_emfile  serve accept() loop: simulated EMFILE from accept
+//   sock_reset_midframe  serve/protocol write_all between header and
+//                  payload (peer reset mid-frame)
 //
 // With no schedule the injector is disabled and fault_point() is a single
 // relaxed atomic load returning false.
@@ -47,7 +68,8 @@ class FaultInjector {
   static FaultInjector& global();
 
   /// Replaces the schedule.  Throws diag::UsageError on bad grammar
-  /// (entries must be `site:N` or `site:N+`, N >= 1).  Resets call counts.
+  /// (entries must be `site:N` or `site:N+`, optionally `!`-suffixed for
+  /// the crash action, N >= 1).  Resets call counts.
   void set_schedule(const std::string& schedule);
 
   /// Disarms everything and resets all counters.

@@ -1,10 +1,17 @@
 #include "run/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "diag/error.h"
+#include "diag/warnings.h"
+#include "run/fault_injection.h"
 
 namespace fs = std::filesystem;
 
@@ -24,13 +31,23 @@ bool slurp(const std::string& path, std::string& out) {
   return true;
 }
 
+struct Parsed {
+  std::set<std::string> done;
+  /// Byte offset just past the last whole ('\n'-terminated) line: the
+  /// clean prefix a repair truncates back to.
+  std::size_t clean_bytes = 0;
+  /// True when the file ends mid-header: a crash during creation.  The
+  /// content is a strict prefix of the header line, so nothing was ever
+  /// recorded — the journal recovers as empty.
+  bool torn_header = false;
+};
+
 /// Parses journal text into completed ids.  Only lines terminated by '\n'
 /// count: a torn trailing append (killed writer) is dropped, so the id it
 /// was recording is simply re-done.  Unknown line types are skipped for
 /// forward compatibility.
-std::set<std::string> parse(const std::string& path,
-                            const std::string& content) {
-  std::set<std::string> done;
+Parsed parse(const std::string& path, const std::string& content) {
+  Parsed out;
   std::size_t pos = 0;
   bool first = true;
   while (pos < content.size()) {
@@ -38,6 +55,7 @@ std::set<std::string> parse(const std::string& path,
     if (nl == std::string::npos) break;  // torn tail: ignore
     const std::string line = content.substr(pos, nl - pos);
     pos = nl + 1;
+    out.clean_bytes = pos;
     if (first) {
       if (line != kHeader)
         throw diag::IoError("journal",
@@ -47,34 +65,105 @@ std::set<std::string> parse(const std::string& path,
       continue;
     }
     if (line.rfind("done ", 0) == 0 && line.size() > 5)
-      done.insert(line.substr(5));
+      out.done.insert(line.substr(5));
   }
-  if (first && !content.empty())
+  if (first && !content.empty()) {
+    // No complete header line.  A strict prefix of the header is what a
+    // crash during journal creation leaves behind — recoverable (empty).
+    // Anything else is a foreign file we must not clobber.
+    const std::string header = kHeader;
+    if (content.size() <= header.size() &&
+        header.compare(0, content.size(), content) == 0) {
+      out.torn_header = true;
+      out.clean_bytes = 0;
+      return out;
+    }
     throw diag::IoError("journal",
                         path + " is not a batch journal (no header line)");
-  return done;
+  }
+  return out;
+}
+
+void write_fully(int fd, const char* data, std::size_t n,
+                 const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw diag::IoError("journal", "append to " + path + " failed: " +
+                                         std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
 }
 
 }  // namespace
 
-BatchJournal::BatchJournal(std::string path) : path_(std::move(path)) {
+BatchJournal::BatchJournal(std::string path, Durability durability)
+    : path_(std::move(path)), durability_(durability) {
   if (path_.empty())
     throw diag::UsageError("journal", "empty journal path");
   std::string content;
+  bool fresh = true;
   if (slurp(path_, content) && !content.empty()) {
-    done_ = parse(path_, content);
-    return;
+    const Parsed parsed = parse(path_, content);  // may throw (foreign file)
+    if (parsed.torn_header) {
+      diag::emit_warning(
+          diag::Category::kIo, "journal",
+          path_ + ": header torn at byte " + std::to_string(content.size()) +
+              " (crash during creation); recovering as empty journal");
+      tail_dropped_bytes_ = content.size();
+      // fall through to the fresh-journal path, which rewrites the header
+    } else {
+      fresh = false;
+      done_ = parsed.done;
+      if (parsed.clean_bytes < content.size()) {
+        // Torn tail: truncate the file back to the last whole line so the
+        // damage cannot compound across restarts.  Byte-exact — the clean
+        // prefix is preserved verbatim.
+        tail_dropped_bytes_ = content.size() - parsed.clean_bytes;
+        diag::emit_warning(
+            diag::Category::kIo, "journal",
+            path_ + ": dropping " + std::to_string(tail_dropped_bytes_) +
+                " torn trailing bytes (record interrupted mid-append)");
+        if (::truncate(path_.c_str(),
+                       static_cast<off_t>(parsed.clean_bytes)) != 0)
+          throw diag::IoError("journal", "cannot repair torn tail of " +
+                                             path_ + ": " +
+                                             std::strerror(errno));
+      }
+    }
   }
-  // Fresh journal: create parent directory and write the header now, so a
-  // campaign that is killed before its first completion still leaves a
-  // well-formed (empty) manifest behind.
-  const fs::path parent = fs::path(path_).parent_path();
-  std::error_code ec;
-  if (!parent.empty()) fs::create_directories(parent, ec);
-  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
-  if (!os) throw diag::IoError("journal", "cannot create " + path_);
-  os << kHeader << "\n" << std::flush;
-  if (!os) throw diag::IoError("journal", "cannot write header to " + path_);
+  if (fresh) {
+    // Fresh journal: create parent directory and write the header now, so
+    // a campaign that is killed before its first completion still leaves a
+    // well-formed (empty) manifest behind.
+    const fs::path parent = fs::path(path_).parent_path();
+    std::error_code ec;
+    if (!parent.empty()) fs::create_directories(parent, ec);
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    if (!os) throw diag::IoError("journal", "cannot create " + path_);
+    os << kHeader << "\n" << std::flush;
+    if (!os)
+      throw diag::IoError("journal", "cannot write header to " + path_);
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0)
+    throw diag::IoError("journal", "cannot open " + path_ +
+                                       " for append: " + std::strerror(errno));
+  if (durability_ == Durability::kFsync) {
+    // Make the header (or the truncate repair) itself power-safe before
+    // the first record lands on top of it.
+    if (::fsync(fd_) != 0)
+      throw diag::IoError("journal",
+                          "fsync " + path_ + ": " + std::strerror(errno));
+    ++fsyncs_;
+  }
+}
+
+BatchJournal::~BatchJournal() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 std::set<std::string> BatchJournal::completed() const {
@@ -92,6 +181,11 @@ std::size_t BatchJournal::size() const {
   return done_.size();
 }
 
+std::uint64_t BatchJournal::fsyncs() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return fsyncs_;
+}
+
 void BatchJournal::record(const std::string& id) {
   if (id.empty())
     throw diag::UsageError("journal", "cannot record an empty id");
@@ -101,20 +195,46 @@ void BatchJournal::record(const std::string& id) {
                              "journal ids must not contain whitespace: '" +
                                  id + "'");
   std::lock_guard<std::mutex> lock(m_);
-  if (!done_.insert(id).second) return;  // idempotent
-  // One whole line per append, flushed before returning: the record is
-  // durable once record() returns, and a kill mid-write tears at most this
-  // line (which the loader then drops).
-  std::ofstream os(path_, std::ios::binary | std::ios::app);
-  if (!os) throw diag::IoError("journal", "cannot append to " + path_);
-  os << "done " << id << "\n" << std::flush;
-  if (!os) throw diag::IoError("journal", "short append to " + path_);
+  if (done_.count(id) != 0) return;  // idempotent
+  // One whole line per append: the record is durable (to the kernel, or to
+  // the platter under kFsync) once record() returns, and a kill mid-write
+  // tears at most this line (which open() then truncates away).
+  const std::string line = "done " + id + "\n";
+  if (fault_injection_enabled()) {
+    if (fault_point("io_enospc"))
+      throw diag::IoError("journal", "append to " + path_ +
+                                         " failed: No space left on device "
+                                         "(injected)");
+    // journal_tear splits the append at an exact byte boundary: as a crash
+    // site (`journal_tear:N!`) the process dies with half a record on
+    // disk; as a plain fault it leaves the same torn tail behind and
+    // throws, so the repair path is testable without forking.
+    const std::size_t half = line.size() / 2;
+    write_fully(fd_, line.data(), half, path_);
+    if (fault_point("journal_tear"))
+      throw diag::IoError("journal", "append to " + path_ +
+                                         " torn mid-record (injected)");
+    write_fully(fd_, line.data() + half, line.size() - half, path_);
+  } else {
+    write_fully(fd_, line.data(), line.size(), path_);
+  }
+  if (durability_ == Durability::kFsync) {
+    if (fault_injection_enabled() && fault_point("journal_fsync"))
+      throw diag::IoError("journal",
+                          "fsync " + path_ + " failed (injected)");
+    if (::fsync(fd_) != 0)
+      throw diag::IoError("journal",
+                          "fsync " + path_ + ": " + std::strerror(errno));
+    ++fsyncs_;
+  }
+  done_.insert(id);
 }
 
 std::set<std::string> BatchJournal::load(const std::string& path) {
   std::string content;
   if (!slurp(path, content) || content.empty()) return {};
-  return parse(path, content);
+  const Parsed parsed = parse(path, content);
+  return parsed.done;
 }
 
 }  // namespace rlcx::run

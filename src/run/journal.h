@@ -9,49 +9,87 @@
 //
 // Format (docs/robustness.md): a text file, first line `rlcx-journal 1`,
 // then one `done <id>` line per completed id.  Appends are a single
-// write+flush of one full line, and the loader ignores a trailing line
-// without its newline, so a run killed mid-append (SIGKILL, power loss)
-// loses at most the record being written — never the records before it,
-// and a torn record is re-done rather than trusted.
+// write of one full line, and the loader ignores a trailing line without
+// its newline, so a run killed mid-append (SIGKILL, power loss) loses at
+// most the record being written — never the records before it, and a torn
+// record is re-done rather than trusted.  Opening a journal with a torn
+// tail *repairs* it: the file is truncated back to the last whole line
+// (byte-exact) with a typed `io` warning, so the damage cannot compound.
+//
+// Durability: kFlush (default) hands each line to the kernel before
+// record() returns — safe against process death, not against power loss.
+// kFsync additionally fsyncs the journal fd per append (`batch --fsync`),
+// making each record durable against a power cut at ~one disk flush per
+// completed job.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <set>
 #include <string>
 
 namespace rlcx::run {
 
+/// How hard BatchJournal pushes each record toward the platter.
+enum class Durability {
+  kFlush,  ///< write() per record: survives process kill, not power loss
+  kFsync,  ///< write()+fsync() per record: survives power loss
+};
+
 class BatchJournal {
  public:
   /// Opens `path` for appending, creating it (with its header) when
   /// absent.  An existing file is validated (header line) and its
-  /// completed ids loaded; a file that is not a journal throws an `io`
-  /// fault rather than being clobbered.
-  explicit BatchJournal(std::string path);
+  /// completed ids loaded; a torn trailing record — or a header torn by a
+  /// crash during creation — is truncated away with an `io` warning; a
+  /// file that is not a journal throws an `io` fault rather than being
+  /// clobbered.
+  explicit BatchJournal(std::string path,
+                        Durability durability = Durability::kFlush);
+  ~BatchJournal();
+
+  BatchJournal(const BatchJournal&) = delete;
+  BatchJournal& operator=(const BatchJournal&) = delete;
 
   const std::string& path() const noexcept { return path_; }
+  Durability durability() const noexcept { return durability_; }
 
   /// Ids already recorded (including those recorded by this process).
   std::set<std::string> completed() const;
   bool contains(const std::string& id) const;
   std::size_t size() const;
 
-  /// Records `id` as complete: appends one `done <id>` line and flushes
-  /// before returning, so a record observed by record() is durable against
-  /// any later kill.  Idempotent and thread-safe (concurrent jobs finish
-  /// on pool threads).  Ids must be non-empty and free of whitespace.
+  /// Records `id` as complete: appends one `done <id>` line (write(2),
+  /// plus fsync(2) under Durability::kFsync) before returning, so a
+  /// record observed by record() is durable against any later kill.
+  /// Idempotent and thread-safe (concurrent jobs finish on pool threads).
+  /// Ids must be non-empty and free of whitespace.
   void record(const std::string& id);
+
+  /// fsync(2) calls issued so far (0 under Durability::kFlush).
+  std::uint64_t fsyncs() const;
+
+  /// Torn trailing bytes truncated away when this journal was opened
+  /// (0 for a clean file).
+  std::size_t tail_dropped_bytes() const noexcept {
+    return tail_dropped_bytes_;
+  }
 
   /// Parses a journal without opening it for append (the --resume path
   /// when the manifest is read-only or belongs to another run).  A missing
-  /// file yields an empty set.
+  /// file yields an empty set; a torn tail is dropped (but the file is not
+  /// repaired).
   static std::set<std::string> load(const std::string& path);
 
  private:
   std::string path_;
+  Durability durability_;
+  int fd_ = -1;
+  std::size_t tail_dropped_bytes_ = 0;
   mutable std::mutex m_;
   std::set<std::string> done_;
+  std::uint64_t fsyncs_ = 0;
 };
 
 }  // namespace rlcx::run

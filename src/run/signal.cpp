@@ -53,4 +53,12 @@ ScopedSigtermCancel::~ScopedSigtermCancel() {
   g_target.store(previous_target_, std::memory_order_release);
 }
 
+ScopedSigpipeIgnore::ScopedSigpipeIgnore() {
+  previous_handler_ = std::signal(SIGPIPE, SIG_IGN);
+}
+
+ScopedSigpipeIgnore::~ScopedSigpipeIgnore() {
+  std::signal(SIGPIPE, previous_handler_);
+}
+
 }  // namespace rlcx::run

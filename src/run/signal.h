@@ -52,4 +52,22 @@ class ScopedSigtermCancel {
   detail::CancelState* previous_target_ = nullptr;
 };
 
+/// RAII: ignores SIGPIPE for this object's lifetime, restoring the prior
+/// disposition on destruction.  A daemon writing to a peer that closed
+/// mid-reply must see EPIPE (a typed, per-connection `io` fault), never
+/// the process-killing default.  Belt and braces with FdStream's
+/// MSG_NOSIGNAL: this also covers non-socket fds and any third-party
+/// writes on daemon threads.
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore();
+  ~ScopedSigpipeIgnore();
+
+  ScopedSigpipeIgnore(const ScopedSigpipeIgnore&) = delete;
+  ScopedSigpipeIgnore& operator=(const ScopedSigpipeIgnore&) = delete;
+
+ private:
+  void (*previous_handler_)(int) = nullptr;
+};
+
 }  // namespace rlcx::run

@@ -11,14 +11,24 @@
 
 namespace rlcx::serve {
 
+/// Connection-level resilience knobs for Client.  Zeros mean "block
+/// forever" — the original behaviour, still right for tests driving a
+/// daemon they own.
+struct ClientOptions {
+  int connect_timeout_ms = 0;  ///< bound connect(2) (0 = blocking)
+  int io_timeout_ms = 0;       ///< bound each read/write (0 = blocking)
+};
+
 /// One connection to a running daemon.  Not thread-safe; open one Client
 /// per concurrent requester (the daemon dedicates a thread to each
 /// connection anyway).
 class Client {
  public:
   /// Connects to the daemon's Unix socket; throws diag::IoError when the
-  /// socket is absent or refuses.
-  explicit Client(const std::string& socket_path);
+  /// socket is absent, refuses, or (with a connect timeout armed) does
+  /// not accept in time.
+  explicit Client(const std::string& socket_path,
+                  const ClientOptions& options = {});
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -27,7 +37,8 @@ class Client {
   /// the parsed response — for error frames too; last_kind() tells which
   /// (kError = the request never executed: framing violation, disallowed
   /// command, admission rejection).  Throws diag::IoError when the
-  /// connection drops or the reply is malformed.
+  /// connection drops, the reply is malformed, or an armed io timeout
+  /// expires.
   Response request(const std::vector<std::string>& argv);
 
   FrameKind last_kind() const noexcept { return last_kind_; }
@@ -38,10 +49,21 @@ class Client {
   FrameKind last_kind_ = FrameKind::kResponse;
 };
 
-/// `rlcx query --socket PATH CMD [flags...]`: one request, response
+/// True when retrying `command` after a transport failure cannot change
+/// daemon state beyond what the first attempt may already have done:
+/// extract/delay/ping/stats/health/help are pure reads (or idempotent
+/// cache fills).  `shutdown` is excluded — a retried shutdown could drain
+/// a daemon that already restarted.
+bool retry_safe(const std::string& command);
+
+/// `rlcx query [--retries N] [--backoff-ms MS] [--connect-timeout-s S]
+/// [--timeout-s S] --socket PATH CMD [flags...]`: one request, response
 /// streams replayed onto out/err, the response status as the exit code —
 /// so `rlcx query --socket S extract ...` is script-compatible with
-/// `rlcx extract ...`.
+/// `rlcx extract ...`.  With --retries, transport failures (and
+/// `overloaded` status-6 rejections) on retry-safe commands are retried
+/// with exponential backoff plus jitter; non-idempotent commands are
+/// never retried.
 int query_main(const std::vector<std::string>& argv, std::ostream& out,
                std::ostream& err);
 

@@ -1,12 +1,14 @@
 #include "serve/protocol.h"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
 #include "diag/error.h"
+#include "run/fault_injection.h"
 
 namespace rlcx::serve {
 
@@ -39,6 +41,18 @@ bool read_exact(ByteStream& stream, char* buf, std::size_t n,
 }  // namespace
 
 std::size_t FdStream::read_some(char* buf, std::size_t n) {
+  // The idle deadline: wait for bytes (or EOF) before committing to a
+  // blocking read, so a peer that stalls mid-frame cannot pin this thread
+  // forever — the slow-loris defense (docs/serve-protocol.md).
+  if (read_timeout_ms_ > 0) {
+    const PollResult pr = poll_readable(read_timeout_ms_);
+    if (pr == PollResult::kTimeout)
+      throw IdleTimeout("serve",
+                        "peer idle past the " +
+                            std::to_string(read_timeout_ms_) +
+                            " ms read deadline, closing connection");
+    // kClosed still reads: read() reports the EOF/reset authoritatively.
+  }
   while (true) {
     const ssize_t r = ::read(fd_in_, buf, n);
     if (r >= 0) return static_cast<std::size_t>(r);
@@ -48,9 +62,32 @@ std::size_t FdStream::read_some(char* buf, std::size_t n) {
 }
 
 void FdStream::write_all(const char* buf, std::size_t n) {
+  const bool inject = run::fault_injection_enabled();
+  // Injection site `io_short_write`: the wire write stops partway — the
+  // peer sees a torn frame, this side a typed `io` fault (or, as a crash
+  // action, death with half a frame sent).
+  std::size_t limit = n;
+  bool torn = false;
+  if (inject && n > 1 && run::fault_point("io_short_write")) {
+    limit = n / 2;
+    torn = true;
+  }
   std::size_t done = 0;
-  while (done < n) {
-    const ssize_t w = ::write(fd_out_, buf + done, n - done);
+  while (done < limit) {
+    // send(2) + MSG_NOSIGNAL on sockets: a peer that closed mid-reply
+    // yields EPIPE (a typed IoError below) instead of SIGPIPE killing the
+    // process.  Non-socket fds (--stdio, test pipes) report ENOTSOCK once
+    // and fall back to write(2) for the connection's lifetime.
+    ssize_t w;
+    if (out_is_socket_) {
+      w = ::send(fd_out_, buf + done, limit - done, MSG_NOSIGNAL);
+      if (w < 0 && errno == ENOTSOCK) {
+        out_is_socket_ = false;
+        continue;
+      }
+    } else {
+      w = ::write(fd_out_, buf + done, limit - done);
+    }
     if (w >= 0) {
       done += static_cast<std::size_t>(w);
       continue;
@@ -58,6 +95,11 @@ void FdStream::write_all(const char* buf, std::size_t n) {
     if (errno == EINTR) continue;
     throw_errno("write");
   }
+  if (torn)
+    throw diag::IoError("serve",
+                        "short write (injected): sent " +
+                            std::to_string(limit) + " of " +
+                            std::to_string(n) + " bytes");
 }
 
 ByteStream::PollResult FdStream::poll_readable(int timeout_ms) {
@@ -156,6 +198,22 @@ bool read_frame(ByteStream& stream, Frame* out) {
 
 void write_frame(ByteStream& stream, FrameKind kind,
                  std::string_view payload) {
+  // Injection site `sock_reset_midframe` sits on the exact boundary
+  // between a delivered header and its payload: when it fires the peer
+  // has a header promising bytes that never arrive (as a crash action the
+  // process dies right there).  Only taken when injection is armed — the
+  // production path writes one contiguous buffer.
+  if (run::fault_injection_enabled()) {
+    const std::string header =
+        encode_header(kind, static_cast<std::uint32_t>(payload.size()));
+    stream.write_all(header.data(), header.size());
+    if (run::fault_point("sock_reset_midframe"))
+      throw diag::IoError("serve",
+                          "connection reset mid-frame (injected): header "
+                          "sent, payload dropped");
+    stream.write_all(payload.data(), payload.size());
+    return;
+  }
   const std::string f = encode_frame(kind, payload);
   stream.write_all(f.data(), f.size());
 }

@@ -44,7 +44,20 @@
 #include <string_view>
 #include <vector>
 
+#include "diag/error.h"
+
 namespace rlcx::serve {
+
+/// Thrown by a ByteStream read when the peer has been silent past the
+/// configured idle deadline (set_read_timeout_ms) — the typed face of a
+/// slow-loris client.  An `io` fault like any transport failure, but
+/// distinguishable so the server can count idle disconnects separately
+/// from resets.
+class IdleTimeout : public diag::IoError {
+ public:
+  IdleTimeout(std::string stage, std::string message)
+      : diag::IoError(std::move(stage), std::move(message)) {}
+};
 
 inline constexpr unsigned char kMagic0 = 0x52;  // 'R'
 inline constexpr unsigned char kMagic1 = 0x58;  // 'X'
@@ -86,10 +99,23 @@ class ByteStream {
     (void)timeout_ms;
     return PollResult::kReady;
   }
+
+  /// Arms an idle deadline on reads: a read_some() that sees no bytes for
+  /// `ms` milliseconds throws IdleTimeout instead of blocking forever —
+  /// how the server bounds a client that sends a header and then dribbles
+  /// (or abandons) the payload.  0 disarms.  The in-memory default
+  /// ignores it (memory streams cannot stall).
+  virtual void set_read_timeout_ms(int ms) { (void)ms; }
 };
 
 /// ByteStream over a pair of file descriptors (a connected socket uses
 /// the same fd for both; --stdio mode uses 0/1).  Does not own the fds.
+///
+/// Writes are SIGPIPE-proof: socket fds are written with send(2) +
+/// MSG_NOSIGNAL, so a peer that closed mid-reply surfaces as a typed
+/// diag::IoError (EPIPE) on the connection thread instead of a
+/// process-killing signal.  Non-socket fds (--stdio, pipes in tests) fall
+/// back to write(2) transparently.
 class FdStream : public ByteStream {
  public:
   FdStream(int fd_in, int fd_out) : fd_in_(fd_in), fd_out_(fd_out) {}
@@ -97,10 +123,13 @@ class FdStream : public ByteStream {
   std::size_t read_some(char* buf, std::size_t n) override;
   void write_all(const char* buf, std::size_t n) override;
   PollResult poll_readable(int timeout_ms) override;
+  void set_read_timeout_ms(int ms) override { read_timeout_ms_ = ms; }
 
  private:
   int fd_in_;
   int fd_out_;
+  int read_timeout_ms_ = 0;
+  bool out_is_socket_ = true;  ///< cleared on the first ENOTSOCK
 };
 
 /// In-memory ByteStream for protocol tests: reads consume `input`,

@@ -5,13 +5,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "cli/cli.h"
 #include "diag/error.h"
+#include "run/fault_injection.h"
 #include "run/signal.h"
 
 namespace rlcx::serve {
@@ -94,6 +98,26 @@ Server::~Server() {
     if (t.joinable()) t.join();
 }
 
+/// Joins connection threads that have announced completion, so a
+/// long-lived daemon's thread vector (and fd pressure from lingering
+/// thread handles) stays bounded by the number of *live* connections
+/// rather than growing with every connection ever accepted.  Caller holds
+/// threads_m_; the joins are near-instant (the thread already pushed its
+/// id as its last act before returning).
+void Server::reap_finished_locked() {
+  if (finished_.empty()) return;
+  for (const std::thread::id id : finished_) {
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+      if (connections_[i].get_id() != id) continue;
+      connections_[i].join();
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+      break;
+    }
+  }
+  finished_.clear();
+}
+
 int Server::run_socket() {
   const std::string& path = config_.socket_path;
   sockaddr_un addr{};
@@ -129,13 +153,44 @@ int Server::run_socket() {
         << config_.log_path << ")\n"
         << std::flush;
 
+  int backoff_ms = 10;
   while (wait_readable(listen_fd, shutdown_)) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener broken; drain what we have
+    int fd;
+    // Injection site `accept_emfile`: a scheduled EMFILE from accept(2),
+    // the deterministic stand-in for a connection flood exhausting the fd
+    // table.
+    if (run::fault_injection_enabled() &&
+        run::fault_point("accept_emfile")) {
+      fd = -1;
+      errno = EMFILE;
+    } else {
+      fd = ::accept(listen_fd, nullptr, nullptr);
     }
+    if (fd < 0) {
+      const int e = errno;
+      if (e == EINTR) continue;
+      // Transient resource exhaustion (our fd table, the system's, an
+      // aborted handshake, kernel memory pressure) is survivable: back
+      // off — connections drain and free fds — and try again.  A flood
+      // must degrade into queueing, never into a dead daemon.
+      if (e == EMFILE || e == ENFILE || e == ECONNABORTED || e == EAGAIN ||
+          e == EWOULDBLOCK || e == ENOMEM || e == ENOBUFS) {
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        for (int slept = 0;
+             slept < backoff_ms && !shutdown_.requested(); slept += 10)
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        backoff_ms = std::min(backoff_ms * 2, 1000);
+        {  // reaping finished threads is what releases their fds
+          std::lock_guard<std::mutex> lock(threads_m_);
+          reap_finished_locked();
+        }
+        continue;
+      }
+      break;  // listener genuinely broken; drain what we have
+    }
+    backoff_ms = 10;
     std::lock_guard<std::mutex> lock(threads_m_);
+    reap_finished_locked();
     connections_.emplace_back([this, fd] {
       FdStream stream(fd, fd);
       try {
@@ -144,6 +199,8 @@ int Server::run_socket() {
         // A connection must never take the daemon down.
       }
       ::close(fd);
+      std::lock_guard<std::mutex> lock(threads_m_);
+      finished_.push_back(std::this_thread::get_id());
     });
   }
 
@@ -153,6 +210,7 @@ int Server::run_socket() {
     for (std::thread& t : connections_)
       if (t.joinable()) t.join();
     connections_.clear();
+    finished_.clear();
   }
   ::unlink(path.c_str());
   diag_ << "rlcx serve: drained, "
@@ -174,15 +232,49 @@ int Server::run_stdio() {
 }
 
 void Server::handle_connection(ByteStream& stream) {
+  // The idle read deadline (docs/serve-protocol.md "disconnect
+  // semantics"): both between frames (accounted in the poll loop below)
+  // and inside one (the stream-level timeout catches a client dribbling a
+  // payload byte at a time).
+  const int idle_budget_ms =
+      config_.idle_timeout_s > 0.0
+          ? static_cast<int>(config_.idle_timeout_s * 1000.0)
+          : 0;
+  if (idle_budget_ms > 0) stream.set_read_timeout_ms(idle_budget_ms);
+  int idle_ms = 0;
   while (!shutdown_.requested()) {
     // Interleave shutdown checks with blocking reads, so an idle
     // connection cannot hold up the drain.
     const ByteStream::PollResult pr = stream.poll_readable(100);
     if (pr == ByteStream::PollResult::kClosed) return;
-    if (pr == ByteStream::PollResult::kTimeout) continue;
+    if (pr == ByteStream::PollResult::kTimeout) {
+      if (idle_budget_ms > 0 && (idle_ms += 100) >= idle_budget_ms) {
+        // Slow loris: drop the connection with a typed goodbye so a
+        // well-meaning-but-stalled client learns why, and count it.
+        idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        Response r;
+        r.status = 3;
+        r.label = status_label(3);
+        r.err = "[io] serve: connection idle past " +
+                std::to_string(config_.idle_timeout_s) +
+                " s, closing (send a request or reconnect)\n";
+        try {
+          write_frame(stream, FrameKind::kError, encode_response(r));
+        } catch (...) {
+          // Peer already gone.
+        }
+        return;
+      }
+      continue;
+    }
+    idle_ms = 0;
     Frame frame;
     try {
       if (!read_frame(stream, &frame)) return;  // clean EOF
+    } catch (const IdleTimeout&) {
+      // Stalled mid-frame: the header arrived, the payload never did.
+      idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      return;
     } catch (const diag::Fault& f) {
       // Framing violation: the byte stream has lost sync, so report and
       // close — docs/serve-protocol.md "fatal framing errors".
@@ -198,17 +290,26 @@ void Server::handle_connection(ByteStream& stream) {
       }
       return;
     }
-    if (frame.kind != FrameKind::kRequest) {
-      // Header was sound, so the stream is still in sync: reject the
-      // frame and keep the connection ("survivable errors").
-      Response r;
-      r.status = 2;
-      r.label = status_label(2);
-      r.err = "[usage] serve: expected a request frame (kind 0x01)\n";
-      write_frame(stream, FrameKind::kError, encode_response(r));
-      continue;
+    try {
+      if (frame.kind != FrameKind::kRequest) {
+        // Header was sound, so the stream is still in sync: reject the
+        // frame and keep the connection ("survivable errors").
+        Response r;
+        r.status = 2;
+        r.label = status_label(2);
+        r.err = "[usage] serve: expected a request frame (kind 0x01)\n";
+        write_frame(stream, FrameKind::kError, encode_response(r));
+        continue;
+      }
+      handle_request(stream, frame.payload);
+    } catch (const diag::IoError&) {
+      // The peer closed or reset mid-reply (EPIPE under MSG_NOSIGNAL, a
+      // reset, a torn write).  Strictly this connection's problem: count
+      // it and let the thread end — the request itself already executed
+      // and was journaled.
+      peer_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
-    handle_request(stream, frame.payload);
   }
 }
 
@@ -246,6 +347,13 @@ Response Server::execute(const std::vector<std::string>& tokens,
     resp.out = stats_text();
     return resp;
   }
+  if (cmd == "health") {
+    // Liveness probe: answered inline (no admission slot), so a daemon
+    // saturated with work still reports itself alive — the stats snapshot
+    // tells the prober *how* alive.
+    resp.out = health_text();
+    return resp;
+  }
   if (cmd == "shutdown") {
     resp.out = "draining\n";
     return resp;
@@ -254,8 +362,8 @@ Response Server::execute(const std::vector<std::string>& tokens,
     *kind = FrameKind::kError;
     resp.status = 2;
     resp.err = "[usage] serve: command not allowed over the wire: " +
-               cmd + " (allowed: ping, stats, shutdown, extract, delay, "
-                     "help)\n";
+               cmd + " (allowed: ping, stats, health, shutdown, extract, "
+                     "delay, help)\n";
     return resp;
   }
   switch (admission_.enter(shutdown_)) {
@@ -317,7 +425,36 @@ std::string Server::stats_text() {
      << " hits, " << cs.misses << " misses, " << cs.bytes_read
      << " bytes read, " << cs.bytes_written << " bytes written, "
      << cs.write_retries << " write retries, " << cs.stores_dropped
-     << " stores dropped\n";
+     << " stores dropped\n"
+     << "resilience: "
+     << peer_disconnects_.load(std::memory_order_relaxed)
+     << " peer disconnects, "
+     << idle_disconnects_.load(std::memory_order_relaxed)
+     << " idle disconnects, "
+     << accept_retries_.load(std::memory_order_relaxed)
+     << " accept retries, " << cs.quarantined_at_startup
+     << " quarantined at startup, " << cs.tmp_swept
+     << " staging files swept, " << cs.fsyncs << " fsyncs\n";
+  return os.str();
+}
+
+std::string Server::health_text() {
+  const AdmissionQueue::Stats as = admission_.stats();
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  std::ostringstream os;
+  os << "healthy\n"
+     << "uptime-s " << uptime << "\n"
+     << "served " << served_.load(std::memory_order_relaxed) << "\n"
+     << "active " << as.active << "\n"
+     << "queued " << as.queued << "\n"
+     << "peer-disconnects "
+     << peer_disconnects_.load(std::memory_order_relaxed) << "\n"
+     << "idle-disconnects "
+     << idle_disconnects_.load(std::memory_order_relaxed) << "\n"
+     << "accept-retries "
+     << accept_retries_.load(std::memory_order_relaxed) << "\n";
   return os.str();
 }
 
@@ -353,11 +490,16 @@ int serve_main(const std::vector<std::string>& argv, std::ostream& out,
     cfg.max_active = static_cast<int>(args.get_num("max-active", 4));
     cfg.queue_depth = static_cast<int>(args.get_num("queue-depth", 64));
     cfg.request_deadline_s = args.get_num("request-deadline-s", 0.0);
+    cfg.idle_timeout_s = args.get_num("idle-timeout-s", 0.0);
     cfg.log_path = args.get("log", "");
     cfg.strict = args.has("strict");
 
     // In stdio mode stdout carries frames, so lifecycle lines go to err.
     Server server(cfg, cfg.stdio ? err : out);
+    // A client that closes mid-reply must cost one connection, not the
+    // process: EPIPE over SIGPIPE everywhere in the daemon (FdStream's
+    // MSG_NOSIGNAL covers sockets; this covers the rest).
+    const run::ScopedSigpipeIgnore no_sigpipe;
     const run::ScopedSigintCancel on_sigint(server.shutdown_token());
     const run::ScopedSigtermCancel on_sigterm(server.shutdown_token());
     return cfg.stdio ? server.run_stdio() : server.run_socket();

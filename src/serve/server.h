@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -48,6 +49,9 @@ struct ServeConfig {
   int max_active = 4;              ///< --max-active: executing requests
   int queue_depth = 64;            ///< --queue-depth: waiting requests
   double request_deadline_s = 0.0; ///< --request-deadline-s (0 = none)
+  double idle_timeout_s = 0.0;     ///< --idle-timeout-s: drop connections
+                                   ///< silent this long (0 = never; the
+                                   ///< slow-loris defense)
   std::string log_path;     ///< --log (default <cache_dir>/serve.journal)
   bool strict = false;      ///< --strict: kStrict cache recovery
 };
@@ -86,8 +90,10 @@ class Server {
   Response execute(const std::vector<std::string>& tokens,
                    FrameKind* kind);
   std::string stats_text();
+  std::string health_text();
   void record_request(std::uint64_t seq,
                       const std::vector<std::string>& tokens, int status);
+  void reap_finished_locked();
 
   ServeConfig config_;
   std::ostream& diag_;
@@ -97,9 +103,18 @@ class Server {
   std::unique_ptr<run::BatchJournal> journal_;
   std::mutex threads_m_;
   std::vector<std::thread> connections_;
+  std::vector<std::thread::id> finished_;  ///< connection threads done and
+                                           ///< ready to be reaped/joined
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::size_t> served_{0};
   std::atomic<std::size_t> cancelled_{0};
+  std::atomic<std::size_t> peer_disconnects_{0};  ///< closed/reset mid-reply
+  std::atomic<std::size_t> idle_disconnects_{0};  ///< dropped by the idle
+                                                  ///< read deadline
+  std::atomic<std::size_t> accept_retries_{0};    ///< transient accept()
+                                                  ///< failures backed off
 };
 
 /// `rlcx serve ...`: parses flags (argv starts with "serve"), runs the

@@ -393,5 +393,132 @@ TEST(TableCacheRetry, InjectedCorruptReadQuarantinesUnderRecover) {
   EXPECT_NE(warnings[0].message.find("quarantined"), std::string::npos);
 }
 
+// --- crash-consistency: new staged-write fault sites + the startup sweep
+
+TEST(TableCacheRetry, ShortWriteAndStagedFaultsAreAbsorbedByTheRetry) {
+  InjectorReset reset;
+  const ScratchDir dir("rlcx_cache_staged_retry");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+  TableCache cache(dir.path);
+  const InductanceTables built =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+
+  // A torn tmp write, then a failure on the very rename boundary: both
+  // transient, both retried, and the published entry is still whole.
+  // Attempt 1 dies in the tmp write (so the staged site is never
+  // reached); attempt 2 writes whole but fails on the rename boundary;
+  // attempt 3 lands.
+  run::FaultInjector::global().set_schedule(
+      "io_short_write:1,cache_staged:1");
+  EXPECT_TRUE(cache.store(key, built));
+  EXPECT_EQ(cache.stats().write_retries, 2u);
+  EXPECT_GT(cache.stats().fsyncs, 0u);
+  TableCache reader(dir.path, CacheRecoveryPolicy::kStrict);
+  EXPECT_TRUE(reader.load(key).has_value());
+}
+
+TEST(TableCacheRetry, PersistentEnospcDegradesPerPolicy) {
+  InjectorReset reset;
+  const ScratchDir dir("rlcx_cache_enospc");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+  const InductanceTables built =
+      build_tables(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+
+  run::FaultInjector::global().set_schedule("io_enospc:1+");  // disk full
+  {
+    std::vector<diag::Warning> warnings;
+    diag::ScopedWarningHandler capture(
+        [&](const diag::Warning& w) { warnings.push_back(w); });
+    TableCache cache(dir.path);
+    EXPECT_FALSE(cache.store(key, built));
+    EXPECT_EQ(cache.stats().stores_dropped, 1u);
+    ASSERT_FALSE(warnings.empty());
+  }
+  TableCache strict(dir.path, CacheRecoveryPolicy::kStrict);
+  EXPECT_THROW(strict.store(key, built), diag::CacheError);
+}
+
+TEST(TableCacheSweep, OrphanedStagingFilesAreRemovedAtOpen) {
+  const ScratchDir dir("rlcx_cache_sweep_tmp");
+  fs::create_directories(dir.path);
+  {
+    std::ofstream os(dir.path + "/0123456789abcdef.tbl.tmp.1234");
+    os << "half a staged entry from a killed writer";
+  }
+  std::vector<diag::Warning> warnings;
+  diag::ScopedWarningHandler capture(
+      [&](const diag::Warning& w) { warnings.push_back(w); });
+  TableCache cache(dir.path);
+  EXPECT_EQ(cache.stats().tmp_swept, 1u);
+  EXPECT_EQ(cache.stats().quarantined_at_startup, 0u);
+  EXPECT_FALSE(fs::exists(dir.path + "/0123456789abcdef.tbl.tmp.1234"));
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings[0].message.find("staging"), std::string::npos);
+}
+
+TEST(TableCacheSweep, TornEntriesAreQuarantinedAtOpen) {
+  const ScratchDir dir("rlcx_cache_sweep_torn");
+  fs::create_directories(dir.path);
+  {
+    // Too small and without the RLXB magic: the signature of a torn
+    // rename after power loss.
+    std::ofstream os(dir.path + "/0123456789abcdef.tbl",
+                     std::ios::binary);
+    os << "RLX";
+  }
+  {
+    // A healthy-looking foreign file must be left alone: not hex-named.
+    std::ofstream os(dir.path + "/README.tbl");
+    os << "not an entry";
+  }
+  std::vector<diag::Warning> warnings;
+  diag::ScopedWarningHandler capture(
+      [&](const diag::Warning& w) { warnings.push_back(w); });
+  TableCache cache(dir.path);
+  EXPECT_EQ(cache.stats().quarantined_at_startup, 1u);
+  EXPECT_FALSE(fs::exists(dir.path + "/0123456789abcdef.tbl"));
+  EXPECT_TRUE(fs::exists(dir.path + "/README.tbl"));
+  ASSERT_FALSE(warnings.empty());
+}
+
+TEST(TableCacheSweep, TornEntriesFailLoudlyAtOpenUnderStrict) {
+  const ScratchDir dir("rlcx_cache_sweep_strict");
+  fs::create_directories(dir.path);
+  {
+    std::ofstream os(dir.path + "/0123456789abcdef.tbl",
+                     std::ios::binary);
+    os << "RLX";
+  }
+  EXPECT_THROW(TableCache(dir.path, CacheRecoveryPolicy::kStrict),
+               diag::CacheError);
+}
+
+TEST(TableCacheSweep, HealthyEntriesSurviveTheSweep) {
+  const ScratchDir dir("rlcx_cache_sweep_ok");
+  const geom::Technology tech = geom::Technology::generic_025um();
+  const TableGrid grid = tiny_grid();
+  const solver::SolveOptions opt = fast_options();
+  const std::string key =
+      TableCache::key_text(tech, 6, geom::PlaneConfig::kNone, grid, opt);
+  {
+    TableCache cache(dir.path);
+    cache.store(key, build_tables(tech, 6, geom::PlaneConfig::kNone, grid,
+                                  opt));
+    EXPECT_GE(cache.stats().fsyncs, 2u);  // staged file + directory
+  }
+  TableCache reopened(dir.path);
+  EXPECT_EQ(reopened.stats().quarantined_at_startup, 0u);
+  EXPECT_EQ(reopened.stats().tmp_swept, 0u);
+  EXPECT_TRUE(reopened.load(key).has_value());
+}
+
 }  // namespace
 }  // namespace rlcx::core

@@ -4,17 +4,23 @@
 // warm-vs-cold bit-identity guarantee.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/cli.h"
 #include "diag/error.h"
 #include "run/control.h"
+#include "run/fault_injection.h"
 #include "run/journal.h"
 #include "serve/admission.h"
 #include "serve/client.h"
@@ -447,6 +453,128 @@ TEST(ServeFlow, StatsReportWarmStoreAndAdmissionCounters) {
       << stats.out;
   EXPECT_NE(stats.out.find("requests: 2 served"), std::string::npos);
   EXPECT_NE(stats.out.find("table cache "), std::string::npos);
+}
+
+// ------------------------------------------------- hostile-client defense
+
+TEST(ServeHardening, PeerGoneBeforeReplyDoesNotKillTheDaemon) {
+  // The SIGPIPE regression: a client that sends a request and closes
+  // without reading the reply makes the daemon's reply write hit a dead
+  // socket.  Without MSG_NOSIGNAL that raises SIGPIPE and kills this whole
+  // test binary — surviving to the assertions below IS the test.
+  const TempDir dir;
+  std::ostringstream diag;
+  Server server(test_config(dir), diag);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string request = encode_frame(FrameKind::kRequest, "ping");
+  ASSERT_EQ(::write(fds[1], request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  ::close(fds[1]);  // peer gone before the reply is written
+  FdStream stream(fds[0], fds[0]);
+  server.handle_connection(stream);  // EPIPE inside, absorbed and counted
+  ::close(fds[0]);
+
+  // The daemon still serves, and the drop is visible in the stats.
+  const std::vector<Frame> replies =
+      drive(server, encode_frame(FrameKind::kRequest, "stats"));
+  ASSERT_EQ(replies.size(), 1u);
+  const Response stats = parse_response(replies[0].payload);
+  EXPECT_EQ(stats.status, 0);
+  EXPECT_NE(stats.out.find("1 peer disconnects"), std::string::npos)
+      << stats.out;
+}
+
+TEST(ServeHardening, SlowLorisConnectionIsDroppedWithTypedGoodbye) {
+  const TempDir dir;
+  ServeConfig cfg = test_config(dir);
+  cfg.idle_timeout_s = 0.2;
+  std::ostringstream diag;
+  Server server(cfg, diag);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread connection([&] {
+    FdStream stream(fds[0], fds[0]);
+    server.handle_connection(stream);
+  });
+  // Send nothing: the idle deadline must fire, emit a status-3 goodbye
+  // frame, and close — not pin the connection thread forever.
+  FdStream client(fds[1], fds[1]);
+  Frame goodbye;
+  ASSERT_TRUE(read_frame(client, &goodbye));
+  connection.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(goodbye.kind, FrameKind::kError);
+  const Response r = parse_response(goodbye.payload);
+  EXPECT_EQ(r.status, 3);
+  EXPECT_NE(r.err.find("idle"), std::string::npos) << r.err;
+
+  const std::vector<Frame> replies =
+      drive(server, encode_frame(FrameKind::kRequest, "stats"));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(parse_response(replies[0].payload)
+                .out.find("1 idle disconnects"),
+            std::string::npos);
+}
+
+TEST(ServeHardening, HealthAnswersWithoutAnAdmissionSlot) {
+  const TempDir dir;
+  ServeConfig cfg = test_config(dir);
+  cfg.max_active = 1;
+  cfg.queue_depth = 0;
+  std::ostringstream diag;
+  Server server(cfg, diag);
+  // Saturate admission: real work is rejected with status 6...
+  ASSERT_EQ(server.admission().enter(server.shutdown_token()),
+            AdmissionQueue::Admission::kAdmitted);
+  {
+    const std::vector<Frame> replies = drive(
+        server, encode_frame(FrameKind::kRequest,
+                             join_request(extract_argv())));
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(parse_response(replies[0].payload).status, 6);
+  }
+  // ...but health still answers — it is the probe an operator uses to
+  // tell "overloaded" from "dead", so it must not queue behind the load.
+  const std::vector<Frame> replies =
+      drive(server, encode_frame(FrameKind::kRequest, "health"));
+  ASSERT_EQ(replies.size(), 1u);
+  const Response health = parse_response(replies[0].payload);
+  EXPECT_EQ(health.status, 0);
+  EXPECT_EQ(health.out.substr(0, 8), "healthy\n") << health.out;
+  EXPECT_NE(health.out.find("uptime-s "), std::string::npos);
+  EXPECT_NE(health.out.find("active 1\n"), std::string::npos)
+      << health.out;
+  server.admission().leave();
+}
+
+TEST(ServeHardening, TransientAcceptFailureBacksOffAndRecovers) {
+  struct InjectorReset {
+    ~InjectorReset() { run::FaultInjector::global().clear(); }
+  } reset;
+  const TempDir dir;
+  ServeConfig cfg = test_config(dir);
+  cfg.socket_path = (dir.path / "s.sock").string();
+  std::ostringstream diag;
+  Server server(cfg, diag);
+  // The first accept() reports EMFILE (injected): the loop must back off
+  // and keep listening instead of dying — the next client connects fine.
+  run::FaultInjector::global().set_schedule("accept_emfile:1");
+  std::thread daemon([&] { server.run_socket(); });
+  for (int i = 0; i < 500 && !std::filesystem::exists(cfg.socket_path);
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(std::filesystem::exists(cfg.socket_path));
+  {
+    Client client(cfg.socket_path);
+    EXPECT_EQ(client.request({"ping"}).status, 0);
+    const Response stats = client.request({"stats"});
+    EXPECT_NE(stats.out.find("1 accept retries"), std::string::npos)
+        << stats.out;
+    client.request({"shutdown"});
+  }
+  daemon.join();
 }
 
 }  // namespace
