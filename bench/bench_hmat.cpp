@@ -1,0 +1,161 @@
+// P3 — the hierarchical PEEC solver (src/hmat): dense blocked-LU oracle vs
+// ACA-compressed H-matrix + Schwarz-preconditioned GMRES, on the n-trace
+// uniform array the table characterisation actually solves (scaled up).
+//
+// For each size the same extract_partial problem runs once with
+// --solver dense and once with --solver hmat; the bench reports wall
+// times, the H-matrix compression ratio, GMRES iteration counts, and the
+// max relative deviation between the two inductance matrices (gated at
+// 1e-8 — the hmat path is only useful if it is interchangeable).  The
+// last block prints the measured dense/hmat crossover in filaments; the
+// committed baseline lives in BENCH_hmat.json, and
+// solver::HmatSolveOptions::auto_crossover mirrors that measurement.
+//
+// Flags / environment:
+//   --smoke             tiny sizes for the CI tier-1 job (correctness gate
+//                       only; speedups are not meaningful at smoke sizes)
+//   RLCX_BENCH_TRACES=N single size override (runs exactly one case)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "geom/builders.h"
+#include "hmat/stats.h"
+#include "numeric/units.h"
+#include "solver/block_solver.h"
+
+using namespace rlcx;
+using units::um;
+
+namespace {
+
+double now_wall(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double max_rel_dev(const RealMatrix& a, const RealMatrix& b) {
+  double scale = 0.0, dev = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      scale = std::max(scale, std::abs(a(i, j)));
+      dev = std::max(dev, std::abs(a(i, j) - b(i, j)));
+    }
+  return scale == 0.0 ? dev : dev / scale;
+}
+
+struct Case {
+  std::size_t traces = 0;
+  std::size_t filaments = 0;
+  double wall_dense = 0.0;
+  double wall_hmat = 0.0;
+  double dev = 0.0;
+  double compression = 0.0;
+  std::size_t rank_max = 0;
+  std::size_t gmres_iterations = 0;
+};
+
+Case run_case(const geom::Technology& tech, std::size_t traces) {
+  const geom::Block blk =
+      geom::uniform_array(tech, 6, um(2000), traces, um(1), um(2));
+  Case c;
+  c.traces = traces;
+
+  solver::SolveOptions opt;
+  // Fix the cross-section mesh at 4 x 2 filaments per trace — the shape a
+  // skin-depth mesh takes at clock frequencies — so the dense/hmat cost
+  // ratio reflects real table builds (nf filaments but only nf/8 conductor
+  // columns to solve) rather than the 1-filament-per-trace degenerate case.
+  opt.auto_mesh = false;
+  opt.mesh.nw = 4;
+  opt.mesh.nt = 2;
+  opt.solver = solver::SolverKind::kDense;
+  auto t0 = std::chrono::steady_clock::now();
+  const solver::PartialResult dense = solver::extract_partial(blk, opt);
+  c.wall_dense = now_wall(t0);
+
+  opt.solver = solver::SolverKind::kHmat;
+  const hmat::SolveStats before = hmat::solve_stats_total();
+  t0 = std::chrono::steady_clock::now();
+  const solver::PartialResult hm = solver::extract_partial(blk, opt);
+  c.wall_hmat = now_wall(t0);
+  const hmat::SolveStats after = hmat::solve_stats_total();
+
+  c.dev = max_rel_dev(dense.inductance, hm.inductance);
+  const std::size_t full = after.full_entries - before.full_entries;
+  const std::size_t stored = after.stored_entries - before.stored_entries;
+  c.filaments =
+      static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(full))));
+  c.compression =
+      full == 0 ? 0.0
+                : static_cast<double>(stored) / static_cast<double>(full);
+  c.rank_max = after.aca_rank_max;
+  c.gmres_iterations = after.gmres_iterations - before.gmres_iterations;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const geom::Technology tech = geom::Technology::generic_025um();
+  std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{8, 16}
+            : std::vector<std::size_t>{16,  32,  64,  128, 192, 256,
+                                       320, 384, 448, 512, 640};
+  if (const char* env = std::getenv("RLCX_BENCH_TRACES")) {
+    const int v = std::atoi(env);
+    if (v > 0) sizes = {static_cast<std::size_t>(v)};
+  }
+
+  std::vector<Case> cases;
+  int status = 0;
+  for (const std::size_t n : sizes) {
+    const Case c = run_case(tech, n);
+    cases.push_back(c);
+    std::fprintf(stderr,
+                 "traces %4zu (nf %4zu): dense %7.3fs  hmat %7.3fs  "
+                 "(x%.2f)  dev %.3e  stored %2.0f%%  rank<=%zu  gmres %zu\n",
+                 c.traces, c.filaments, c.wall_dense, c.wall_hmat,
+                 c.wall_hmat > 0 ? c.wall_dense / c.wall_hmat : 0.0, c.dev,
+                 100.0 * c.compression, c.rank_max, c.gmres_iterations);
+    if (!(c.dev <= 1e-8)) {
+      std::fprintf(stderr, "FAIL: hmat deviates from the dense oracle\n");
+      status = 1;
+    }
+  }
+
+  // Measured crossover: the smallest size where the hierarchical path wins
+  // and keeps winning for every larger measured size.
+  std::size_t crossover = 0;
+  for (std::size_t i = cases.size(); i-- > 0;) {
+    if (cases[i].wall_hmat < cases[i].wall_dense)
+      crossover = cases[i].filaments;
+    else
+      break;
+  }
+
+  std::printf("{\n  \"experiment\": \"hmat\",\n  \"smoke\": %s,\n",
+              smoke ? "true" : "false");
+  std::printf("  \"cases\": [\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    std::printf("    {\"traces\": %zu, \"filaments\": %zu, "
+                "\"wall_s_dense\": %.4f, \"wall_s_hmat\": %.4f, "
+                "\"speedup\": %.2f, \"max_rel_dev\": %.3e, "
+                "\"stored_fraction\": %.4f, \"rank_max\": %zu, "
+                "\"gmres_iterations\": %zu}%s\n",
+                c.traces, c.filaments, c.wall_dense, c.wall_hmat,
+                c.wall_hmat > 0 ? c.wall_dense / c.wall_hmat : 0.0, c.dev,
+                c.compression, c.rank_max, c.gmres_iterations,
+                i + 1 < cases.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"crossover_filaments\": %zu\n}\n", crossover);
+  return status;
+}

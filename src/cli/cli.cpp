@@ -18,6 +18,7 @@
 #include "core/table_builder.h"
 #include "core/table_cache.h"
 #include "geom/builders.h"
+#include "hmat/stats.h"
 #include "numeric/units.h"
 #include "peec/assembly.h"
 #include "rt/pool.h"
@@ -149,6 +150,17 @@ solver::SolveOptions solve_options(const Args& args) {
   solver::SolveOptions opt;
   const double tr = args.get_num("trise-ps", 200.0) * 1e-12;
   opt.frequency = solver::significant_frequency(tr);
+  const std::string solver = args.get("solver", "auto");
+  if (solver == "dense") {
+    opt.solver = solver::SolverKind::kDense;
+  } else if (solver == "hmat") {
+    opt.solver = solver::SolverKind::kHmat;
+  } else if (solver == "auto") {
+    opt.solver = solver::SolverKind::kAuto;
+  } else {
+    throw diag::UsageError("cli", "unknown --solver: " + solver +
+                                      " (dense|hmat|auto)");
+  }
   return opt;
 }
 
@@ -191,6 +203,16 @@ void print_cache_stats(const core::TableCache& cache, std::size_t solves,
         << build->pair_lookups << " pair lookups served ("
         << static_cast<int>(100.0 * build->memo_hit_rate() + 0.5)
         << "% hit rate, " << build->kernel_evals << " evaluations)\n";
+  if (build != nullptr && build->hmat_solves > 0) {
+    out << "hmat solver: " << build->hmat_solves << " hierarchical / "
+        << build->dense_solves << " dense solves, "
+        << build->gmres_iterations << " GMRES iterations, "
+        << static_cast<int>(100.0 * build->hmat_compression() + 0.5)
+        << "% entries stored";
+    if (build->gmres_fallbacks > 0)
+      out << ", " << build->gmres_fallbacks << " dense fallbacks";
+    out << "\n";
+  }
   if (cs.quarantined > 0)
     out << "table cache: " << cs.quarantined << " corrupt entr"
         << (cs.quarantined == 1 ? "y" : "ies")
@@ -260,7 +282,9 @@ int cmd_help(std::ostream& out) {
          "  --extrapolation warn|clamp|throw (out-of-grid table queries)\n"
          "  --threads N (size the worker pool; precedence: --threads, then\n"
          "  RLCX_THREADS, then hardware concurrency; results are\n"
-         "  bit-identical for any thread count)\n\n"
+         "  bit-identical for any thread count)\n"
+         "  --solver dense|hmat|auto (impedance solver: blocked-LU oracle,\n"
+         "  hierarchical ACA+GMRES, or pick by problem size; default auto)\n\n"
          "extract: [--spice FILE] [--ac-resistance] [--table-cache DIR]\n"
          "tables:  --out FILE [--planes none|below|above|both] [--points N]\n"
          "         [--threads N] (0 = RLCX_THREADS/all cores) [--binary]\n"
@@ -504,6 +528,7 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
 
   const std::size_t solves_before = core::table_build_solve_count();
   const peec::FillStats fills_before = peec::fill_stats_total();
+  const hmat::SolveStats hsolves_before = hmat::solve_stats_total();
   const core::BatchResult res = core::characterize_batch(tech, jobs, sopt,
                                                          bopt);
   const std::size_t solves = core::table_build_solve_count() - solves_before;
@@ -537,6 +562,21 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
         << fills_delta.pair_lookups << " pair lookups served ("
         << static_cast<int>(100.0 * fills_delta.hit_rate() + 0.5)
         << "% hit rate, " << fills_delta.kernel_evals << " evaluations)\n";
+  const hmat::SolveStats hs = hmat::solve_stats_total();
+  if (hs.hmat_solves > hsolves_before.hmat_solves) {
+    const std::size_t stored = hs.stored_entries - hsolves_before.stored_entries;
+    const std::size_t full = hs.full_entries - hsolves_before.full_entries;
+    out << "hmat solver: " << hs.hmat_solves - hsolves_before.hmat_solves
+        << " hierarchical / " << hs.dense_solves - hsolves_before.dense_solves
+        << " dense solves, "
+        << hs.gmres_iterations - hsolves_before.gmres_iterations
+        << " GMRES iterations, "
+        << static_cast<int>(full == 0 ? 0.0
+                                      : 100.0 * static_cast<double>(stored) /
+                                                static_cast<double>(full) +
+                                            0.5)
+        << "% entries stored\n";
+  }
   out << "journal " << journal.path() << ": " << journal.size()
       << " completed ids (" << journal.size() - journaled_before
       << " new";

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "geom/builders.h"
+#include "hmat/stats.h"
 #include "numeric/units.h"
 #include "peec/assembly.h"
 #include "rt/parallel.h"
@@ -139,6 +140,7 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
 
   GridSolvePlan plan(tech, layer, planes, grid, opt);
   const peec::FillStats fills0 = peec::fill_stats_total();
+  const hmat::SolveStats solves0 = hmat::solve_stats_total();
   const auto t0 = std::chrono::steady_clock::now();
 
   int threads_used = 1;
@@ -181,6 +183,15 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
     stats->pair_lookups = fills1.pair_lookups - fills0.pair_lookups;
     stats->kernel_evals = fills1.kernel_evals - fills0.kernel_evals;
     stats->memo_hits = fills1.memo_hits - fills0.memo_hits;
+    const hmat::SolveStats solves1 = hmat::solve_stats_total();
+    stats->dense_solves = solves1.dense_solves - solves0.dense_solves;
+    stats->hmat_solves = solves1.hmat_solves - solves0.hmat_solves;
+    stats->gmres_iterations =
+        solves1.gmres_iterations - solves0.gmres_iterations;
+    stats->gmres_fallbacks = solves1.gmres_fallbacks - solves0.gmres_fallbacks;
+    stats->hmat_stored_entries =
+        solves1.stored_entries - solves0.stored_entries;
+    stats->hmat_full_entries = solves1.full_entries - solves0.full_entries;
   }
   return plan.finish();
 }

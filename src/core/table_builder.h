@@ -50,12 +50,28 @@ struct BuildStats {
   std::size_t pair_lookups = 0;  ///< filament pairs the fills needed
   std::size_t kernel_evals = 0;  ///< Hoer-Love pair evaluations performed
   std::size_t memo_hits = 0;     ///< pairs served from the geometry memo
+  // Impedance-solver path counters (deltas of hmat::solve_stats_total()
+  // around the solve phase, same sharing caveat as the memo counters).
+  std::size_t dense_solves = 0;      ///< solves taken by the dense LU oracle
+  std::size_t hmat_solves = 0;       ///< solves taken by the hierarchical path
+  std::size_t gmres_iterations = 0;  ///< GMRES iterations across hmat solves
+  std::size_t gmres_fallbacks = 0;   ///< non-convergence -> dense fallbacks
+  std::size_t hmat_stored_entries = 0;  ///< H-matrix entries actually stored
+  std::size_t hmat_full_entries = 0;    ///< dense n^2 those solves would cost
   /// Fraction of pair values served without a kernel evaluation.
   double memo_hit_rate() const {
     return pair_lookups == 0
                ? 0.0
                : static_cast<double>(memo_hits) /
                      static_cast<double>(pair_lookups);
+  }
+  /// Stored fraction of the dense entry count over the hmat solves (1.0
+  /// would mean no compression; 0 when no hmat solve ran).
+  double hmat_compression() const {
+    return hmat_full_entries == 0
+               ? 0.0
+               : static_cast<double>(hmat_stored_entries) /
+                     static_cast<double>(hmat_full_entries);
   }
 };
 

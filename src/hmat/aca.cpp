@@ -1,0 +1,254 @@
+#include "hmat/aca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rlcx::hmat {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+// One-sided Jacobi SVD of a small k x k matrix: c = w * diag(s) * x^T with
+// orthogonal w, x.  Plenty for the ACA core (k <= max_rank).
+void jacobi_svd(RealMatrix c, RealMatrix& w, std::vector<double>& s,
+                RealMatrix& x) {
+  const std::size_t k = c.rows();
+  x = RealMatrix::identity(k);
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < k; ++p) {
+      for (std::size_t q = p + 1; q < k; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+          alpha += c(i, p) * c(i, p);
+          beta += c(i, q) * c(i, q);
+          gamma += c(i, p) * c(i, q);
+        }
+        off = std::max(off, std::abs(gamma) /
+                                std::max(std::sqrt(alpha * beta), 1e-300));
+        if (std::abs(gamma) <= 1e-15 * std::sqrt(alpha * beta)) continue;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (std::size_t i = 0; i < k; ++i) {
+          const double cp = c(i, p), cq = c(i, q);
+          c(i, p) = cs * cp - sn * cq;
+          c(i, q) = sn * cp + cs * cq;
+          const double xp = x(i, p), xq = x(i, q);
+          x(i, p) = cs * xp - sn * xq;
+          x(i, q) = sn * xp + cs * xq;
+        }
+      }
+    }
+    if (off < 1e-14) break;
+  }
+  s.assign(k, 0.0);
+  w = RealMatrix(k, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    double nrm = 0.0;
+    for (std::size_t i = 0; i < k; ++i) nrm += c(i, j) * c(i, j);
+    nrm = std::sqrt(nrm);
+    s[j] = nrm;
+    if (nrm > 0.0)
+      for (std::size_t i = 0; i < k; ++i) w(i, j) = c(i, j) / nrm;
+  }
+  // Sort singular values descending (selection sort: k is small).
+  for (std::size_t a = 0; a < k; ++a) {
+    std::size_t best = a;
+    for (std::size_t b = a + 1; b < k; ++b)
+      if (s[b] > s[best]) best = b;
+    if (best == a) continue;
+    std::swap(s[a], s[best]);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(w(i, a), w(i, best));
+      std::swap(x(i, a), x(i, best));
+    }
+  }
+}
+
+}  // namespace
+
+LowRank aca_compress(std::size_t m, std::size_t n, const RowFiller& fill_row,
+                     const RowFiller& fill_col, const AcaOptions& opt,
+                     AcaInfo* info) {
+  AcaInfo local;
+  std::vector<std::vector<double>> us, vs;
+  std::vector<char> row_used(m, 0), col_used(n, 0);
+  double fro2 = 0.0;  // ||A_k||_F^2 of the running approximant
+  std::size_t next_row = 0;
+  std::vector<double> res_row(n), res_col(m);
+
+  while (us.size() < opt.max_rank && us.size() < std::min(m, n)) {
+    // Find a pivot row with a nonzero residual, starting from the row the
+    // previous step suggested.
+    std::size_t pivot_row = m, pivot_col = n;
+    std::size_t candidate = next_row;
+    for (std::size_t tries = 0; tries < m; ++tries) {
+      while (candidate < m && row_used[candidate]) ++candidate;
+      if (candidate >= m) {
+        candidate = 0;
+        while (candidate < m && row_used[candidate]) ++candidate;
+        if (candidate >= m) break;  // all rows spanned: exact representation
+      }
+      fill_row(candidate, res_row.data());
+      ++local.sampled_rows;
+      for (std::size_t k = 0; k < us.size(); ++k) {
+        const double uk = us[k][candidate];
+        if (uk == 0.0) continue;
+        for (std::size_t j = 0; j < n; ++j) res_row[j] -= uk * vs[k][j];
+      }
+      double best = 0.0;
+      std::size_t best_j = n;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (col_used[j]) continue;
+        const double a = std::abs(res_row[j]);
+        if (a > best) {
+          best = a;
+          best_j = j;
+        }
+      }
+      if (best_j < n && best > 0.0) {
+        pivot_row = candidate;
+        pivot_col = best_j;
+        break;
+      }
+      row_used[candidate] = 1;  // numerically zero residual row
+      ++candidate;
+    }
+    if (pivot_row >= m) break;  // no usable pivot left: block represented
+
+    const double pivot = res_row[pivot_col];
+    std::vector<double> v(n);
+    for (std::size_t j = 0; j < n; ++j) v[j] = res_row[j] / pivot;
+    fill_col(pivot_col, res_col.data());
+    ++local.sampled_cols;
+    for (std::size_t k = 0; k < us.size(); ++k) {
+      const double vk = vs[k][pivot_col];
+      if (vk == 0.0) continue;
+      for (std::size_t i = 0; i < m; ++i) res_col[i] -= vk * us[k][i];
+    }
+    std::vector<double> u = res_col;
+    row_used[pivot_row] = 1;
+    col_used[pivot_col] = 1;
+
+    const double un = norm2(u), vn = norm2(v);
+    double cross = 0.0;
+    for (std::size_t k = 0; k < us.size(); ++k)
+      cross += dot(u, us[k]) * dot(v, vs[k]);
+    fro2 = std::max(0.0, fro2 + un * un * vn * vn + 2.0 * cross);
+    us.push_back(std::move(u));
+    vs.push_back(std::move(v));
+
+    if (un * vn <= opt.tol * std::sqrt(std::max(fro2, 1e-300))) break;
+
+    // Largest entry of the new column term suggests the next pivot row.
+    double best = -1.0;
+    next_row = m;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (row_used[i]) continue;
+      const double a = std::abs(us.back()[i]);
+      if (a > best) {
+        best = a;
+        next_row = i;
+      }
+    }
+    if (next_row >= m) break;
+  }
+
+  local.converged =
+      us.size() < opt.max_rank || us.size() >= std::min(m, n);
+  LowRank lr;
+  const std::size_t k = us.size();
+  lr.u = RealMatrix(m, k);
+  lr.v = RealMatrix(k, n);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < m; ++i) lr.u(i, c) = us[c][i];
+    for (std::size_t j = 0; j < n; ++j) lr.v(c, j) = vs[c][j];
+  }
+  if (opt.recompress && k > 1) recompress(lr, opt.tol);
+  local.rank = lr.rank();
+  if (info) *info = local;
+  return lr;
+}
+
+void recompress(LowRank& lr, double tol) {
+  const std::size_t m = lr.u.rows(), n = lr.v.cols(), k = lr.rank();
+  if (k == 0) return;
+  // MGS QR of U: U = Qu * Ru (Qu m x k orthonormal columns, Ru k x k upper).
+  RealMatrix qu = lr.u, ru(k, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      double h = 0.0;
+      for (std::size_t r = 0; r < m; ++r) h += qu(r, i) * qu(r, j);
+      ru(i, j) = h;
+      for (std::size_t r = 0; r < m; ++r) qu(r, j) -= h * qu(r, i);
+    }
+    double nrm = 0.0;
+    for (std::size_t r = 0; r < m; ++r) nrm += qu(r, j) * qu(r, j);
+    nrm = std::sqrt(nrm);
+    ru(j, j) = nrm;
+    if (nrm > 0.0)
+      for (std::size_t r = 0; r < m; ++r) qu(r, j) /= nrm;
+  }
+  // MGS QR of V^T: V = Rv^T * Qv (Qv k x n orthonormal rows, Rv k x k upper).
+  RealMatrix qv = lr.v, rv(k, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      double h = 0.0;
+      for (std::size_t c = 0; c < n; ++c) h += qv(i, c) * qv(j, c);
+      rv(i, j) = h;
+      for (std::size_t c = 0; c < n; ++c) qv(j, c) -= h * qv(i, c);
+    }
+    double nrm = 0.0;
+    for (std::size_t c = 0; c < n; ++c) nrm += qv(j, c) * qv(j, c);
+    nrm = std::sqrt(nrm);
+    rv(j, j) = nrm;
+    if (nrm > 0.0)
+      for (std::size_t c = 0; c < n; ++c) qv(j, c) /= nrm;
+  }
+  // Core = Ru * Rv^T, SVD, truncate.
+  RealMatrix core(k, k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (std::size_t c = std::max(i, j); c < k; ++c)
+        s += ru(i, c) * rv(j, c);
+      core(i, j) = s;
+    }
+  RealMatrix w, x;
+  std::vector<double> sv;
+  jacobi_svd(std::move(core), w, sv, x);
+  std::size_t r = 0;
+  const double cutoff = tol * (sv.empty() ? 0.0 : sv[0]);
+  while (r < k && sv[r] > cutoff && sv[r] > 0.0) ++r;
+  if (r == 0) r = sv.empty() || sv[0] == 0.0 ? 0 : 1;
+  // U' = Qu * W_r * diag(S_r);  V' = X_r^T * Qv.
+  RealMatrix nu(m, r), nv(r, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t c = 0; c < r; ++c) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += qu(i, p) * w(p, c);
+      nu(i, c) = s * sv[c];
+    }
+  for (std::size_t c = 0; c < r; ++c)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += x(p, c) * qv(p, j);
+      nv(c, j) = s;
+    }
+  lr.u = std::move(nu);
+  lr.v = std::move(nv);
+}
+
+}  // namespace rlcx::hmat

@@ -1,0 +1,58 @@
+// Partially-pivoted Adaptive Cross Approximation with recompression.
+//
+// Builds a rank-k factorization A ~= U V (U m x k, V k x n) of a far-field
+// block by sampling whole rows and columns through the KernelMatrix oracle
+// — never the full block.  Pivoting is the standard partial scheme: each
+// step takes the residual row of the current pivot row, picks the column of
+// its largest residual entry, and derives the next pivot row from the
+// largest entry of the new column term.  The stopping criterion is
+// ||u_k|| * ||v_k|| <= tol * ||A_k||_F with the Frobenius norm of the
+// accumulated approximant tracked incrementally.
+//
+// Recompression re-orthogonalizes both factors (modified Gram-Schmidt QR),
+// takes a Jacobi SVD of the small k x k core, and truncates at the same
+// relative tolerance — shaving the rank overshoot ACA's greedy pivoting
+// leaves behind.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "numeric/matrix.h"
+
+namespace rlcx::hmat {
+
+/// A ~= u * v with u (m x k) and v (k x n).  Rank 0 (empty factors) is a
+/// valid result: the zero block.
+struct LowRank {
+  RealMatrix u;
+  RealMatrix v;
+  std::size_t rank() const { return u.cols(); }
+};
+
+struct AcaOptions {
+  double tol = 1e-9;          ///< relative Frobenius tolerance
+  std::size_t max_rank = 128; ///< give up (caller stores dense) beyond this
+  bool recompress = true;
+};
+
+struct AcaInfo {
+  std::size_t rank = 0;         ///< final rank after recompression
+  std::size_t sampled_rows = 0; ///< row evaluations the build paid for
+  std::size_t sampled_cols = 0;
+  bool converged = true;        ///< false: max_rank hit before tol
+};
+
+/// fill_row(i, out): out[0..n) = A(i, 0..n).  fill_col(j, out): out[0..m)
+/// = A(0..m, j).  Indices are block-local.
+using RowFiller = std::function<void(std::size_t, double*)>;
+
+LowRank aca_compress(std::size_t m, std::size_t n, const RowFiller& fill_row,
+                     const RowFiller& fill_col, const AcaOptions& opt,
+                     AcaInfo* info = nullptr);
+
+/// In-place rank truncation of an existing factorization at relative
+/// tolerance `tol` (QR of both factors + Jacobi SVD of the core).
+void recompress(LowRank& lr, double tol);
+
+}  // namespace rlcx::hmat

@@ -1,0 +1,162 @@
+#include "hmat/cluster_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rlcx::hmat {
+
+namespace {
+
+// World-space extents of a bar: for a kY bar, x is the transverse
+// coordinate and y the along-axis one; for kX they swap.
+void world_bounds(const peec::Bar& b, double lo[3], double hi[3]) {
+  if (b.axis == peec::Axis::kY) {
+    lo[0] = b.t_min;
+    hi[0] = b.t_max();
+    lo[1] = b.a_min;
+    hi[1] = b.a_max();
+  } else {
+    lo[0] = b.a_min;
+    hi[0] = b.a_max();
+    lo[1] = b.t_min;
+    hi[1] = b.t_max();
+  }
+  lo[2] = b.z_min;
+  hi[2] = b.z_max();
+}
+
+double world_center(const peec::Bar& b, int dim) {
+  double lo[3], hi[3];
+  world_bounds(b, lo, hi);
+  return 0.5 * (lo[dim] + hi[dim]);
+}
+
+}  // namespace
+
+double ClusterNode::diameter() const {
+  double d2 = 0.0;
+  for (int dim = 0; dim < 3; ++dim) {
+    const double e = box_max[dim] - box_min[dim];
+    d2 += e * e;
+  }
+  return std::sqrt(d2);
+}
+
+double ClusterNode::center_diameter() const {
+  double d2 = 0.0;
+  for (int dim = 0; dim < 3; ++dim) {
+    const double e = cbox_max[dim] - cbox_min[dim];
+    d2 += e * e;
+  }
+  return std::sqrt(d2);
+}
+
+double node_distance(const ClusterNode& a, const ClusterNode& b) {
+  double d2 = 0.0;
+  for (int dim = 0; dim < 3; ++dim) {
+    const double gap = std::max(
+        {0.0, a.box_min[dim] - b.box_max[dim], b.box_min[dim] - a.box_max[dim]});
+    d2 += gap * gap;
+  }
+  return std::sqrt(d2);
+}
+
+bool admissible(const ClusterNode& a, const ClusterNode& b, double eta) {
+  double d2 = 0.0;
+  for (int dim = 0; dim < 3; ++dim) {
+    const double gap =
+        std::max({0.0, a.cbox_min[dim] - b.cbox_max[dim],
+                  b.cbox_min[dim] - a.cbox_max[dim]});
+    d2 += gap * gap;
+  }
+  const double dist = std::sqrt(d2);
+  if (dist <= 0.0) return false;
+  return std::max(a.center_diameter(), b.center_diameter()) <= eta * dist;
+}
+
+ClusterTree::ClusterTree(const std::vector<peec::Filament>& filaments,
+                         std::size_t leaf_size) {
+  const std::size_t n = filaments.size();
+  if (leaf_size == 0) leaf_size = 1;
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  if (n == 0) return;
+
+  auto make_node = [&](std::size_t begin, std::size_t end) {
+    ClusterNode node;
+    node.begin = begin;
+    node.end = end;
+    for (int dim = 0; dim < 3; ++dim) {
+      node.box_min[dim] = std::numeric_limits<double>::infinity();
+      node.box_max[dim] = -std::numeric_limits<double>::infinity();
+      node.cbox_min[dim] = std::numeric_limits<double>::infinity();
+      node.cbox_max[dim] = -std::numeric_limits<double>::infinity();
+    }
+    for (std::size_t p = begin; p < end; ++p) {
+      double lo[3], hi[3];
+      world_bounds(filaments[perm_[p]].bar, lo, hi);
+      for (int dim = 0; dim < 3; ++dim) {
+        node.box_min[dim] = std::min(node.box_min[dim], lo[dim]);
+        node.box_max[dim] = std::max(node.box_max[dim], hi[dim]);
+        const double c = 0.5 * (lo[dim] + hi[dim]);
+        node.cbox_min[dim] = std::min(node.cbox_min[dim], c);
+        node.cbox_max[dim] = std::max(node.cbox_max[dim], c);
+      }
+    }
+    return node;
+  };
+
+  nodes_.push_back(make_node(0, n));
+  // Iterative worklist; node ids are assigned in breadth-first order, so the
+  // leaf list comes out sorted by range start.
+  std::vector<std::size_t> work{0};
+  while (!work.empty()) {
+    const std::size_t id = work.front();
+    work.erase(work.begin());
+    ClusterNode node = nodes_[id];  // copy: nodes_ may reallocate below
+    if (node.count() <= leaf_size) {
+      leaves_.push_back(id);
+      continue;
+    }
+    // Widest axis of the *center* cloud decides the split direction; bar
+    // extents only pad the boxes.
+    double clo[3], chi[3];
+    for (int dim = 0; dim < 3; ++dim) {
+      clo[dim] = std::numeric_limits<double>::infinity();
+      chi[dim] = -std::numeric_limits<double>::infinity();
+    }
+    for (std::size_t p = node.begin; p < node.end; ++p)
+      for (int dim = 0; dim < 3; ++dim) {
+        const double c = world_center(filaments[perm_[p]].bar, dim);
+        clo[dim] = std::min(clo[dim], c);
+        chi[dim] = std::max(chi[dim], c);
+      }
+    int split_dim = 0;
+    for (int dim = 1; dim < 3; ++dim)
+      if (chi[dim] - clo[dim] > chi[split_dim] - clo[split_dim])
+        split_dim = dim;
+    std::sort(perm_.begin() + static_cast<std::ptrdiff_t>(node.begin),
+              perm_.begin() + static_cast<std::ptrdiff_t>(node.end),
+              [&](std::size_t a, std::size_t b) {
+                const double ca = world_center(filaments[a].bar, split_dim);
+                const double cb = world_center(filaments[b].bar, split_dim);
+                if (ca != cb) return ca < cb;
+                return a < b;
+              });
+    const std::size_t mid = node.begin + node.count() / 2;
+    const std::int32_t c0 = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(make_node(node.begin, mid));
+    nodes_.push_back(make_node(mid, node.end));
+    nodes_[id].child0 = c0;
+    nodes_[id].child1 = c0 + 1;
+    work.push_back(static_cast<std::size_t>(c0));
+    work.push_back(static_cast<std::size_t>(c0) + 1);
+  }
+  std::sort(leaves_.begin(), leaves_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return nodes_[a].begin < nodes_[b].begin;
+            });
+}
+
+}  // namespace rlcx::hmat

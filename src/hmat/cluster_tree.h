@@ -1,0 +1,69 @@
+// Geometric binary cluster tree over filament bars.
+//
+// Recursive median split of the bar centers along the widest world-space
+// axis of their bounding box, down to leaves of at most `leaf_size` bars.
+// Node bounding boxes enclose the full bar extents (not just centers), so
+// the admissibility test below bounds the true geometric separation.  The
+// split sorts by (coordinate, original index), making the tree — and hence
+// the whole block structure built on it — deterministic for any input
+// order of equal coordinates and any pool width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "peec/assembly.h"
+
+namespace rlcx::hmat {
+
+struct ClusterNode {
+  std::size_t begin = 0, end = 0;  ///< range of permutation positions
+  double box_min[3] = {0, 0, 0};   ///< world (x, y, z) lower corner
+  double box_max[3] = {0, 0, 0};   ///< world (x, y, z) upper corner
+  double cbox_min[3] = {0, 0, 0};  ///< bar-center cloud lower corner
+  double cbox_max[3] = {0, 0, 0};  ///< bar-center cloud upper corner
+  std::int32_t child0 = -1, child1 = -1;
+  bool leaf() const { return child0 < 0; }
+  std::size_t count() const { return end - begin; }
+  double diameter() const;         ///< of the full-extent box
+  double center_diameter() const;  ///< of the center cloud
+};
+
+/// Euclidean distance between the two nodes' full-extent bounding boxes
+/// (0 if they touch or overlap).
+double node_distance(const ClusterNode& a, const ClusterNode& b);
+
+/// H-matrix admissibility, measured on the bar-center clouds: the larger
+/// center-cloud diameter is at most eta times the center-cloud gap.
+/// Center clouds rather than full extents because the bars of one
+/// extraction block all span the same along-axis range — full-extent
+/// diameters are dominated by the (shared, interaction-irrelevant) length
+/// and would classify laterally well-separated clusters as near-field.
+/// The choice only affects efficiency, never accuracy: admissible blocks
+/// are still compressed to the ACA tolerance against exact entries, and a
+/// block that refuses to compress falls back to dense storage.
+bool admissible(const ClusterNode& a, const ClusterNode& b, double eta);
+
+class ClusterTree {
+ public:
+  ClusterTree(const std::vector<peec::Filament>& filaments,
+              std::size_t leaf_size);
+
+  const std::vector<ClusterNode>& nodes() const { return nodes_; }
+  const ClusterNode& node(std::size_t id) const { return nodes_[id]; }
+  std::size_t root() const { return 0; }
+
+  /// permutation()[p] = original filament index at tree position p.
+  const std::vector<std::size_t>& permutation() const { return perm_; }
+
+  /// Node ids of the leaves, in ascending range order.
+  const std::vector<std::size_t>& leaves() const { return leaves_; }
+
+ private:
+  std::vector<ClusterNode> nodes_;
+  std::vector<std::size_t> perm_;
+  std::vector<std::size_t> leaves_;
+};
+
+}  // namespace rlcx::hmat

@@ -1,0 +1,121 @@
+#include "hmat/gmres.h"
+
+#include <cmath>
+#include <vector>
+
+namespace rlcx::hmat {
+
+namespace {
+
+double norm(const std::vector<Complex>& v) {
+  double s = 0.0;
+  for (const Complex& c : v) s += std::norm(c);
+  return std::sqrt(s);
+}
+
+Complex cdot(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  Complex s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+}  // namespace
+
+GmresReport gmres_solve(
+    const std::function<void(const Complex*, Complex*)>& matvec,
+    std::size_t n, const std::function<void(Complex*)>& precondition,
+    const Complex* b, Complex* x, const GmresOptions& opt) {
+  GmresReport rep;
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.0;
+  double bnorm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) bnorm += std::norm(b[i]);
+  bnorm = std::sqrt(bnorm);
+  if (bnorm == 0.0) {
+    rep.converged = true;
+    return rep;
+  }
+  const std::size_t m = std::max<std::size_t>(1, opt.restart);
+
+  std::vector<Complex> r(b, b + n);  // initial residual (x = 0)
+  std::vector<std::vector<Complex>> v(m + 1, std::vector<Complex>(n));
+  std::vector<std::vector<Complex>> h(m + 1, std::vector<Complex>(m, 0.0));
+  std::vector<Complex> cs(m), sn(m), g(m + 1);
+  std::vector<Complex> w(n), z(n);
+
+  while (true) {
+    const double rnorm = norm(r);
+    rep.residual = rnorm / bnorm;
+    if (rep.residual <= opt.tol) {
+      rep.converged = true;
+      return rep;
+    }
+    if (rep.iterations >= opt.max_iterations) return rep;
+
+    for (std::size_t i = 0; i < n; ++i) v[0][i] = r[i] / rnorm;
+    for (auto& col : h) std::fill(col.begin(), col.end(), Complex(0.0));
+    std::fill(g.begin(), g.end(), Complex(0.0));
+    g[0] = rnorm;
+
+    std::size_t j = 0;
+    for (; j < m && rep.iterations < opt.max_iterations; ++j) {
+      z = v[j];
+      if (precondition) precondition(z.data());
+      matvec(z.data(), w.data());
+      ++rep.iterations;
+      for (std::size_t i = 0; i <= j; ++i) {
+        const Complex hij = cdot(v[i], w);
+        h[i][j] = hij;
+        for (std::size_t kk = 0; kk < n; ++kk) w[kk] -= hij * v[i][kk];
+      }
+      const double wn = norm(w);
+      h[j + 1][j] = wn;
+      if (wn > 0.0)
+        for (std::size_t kk = 0; kk < n; ++kk) v[j + 1][kk] = w[kk] / wn;
+      // Apply accumulated Givens rotations to the new column.
+      for (std::size_t i = 0; i < j; ++i) {
+        const Complex a = h[i][j], bb = h[i + 1][j];
+        h[i][j] = cs[i] * a + sn[i] * bb;
+        h[i + 1][j] = -std::conj(sn[i]) * a + cs[i] * bb;
+      }
+      // New rotation zeroing h[j+1][j].
+      const Complex a = h[j][j], bb = h[j + 1][j];
+      const double t = std::sqrt(std::norm(a) + std::norm(bb));
+      if (t == 0.0) {
+        cs[j] = 1.0;
+        sn[j] = 0.0;
+      } else if (a == Complex(0.0)) {
+        cs[j] = 0.0;
+        sn[j] = 1.0;
+      } else {
+        cs[j] = std::abs(a) / t;
+        sn[j] = (a / std::abs(a)) * std::conj(bb) / t;
+      }
+      h[j][j] = cs[j] * a + sn[j] * bb;
+      h[j + 1][j] = 0.0;
+      const Complex gj = g[j];
+      g[j] = cs[j] * gj;
+      g[j + 1] = -std::conj(sn[j]) * gj;
+      if (std::abs(g[j + 1]) / bnorm <= opt.tol || wn == 0.0) {
+        ++j;
+        break;
+      }
+    }
+    // Back-substitute the j x j least-squares system and update x.
+    std::vector<Complex> y(j, 0.0);
+    for (std::size_t i = j; i-- > 0;) {
+      Complex acc = g[i];
+      for (std::size_t kk = i + 1; kk < j; ++kk) acc -= h[i][kk] * y[kk];
+      y[i] = h[i][i] == Complex(0.0) ? Complex(0.0) : acc / h[i][i];
+    }
+    std::fill(z.begin(), z.end(), Complex(0.0));
+    for (std::size_t kk = 0; kk < j; ++kk)
+      for (std::size_t i = 0; i < n; ++i) z[i] += y[kk] * v[kk][i];
+    if (precondition) precondition(z.data());
+    for (std::size_t i = 0; i < n; ++i) x[i] += z[i];
+    // True residual decides convergence and seeds the next cycle.
+    matvec(x, w.data());
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - w[i];
+  }
+}
+
+}  // namespace rlcx::hmat

@@ -1,0 +1,40 @@
+// Restarted complex GMRES with right preconditioning.
+//
+// Modified Gram-Schmidt Arnoldi with Givens-rotation least squares — the
+// standard Saad formulation.  Right preconditioning (solve A M^-1 u = b,
+// x = M^-1 u) keeps the monitored residual the *true* residual of the
+// original system, which is what the solver's accuracy gate measures.
+// Every operation is serial and in fixed order, so a solve is
+// bit-identical for any pool width (the pool parallelizes across
+// right-hand sides, never inside one solve).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <functional>
+
+namespace rlcx::hmat {
+
+using Complex = std::complex<double>;
+
+struct GmresOptions {
+  double tol = 1e-12;                 ///< relative residual target
+  std::size_t restart = 60;           ///< Krylov dimension per cycle
+  std::size_t max_iterations = 400;   ///< total matvec budget
+};
+
+struct GmresReport {
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< final relative residual ||b - Ax|| / ||b||
+  bool converged = false;
+};
+
+/// matvec(x, y): y = A x.  precondition(v): v = M^-1 v in place (pass an
+/// empty function for none).  x (length n) receives the solution; the
+/// initial guess is zero.
+GmresReport gmres_solve(
+    const std::function<void(const Complex*, Complex*)>& matvec,
+    std::size_t n, const std::function<void(Complex*)>& precondition,
+    const Complex* b, Complex* x, const GmresOptions& opt);
+
+}  // namespace rlcx::hmat

@@ -1,0 +1,274 @@
+#include "hmat/hmatrix.h"
+
+#include <algorithm>
+
+#include "rt/parallel.h"
+#include "run/control.h"
+
+namespace rlcx::hmat {
+
+void HMatrix::partition(std::size_t a, std::size_t b) {
+  const ClusterNode& na = tree_->node(a);
+  const ClusterNode& nb = tree_->node(b);
+  if (a == b) {
+    if (na.leaf()) {
+      Block blk;
+      blk.row_node = static_cast<std::uint32_t>(a);
+      blk.col_node = static_cast<std::uint32_t>(a);
+      blocks_.push_back(std::move(blk));
+      return;
+    }
+    const std::size_t c0 = static_cast<std::size_t>(na.child0);
+    const std::size_t c1 = static_cast<std::size_t>(na.child1);
+    partition(c0, c0);
+    partition(c0, c1);
+    partition(c1, c1);
+    return;
+  }
+  if (admissible(na, nb, opt_.eta)) {
+    Block blk;
+    blk.row_node = static_cast<std::uint32_t>(a);
+    blk.col_node = static_cast<std::uint32_t>(b);
+    blk.low_rank = true;
+    blocks_.push_back(std::move(blk));
+    return;
+  }
+  if (na.leaf() && nb.leaf()) {
+    Block blk;
+    blk.row_node = static_cast<std::uint32_t>(a);
+    blk.col_node = static_cast<std::uint32_t>(b);
+    blocks_.push_back(std::move(blk));
+    return;
+  }
+  if (na.leaf()) {
+    partition(a, static_cast<std::size_t>(nb.child0));
+    partition(a, static_cast<std::size_t>(nb.child1));
+    return;
+  }
+  if (nb.leaf()) {
+    partition(static_cast<std::size_t>(na.child0), b);
+    partition(static_cast<std::size_t>(na.child1), b);
+    return;
+  }
+  partition(static_cast<std::size_t>(na.child0),
+            static_cast<std::size_t>(nb.child0));
+  partition(static_cast<std::size_t>(na.child0),
+            static_cast<std::size_t>(nb.child1));
+  partition(static_cast<std::size_t>(na.child1),
+            static_cast<std::size_t>(nb.child0));
+  partition(static_cast<std::size_t>(na.child1),
+            static_cast<std::size_t>(nb.child1));
+}
+
+HMatrix::HMatrix(const KernelMatrix& kernel, const ClusterTree& tree,
+                 const HmatOptions& opt, rt::Pool* pool)
+    : kernel_(&kernel), tree_(&tree), opt_(opt) {
+  const std::size_t n = kernel.size();
+  if (n == 0) return;
+  partition(tree.root(), tree.root());
+
+  const std::vector<std::size_t>& perm = tree.permutation();
+  rt::ParallelOptions popt;
+  popt.pool = pool;
+  rt::parallel_for(
+      0, blocks_.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t bi = lo; bi < hi; ++bi) {
+          run::checkpoint("hmat-assembly");
+          Block& blk = blocks_[bi];
+          const ClusterNode& ra = tree_->node(blk.row_node);
+          const ClusterNode& ca = tree_->node(blk.col_node);
+          const std::size_t m = ra.count(), nn = ca.count();
+          const std::size_t* rows = perm.data() + ra.begin;
+          const std::size_t* cols = perm.data() + ca.begin;
+          if (blk.low_rank) {
+            AcaOptions aopt;
+            aopt.tol = opt_.aca_tol;
+            aopt.max_rank = opt_.max_rank;
+            AcaInfo info;
+            blk.lr = aca_compress(
+                m, nn,
+                [&](std::size_t i, double* out) {
+                  kernel_->row(rows[i], cols, nn, out);
+                },
+                [&](std::size_t j, double* out) {
+                  kernel_->col(cols[j], rows, m, out);
+                },
+                aopt, &info);
+            if (!info.converged) {
+              // ACA could not meet tol within max_rank: store the block
+              // dense so accuracy never silently degrades.
+              blk.low_rank = false;
+              blk.lr = LowRank{};
+            }
+          }
+          if (!blk.low_rank) {
+            blk.dense = RealMatrix(m, nn);
+            for (std::size_t i = 0; i < m; ++i)
+              kernel_->row(rows[i], cols, nn, &blk.dense(i, 0));
+          }
+        }
+      },
+      popt);
+
+  stats_.full_entries = n * n;
+  for (const Block& blk : blocks_) {
+    if (blk.low_rank) {
+      ++stats_.lowrank_blocks;
+      stats_.rank_max = std::max(stats_.rank_max, blk.lr.rank());
+      stats_.stored_entries +=
+          blk.lr.u.rows() * blk.lr.rank() + blk.lr.rank() * blk.lr.v.cols();
+    } else {
+      ++stats_.dense_blocks;
+      stats_.stored_entries += blk.dense.rows() * blk.dense.cols();
+      const ClusterNode& ra = tree_->node(blk.row_node);
+      const ClusterNode& ca = tree_->node(blk.col_node);
+      if (admissible(ra, ca, opt_.eta)) ++stats_.aca_dense_fallbacks;
+    }
+  }
+}
+
+void HMatrix::matvec(const double* x, double* y) const {
+  const std::size_t n = size();
+  const std::vector<std::size_t>& perm = tree_->permutation();
+  std::vector<double> xp(n), yp(n, 0.0);
+  for (std::size_t p = 0; p < n; ++p) xp[p] = x[perm[p]];
+
+  for (const Block& blk : blocks_) {
+    const ClusterNode& ra = tree_->node(blk.row_node);
+    const ClusterNode& ca = tree_->node(blk.col_node);
+    const std::size_t rb = ra.begin, m = ra.count();
+    const std::size_t cb = ca.begin, nn = ca.count();
+    const bool diagonal = blk.row_node == blk.col_node;
+    if (!blk.low_rank) {
+      for (std::size_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < nn; ++j)
+          acc += blk.dense(i, j) * xp[cb + j];
+        yp[rb + i] += acc;
+      }
+      if (!diagonal) {
+        for (std::size_t j = 0; j < nn; ++j) {
+          double acc = 0.0;
+          for (std::size_t i = 0; i < m; ++i)
+            acc += blk.dense(i, j) * xp[rb + i];
+          yp[cb + j] += acc;
+        }
+      }
+      continue;
+    }
+    const std::size_t k = blk.lr.rank();
+    std::vector<double> t(k, 0.0);
+    for (std::size_t c = 0; c < k; ++c) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < nn; ++j)
+        acc += blk.lr.v(c, j) * xp[cb + j];
+      t[c] = acc;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < k; ++c) acc += blk.lr.u(i, c) * t[c];
+      yp[rb + i] += acc;
+    }
+    // Transpose contribution (off-diagonal blocks represent both
+    // triangles; admissible blocks are never diagonal).
+    std::vector<double> t2(k, 0.0);
+    for (std::size_t c = 0; c < k; ++c) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m; ++i) acc += blk.lr.u(i, c) * xp[rb + i];
+      t2[c] = acc;
+    }
+    for (std::size_t j = 0; j < nn; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < k; ++c) acc += blk.lr.v(c, j) * t2[c];
+      yp[cb + j] += acc;
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) y[perm[p]] = yp[p];
+}
+
+void HMatrix::matvec(const std::complex<double>* x,
+                     std::complex<double>* y) const {
+  // Fused complex apply: the kernel is real, so y = (L xr) + i (L xi).
+  // One traversal touches every stored block once (the block data is the
+  // memory-bound term; splitting into two real passes reads it twice).
+  const std::size_t n = size();
+  const std::vector<std::size_t>& perm = tree_->permutation();
+  std::vector<std::complex<double>> xp(n), yp(n, {0.0, 0.0});
+  for (std::size_t p = 0; p < n; ++p) xp[p] = x[perm[p]];
+
+  for (const Block& blk : blocks_) {
+    const ClusterNode& ra = tree_->node(blk.row_node);
+    const ClusterNode& ca = tree_->node(blk.col_node);
+    const std::size_t rb = ra.begin, m = ra.count();
+    const std::size_t cb = ca.begin, nn = ca.count();
+    const bool diagonal = blk.row_node == blk.col_node;
+    if (!blk.low_rank) {
+      for (std::size_t i = 0; i < m; ++i) {
+        double re = 0.0, im = 0.0;
+        for (std::size_t j = 0; j < nn; ++j) {
+          const double a = blk.dense(i, j);
+          re += a * xp[cb + j].real();
+          im += a * xp[cb + j].imag();
+        }
+        yp[rb + i] += std::complex<double>(re, im);
+      }
+      if (!diagonal) {
+        for (std::size_t j = 0; j < nn; ++j) {
+          double re = 0.0, im = 0.0;
+          for (std::size_t i = 0; i < m; ++i) {
+            const double a = blk.dense(i, j);
+            re += a * xp[rb + i].real();
+            im += a * xp[rb + i].imag();
+          }
+          yp[cb + j] += std::complex<double>(re, im);
+        }
+      }
+      continue;
+    }
+    const std::size_t k = blk.lr.rank();
+    std::vector<std::complex<double>> t(k, {0.0, 0.0});
+    for (std::size_t c = 0; c < k; ++c) {
+      double re = 0.0, im = 0.0;
+      for (std::size_t j = 0; j < nn; ++j) {
+        const double a = blk.lr.v(c, j);
+        re += a * xp[cb + j].real();
+        im += a * xp[cb + j].imag();
+      }
+      t[c] = {re, im};
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      double re = 0.0, im = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double a = blk.lr.u(i, c);
+        re += a * t[c].real();
+        im += a * t[c].imag();
+      }
+      yp[rb + i] += std::complex<double>(re, im);
+    }
+    // Transpose contribution (off-diagonal blocks represent both
+    // triangles; admissible blocks are never diagonal).
+    std::vector<std::complex<double>> t2(k, {0.0, 0.0});
+    for (std::size_t c = 0; c < k; ++c) {
+      double re = 0.0, im = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double a = blk.lr.u(i, c);
+        re += a * xp[rb + i].real();
+        im += a * xp[rb + i].imag();
+      }
+      t2[c] = {re, im};
+    }
+    for (std::size_t j = 0; j < nn; ++j) {
+      double re = 0.0, im = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double a = blk.lr.v(c, j);
+        re += a * t2[c].real();
+        im += a * t2[c].imag();
+      }
+      yp[cb + j] += std::complex<double>(re, im);
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) y[perm[p]] = yp[p];
+}
+
+}  // namespace rlcx::hmat

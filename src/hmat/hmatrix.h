@@ -1,0 +1,92 @@
+// Hierarchical matrix over the KernelMatrix oracle.
+//
+// The cluster tree induces a block partition of the (symmetric) filament
+// partial-inductance matrix: diagonal and inadmissible near-field blocks
+// are stored dense, admissible far-field blocks are compressed by
+// partially-pivoted ACA (aca.h).  Only the upper-triangle blocks are built;
+// the matvec applies each off-diagonal block and its transpose, so storage
+// is roughly halved on top of the low-rank savings.
+//
+// Assembly fans the fixed, serially-enumerated block list across the rt
+// pool (disjoint writes, one run::checkpoint per block so cancellation
+// lands on block boundaries).  The matvec walks the blocks serially in
+// list order — together with the KernelMatrix's canonical-key memo this
+// makes every product bit-identical for any pool width.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hmat/aca.h"
+#include "hmat/cluster_tree.h"
+#include "hmat/kernel_matrix.h"
+#include "numeric/matrix.h"
+
+namespace rlcx::rt {
+class Pool;
+}
+
+namespace rlcx::hmat {
+
+struct HmatOptions {
+  std::size_t leaf_size = 64;  ///< cluster-tree leaf bound
+  double eta = 2.0;            ///< admissibility: max diam <= eta * dist
+  /// ACA relative tolerance.  Kept well below the solver's 1e-8 agreement
+  /// gate so operator error never dominates.
+  double aca_tol = 1e-11;
+  std::size_t max_rank = 128;  ///< ACA bail-out; such blocks go dense
+};
+
+struct AssemblyStats {
+  std::size_t dense_blocks = 0;
+  std::size_t lowrank_blocks = 0;
+  std::size_t aca_dense_fallbacks = 0;  ///< admissible blocks ACA gave up on
+  std::size_t rank_max = 0;
+  std::size_t stored_entries = 0;  ///< doubles actually stored
+  std::size_t full_entries = 0;    ///< n^2 of the represented matrix
+  double compression() const {
+    return full_entries == 0
+               ? 0.0
+               : static_cast<double>(stored_entries) /
+                     static_cast<double>(full_entries);
+  }
+};
+
+class HMatrix {
+ public:
+  /// Builds the block structure and fills it in parallel on `pool`
+  /// (nullptr = process-global).  `kernel` and `tree` must outlive the
+  /// HMatrix.
+  HMatrix(const KernelMatrix& kernel, const ClusterTree& tree,
+          const HmatOptions& opt, rt::Pool* pool = nullptr);
+
+  std::size_t size() const { return kernel_->size(); }
+  const ClusterTree& tree() const { return *tree_; }
+  const AssemblyStats& stats() const { return stats_; }
+
+  /// y = Lp * x in the ORIGINAL filament order (permutation applied
+  /// internally).  Serial, deterministic, thread-safe (read-only).
+  void matvec(const double* x, double* y) const;
+  /// Complex convenience: two real products (Lp is real).
+  void matvec(const std::complex<double>* x, std::complex<double>* y) const;
+
+ private:
+  struct Block {
+    std::uint32_t row_node = 0, col_node = 0;
+    bool low_rank = false;
+    RealMatrix dense;
+    LowRank lr;
+  };
+
+  void partition(std::size_t a, std::size_t b);
+
+  const KernelMatrix* kernel_;
+  const ClusterTree* tree_;
+  HmatOptions opt_;
+  std::vector<Block> blocks_;
+  AssemblyStats stats_;
+};
+
+}  // namespace rlcx::hmat

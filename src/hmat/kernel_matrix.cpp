@@ -1,0 +1,130 @@
+#include "hmat/kernel_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlcx::hmat {
+
+namespace {
+
+// Same scale the dense fill quantizes against (peec/assembly.cpp): the
+// largest coordinate magnitude or extent in the filament set.
+double fill_scale(const std::vector<peec::Filament>& filaments) {
+  double s = 0.0;
+  for (const peec::Filament& f : filaments) {
+    const peec::Bar& b = f.bar;
+    s = std::max({s, std::abs(b.a_min), std::abs(b.a_max()),
+                  std::abs(b.t_min), std::abs(b.t_max()),
+                  std::abs(b.z_min), std::abs(b.z_max()),
+                  b.length, b.t_width, b.z_thick});
+  }
+  return s;
+}
+
+}  // namespace
+
+KernelMatrix::KernelMatrix(std::vector<peec::Filament> filaments,
+                           const peec::PartialOptions& opt)
+    : filaments_(std::move(filaments)), opt_(opt) {
+  // Representative-based memoization needs translation-only keys (the
+  // header explains why); the fold never changes values beyond ~1e-9.
+  opt_.memo_fold_symmetries = false;
+  quantum_ = fill_scale(filaments_) * opt_.memo_rel_tol;
+  memo_ = opt_.memo && quantum_ > 0.0;
+  chunks_.reserve(filaments_.size());
+  for (const peec::Filament& f : filaments_)
+    chunks_.push_back(peec::chunk_lengthwise(f.bar, opt_.max_aspect));
+  if (!memo_) return;
+  // Replay the dense fill's serial pass-1 scan so every class gets the
+  // identical representative pair (see the header on why this is what
+  // makes lazily served entries bit-equal to the dense memo fill).
+  const std::size_t n = filaments_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const peec::Bar& bi = filaments_[i].bar;
+    self_reps_.try_emplace(
+        peec::make_self_key(bi, quantum_),
+        Rep{static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i)});
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const peec::Bar& bj = filaments_[j].bar;
+      if (bi.axis != bj.axis) continue;  // exact zero, no kernel
+      pair_reps_.try_emplace(
+          peec::make_pair_key(bi, bj, quantum_, /*fold_symmetries=*/false),
+          Rep{static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+    }
+  }
+}
+
+double KernelMatrix::entry(std::size_t i, std::size_t j) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (i == j) return self_value(i);
+  const peec::Bar& bi = filaments_[i].bar;
+  const peec::Bar& bj = filaments_[j].bar;
+  if (bi.axis != bj.axis) return 0.0;
+  return filaments_[i].sign * filaments_[j].sign * pair_value(i, j);
+}
+
+void KernelMatrix::row(std::size_t i, const std::size_t* cols,
+                       std::size_t count, double* out) const {
+  for (std::size_t k = 0; k < count; ++k) out[k] = entry(i, cols[k]);
+}
+
+peec::FillStats KernelMatrix::fill_stats() const {
+  peec::FillStats s;
+  s.pair_lookups = lookups_.load(std::memory_order_relaxed);
+  s.kernel_evals = evals_.load(std::memory_order_relaxed);
+  s.memo_hits = hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double KernelMatrix::self_value(std::size_t i) const {
+  if (!memo_) {
+    evals_.fetch_add(1, std::memory_order_relaxed);
+    return peec::self_partial_chunked(chunks_[i], opt_);
+  }
+  return memo_lookup(true, peec::make_self_key(filaments_[i].bar, quantum_));
+}
+
+double KernelMatrix::pair_value(std::size_t i, std::size_t j) const {
+  // Canonical orientation: the dense fill only ever evaluates i < j, and
+  // mutual_partial_chunked(b, c) differs from (c, b) at the cancellation
+  // floor, so serve the lower triangle through the upper one.
+  if (j < i) std::swap(i, j);
+  if (!memo_) {
+    evals_.fetch_add(1, std::memory_order_relaxed);
+    return peec::mutual_partial_chunked(filaments_[i].bar, filaments_[j].bar,
+                                        chunks_[i], chunks_[j], opt_);
+  }
+  return memo_lookup(false,
+                     peec::make_pair_key(filaments_[i].bar, filaments_[j].bar,
+                                         quantum_, /*fold_symmetries=*/false));
+}
+
+double KernelMatrix::memo_lookup(bool self, const peec::PairKey& key) const {
+  Shard& shard = shards_[peec::PairKeyHash{}(key) % kShards];
+  auto& map = self ? shard.self_map : shard.pair_map;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = map.find(key);
+    if (it != map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Evaluate the class representative outside the lock; the value is a pure
+  // function of the key (via the immutable rep maps), so a racing thread
+  // computing the same class inserts the identical double.
+  const auto& reps = self ? self_reps_ : pair_reps_;
+  const Rep rep = reps.at(key);
+  const double value = evaluate(rep.i, rep.j);
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return map.try_emplace(key, value).first->second;
+}
+
+double KernelMatrix::evaluate(std::size_t i, std::size_t j) const {
+  if (i == j) return peec::self_partial_chunked(chunks_[i], opt_);
+  return peec::mutual_partial_chunked(filaments_[i].bar, filaments_[j].bar,
+                                      chunks_[i], chunks_[j], opt_);
+}
+
+}  // namespace rlcx::hmat

@@ -1,0 +1,83 @@
+#include "hmat/stats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+namespace rlcx::hmat {
+
+namespace {
+
+std::atomic<std::size_t> g_hmat_solves{0};
+std::atomic<std::size_t> g_dense_solves{0};
+std::atomic<std::size_t> g_gmres_iterations{0};
+std::atomic<std::size_t> g_gmres_fallbacks{0};
+std::atomic<std::size_t> g_aca_rank_max{0};
+std::atomic<std::size_t> g_stored_entries{0};
+std::atomic<std::size_t> g_full_entries{0};
+// Non-negative doubles compare like their bit patterns, so the residual
+// high-water lives in a uint64 fetch-max loop.
+std::atomic<std::uint64_t> g_worst_residual_bits{0};
+
+void fetch_max(std::atomic<std::size_t>& a, std::size_t v) {
+  std::size_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+SolveStats solve_stats_total() {
+  SolveStats s;
+  s.hmat_solves = g_hmat_solves.load(std::memory_order_relaxed);
+  s.dense_solves = g_dense_solves.load(std::memory_order_relaxed);
+  s.gmres_iterations = g_gmres_iterations.load(std::memory_order_relaxed);
+  s.gmres_fallbacks = g_gmres_fallbacks.load(std::memory_order_relaxed);
+  s.aca_rank_max = g_aca_rank_max.load(std::memory_order_relaxed);
+  s.stored_entries = g_stored_entries.load(std::memory_order_relaxed);
+  s.full_entries = g_full_entries.load(std::memory_order_relaxed);
+  const std::uint64_t bits =
+      g_worst_residual_bits.load(std::memory_order_relaxed);
+  double r;
+  static_assert(sizeof r == sizeof bits);
+  __builtin_memcpy(&r, &bits, sizeof r);
+  s.gmres_worst_residual = r;
+  return s;
+}
+
+void reset_solve_stats_total() {
+  g_hmat_solves.store(0, std::memory_order_relaxed);
+  g_dense_solves.store(0, std::memory_order_relaxed);
+  g_gmres_iterations.store(0, std::memory_order_relaxed);
+  g_gmres_fallbacks.store(0, std::memory_order_relaxed);
+  g_aca_rank_max.store(0, std::memory_order_relaxed);
+  g_stored_entries.store(0, std::memory_order_relaxed);
+  g_full_entries.store(0, std::memory_order_relaxed);
+  g_worst_residual_bits.store(0, std::memory_order_relaxed);
+}
+
+void record_dense_solve() {
+  g_dense_solves.fetch_add(1, std::memory_order_relaxed);
+}
+
+void record_hmat_solve(std::size_t stored_entries, std::size_t full_entries,
+                       std::size_t rank_max, std::size_t gmres_iterations,
+                       std::size_t fallbacks, double worst_residual) {
+  g_hmat_solves.fetch_add(1, std::memory_order_relaxed);
+  g_gmres_iterations.fetch_add(gmres_iterations, std::memory_order_relaxed);
+  g_gmres_fallbacks.fetch_add(fallbacks, std::memory_order_relaxed);
+  g_stored_entries.fetch_add(stored_entries, std::memory_order_relaxed);
+  g_full_entries.fetch_add(full_entries, std::memory_order_relaxed);
+  fetch_max(g_aca_rank_max, rank_max);
+  if (worst_residual > 0.0) {
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &worst_residual, sizeof bits);
+    std::uint64_t cur = g_worst_residual_bits.load(std::memory_order_relaxed);
+    while (cur < bits && !g_worst_residual_bits.compare_exchange_weak(
+                             cur, bits, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+}  // namespace rlcx::hmat

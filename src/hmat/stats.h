@@ -1,0 +1,39 @@
+// Process-wide hierarchical-solver telemetry.
+//
+// Same contract as peec::fill_stats_total / core::table_build_solve_count:
+// relaxed-atomic aggregates that BuildStats, `cache stats` and the serve
+// daemon's stats/health snapshot (or delta around a build).
+#pragma once
+
+#include <cstddef>
+
+namespace rlcx::hmat {
+
+struct SolveStats {
+  std::size_t hmat_solves = 0;   ///< impedance solves taken by the hmat path
+  std::size_t dense_solves = 0;  ///< ... taken by the dense LU path
+  std::size_t gmres_iterations = 0;  ///< total across all solves
+  std::size_t gmres_fallbacks = 0;   ///< non-convergence -> dense fallback
+  std::size_t aca_rank_max = 0;      ///< high-water across all blocks
+  std::size_t stored_entries = 0;    ///< summed over hmat solves
+  std::size_t full_entries = 0;      ///< summed n^2 over hmat solves
+  double gmres_worst_residual = 0.0; ///< high-water accepted rel. residual
+
+  double compression() const {
+    return full_entries == 0
+               ? 0.0
+               : static_cast<double>(stored_entries) /
+                     static_cast<double>(full_entries);
+  }
+};
+
+SolveStats solve_stats_total();
+void reset_solve_stats_total();
+
+/// Recorded by solver::conductor_impedance per solve.
+void record_dense_solve();
+void record_hmat_solve(std::size_t stored_entries, std::size_t full_entries,
+                       std::size_t rank_max, std::size_t gmres_iterations,
+                       std::size_t fallbacks, double worst_residual);
+
+}  // namespace rlcx::hmat

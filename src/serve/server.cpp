@@ -15,6 +15,7 @@
 
 #include "cli/cli.h"
 #include "diag/error.h"
+#include "hmat/stats.h"
 #include "run/fault_injection.h"
 #include "run/signal.h"
 
@@ -435,11 +436,20 @@ std::string Server::stats_text() {
      << " accept retries, " << cs.quarantined_at_startup
      << " quarantined at startup, " << cs.tmp_swept
      << " staging files swept, " << cs.fsyncs << " fsyncs\n";
+  const hmat::SolveStats hs = hmat::solve_stats_total();
+  os << "impedance solver: " << hs.dense_solves << " dense, "
+     << hs.hmat_solves << " hierarchical ("
+     << hs.gmres_iterations << " GMRES iterations, "
+     << hs.gmres_fallbacks << " dense fallbacks, rank max "
+     << hs.aca_rank_max << ", "
+     << static_cast<int>(100.0 * hs.compression() + 0.5)
+     << "% entries stored)\n";
   return os.str();
 }
 
 std::string Server::health_text() {
   const AdmissionQueue::Stats as = admission_.stats();
+  const hmat::SolveStats hs2 = hmat::solve_stats_total();
   const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
                           std::chrono::steady_clock::now() - start_)
                           .count();
@@ -454,7 +464,10 @@ std::string Server::health_text() {
      << "idle-disconnects "
      << idle_disconnects_.load(std::memory_order_relaxed) << "\n"
      << "accept-retries "
-     << accept_retries_.load(std::memory_order_relaxed) << "\n";
+     << accept_retries_.load(std::memory_order_relaxed) << "\n"
+     << "dense-solves " << hs2.dense_solves << "\n"
+     << "hmat-solves " << hs2.hmat_solves << "\n"
+     << "gmres-fallbacks " << hs2.gmres_fallbacks << "\n";
   return os.str();
 }
 

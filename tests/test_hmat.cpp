@@ -1,0 +1,589 @@
+// Tests for the hierarchical kernel-matrix subsystem (src/hmat) and its
+// wiring into the block solver.
+//
+// The dense blocked-LU path is the bit-exact oracle throughout: the
+// KernelMatrix, the H-matrix product and the full GMRES loop solve are all
+// gated against it — on a translation-rich regular mesh (where the memo
+// classes collapse hard) and on a perturbed, pivot-hostile one (where
+// nearly every pair is its own class and ACA's pivoting does real work).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "diag/error.h"
+#include "diag/warnings.h"
+#include "geom/builders.h"
+#include "hmat/aca.h"
+#include "hmat/cluster_tree.h"
+#include "hmat/gmres.h"
+#include "hmat/hmatrix.h"
+#include "hmat/kernel_matrix.h"
+#include "hmat/stats.h"
+#include "numeric/lu.h"
+#include "numeric/units.h"
+#include "peec/assembly.h"
+#include "rt/pool.h"
+#include "run/control.h"
+#include "run/fault_injection.h"
+#include "solver/block_solver.h"
+
+namespace rlcx::hmat {
+namespace {
+
+using geom::Block;
+using geom::Technology;
+using solver::LoopResult;
+using solver::SolveOptions;
+using solver::SolverKind;
+using units::um;
+
+const Technology& tech() {
+  static const Technology t = Technology::generic_025um();
+  return t;
+}
+
+peec::Bar strip_bar(double t_min, double z_min, double width, double thick,
+                    double length) {
+  peec::Bar b;
+  b.axis = peec::Axis::kY;
+  b.a_min = 0.0;
+  b.length = length;
+  b.t_min = t_min;
+  b.t_width = width;
+  b.z_min = z_min;
+  b.z_thick = thick;
+  return b;
+}
+
+/// Regular strip array: heavy translation reuse (the memo-friendly case).
+std::vector<peec::Filament> regular_mesh(std::size_t n) {
+  std::vector<peec::Filament> fils;
+  for (std::size_t i = 0; i < n; ++i)
+    fils.push_back({strip_bar(static_cast<double>(i) * um(3), 0.0, um(1),
+                              um(0.5), um(400)),
+                    1.0, 0.1});
+  return fils;
+}
+
+/// Perturbed mesh: irregular widths/positions/z so almost every pair is its
+/// own memo class and ACA pivots over genuinely distinct magnitudes.
+std::vector<peec::Filament> perturbed_mesh(std::size_t n) {
+  std::vector<peec::Filament> fils;
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deterministic, aperiodic perturbations.
+    const double di = static_cast<double>(i);
+    const double w = um(1) * (1.0 + 0.31 * std::sin(1.7 * di + 0.3));
+    const double gap = um(2) * (1.0 + 0.27 * std::cos(2.3 * di));
+    const double z = um(0.2) * std::sin(0.9 * di);
+    const double len = um(400) * (1.0 + 0.05 * std::sin(3.1 * di));
+    fils.push_back({strip_bar(x, z, w, um(0.5), len), i % 2 ? -1.0 : 1.0,
+                    0.05 + 0.01 * di});
+    x += w + gap;
+  }
+  return fils;
+}
+
+RealMatrix dense_oracle(const std::vector<peec::Filament>& fils) {
+  return peec::partial_inductance_matrix(fils, peec::PartialOptions{});
+}
+
+double max_rel_dev(const RealMatrix& a, const RealMatrix& b) {
+  double scale = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      scale = std::max(scale, std::abs(a(i, j)));
+  double dev = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      dev = std::max(dev, std::abs(a(i, j) - b(i, j)));
+  return scale == 0.0 ? dev : dev / scale;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster tree
+
+TEST(ClusterTree, InvariantsAndCoverage) {
+  const std::vector<peec::Filament> fils = perturbed_mesh(100);
+  const ClusterTree tree(fils, 8);
+  // Permutation is a bijection.
+  std::vector<char> seen(fils.size(), 0);
+  for (std::size_t p : tree.permutation()) {
+    ASSERT_LT(p, fils.size());
+    EXPECT_EQ(seen[p], 0);
+    seen[p] = 1;
+  }
+  // Leaves partition [0, n) and respect the size bound.
+  std::size_t covered = 0;
+  for (std::size_t id : tree.leaves()) {
+    const ClusterNode& node = tree.node(id);
+    EXPECT_TRUE(node.leaf());
+    EXPECT_LE(node.count(), 8u);
+    EXPECT_EQ(node.begin, covered);
+    covered = node.end;
+  }
+  EXPECT_EQ(covered, fils.size());
+  // Every node's box contains its bars.
+  for (const ClusterNode& node : tree.nodes()) {
+    for (std::size_t p = node.begin; p < node.end; ++p) {
+      const peec::Bar& b = fils[tree.permutation()[p]].bar;
+      EXPECT_GE(b.t_min, node.box_min[0] - 1e-18);
+      EXPECT_LE(b.t_max(), node.box_max[0] + 1e-18);
+      EXPECT_GE(b.z_min, node.box_min[2] - 1e-18);
+      EXPECT_LE(b.z_max(), node.box_max[2] + 1e-18);
+    }
+  }
+}
+
+TEST(ClusterTree, AdmissibilityNeedsSeparation) {
+  const std::vector<peec::Filament> fils = regular_mesh(64);
+  const ClusterTree tree(fils, 8);
+  const ClusterNode& root = tree.node(tree.root());
+  EXPECT_FALSE(admissible(root, root, 2.0));  // overlapping boxes: dist 0
+  // Two far-apart leaves are admissible at a generous eta.
+  const ClusterNode& first = tree.node(tree.leaves().front());
+  const ClusterNode& last = tree.node(tree.leaves().back());
+  EXPECT_TRUE(admissible(first, last, 100.0));
+}
+
+// ---------------------------------------------------------------------------
+// ACA
+
+TEST(Aca, CompressesSmoothKernelToTolerance) {
+  // Far-field block of a smooth displacement kernel: sources at i, targets
+  // at 150 + 1.37 j, so the 1/(25 + d^2) peak lies well outside the block
+  // and the restriction is numerically low-rank — the shape ACA is built
+  // for.  (With the peak inside the block the matrix is near full rank and
+  // no algorithm could compress it.)
+  const std::size_t m = 60, n = 45;
+  auto entry = [](std::size_t i, std::size_t j) {
+    const double d =
+        static_cast<double>(i) - (150.0 + 1.37 * static_cast<double>(j));
+    return 1.0 / (25.0 + d * d);
+  };
+  AcaOptions opt;
+  opt.tol = 1e-10;
+  AcaInfo info;
+  const LowRank lr = aca_compress(
+      m, n,
+      [&](std::size_t i, double* out) {
+        for (std::size_t j = 0; j < n; ++j) out[j] = entry(i, j);
+      },
+      [&](std::size_t j, double* out) {
+        for (std::size_t i = 0; i < m; ++i) out[i] = entry(i, j);
+      },
+      opt, &info);
+  EXPECT_TRUE(info.converged);
+  EXPECT_LT(lr.rank(), std::min(m, n) / 2);
+  double fro = 0.0, err = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double approx = 0.0;
+      for (std::size_t k = 0; k < lr.rank(); ++k)
+        approx += lr.u(i, k) * lr.v(k, j);
+      const double e = entry(i, j);
+      fro += e * e;
+      err += (approx - e) * (approx - e);
+    }
+  EXPECT_LT(std::sqrt(err), 100.0 * opt.tol * std::sqrt(fro));
+}
+
+TEST(Aca, ZeroBlockIsRankZero) {
+  AcaInfo info;
+  const LowRank lr = aca_compress(
+      10, 12, [](std::size_t, double* out) { std::fill(out, out + 12, 0.0); },
+      [](std::size_t, double* out) { std::fill(out, out + 10, 0.0); },
+      AcaOptions{}, &info);
+  EXPECT_EQ(lr.rank(), 0u);
+  EXPECT_TRUE(info.converged);
+}
+
+TEST(Aca, RecompressionTruncatesRedundantRank) {
+  // Build an exactly rank-2 factorization padded with linearly dependent
+  // directions; recompress must find rank 2.
+  const std::size_t m = 20, n = 20, k = 6;
+  LowRank lr;
+  lr.u = RealMatrix(m, k);
+  lr.v = RealMatrix(k, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double a = std::sin(0.3 * static_cast<double>(i));
+    const double b = std::cos(0.7 * static_cast<double>(i));
+    for (std::size_t c = 0; c < k; ++c)
+      lr.u(i, c) = a * static_cast<double>(c + 1) + b * (c % 2 ? 1.0 : -2.0);
+  }
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t j = 0; j < n; ++j)
+      lr.v(c, j) = std::cos(0.1 * static_cast<double>(c * j + 1));
+  RealMatrix before(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < k; ++c) s += lr.u(i, c) * lr.v(c, j);
+      before(i, j) = s;
+    }
+  recompress(lr, 1e-12);
+  EXPECT_EQ(lr.rank(), 2u);
+  RealMatrix after(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < lr.rank(); ++c)
+        s += lr.u(i, c) * lr.v(c, j);
+      after(i, j) = s;
+    }
+  EXPECT_LT(max_rel_dev(before, after), 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// KernelMatrix vs the dense fill
+
+TEST(KernelMatrix, MatchesDenseFillOnRegularMesh) {
+  const std::vector<peec::Filament> fils = regular_mesh(48);
+  const RealMatrix lp = dense_oracle(fils);
+  const KernelMatrix km(fils, peec::PartialOptions{});
+  double dev = 0.0;
+  for (std::size_t i = 0; i < fils.size(); ++i)
+    for (std::size_t j = 0; j < fils.size(); ++j)
+      dev = std::max(dev,
+                     std::abs(km.entry(i, j) - lp(i, j)) / std::abs(lp(0, 0)));
+  // Canonical-key reconstruction quantizes at 1e-12 of the fill scale.
+  EXPECT_LT(dev, 1e-9);
+  const peec::FillStats st = km.fill_stats();
+  EXPECT_GT(st.hit_rate(), 0.9);  // translation-rich: the memo carries it
+}
+
+TEST(KernelMatrix, MatchesDenseFillOnPerturbedMesh) {
+  const std::vector<peec::Filament> fils = perturbed_mesh(40);
+  const RealMatrix lp = dense_oracle(fils);
+  const KernelMatrix km(fils, peec::PartialOptions{});
+  double dev = 0.0;
+  for (std::size_t i = 0; i < fils.size(); ++i)
+    for (std::size_t j = 0; j < fils.size(); ++j)
+      dev = std::max(dev,
+                     std::abs(km.entry(i, j) - lp(i, j)) / std::abs(lp(0, 0)));
+  EXPECT_LT(dev, 1e-9);
+}
+
+TEST(KernelMatrix, RowMatchesEntries) {
+  const std::vector<peec::Filament> fils = perturbed_mesh(12);
+  const KernelMatrix km(fils, peec::PartialOptions{});
+  std::vector<std::size_t> cols{0, 3, 7, 11};
+  std::vector<double> out(cols.size());
+  km.row(5, cols.data(), cols.size(), out.data());
+  for (std::size_t k = 0; k < cols.size(); ++k)
+    EXPECT_EQ(out[k], km.entry(5, cols[k]));
+}
+
+// ---------------------------------------------------------------------------
+// H-matrix product
+
+TEST(HMatrix, MatvecMatchesDenseOnRegularMesh) {
+  const std::vector<peec::Filament> fils = regular_mesh(96);
+  const RealMatrix lp = dense_oracle(fils);
+  const KernelMatrix km(fils, peec::PartialOptions{});
+  const ClusterTree tree(fils, 16);
+  HmatOptions opt;
+  const HMatrix h(km, tree, opt);
+  EXPECT_GT(h.stats().lowrank_blocks, 0u);
+  EXPECT_LT(h.stats().compression(), 1.0);
+  std::vector<double> x(fils.size()), y(fils.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(0.37 * static_cast<double>(i) + 0.2);
+  h.matvec(x.data(), y.data());
+  const std::vector<double> yd = lp * x;
+  double scale = 0.0, dev = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    scale = std::max(scale, std::abs(yd[i]));
+    dev = std::max(dev, std::abs(y[i] - yd[i]));
+  }
+  EXPECT_LT(dev / scale, 1e-9);
+}
+
+TEST(HMatrix, MatvecMatchesDenseOnPerturbedMesh) {
+  const std::vector<peec::Filament> fils = perturbed_mesh(80);
+  const RealMatrix lp = dense_oracle(fils);
+  const KernelMatrix km(fils, peec::PartialOptions{});
+  const ClusterTree tree(fils, 12);
+  const HMatrix h(km, tree, HmatOptions{});
+  std::vector<double> x(fils.size()), y(fils.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::cos(1.1 * static_cast<double>(i));
+  h.matvec(x.data(), y.data());
+  const std::vector<double> yd = lp * x;
+  double scale = 0.0, dev = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    scale = std::max(scale, std::abs(yd[i]));
+    dev = std::max(dev, std::abs(y[i] - yd[i]));
+  }
+  EXPECT_LT(dev / scale, 1e-9);
+}
+
+TEST(HMatrix, AssemblyDeterministicAcrossPoolWidths) {
+  const std::vector<peec::Filament> fils = perturbed_mesh(72);
+  const KernelMatrix km(fils, peec::PartialOptions{});
+  const ClusterTree tree(fils, 12);
+  std::vector<double> x(fils.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(0.7 * static_cast<double>(i));
+  std::vector<std::vector<double>> results;
+  for (int threads : {1, 2, 7}) {
+    rt::Pool pool(threads);
+    // A fresh kernel per width: the memo fills in a different order each
+    // time, which must not matter.
+    const KernelMatrix kw(fils, peec::PartialOptions{});
+    const HMatrix h(kw, tree, HmatOptions{}, &pool);
+    std::vector<double> y(fils.size());
+    h.matvec(x.data(), y.data());
+    results.push_back(std::move(y));
+  }
+  for (std::size_t w = 1; w < results.size(); ++w)
+    for (std::size_t i = 0; i < results[0].size(); ++i)
+      EXPECT_EQ(results[0][i], results[w][i]) << "width case " << w;
+}
+
+TEST(HMatrix, CancellationMidAssemblyLeavesNoPartialState) {
+  struct InjectorReset {
+    ~InjectorReset() { run::FaultInjector::global().clear(); }
+  } reset;
+  const std::vector<peec::Filament> fils = regular_mesh(96);
+  const ClusterTree tree(fils, 8);
+  run::CancelToken token;
+  run::ScopedRunControl control(run::RunControl{token, run::Deadline{}});
+  run::FaultInjector::global().set_schedule("cancel:5");
+  {
+    const KernelMatrix km(fils, peec::PartialOptions{});
+    EXPECT_THROW(HMatrix(km, tree, HmatOptions{}), diag::CancelledError);
+  }
+  // The checkpoint fired mid-assembly; a fresh build afterwards must be
+  // unaffected (no partial writes survive — the cancelled HMatrix never
+  // existed).
+  run::FaultInjector::global().clear();
+  run::CancelToken token2;
+  run::ScopedRunControl control2(run::RunControl{token2, run::Deadline{}});
+  const KernelMatrix km(fils, peec::PartialOptions{});
+  const HMatrix h(km, tree, HmatOptions{});
+  const RealMatrix lp = dense_oracle(fils);
+  std::vector<double> x(fils.size(), 1.0), y(fils.size());
+  h.matvec(x.data(), y.data());
+  const std::vector<double> yd = lp * x;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], yd[i], 1e-9 * std::abs(yd[i]));
+}
+
+// ---------------------------------------------------------------------------
+// GMRES
+
+TEST(Gmres, SolvesSmallComplexSystemToTolerance) {
+  const std::size_t n = 24;
+  ComplexMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = Complex(std::sin(0.3 * static_cast<double>(i * n + j)),
+                        0.2 * std::cos(0.9 * static_cast<double>(i + 2 * j)));
+    a(i, i) += Complex(6.0, 3.0);  // diagonally dominant
+  }
+  std::vector<Complex> b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = Complex(1.0, -0.5 * static_cast<double>(i % 3));
+  std::vector<Complex> x(n);
+  GmresOptions opt;
+  opt.tol = 1e-12;
+  const GmresReport rep = gmres_solve(
+      [&](const Complex* in, Complex* out) {
+        for (std::size_t i = 0; i < n; ++i) {
+          Complex acc = 0.0;
+          for (std::size_t j = 0; j < n; ++j) acc += a(i, j) * in[j];
+          out[i] = acc;
+        }
+      },
+      n, nullptr, b.data(), x.data(), opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_LE(rep.residual, 1e-12);
+  const LuDecomposition<Complex> lu(a);
+  const std::vector<Complex> xd = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(x[i] - xd[i]), 0.0, 1e-10 * std::abs(xd[i]) + 1e-14);
+}
+
+TEST(Gmres, ReportsNonConvergenceHonestly) {
+  // One iteration cannot solve a 8x8 non-normal system.
+  const std::size_t n = 8;
+  GmresOptions opt;
+  opt.restart = 1;
+  opt.max_iterations = 1;
+  std::vector<Complex> b(n, Complex(1.0, 0.0)), x(n);
+  const GmresReport rep = gmres_solve(
+      [&](const Complex* in, Complex* out) {
+        for (std::size_t i = 0; i < n; ++i)
+          out[i] = Complex(0.1, 0.0) * in[i] +
+                   (i + 1 < n ? Complex(2.0, 1.0) * in[i + 1] : Complex(0.0));
+      },
+      n, nullptr, b.data(), x.data(), opt);
+  EXPECT_FALSE(rep.converged);
+  EXPECT_GT(rep.residual, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Full solver wiring: hmat vs the dense oracle
+
+SolveOptions solver_opts(SolverKind kind) {
+  SolveOptions o;
+  o.frequency = 1e9;
+  o.plane.strips = 31;  // enough conductors/filaments to exercise blocks
+  o.solver = kind;
+  return o;
+}
+
+TEST(SolverWiring, LoopExtractionMatchesDenseOracle) {
+  const Block blk =
+      geom::microstrip(tech(), 6, um(800), um(2), um(4), um(3));
+  const LoopResult dense = extract_loop(blk, solver_opts(SolverKind::kDense));
+  const LoopResult hm = extract_loop(blk, solver_opts(SolverKind::kHmat));
+  ASSERT_EQ(dense.inductance.rows(), hm.inductance.rows());
+  EXPECT_LT(max_rel_dev(dense.inductance, hm.inductance), 1e-8);
+  EXPECT_LT(max_rel_dev(dense.resistance, hm.resistance), 1e-8);
+}
+
+TEST(SolverWiring, PartialExtractionMatchesDenseOracle) {
+  const Block blk = geom::uniform_array(tech(), 6, um(1500), 9, um(2), um(2));
+  SolveOptions od = solver_opts(SolverKind::kDense);
+  SolveOptions oh = solver_opts(SolverKind::kHmat);
+  const solver::PartialResult dense = extract_partial(blk, od);
+  const solver::PartialResult hm = extract_partial(blk, oh);
+  EXPECT_LT(max_rel_dev(dense.inductance, hm.inductance), 1e-8);
+  for (std::size_t i = 0; i < dense.resistance.size(); ++i)
+    EXPECT_NEAR(hm.resistance[i], dense.resistance[i],
+                1e-8 * std::abs(dense.resistance[i]));
+}
+
+TEST(SolverWiring, HmatDeterministicAcrossPoolWidths) {
+  const Block blk = geom::microstrip(tech(), 6, um(600), um(2), um(4), um(3));
+  const SolveOptions opt = solver_opts(SolverKind::kHmat);
+  std::vector<LoopResult> results;
+  for (int threads : {1, 2, 7}) {
+    rt::Pool::set_global_threads(threads);
+    results.push_back(extract_loop(blk, opt));
+  }
+  rt::Pool::set_global_threads(0);
+  for (std::size_t w = 1; w < results.size(); ++w) {
+    for (std::size_t i = 0; i < results[0].inductance.rows(); ++i)
+      for (std::size_t j = 0; j < results[0].inductance.cols(); ++j) {
+        EXPECT_EQ(results[0].inductance(i, j), results[w].inductance(i, j));
+        EXPECT_EQ(results[0].resistance(i, j), results[w].resistance(i, j));
+      }
+  }
+}
+
+TEST(SolverWiring, AutoSelectsByCrossover) {
+  const Block blk = geom::microstrip(tech(), 6, um(600), um(2), um(4), um(3));
+  reset_solve_stats_total();
+  SolveOptions o = solver_opts(SolverKind::kAuto);
+  o.hmat.auto_crossover = 1;  // force: every solve clears the bar
+  (void)extract_loop(blk, o);
+  EXPECT_EQ(solve_stats_total().hmat_solves, 1u);
+  EXPECT_EQ(solve_stats_total().dense_solves, 0u);
+  reset_solve_stats_total();
+  o.hmat.auto_crossover = SIZE_MAX;  // unreachable: dense stays in charge
+  (void)extract_loop(blk, o);
+  EXPECT_EQ(solve_stats_total().hmat_solves, 0u);
+  EXPECT_EQ(solve_stats_total().dense_solves, 1u);
+}
+
+TEST(SolverWiring, TelemetryRecordsRanksAndIterations) {
+  const Block blk = geom::microstrip(tech(), 6, um(600), um(2), um(4), um(3));
+  reset_solve_stats_total();
+  SolveOptions o = solver_opts(SolverKind::kHmat);
+  // Mesh each conductor into several filaments and keep the preconditioner
+  // blocks small: the coarse conductor-space correction is exact when each
+  // conductor is a single filament, and a whole-matrix Jacobi block is an
+  // exact solve — either would leave GMRES nothing to iterate on.
+  o.auto_mesh = false;
+  o.mesh.nw = 4;
+  o.mesh.nt = 2;
+  o.hmat.leaf_size = 8;
+  o.hmat.precond_block = 8;
+  (void)extract_loop(blk, o);
+  const SolveStats st = solve_stats_total();
+  EXPECT_EQ(st.hmat_solves, 1u);
+  EXPECT_GT(st.gmres_iterations, 0u);
+  EXPECT_GT(st.full_entries, 0u);
+  EXPECT_GT(st.stored_entries, 0u);
+  EXPECT_LE(st.gmres_worst_residual, o.hmat.gmres_tol);
+  EXPECT_EQ(st.gmres_fallbacks, 0u);
+}
+
+TEST(SolverWiring, NonConvergenceEscalatesToDenseWithWarning) {
+  const Block blk = geom::microstrip(tech(), 6, um(600), um(2), um(4), um(3));
+  SolveOptions o = solver_opts(SolverKind::kHmat);
+  // Force genuine non-convergence: tol 0 is unreachable, and small blocks
+  // keep the Schwarz preconditioner from being an exact solve (on a
+  // problem this small one block would cover the whole matrix and GMRES
+  // would finish in a single iteration regardless of budget).
+  o.hmat.gmres_tol = 0.0;
+  o.hmat.leaf_size = 8;
+  o.hmat.precond_block = 8;
+  o.hmat.gmres_max_iterations = 3;
+  o.hmat.gmres_restart = 3;
+  std::vector<std::string> warnings;
+  diag::ScopedWarningHandler handler([&](const diag::Warning& w) {
+    warnings.push_back(w.message);
+  });
+  const LoopResult hm = extract_loop(blk, o);
+  const LoopResult dense = extract_loop(blk, solver_opts(SolverKind::kDense));
+  // The fallback answer IS the dense answer.
+  EXPECT_LT(max_rel_dev(dense.inductance, hm.inductance), 1e-14);
+  bool named = false;
+  for (const std::string& w : warnings)
+    if (w.find("hmat solver path") != std::string::npos &&
+        w.find("dense solver path") != std::string::npos)
+      named = true;
+  EXPECT_TRUE(named) << "fallback warning must name both solver paths";
+  EXPECT_GT(solve_stats_total().gmres_fallbacks, 0u);
+}
+
+TEST(SolverWiring, NonConvergenceThrowsNamedFaultWhenEscalationOff) {
+  const Block blk = geom::microstrip(tech(), 6, um(600), um(2), um(4), um(3));
+  SolveOptions o = solver_opts(SolverKind::kHmat);
+  o.hmat.gmres_tol = 0.0;  // unreachable: see the escalation test above
+  o.hmat.leaf_size = 8;
+  o.hmat.precond_block = 8;
+  o.hmat.gmres_max_iterations = 3;
+  o.hmat.gmres_restart = 3;
+  o.hmat.escalate_on_nonconvergence = false;
+  try {
+    (void)extract_loop(blk, o);
+    FAIL() << "expected NumericError";
+  } catch (const diag::NumericError& e) {
+    EXPECT_NE(e.message().find("hmat solver path"), std::string::npos)
+        << e.message();
+    EXPECT_NE(e.message().find("GMRES"), std::string::npos);
+  }
+}
+
+TEST(SolverWiring, CancellationMidSolveIsClean) {
+  struct InjectorReset {
+    ~InjectorReset() { run::FaultInjector::global().clear(); }
+  } reset;
+  const Block blk = geom::microstrip(tech(), 6, um(600), um(2), um(4), um(3));
+  SolveOptions opt = solver_opts(SolverKind::kHmat);
+  opt.hmat.leaf_size = 8;  // enough blocks that cancel:3 fires mid-assembly
+  {
+    run::CancelToken token;
+    run::ScopedRunControl control(run::RunControl{token, run::Deadline{}});
+    run::FaultInjector::global().set_schedule("cancel:3");
+    EXPECT_THROW((void)extract_loop(blk, opt), diag::CancelledError);
+    run::FaultInjector::global().clear();
+  }
+  // Fresh control, schedule cleared: the solve now completes and matches
+  // the oracle — nothing stale leaked from the cancelled attempt.
+  run::CancelToken token2;
+  run::ScopedRunControl control2(run::RunControl{token2, run::Deadline{}});
+  const LoopResult hm = extract_loop(blk, opt);
+  const LoopResult dense = extract_loop(blk, solver_opts(SolverKind::kDense));
+  EXPECT_LT(max_rel_dev(dense.inductance, hm.inductance), 1e-8);
+}
+
+}  // namespace
+}  // namespace rlcx::hmat
