@@ -27,7 +27,9 @@
 #include "numeric/lu.h"
 #include "numeric/lu_reference.h"
 #include "numeric/matrix.h"
+#include "numeric/simd.h"
 #include "peec/assembly.h"
+#include "peec/kernel_batch.h"
 #include "peec/mesh.h"
 #include "peec/partial_inductance.h"
 #include "rt/pool.h"
@@ -132,6 +134,106 @@ FillResult run_fill(std::size_t nw, std::size_t nt) {
   return r;
 }
 
+struct ColdResult {
+  double wall_legacy = 0.0;      ///< scalar libm kernels, pair by pair
+  double wall_scalar = 0.0;      ///< batch engine, forced RLCX_SIMD=scalar
+  double wall_simd = 0.0;        ///< batch engine, auto dispatch
+  const char* simd_mode = "";    ///< what auto resolved to
+  std::size_t pairs = 0;         ///< upper-triangle bar pairs per fill
+  std::size_t kernel_terms = 0;  ///< chunk-pair kernel terms per fill
+  double max_rel_dev = 0.0;      ///< engine (simd) vs legacy, scale-relative
+  double simd_vs_scalar_dev = 0.0;  ///< engine simd vs engine scalar (bitwise)
+  std::size_t filaments = 0;
+};
+
+/// Cold fill: memo disabled, so every upper-triangle pair pays its full
+/// kernel evaluation.  This isolates raw kernel throughput — the quantity
+/// the batch engine vectorizes — from the memo's class collapsing.  The
+/// legacy baseline walks the pairs through the scalar libm kernels
+/// (self_partial_chunked / mutual_partial_chunked), the PR-4 hot path;
+/// the engine fills run the same geometry through the batch evaluator at
+/// forced-scalar and auto-dispatched SIMD modes.
+ColdResult run_cold(std::size_t nw, std::size_t nt, int reps) {
+  const std::vector<peec::Filament> fils = uniform_mesh(nw, nt);
+  rt::SerialRegion serial;
+  const std::size_t n = fils.size();
+  peec::PartialOptions opt;
+  opt.memo = false;
+
+  ColdResult r;
+  r.filaments = n;
+  r.pairs = n * (n + 1) / 2;
+  r.simd_mode = peec::batch_simd_name();
+
+  // Precompute chunk lists once; both paths receive identical chunking.
+  std::vector<std::vector<peec::Bar>> chunks(n);
+  for (std::size_t i = 0; i < n; ++i)
+    chunks[i] = peec::chunk_lengthwise(fils[i].bar, opt.max_aspect);
+
+  RealMatrix legacy(n, n);
+  r.wall_legacy = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      legacy(i, i) = peec::self_partial_chunked(chunks[i], opt);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double v = peec::mutual_partial_chunked(
+            fils[i].bar, fils[j].bar, chunks[i], chunks[j], opt);
+        legacy(i, j) = legacy(j, i) = v;
+      }
+    }
+    r.wall_legacy = std::min(r.wall_legacy, now_wall(t0));
+  }
+
+  const auto engine_fill = [&](numeric::SimdMode mode, double* wall) {
+    numeric::simd_force_mode(mode);
+    RealMatrix out(0, 0);
+    *wall = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      out = peec::partial_inductance_matrix(fils, opt);
+      *wall = std::min(*wall, now_wall(t0));
+    }
+    return out;
+  };
+
+  const peec::BatchStats b0 = peec::batch_stats_total();
+  const RealMatrix scalar_fill =
+      engine_fill(numeric::SimdMode::kScalar, &r.wall_scalar);
+  const peec::BatchStats b1 = peec::batch_stats_total();
+  r.kernel_terms = ((b1.volume_terms + b1.filament_terms) -
+                    (b0.volume_terms + b0.filament_terms)) /
+                   static_cast<std::size_t>(reps);
+
+  // Auto dispatch: the widest mode this machine supports.
+  numeric::simd_force_mode(numeric::simd_mode_from_env(nullptr));
+  r.simd_mode = peec::batch_simd_name();
+  RealMatrix simd_fill(0, 0);
+  {
+    double wall = 0.0;
+    const numeric::SimdMode best = numeric::simd_mode_from_env(nullptr);
+    simd_fill = engine_fill(best, &wall);
+    r.wall_simd = wall;
+  }
+  // Restore the environment policy for whatever runs next.
+  numeric::simd_force_mode(
+      numeric::simd_mode_from_env(std::getenv("RLCX_SIMD")));
+
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      scale = std::max(scale, std::abs(legacy(i, j)));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      r.max_rel_dev = std::max(
+          r.max_rel_dev, std::abs(simd_fill(i, j) - legacy(i, j)) / scale);
+      r.simd_vs_scalar_dev =
+          std::max(r.simd_vs_scalar_dev,
+                   std::abs(simd_fill(i, j) - scalar_fill(i, j)));
+    }
+  return r;
+}
+
 struct LuResult {
   double wall_ref = 0.0;
   double wall_blocked = 0.0;
@@ -198,6 +300,9 @@ int main(int argc, char** argv) {
                mesh, lu_nrhs, smoke ? " (smoke)" : "");
 
   const FillResult fill = run_fill(mesh, mesh);
+  // Cold-fill kernel throughput on the 8x8 (64-strip) microstrip mesh —
+  // the acceptance case for the batch engine; smoke keeps one rep.
+  const ColdResult cold = run_cold(8, 8, smoke ? 1 : 5);
   std::vector<LuResult> lus;
   for (const std::size_t n : lu_sizes) lus.push_back(run_lu(n, lu_nrhs));
 
@@ -213,6 +318,25 @@ int main(int argc, char** argv) {
   std::printf("    \"wall_s_memo_on\": %.4f,\n", fill.wall_on);
   std::printf("    \"speedup\": %.2f,\n", fill.wall_off / fill.wall_on);
   std::printf("    \"max_rel_dev\": %.3e\n", fill.max_rel_dev);
+  std::printf("  },\n");
+  std::printf("  \"cold_fill\": {\n");
+  std::printf("    \"filaments\": %zu,\n", cold.filaments);
+  std::printf("    \"pairs\": %zu,\n", cold.pairs);
+  std::printf("    \"kernel_terms\": %zu,\n", cold.kernel_terms);
+  std::printf("    \"simd_mode\": \"%s\",\n", cold.simd_mode);
+  std::printf("    \"wall_s_legacy\": %.4f,\n", cold.wall_legacy);
+  std::printf("    \"wall_s_engine_scalar\": %.4f,\n", cold.wall_scalar);
+  std::printf("    \"wall_s_engine_simd\": %.4f,\n", cold.wall_simd);
+  std::printf("    \"terms_per_s_legacy\": %.3e,\n",
+              static_cast<double>(cold.kernel_terms) / cold.wall_legacy);
+  std::printf("    \"terms_per_s_engine_simd\": %.3e,\n",
+              static_cast<double>(cold.kernel_terms) / cold.wall_simd);
+  std::printf("    \"speedup_engine_scalar\": %.2f,\n",
+              cold.wall_legacy / cold.wall_scalar);
+  std::printf("    \"speedup_engine_simd\": %.2f,\n",
+              cold.wall_legacy / cold.wall_simd);
+  std::printf("    \"max_rel_dev_vs_legacy\": %.3e,\n", cold.max_rel_dev);
+  std::printf("    \"simd_vs_scalar_dev\": %.3e\n", cold.simd_vs_scalar_dev);
   std::printf("  },\n");
   std::printf("  \"lu\": [\n");
   for (std::size_t i = 0; i < lus.size(); ++i) {
@@ -230,6 +354,20 @@ int main(int argc, char** argv) {
   // on the machine), the agreement bounds are not.
   if (fill.max_rel_dev != 0.0) {
     std::fprintf(stderr, "FAIL: memo fill deviates from direct fill\n");
+    return 1;
+  }
+  // SIMD modes are bit-identical by construction (docs/performance.md
+  // "Batched kernel evaluation"); any deviation at all is a build bug
+  // (contraction or reassociation leaked into a kernel TU).
+  if (cold.simd_vs_scalar_dev != 0.0) {
+    std::fprintf(stderr, "FAIL: SIMD engine fill deviates from scalar mode\n");
+    return 1;
+  }
+  // Engine vs the legacy libm kernels: same math, different transcendental
+  // implementations — agreement is bounded by the chunked-sum cancellation
+  // noise floor, one decade above the per-bracket ~1e-8.
+  if (cold.max_rel_dev > 1e-6) {
+    std::fprintf(stderr, "FAIL: batch engine deviates from legacy kernels\n");
     return 1;
   }
   for (const LuResult& lu : lus)

@@ -21,6 +21,7 @@
 #include "hmat/stats.h"
 #include "numeric/units.h"
 #include "peec/assembly.h"
+#include "peec/kernel_batch.h"
 #include "rt/pool.h"
 #include "run/control.h"
 #include "run/journal.h"
@@ -203,6 +204,14 @@ void print_cache_stats(const core::TableCache& cache, std::size_t solves,
         << build->pair_lookups << " pair lookups served ("
         << static_cast<int>(100.0 * build->memo_hit_rate() + 0.5)
         << "% hit rate, " << build->kernel_evals << " evaluations)\n";
+  if (build != nullptr && build->batch_runs > 0)
+    out << "batch engine: "
+        << build->batch_volume_terms + build->batch_filament_terms
+        << " kernel terms (" << build->batch_volume_terms << " volume, "
+        << build->batch_filament_terms << " filament) in "
+        << build->batch_runs << " batches, "
+        << static_cast<std::uint64_t>(build->batch_terms_per_second() + 0.5)
+        << " terms/s, simd " << peec::batch_simd_name() << "\n";
   if (build != nullptr && build->hmat_solves > 0) {
     out << "hmat solver: " << build->hmat_solves << " hierarchical / "
         << build->dense_solves << " dense solves, "
@@ -528,6 +537,7 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
 
   const std::size_t solves_before = core::table_build_solve_count();
   const peec::FillStats fills_before = peec::fill_stats_total();
+  const peec::BatchStats batches_before = peec::batch_stats_total();
   const hmat::SolveStats hsolves_before = hmat::solve_stats_total();
   const core::BatchResult res = core::characterize_batch(tech, jobs, sopt,
                                                          bopt);
@@ -562,6 +572,20 @@ int cmd_batch(const Args& args, const run::RunControl& rc,
         << fills_delta.pair_lookups << " pair lookups served ("
         << static_cast<int>(100.0 * fills_delta.hit_rate() + 0.5)
         << "% hit rate, " << fills_delta.kernel_evals << " evaluations)\n";
+  const peec::BatchStats bnow = peec::batch_stats_total();
+  const std::size_t bterms =
+      (bnow.volume_terms - batches_before.volume_terms) +
+      (bnow.filament_terms - batches_before.filament_terms);
+  const std::uint64_t bnanos = bnow.eval_nanos - batches_before.eval_nanos;
+  if (bnow.batch_runs > batches_before.batch_runs)
+    out << "batch engine: " << bterms << " kernel terms in "
+        << bnow.batch_runs - batches_before.batch_runs << " batches, "
+        << static_cast<std::uint64_t>(
+               bnanos == 0 ? 0.0
+                           : static_cast<double>(bterms) * 1e9 /
+                                     static_cast<double>(bnanos) +
+                                 0.5)
+        << " terms/s, simd " << peec::batch_simd_name() << "\n";
   const hmat::SolveStats hs = hmat::solve_stats_total();
   if (hs.hmat_solves > hsolves_before.hmat_solves) {
     const std::size_t stored = hs.stored_entries - hsolves_before.stored_entries;

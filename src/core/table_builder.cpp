@@ -11,6 +11,7 @@
 #include "hmat/stats.h"
 #include "numeric/units.h"
 #include "peec/assembly.h"
+#include "peec/kernel_batch.h"
 #include "rt/parallel.h"
 #include "run/control.h"
 #include "solver/block_solver.h"
@@ -140,6 +141,7 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
 
   GridSolvePlan plan(tech, layer, planes, grid, opt);
   const peec::FillStats fills0 = peec::fill_stats_total();
+  const peec::BatchStats batches0 = peec::batch_stats_total();
   const hmat::SolveStats solves0 = hmat::solve_stats_total();
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -183,6 +185,13 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
     stats->pair_lookups = fills1.pair_lookups - fills0.pair_lookups;
     stats->kernel_evals = fills1.kernel_evals - fills0.kernel_evals;
     stats->memo_hits = fills1.memo_hits - fills0.memo_hits;
+    const peec::BatchStats batches1 = peec::batch_stats_total();
+    stats->batch_runs = batches1.batch_runs - batches0.batch_runs;
+    stats->batch_volume_terms =
+        batches1.volume_terms - batches0.volume_terms;
+    stats->batch_filament_terms =
+        batches1.filament_terms - batches0.filament_terms;
+    stats->batch_eval_nanos = batches1.eval_nanos - batches0.eval_nanos;
     const hmat::SolveStats solves1 = hmat::solve_stats_total();
     stats->dense_solves = solves1.dense_solves - solves0.dense_solves;
     stats->hmat_solves = solves1.hmat_solves - solves0.hmat_solves;

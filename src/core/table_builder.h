@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/inductance_model.h"
@@ -58,12 +59,27 @@ struct BuildStats {
   std::size_t gmres_fallbacks = 0;   ///< non-convergence -> dense fallbacks
   std::size_t hmat_stored_entries = 0;  ///< H-matrix entries actually stored
   std::size_t hmat_full_entries = 0;    ///< dense n^2 those solves would cost
+  // Batch kernel-engine counters (deltas of peec::batch_stats_total()
+  // around the solve phase, same sharing caveat as the memo counters).
+  std::size_t batch_runs = 0;            ///< BatchEvaluator::run() calls
+  std::size_t batch_volume_terms = 0;    ///< Hoer-Love SoA entries evaluated
+  std::size_t batch_filament_terms = 0;  ///< filament fast-path SoA entries
+  std::uint64_t batch_eval_nanos = 0;    ///< wall time inside the SoA kernels
   /// Fraction of pair values served without a kernel evaluation.
   double memo_hit_rate() const {
     return pair_lookups == 0
                ? 0.0
                : static_cast<double>(memo_hits) /
                      static_cast<double>(pair_lookups);
+  }
+  /// Kernel-evaluation throughput of the batch engine over this build
+  /// (SoA entries per second of in-kernel wall time; 0 when no batch ran).
+  double batch_terms_per_second() const {
+    return batch_eval_nanos == 0
+               ? 0.0
+               : static_cast<double>(batch_volume_terms +
+                                     batch_filament_terms) *
+                     1e9 / static_cast<double>(batch_eval_nanos);
   }
   /// Stored fraction of the dense entry count over the hmat solves (1.0
   /// would mean no compression; 0 when no hmat solve ran).

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "diag/error.h"
+#include "numeric/lu_simd.h"
 #include "numeric/matrix.h"
 
 namespace rlcx {
@@ -63,48 +64,25 @@ inline void rank_update(T* dst, const T* const* src, const T* coef,
   }
 }
 
-/// Complex overload with explicit (re, im) arithmetic: the library complex
+/// Real overload: runtime-dispatched to the AVX2 micro-kernel when the CPU
+/// has it (numeric/lu_simd.h) — the scalar and vector bodies are
+/// bit-identical, so which one served a factorisation is unobservable.
+inline void rank_update(double* dst, const double* const* src,
+                        const double* coef, std::size_t m_count,
+                        std::size_t cbeg, std::size_t cend) {
+  numeric::lu_rank_update(dst, src, coef, m_count, cbeg, cend);
+}
+
+/// Complex overload, same dispatch.  The out-of-line bodies spell out the
+/// (re, im) arithmetic — ac-bd / ad+bc — because the library complex
 /// multiply guards against NaN overflow semantics and defeats
-/// vectorisation; spelling out ac-bd / ad+bc keeps the impedance-matrix
-/// update on the vector units.  Same summation order per destination
-/// element as the generic kernel's 4-wide chunks.
+/// vectorisation; summation order per destination element matches the
+/// generic kernel's 4-wide chunks.
 inline void rank_update(std::complex<double>* dst,
                         const std::complex<double>* const* src,
                         const std::complex<double>* coef, std::size_t m_count,
                         std::size_t cbeg, std::size_t cend) {
-  double* d = reinterpret_cast<double*>(dst);
-  std::size_t q = 0;
-  for (; q + 4 <= m_count; q += 4) {
-    const double a0r = coef[q].real(), a0i = coef[q].imag();
-    const double a1r = coef[q + 1].real(), a1i = coef[q + 1].imag();
-    const double a2r = coef[q + 2].real(), a2i = coef[q + 2].imag();
-    const double a3r = coef[q + 3].real(), a3i = coef[q + 3].imag();
-    const double* s0 = reinterpret_cast<const double*>(src[q]);
-    const double* s1 = reinterpret_cast<const double*>(src[q + 1]);
-    const double* s2 = reinterpret_cast<const double*>(src[q + 2]);
-    const double* s3 = reinterpret_cast<const double*>(src[q + 3]);
-    for (std::size_t c = cbeg; c < cend; ++c) {
-      const double re = a0r * s0[2 * c] - a0i * s0[2 * c + 1] +
-                        (a1r * s1[2 * c] - a1i * s1[2 * c + 1]) +
-                        (a2r * s2[2 * c] - a2i * s2[2 * c + 1]) +
-                        (a3r * s3[2 * c] - a3i * s3[2 * c + 1]);
-      const double im = a0r * s0[2 * c + 1] + a0i * s0[2 * c] +
-                        (a1r * s1[2 * c + 1] + a1i * s1[2 * c]) +
-                        (a2r * s2[2 * c + 1] + a2i * s2[2 * c]) +
-                        (a3r * s3[2 * c + 1] + a3i * s3[2 * c]);
-      d[2 * c] -= re;
-      d[2 * c + 1] -= im;
-    }
-  }
-  for (; q < m_count; ++q) {
-    const double ar = coef[q].real(), ai = coef[q].imag();
-    if (ar == 0.0 && ai == 0.0) continue;
-    const double* s = reinterpret_cast<const double*>(src[q]);
-    for (std::size_t c = cbeg; c < cend; ++c) {
-      d[2 * c] -= ar * s[2 * c] - ai * s[2 * c + 1];
-      d[2 * c + 1] -= ar * s[2 * c + 1] + ai * s[2 * c];
-    }
-  }
+  numeric::lu_rank_update(dst, src, coef, m_count, cbeg, cend);
 }
 }  // namespace detail
 

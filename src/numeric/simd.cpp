@@ -1,0 +1,103 @@
+#include "numeric/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rlcx::numeric {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  // F alone would do for the compiler flags we pass, but DQ+VL is the
+  // practical server baseline (Skylake-SP onward) and what GCC's cost
+  // model assumes; refuse the exotic Phi-era subset.
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0;
+#else
+  return false;
+#endif
+}
+
+// -1 = not yet resolved; otherwise a SimdMode value.
+std::atomic<int> g_mode{-1};
+
+SimdMode best_supported() {
+  if (simd_avx512_supported()) return SimdMode::kAvx512;
+  if (simd_avx2_supported()) return SimdMode::kAvx2;
+  return SimdMode::kScalar;
+}
+
+}  // namespace
+
+bool simd_avx2_compiled() {
+#if defined(RLCX_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_avx2_supported() { return simd_avx2_compiled() && cpu_has_avx2(); }
+
+bool simd_avx512_compiled() {
+#if defined(RLCX_HAVE_AVX512)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_avx512_supported() {
+  return simd_avx512_compiled() && cpu_has_avx512();
+}
+
+SimdMode simd_mode_from_env(const char* value) {
+  if (value != nullptr && std::strcmp(value, "scalar") == 0)
+    return SimdMode::kScalar;
+  if (value != nullptr && std::strcmp(value, "avx2") == 0)
+    return simd_avx2_supported() ? SimdMode::kAvx2 : SimdMode::kScalar;
+  return best_supported();
+}
+
+SimdMode simd_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    const SimdMode resolved = simd_mode_from_env(std::getenv("RLCX_SIMD"));
+    // First resolver wins; a concurrent resolver computes the same value
+    // (environment and cpuid are process-constant).
+    int expected = -1;
+    g_mode.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                   std::memory_order_relaxed);
+    m = g_mode.load(std::memory_order_relaxed);
+  }
+  return static_cast<SimdMode>(m);
+}
+
+const char* simd_mode_name(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAvx512: return "avx512";
+    case SimdMode::kAvx2: return "avx2";
+    default: return "scalar";
+  }
+}
+
+void simd_force_mode(SimdMode mode) {
+  if (mode == SimdMode::kAvx512 && !simd_avx512_supported())
+    mode = SimdMode::kAvx2;
+  if (mode == SimdMode::kAvx2 && !simd_avx2_supported())
+    mode = SimdMode::kScalar;
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+}  // namespace rlcx::numeric

@@ -1,0 +1,123 @@
+// Branch-free log / atan / asinh for the SIMD batch kernel engine.
+//
+// Why not libm: ~75 % of a Hoer-Love corner evaluation is std::log /
+// std::atan / std::asinh, and glibc's scalar routines neither vectorize
+// under `#pragma omp simd` (they branch internally) nor promise the same
+// bits when a vector math library is substituted.  These are Cephes-style
+// rational approximations rebuilt under three constraints:
+//
+//   1. No branches.  All range reduction is expressed as ternary selects
+//      on double comparisons, which GCC if-converts into vblendvpd inside
+//      `omp simd` loops (the TUs are compiled with -fno-trapping-math so
+//      speculating both sides is legal).
+//   2. No FMA, no reassociation.  Plain mul/add/div/sqrt in a fixed
+//      expression order, compiled with -ffp-contract=off: every operation
+//      is an IEEE-754 double operation, so a baseline compilation and a
+//      -mavx2 compilation of this same header produce bit-identical
+//      results lane for lane.  That is the engine's scalar/SIMD bit-
+//      identity contract (docs/performance.md).
+//   3. Integer work uses logical shifts only — AVX2 has no 64-bit
+//      arithmetic shift (vpsraq is AVX-512) and no unsigned 64-bit to
+//      double conversion, so the exponent extraction is phrased around
+//      both gaps.
+//
+// Accuracy versus libm is <= ~2 ulp over the engine's domain (positive
+// normal arguments for log_bf; all finite arguments for atan_bf /
+// asinh_bf).  Non-finite or denormal inputs return unspecified finite
+// garbage rather than trapping — callers guard degenerate operands with
+// selects, exactly as the Hoer-Love kernel guards its vanishing terms
+// (never by multiplying by zero: 0 * NaN would poison the accumulator).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace rlcx::numeric::vecmath {
+
+/// ln(x) for positive normal x.  Cephes log.c rational approximation on
+/// the mantissa reduced to [sqrt(1/2), sqrt(2)), exponent recombined with
+/// a hi/lo split of ln 2.
+inline double log_bf(double x) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  // Offset the exponent split point to sqrt(1/2) so the reduced mantissa
+  // m lands in [sqrt(1/2), sqrt(2)) and r = m - 1 stays small.
+  const std::uint64_t tmp = bits - 0x3fe6a09e667f3bcdULL;
+  // Arithmetic >>52 built from logical shifts (no vpsraq on AVX2), then
+  // converted through int (vcvtdq2pd; the exponent fits 32 bits).
+  const std::int64_t k64 =
+      static_cast<std::int64_t>(tmp >> 52) -
+      (static_cast<std::int64_t>(tmp >> 63) << 12);
+  const double k = static_cast<double>(static_cast<int>(k64));
+  const double m = std::bit_cast<double>(bits - (tmp & 0xfff0000000000000ULL));
+  const double r = m - 1.0;
+  const double z = r * r;
+  const double p =
+      ((((1.01875663804580931796e-4 * r + 4.97494994976747001425e-1) * r +
+         4.70579119878881725854e0) * r + 1.44989225341610930846e1) * r +
+       1.79368678507819816313e1) * r + 7.70838733755885391666e0;
+  const double q =
+      ((((r + 1.12873587189167450590e1) * r + 4.52279145837532221105e1) * r +
+        8.29875266912776603211e1) * r + 7.11544750618563894466e1) * r +
+      2.31251620126765340583e1;
+  double y = r * z * p / q;
+  y = y + k * -2.121944400546905827679e-4;  // k * ln2_lo
+  y = y - 0.5 * z;
+  return (r + y) + k * 0.693359375;  // + k * ln2_hi
+}
+
+/// atan(t) for finite t.  Cephes atan.c: three-way range reduction with a
+/// single division, expressed as if-convertible selects.
+inline double atan_bf(double t) {
+  const double w = std::abs(t);
+  const double kT3P8 = 2.41421356237309504880;  // tan(3 pi / 8)
+  // big (w > tan(3pi/8)): atan(w) = pi/2 - atan(1/w)
+  // mid (w > 0.66):       atan(w) = pi/4 + atan((w-1)/(w+1))
+  const double num = (w > kT3P8) ? -1.0 : ((w > 0.66) ? w - 1.0 : w);
+  const double den = (w > kT3P8) ? w : ((w > 0.66) ? w + 1.0 : 1.0);
+  const double u = num / den;
+  const double z = u * u;
+  const double p =
+      (((-8.750608600031904122785e-1 * z + -1.615753718733365076637e1) * z +
+        -7.500855792314704667340e1) * z + -1.228866684490136173410e2) * z +
+      -6.485021904942025371773e1;
+  const double q =
+      ((((z + 2.485846490142306297962e1) * z + 1.650270098316988542046e2) * z +
+        4.328810604912902668951e2) * z + 4.853903996359136964868e2) * z +
+      1.945506571482613964425e2;
+  double y = u * z * p / q + u;
+  const double kMoreBits = 6.123233995736765886130e-17;
+  y = y + ((w > kT3P8) ? kMoreBits : ((w > 0.66) ? 0.5 * kMoreBits : 0.0));
+  y = y + ((w > kT3P8) ? 1.57079632679489661923
+                       : ((w > 0.66) ? 0.78539816339744830962 : 0.0));
+  // y = atan(|t|) >= 0: transfer t's sign with bit arithmetic (an
+  // if-convertible select would also work; the OR is branch-free by
+  // construction).
+  return std::bit_cast<double>(
+      std::bit_cast<std::uint64_t>(y) |
+      (std::bit_cast<std::uint64_t>(t) & 0x8000000000000000ULL));
+}
+
+/// asinh(t) for finite t.  |t| < 0.5 uses the Cephes asinh.c rational
+/// polynomial; larger magnitudes go through log_bf(w + sqrt(w^2 + 1)),
+/// switching to log_bf(2 w) past 1e8 where the sqrt would add nothing but
+/// its own overflow hazard.
+inline double asinh_bf(double t) {
+  const double w = std::abs(t);
+  const double z = w * w;
+  const double p =
+      ((((-4.33231683752342103572e-3 * z + -5.91750212056387121207e-1) * z +
+         -4.37390226194356683570e0) * z + -9.09030533308377316566e0) * z +
+       -5.56682227230859640450e0);
+  const double q =
+      ((((z + 1.28757002067426453537e1) * z + 4.86042483805291788324e1) * z +
+        6.95722521337257608734e1) * z + 3.34009336338516356383e1);
+  const double small = w + w * z * p / q;
+  const double arg = (w > 1e8) ? w + w : w + std::sqrt(z + 1.0);
+  const double y = (w > 0.5) ? log_bf(arg) : small;
+  return std::bit_cast<double>(
+      std::bit_cast<std::uint64_t>(y) |
+      (std::bit_cast<std::uint64_t>(t) & 0x8000000000000000ULL));
+}
+
+}  // namespace rlcx::numeric::vecmath

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "peec/kernel_batch.h"
 #include "rt/parallel.h"
 
 namespace rlcx::peec {
@@ -42,11 +43,17 @@ double fill_scale(const std::vector<Filament>& filaments) {
   return s;
 }
 
-// Below this many independent work items the fill is a few hundred kernel
-// calls — cheaper than a dispatch round-trip.
+// Below this many rows the direct fill is a few hundred kernel terms —
+// cheaper to run in place than to dispatch row blocks to the pool.
 constexpr std::size_t kParallelThreshold = 16;
 
 constexpr std::uint32_t kOrthogonalClass = 0xffffffffu;
+
+// Flush the memo path's batch once this many SoA entries accumulate:
+// bounds the evaluator's working memory (13 doubles/entry -> ~7 MB) on
+// huge fills without giving up long vector runs.  Values are elementwise
+// per entry, so the flush boundary cannot change any result.
+constexpr std::size_t kBatchFlushEntries = std::size_t{1} << 16;
 
 }  // namespace
 
@@ -86,15 +93,25 @@ RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
     // Direct fill: row i covers the diagonal plus every j > i, mirrored
     // into (j, i); rows write disjoint elements and can run in any order.
     // Row cost shrinks with i (n - i kernel evaluations), which is exactly
-    // the imbalance the work-stealing grain of one row absorbs.
+    // the imbalance the work-stealing grain of one row absorbs.  Each row
+    // is flattened into one batch so the SoA kernels get long vector runs
+    // even with memoization off; the engine runs inline here (the outer
+    // loop already owns the pool's parallelism).
     auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+      BatchEvaluator ev;
+      std::vector<double> row;
       for (std::size_t i = lo; i < hi; ++i) {
-        lp(i, i) = self_partial_chunked(chunks[i], opt);
+        ev.clear();
+        ev.add_self(chunks[i], opt);
+        for (std::size_t j = i + 1; j < n; ++j)
+          ev.add_pair(filaments[i].bar, filaments[j].bar, chunks[i],
+                      chunks[j], opt);
+        row.resize(ev.slots());
+        ev.run(row.data(), pool);
+        lp(i, i) = row[0];
         for (std::size_t j = i + 1; j < n; ++j) {
-          const double m = filaments[i].sign * filaments[j].sign *
-                           mutual_partial_chunked(filaments[i].bar,
-                                                  filaments[j].bar, chunks[i],
-                                                  chunks[j], opt);
+          const double m =
+              filaments[i].sign * filaments[j].sign * row[j - i];
           lp(i, j) = m;
           lp(j, i) = m;
         }
@@ -154,25 +171,33 @@ RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
       }
     }
 
-    // Pass 2: one kernel evaluation per class, fanned out across the pool.
-    auto eval_classes = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t c = lo; c < hi; ++c) {
-        ClassRec& r = classes[c];
-        r.value =
-            r.i == r.j
-                ? self_partial_chunked(chunks[r.i], opt)
-                : mutual_partial_chunked(filaments[r.i].bar,
-                                         filaments[r.j].bar, chunks[r.i],
-                                         chunks[r.j], opt);
+    // Pass 2: one batched kernel evaluation per class.  Classes append in
+    // pass-1 order into SoA batches the engine fans out across the pool;
+    // every class value is an order-fixed reduction of elementwise entry
+    // values, so the result is independent of pool width and of where the
+    // memory-bounding flushes land.
+    {
+      BatchEvaluator ev;
+      std::size_t flushed = 0;
+      std::vector<double> values(classes.size());
+      auto flush = [&] {
+        ev.run(values.data() + flushed, pool);
+        flushed += ev.slots();
+        ev.clear();
+      };
+      for (const ClassRec& r : classes) {
+        if (r.i == r.j) {
+          ev.add_self(chunks[r.i], opt);
+        } else {
+          ev.add_pair(filaments[r.i].bar, filaments[r.j].bar, chunks[r.i],
+                      chunks[r.j], opt);
+        }
+        if (ev.volume_entries() + ev.filament_entries() >= kBatchFlushEntries)
+          flush();
       }
-    };
-    if (classes.size() < kParallelThreshold) {
-      eval_classes(0, classes.size());
-    } else {
-      rt::ParallelOptions popt;
-      popt.grain = 1;
-      popt.pool = pool;
-      rt::parallel_for(0, classes.size(), eval_classes, popt);
+      flush();
+      for (std::size_t c = 0; c < classes.size(); ++c)
+        classes[c].value = values[c];
     }
     local.kernel_evals = classes.size();
 

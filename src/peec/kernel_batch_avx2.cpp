@@ -1,0 +1,9 @@
+// AVX2 compilation of the batch kernels — this TU (alone) is built with
+// -mavx2, so the `#pragma omp simd` loops in kernel_batch_kernels.h widen
+// to 4 doubles per lane.  Only compiled when the toolchain accepts -mavx2
+// (RLCX_HAVE_AVX2); runtime dispatch in kernel_batch.cpp keeps it off the
+// hot path on CPUs without AVX2.
+#if defined(RLCX_HAVE_AVX2)
+#define RLCX_KB_NS kb_avx2
+#include "peec/kernel_batch_kernels.h"
+#endif

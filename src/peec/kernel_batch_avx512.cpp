@@ -1,0 +1,10 @@
+// AVX-512 compilation of the batch kernels — this TU (alone) is built with
+// -mavx512f/dq/vl and -mprefer-vector-width=512, so the `#pragma omp simd`
+// loops in kernel_batch_kernels.h widen to 8 doubles per lane (and the 32
+// mask/vector registers absorb the corner loop's register pressure).  Only
+// compiled when the toolchain accepts the flags (RLCX_HAVE_AVX512);
+// runtime dispatch in kernel_batch.cpp keeps it off unsupported CPUs.
+#if defined(RLCX_HAVE_AVX512)
+#define RLCX_KB_NS kb_avx512
+#include "peec/kernel_batch_kernels.h"
+#endif

@@ -1,0 +1,5 @@
+// Baseline-ISA compilation of the batch kernels (the RLCX_SIMD=scalar path
+// and the fallback on CPUs without AVX2).  Same source as the AVX2 TU;
+// see kernel_batch_kernels.h for the bit-identity contract.
+#define RLCX_KB_NS kb_scalar
+#include "peec/kernel_batch_kernels.h"

@@ -62,8 +62,10 @@ double hl_f(double x, double y, double z) {
 
 }  // namespace
 
-double hoer_love_mutual(double a, double b, double l1, double c, double d,
-                        double l2, double E, double P, double l3) {
+namespace detail {
+
+void check_hoer_love_dims(double a, double b, double l1, double c, double d,
+                          double l2) {
   if (a <= 0.0 || b <= 0.0 || c <= 0.0 || d <= 0.0 || l1 <= 0.0 ||
       l2 <= 0.0) {
     std::ostringstream msg;
@@ -72,6 +74,37 @@ double hoer_love_mutual(double a, double b, double l1, double c, double d,
         << " l2=" << l2 << " [m] (degenerate bar has no volume to integrate)";
     throw diag::GeometryError("peec", msg.str());
   }
+}
+
+void check_filament_args(double l1, double l2, double s, double r) {
+  if (l1 <= 0.0 || l2 <= 0.0)
+    throw diag::GeometryError(
+        "peec", "filament_mutual: lengths must be positive, got l1=" +
+                    std::to_string(l1) + " l2=" + std::to_string(l2) + " m");
+  if (r < 0.0)
+    throw diag::GeometryError(
+        "peec", "filament_mutual: radial distance must be >= 0, got " +
+                    std::to_string(r) + " m");
+  if (r == 0.0) {
+    // Overlapping collinear filaments have divergent mutual inductance.
+    // Tolerate ulp-level overlap so exactly-touching chunks of a subdivided
+    // bar do not trip the guard.
+    const double eps = 1e-9 * std::max({l1, l2, std::abs(s)});
+    if (s + l2 > eps && s < l1 - eps)
+      throw diag::GeometryError(
+          "peec",
+          "filament_mutual: collinear filaments overlap axially (s=" +
+              std::to_string(s) + " m, l1=" + std::to_string(l1) +
+              " m, l2=" + std::to_string(l2) +
+              " m); their mutual inductance diverges");
+  }
+}
+
+}  // namespace detail
+
+double hoer_love_mutual(double a, double b, double l1, double c, double d,
+                        double l2, double E, double P, double l3) {
+  detail::check_hoer_love_dims(a, b, l1, c, d, l2);
 
   // Scale the geometry to O(1); inductance scales linearly with size.
   const double s = std::max({a, b, c, d, l1, l2, std::abs(E) + c,
@@ -104,14 +137,7 @@ double hoer_love_mutual(double a, double b, double l1, double c, double d,
 }
 
 double filament_mutual(double l1, double l2, double s, double r) {
-  if (l1 <= 0.0 || l2 <= 0.0)
-    throw diag::GeometryError(
-        "peec", "filament_mutual: lengths must be positive, got l1=" +
-                    std::to_string(l1) + " l2=" + std::to_string(l2) + " m");
-  if (r < 0.0)
-    throw diag::GeometryError(
-        "peec", "filament_mutual: radial distance must be >= 0, got " +
-                    std::to_string(r) + " m");
+  detail::check_filament_args(l1, l2, s, r);
   if (r == 0.0) {
     // Collinear case: the r->0 limit of the kernel is |u|(ln|u| - 1) plus
     // |u| ln(2/r), whose coefficients cancel across the bracket because all
@@ -120,17 +146,6 @@ double filament_mutual(double l1, double l2, double s, double r) {
       const double au = std::abs(u);
       return au == 0.0 ? 0.0 : au * (std::log(au) - 1.0);
     };
-    // Overlapping collinear filaments have divergent mutual inductance.
-    // Tolerate ulp-level overlap so exactly-touching chunks of a subdivided
-    // bar do not trip the guard.
-    const double eps = 1e-9 * std::max({l1, l2, std::abs(s)});
-    if (s + l2 > eps && s < l1 - eps)
-      throw diag::GeometryError(
-          "peec",
-          "filament_mutual: collinear filaments overlap axially (s=" +
-              std::to_string(s) + " m, l1=" + std::to_string(l1) +
-              " m, l2=" + std::to_string(l2) +
-              " m); their mutual inductance diverges");
     return 1e-7 * (h0(s + l2) + h0(s - l1) - h0(s + l2 - l1) - h0(s));
   }
   auto h = [r](double u) {
@@ -189,12 +204,12 @@ double chunk_mutual(const Bar& p, const Bar& q, const PartialOptions& opt) {
 
 }  // namespace
 
-namespace {
+namespace detail {
 
 /// Distinct bars must not share volume: two conductors occupying the same
 /// space is a layout error, and the kernel would happily integrate it into
 /// a plausible-looking (but meaningless) mutual inductance.
-void check_disjoint(const Bar& b1, const Bar& b2) {
+void check_pair_disjoint(const Bar& b1, const Bar& b2) {
   const double oa = std::min(b1.a_max(), b2.a_max()) -
                     std::max(b1.a_min, b2.a_min);
   const double ot = std::min(b1.t_max(), b2.t_max()) -
@@ -215,7 +230,7 @@ void check_disjoint(const Bar& b1, const Bar& b2) {
 
 /// The kernel's 64-term cancellation can, with pathological inputs, lose
 /// every significant digit; never hand a NaN/Inf downstream silently.
-double check_finite(double value, const char* what) {
+double check_finite_value(double value, const char* what) {
   if (!std::isfinite(value))
     throw diag::NumericError(
         "peec", std::string(what) +
@@ -224,7 +239,7 @@ double check_finite(double value, const char* what) {
   return value;
 }
 
-}  // namespace
+}  // namespace detail
 
 double self_partial_chunked(const std::vector<Bar>& chunks,
                             const PartialOptions& opt) {
@@ -236,7 +251,7 @@ double self_partial_chunked(const std::vector<Bar>& chunks,
     for (std::size_t j = i + 1; j < chunks.size(); ++j)
       total += 2.0 * chunk_mutual(chunks[i], chunks[j], opt);
   }
-  return check_finite(total, "self partial inductance");
+  return detail::check_finite_value(total, "self partial inductance");
 }
 
 double mutual_partial_chunked(const Bar& b1, const Bar& b2,
@@ -244,11 +259,11 @@ double mutual_partial_chunked(const Bar& b1, const Bar& b2,
                               const std::vector<Bar>& c2,
                               const PartialOptions& opt) {
   if (b1.axis != b2.axis) return 0.0;  // orthogonal bars do not couple
-  check_disjoint(b1, b2);
+  detail::check_pair_disjoint(b1, b2);
   double total = 0.0;
   for (const Bar& p : c1)
     for (const Bar& q : c2) total += chunk_mutual(p, q, opt);
-  return check_finite(total, "mutual partial inductance");
+  return detail::check_finite_value(total, "mutual partial inductance");
 }
 
 double self_partial(const Bar& bar, const PartialOptions& opt) {

@@ -135,4 +135,29 @@ PairKey make_pair_key(const Bar& b1, const Bar& b2, double quantum,
 /// Key of a bar's self class: (w, h, l) quantized, offsets zero.
 PairKey make_self_key(const Bar& bar, double quantum);
 
+// ---------------------------------------------------------------------------
+// Guards shared between the scalar kernels above and the batch engine
+// (kernel_batch.h): both paths must reject the same degenerate geometry
+// with the same diagnostics, so the checks live in one place.
+
+namespace detail {
+
+/// Throws diag::GeometryError unless every bar dimension of a Hoer-Love
+/// pair is positive (the check hoer_love_mutual performs on entry).
+void check_hoer_love_dims(double a, double b, double l1, double c, double d,
+                          double l2);
+
+/// Throws diag::GeometryError on non-positive lengths / negative radius,
+/// and for r == 0 on axially overlapping collinear filaments (divergent
+/// mutual) — the checks filament_mutual performs on entry.
+void check_filament_args(double l1, double l2, double s, double r);
+
+/// Throws diag::GeometryError when two distinct bars overlap in volume.
+void check_pair_disjoint(const Bar& b1, const Bar& b2);
+
+/// Throws diag::NumericError when a kernel result is not finite.
+double check_finite_value(double value, const char* what);
+
+}  // namespace detail
+
 }  // namespace rlcx::peec

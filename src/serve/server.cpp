@@ -16,6 +16,7 @@
 #include "cli/cli.h"
 #include "diag/error.h"
 #include "hmat/stats.h"
+#include "peec/kernel_batch.h"
 #include "run/fault_injection.h"
 #include "run/signal.h"
 
@@ -444,6 +445,13 @@ std::string Server::stats_text() {
      << hs.aca_rank_max << ", "
      << static_cast<int>(100.0 * hs.compression() + 0.5)
      << "% entries stored)\n";
+  const peec::BatchStats bs = peec::batch_stats_total();
+  os << "batch engine: " << bs.volume_terms + bs.filament_terms
+     << " kernel terms (" << bs.volume_terms << " volume, "
+     << bs.filament_terms << " filament) in " << bs.batch_runs
+     << " batches, "
+     << static_cast<std::uint64_t>(bs.terms_per_second() + 0.5)
+     << " terms/s, simd " << peec::batch_simd_name() << "\n";
   return os.str();
 }
 

@@ -53,9 +53,14 @@ struct HmatSolveOptions {
   double gmres_tol = 1e-9;
   std::size_t gmres_restart = 60;
   std::size_t gmres_max_iterations = 400;
-  /// Filament count at which `auto` switches to the hierarchical path —
-  /// the measured dense-vs-hmat wall-clock crossover (BENCH_hmat.json).
-  std::size_t auto_crossover = 3072;
+  /// Filament count at which `auto` switches to the hierarchical path.
+  /// The SIMD batch engine + LU micro-kernel sped the dense oracle ~2x,
+  /// pushing the measured wall-clock crossover past the bench range
+  /// (BENCH_hmat.json: dense still wins at 5120, ratio improving ~0.1 per
+  /// size doubling from 0.67); this is the extrapolated ~1.7-doublings
+  /// estimate.  Memory crosses over far earlier (hmat stores 4% of the
+  /// dense entries at 5120), so callers tight on memory should lower it.
+  std::size_t auto_crossover = 16384;
   /// Non-convergence ladder: retry with a doubled budget, then fall back
   /// to the dense oracle with a warning (mirrors the SOR escalation in
   /// cap/fd2d).  When false, non-convergence throws a NumericError naming

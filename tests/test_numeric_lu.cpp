@@ -11,10 +11,14 @@
 #include <cstdint>
 #include <vector>
 
+#include <cstdlib>
+
 #include "diag/error.h"
 #include "numeric/lu.h"
 #include "numeric/lu_reference.h"
+#include "numeric/lu_simd.h"
 #include "numeric/matrix.h"
+#include "numeric/simd.h"
 
 namespace rlcx {
 namespace {
@@ -208,6 +212,154 @@ TEST(BlockedLu, InverseRoundTripLarge) {
       worst = std::max(worst,
                        std::abs(prod(i, j) - (i == j ? 1.0 : 0.0)));
   EXPECT_LT(worst, 1e-11);
+}
+
+// ---------------------------------------------------------------------------
+// The runtime-dispatched rank-4 micro-kernel (numeric/lu_simd.h): the AVX2
+// body must be BIT-identical to the portable body — not merely close — so a
+// factorisation does not depend on which ISA served it.
+
+/// Forces a SIMD mode for the scope, restoring the environment policy.
+class ScopedSimdMode {
+ public:
+  explicit ScopedSimdMode(numeric::SimdMode m) { numeric::simd_force_mode(m); }
+  ~ScopedSimdMode() {
+    numeric::simd_force_mode(
+        numeric::simd_mode_from_env(std::getenv("RLCX_SIMD")));
+  }
+};
+
+#if defined(RLCX_HAVE_AVX2)
+TEST(LuSimd, RankUpdateRealAvx2BitIdenticalToScalar) {
+  if (!numeric::simd_avx2_supported())
+    GTEST_SKIP() << "no AVX2 on this machine/build";
+  Rng rng(60601);
+  constexpr std::size_t kCols = 53;  // odd: exercises the vector tail
+  constexpr std::size_t kRows = 7;   // 4-wide chunk + 3-long scalar tail
+  std::vector<std::vector<double>> rows(kRows, std::vector<double>(kCols));
+  std::vector<const double*> src;
+  for (auto& r : rows) {
+    for (double& v : r) v = rng.next();
+    src.push_back(r.data());
+  }
+  std::vector<double> coef(kRows);
+  for (double& v : coef) v = rng.next();
+  coef[5] = 0.0;  // the tail loop's zero-coefficient skip
+  for (const std::size_t m : {1u, 3u, 4u, 5u, 7u}) {
+    for (const std::size_t cbeg : {0u, 1u, 5u}) {
+      std::vector<double> ds(kCols), dv(kCols);
+      for (std::size_t c = 0; c < kCols; ++c) ds[c] = dv[c] = rng.next();
+      numeric::lu_scalar::rank_update(ds.data(), src.data(), coef.data(), m,
+                                      cbeg, kCols);
+      numeric::lu_avx2::rank_update(dv.data(), src.data(), coef.data(), m,
+                                    cbeg, kCols);
+      for (std::size_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(ds[c], dv[c]) << "m=" << m << " cbeg=" << cbeg
+                                << " c=" << c;
+    }
+  }
+}
+
+TEST(LuSimd, RankUpdateComplexAvx2BitIdenticalToScalar) {
+  if (!numeric::simd_avx2_supported())
+    GTEST_SKIP() << "no AVX2 on this machine/build";
+  Rng rng(60602);
+  constexpr std::size_t kCols = 31;  // odd: one 128-bit complex tail lane
+  constexpr std::size_t kRows = 6;
+  std::vector<std::vector<C>> rows(kRows, std::vector<C>(kCols));
+  std::vector<const C*> src;
+  for (auto& r : rows) {
+    for (C& v : r) v = C(rng.next(), rng.next());
+    src.push_back(r.data());
+  }
+  std::vector<C> coef(kRows);
+  for (C& v : coef) v = C(rng.next(), rng.next());
+  coef[4] = C(0.0, 0.0);
+  for (const std::size_t m : {1u, 2u, 4u, 6u}) {
+    for (const std::size_t cbeg : {0u, 1u, 4u}) {
+      std::vector<C> ds(kCols), dv(kCols);
+      for (std::size_t c = 0; c < kCols; ++c)
+        ds[c] = dv[c] = C(rng.next(), rng.next());
+      numeric::lu_scalar::rank_update(ds.data(), src.data(), coef.data(), m,
+                                      cbeg, kCols);
+      numeric::lu_avx2::rank_update(dv.data(), src.data(), coef.data(), m,
+                                    cbeg, kCols);
+      for (std::size_t c = 0; c < kCols; ++c)
+        EXPECT_EQ(ds[c], dv[c]) << "m=" << m << " cbeg=" << cbeg
+                                << " c=" << c;
+    }
+  }
+}
+#endif  // RLCX_HAVE_AVX2
+
+TEST(LuSimd, PivotHostileFactorizationAgreesAcrossSimdModes) {
+  // The full blocked LU through the dispatcher, both modes, on a system
+  // where every panel column pivots across panel boundaries: each mode
+  // must match the textbook oracle to 1e-13, and each other bit for bit.
+  const std::size_t n = 130;
+  Rng rng(777);
+  Matrix<double> a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = 0.01 * rng.next();
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 0.0;
+    a((i + 1) % n, i) = 4.0 + static_cast<double>(i % 3);
+  }
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.next();
+  const std::vector<double> oracle = ReferenceLu<double>(a).solve(b);
+
+  std::vector<double> x_scalar;
+  {
+    ScopedSimdMode mode(numeric::SimdMode::kScalar);
+    x_scalar = LuDecomposition<double>(a).solve(b);
+  }
+  EXPECT_LT(max_rel_diff(x_scalar, oracle), 1e-13);
+  if (!numeric::simd_avx2_supported())
+    GTEST_SKIP() << "no AVX2 on this machine/build";
+  std::vector<double> x_avx2;
+  {
+    ScopedSimdMode mode(numeric::SimdMode::kAvx2);
+    x_avx2 = LuDecomposition<double>(a).solve(b);
+  }
+  EXPECT_LT(max_rel_diff(x_avx2, oracle), 1e-13);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x_scalar[i], x_avx2[i]);
+}
+
+TEST(LuSimd, ComplexMultiRhsAgreesAcrossSimdModes) {
+  // The multi-RHS substitutions drive the same micro-kernel; complex with
+  // a ragged RHS tile must also be mode-independent bit for bit.
+  Rng rng(424243);
+  const std::size_t n = 97, nrhs = 5;
+  const Matrix<C> a = random_complex(n, rng);
+  Matrix<C> rhs(n, nrhs);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < nrhs; ++j)
+      rhs(i, j) = C(rng.next(), rng.next());
+
+  Matrix<C> x_scalar(0, 0);
+  {
+    ScopedSimdMode mode(numeric::SimdMode::kScalar);
+    x_scalar = LuDecomposition<C>(a).solve(rhs);
+  }
+  const ReferenceLu<C> ref(a);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    std::vector<C> col(n), xcol(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = rhs(i, j);
+    const std::vector<C> xr = ref.solve(col);
+    for (std::size_t i = 0; i < n; ++i) xcol[i] = x_scalar(i, j);
+    EXPECT_LT(max_rel_diff(xcol, xr), 1e-13) << "col=" << j;
+  }
+  if (!numeric::simd_avx2_supported())
+    GTEST_SKIP() << "no AVX2 on this machine/build";
+  Matrix<C> x_avx2(0, 0);
+  {
+    ScopedSimdMode mode(numeric::SimdMode::kAvx2);
+    x_avx2 = LuDecomposition<C>(a).solve(rhs);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < nrhs; ++j)
+      EXPECT_EQ(x_scalar(i, j), x_avx2(i, j));
 }
 
 }  // namespace
