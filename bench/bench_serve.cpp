@@ -27,6 +27,16 @@
 //                         left running (CI follows with --smoke, which
 //                         shuts it down).  Exit nonzero if the daemon
 //                         stopped answering.
+//   --pressure            self-contained memory-pressure run: baseline
+//                         small-request latency, then a tight process
+//                         budget with oversized requests mixed in.  Every
+//                         oversized request must draw a status-7 refusal
+//                         at admission, small requests must keep
+//                         succeeding (their p50/p99 under pressure is
+//                         reported against the baseline), and one
+//                         injected mid-build budget failure must degrade
+//                         dense->hmat rather than fail.  The JSON goes
+//                         into BENCH_serve.json as the "pressure" object.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
@@ -44,6 +54,8 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "res/budget.h"
+#include "run/fault_injection.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -409,11 +421,158 @@ int run_hostile(const std::string& socket, std::size_t total_clients) {
   return (ping_ok && health_ok) ? 0 : 1;
 }
 
+/// --pressure: the resource-governance story under load.  A tight budget
+/// must split traffic cleanly — oversized requests refused at admission
+/// with status 7, small requests unaffected — and an injected mid-build
+/// budget failure must degrade, not fail.
+int run_pressure() {
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "rlcx_bench_pressure")
+          .string();
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  const std::string cache_dir = root + "/cache";
+  const std::string socket = root + "/serve.sock";
+
+  // Characterise the small request's tables once, unlimited.
+  res::Budget::global().set_limit(0);
+  {
+    std::vector<std::string> argv = extract_argv();
+    argv.push_back("--table-cache");
+    argv.push_back(cache_dir);
+    std::ostringstream out, err;
+    if (cli::run(argv, out, err) != 0) {
+      std::fprintf(stderr, "precharacterisation failed:\n%s",
+                   err.str().c_str());
+      return 1;
+    }
+  }
+
+  serve::ServeConfig cfg;
+  cfg.cache_dir = cache_dir;
+  cfg.socket_path = socket;
+  cfg.max_active = 4;
+  cfg.queue_depth = 64;
+  std::ostringstream daemon_log;
+  serve::Server server(cfg, daemon_log);
+  std::thread daemon([&] { server.run_socket(); });
+  for (int i = 0; i < 100 && !std::filesystem::exists(socket); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    serve::Client client(socket);
+    client.request(extract_argv());  // prime the warm store
+  }
+
+  // Phase 1: baseline small-request latency, unlimited budget.
+  const Level baseline = run_level(socket, 2, 100);
+
+  // Phase 2: a tight budget.  Small requests (default 4-point grid) fit
+  // comfortably; the oversized request's 64-point grid estimate (~270 MB)
+  // can never fit, so admission must refuse it with status 7.
+  constexpr std::uint64_t kBudgetMib = 64;
+  res::Budget::global().set_limit(kBudgetMib * 1024 * 1024);
+  std::vector<std::string> oversized = extract_argv();
+  oversized.push_back("--points");
+  oversized.push_back("64");
+
+  constexpr std::size_t kOversized = 20;
+  std::atomic<std::size_t> refused{0};
+  std::atomic<std::size_t> small_failures{0};
+  std::vector<std::vector<double>> small_lat(2);
+  std::vector<std::thread> threads;
+  const Clock::time_point t0 = Clock::now();
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client(socket);
+      for (std::size_t i = 0; i < 100; ++i) {
+        const Clock::time_point r0 = Clock::now();
+        if (client.request(extract_argv()).status != 0) ++small_failures;
+        small_lat[static_cast<std::size_t>(c)].push_back(ms_since(r0));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    serve::Client client(socket);
+    for (std::size_t i = 0; i < kOversized; ++i) {
+      const serve::Response r = client.request(oversized);
+      if (r.status == 7 &&
+          r.err.find("resource-exhausted") != std::string::npos)
+        ++refused;
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  const double pressure_wall_s = ms_since(t0) / 1000.0;
+  std::vector<double> all_small;
+  for (const auto& v : small_lat)
+    all_small.insert(all_small.end(), v.begin(), v.end());
+  const double p50 = percentile(all_small, 0.50);
+  const double p99 = percentile(all_small, 0.99);
+
+  // Phase 3: a budget failure in the middle of a live characterisation
+  // (fresh cache key) must degrade dense->hmat, not fail the request.
+  // Per-request alloc_fail order: 1 = admission estimate, 2 = table-grid
+  // reservation, 3 = the first grid point's dense-path probe.
+  const std::uint64_t degradations_before =
+      res::Budget::global().stats().degradations;
+  run::FaultInjector::global().set_schedule("alloc_fail:3");
+  bool degrade_ok = false;
+  {
+    serve::Client client(socket);
+    std::vector<std::string> fresh = extract_argv();
+    // A different characterisation grid => a new content address, so the
+    // tables build live under the tight budget.
+    fresh.push_back("--points");
+    fresh.push_back("5");
+    degrade_ok = client.request(fresh).status == 0;
+  }
+  run::FaultInjector::global().clear();
+  const std::uint64_t degradations =
+      res::Budget::global().stats().degradations - degradations_before;
+
+  const std::size_t admission_refused = server.admission().stats().refused;
+  {
+    serve::Client client(socket);
+    client.request({"shutdown"});
+  }
+  daemon.join();
+  std::filesystem::remove_all(root);
+  res::Budget::global().set_limit(0);
+
+  const double refusal_rate =
+      static_cast<double>(refused.load()) / kOversized;
+  std::printf(
+      "{\n  \"experiment\": \"serve\",\n  \"pressure\": true,\n"
+      "  \"budget_mib\": %llu,\n"
+      "  \"baseline_small\": {\"requests\": %zu, \"p50_ms\": %.3f, "
+      "\"p99_ms\": %.3f},\n"
+      "  \"pressure_small\": {\"requests\": %zu, \"p50_ms\": %.3f, "
+      "\"p99_ms\": %.3f, \"failures\": %zu, \"wall_s\": %.2f},\n"
+      "  \"oversized\": {\"requests\": %zu, \"refused\": %zu, "
+      "\"refusal_rate\": %.2f},\n"
+      "  \"admission_refused\": %zu,\n"
+      "  \"degradations\": %llu,\n"
+      "  \"degrade_request_ok\": %s\n}\n",
+      static_cast<unsigned long long>(kBudgetMib), baseline.requests,
+      baseline.p50_ms, baseline.p99_ms, all_small.size(), p50, p99,
+      small_failures.load(), pressure_wall_s, kOversized, refused.load(),
+      refusal_rate, admission_refused,
+      static_cast<unsigned long long>(degradations),
+      degrade_ok ? "true" : "false");
+  const bool pass = small_failures.load() == 0 &&
+                    refused.load() == kOversized && degradations >= 1 &&
+                    degrade_ok;
+  if (!pass)
+    std::fprintf(stderr, "pressure run failed acceptance\n%s",
+                 daemon_log.str().c_str());
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool hostile = false;
+  bool pressure = false;
   std::string socket;
   std::size_t requests = 100;
   std::string rlcx_bin = "build/src/cli/rlcx";
@@ -421,6 +580,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--hostile") == 0) hostile = true;
+    else if (std::strcmp(argv[i], "--pressure") == 0) pressure = true;
     else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
       socket = argv[++i];
     else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
@@ -429,11 +589,12 @@ int main(int argc, char** argv) {
       rlcx_bin = argv[++i];
     else {
       std::fprintf(stderr,
-                   "usage: bench_serve [--rlcx PATH] | (--smoke | "
-                   "--hostile) --socket PATH [--requests N]\n");
+                   "usage: bench_serve [--rlcx PATH] | --pressure | "
+                   "(--smoke | --hostile) --socket PATH [--requests N]\n");
       return 2;
     }
   }
+  if (pressure) return run_pressure();
   if (smoke || hostile) {
     if (socket.empty()) {
       std::fprintf(stderr, "--smoke/--hostile require --socket PATH\n");

@@ -22,6 +22,7 @@
 #include "numeric/units.h"
 #include "peec/assembly.h"
 #include "peec/kernel_batch.h"
+#include "res/budget.h"
 #include "rt/pool.h"
 #include "run/control.h"
 #include "run/journal.h"
@@ -222,6 +223,15 @@ void print_cache_stats(const core::TableCache& cache, std::size_t solves,
       out << ", " << build->gmres_fallbacks << " dense fallbacks";
     out << "\n";
   }
+  if (build != nullptr &&
+      (build->mem_degradations > 0 || build->mem_refusals > 0))
+    out << "memory budget: " << build->mem_degradations
+        << " dense->hmat degradation"
+        << (build->mem_degradations == 1 ? "" : "s") << ", "
+        << build->mem_refusals << " refusal"
+        << (build->mem_refusals == 1 ? "" : "s") << " (budget "
+        << build->mem_limit_bytes << " bytes, peak " << build->mem_peak_bytes
+        << ")\n";
   if (cs.quarantined > 0)
     out << "table cache: " << cs.quarantined << " corrupt entr"
         << (cs.quarantined == 1 ? "y" : "ies")
@@ -293,7 +303,11 @@ int cmd_help(std::ostream& out) {
          "  RLCX_THREADS, then hardware concurrency; results are\n"
          "  bit-identical for any thread count)\n"
          "  --solver dense|hmat|auto (impedance solver: blocked-LU oracle,\n"
-         "  hierarchical ACA+GMRES, or pick by problem size; default auto)\n\n"
+         "  hierarchical ACA+GMRES, or pick by problem size; default auto)\n"
+         "  --mem-budget MIB (process memory budget; precedence:\n"
+         "  --mem-budget, then RLCX_MEM_BUDGET, then half of physical RAM;\n"
+         "  0 = unlimited.  Over-budget dense solves degrade to the hmat\n"
+         "  path with a warning; work that cannot fit at all exits 7)\n\n"
          "extract: [--spice FILE] [--ac-resistance] [--table-cache DIR]\n"
          "tables:  --out FILE [--planes none|below|above|both] [--points N]\n"
          "         [--threads N] (0 = RLCX_THREADS/all cores) [--binary]\n"
@@ -319,8 +333,10 @@ int cmd_help(std::ostream& out) {
          "exit codes: 0 success, 1 internal error, 2 usage error,\n"
          "  3 invalid input (geometry/io/cache), 4 numerical failure,\n"
          "  5 cancelled or deadline exceeded (resumable for batch),\n"
-         "  6 overloaded (serve admission queue full — back off, retry);\n"
-         "  warnings go to stderr (docs/robustness.md)\n";
+         "  6 overloaded (serve admission queue full — back off, retry),\n"
+         "  7 resource-exhausted (over the memory budget even after\n"
+         "  degradation — not retryable; shrink the request or raise\n"
+         "  --mem-budget); warnings go to stderr (docs/robustness.md)\n";
   return 0;
 }
 
@@ -678,6 +694,25 @@ double Args::get_num(const std::string& key, double fallback) const {
   return v;
 }
 
+std::size_t estimate_request_bytes(const std::vector<std::string>& argv) {
+  try {
+    const Args args = parse_args(argv);
+    if (args.command != "extract" && args.command != "delay") return 0;
+    const geom::Technology tech = geom::Technology::generic_025um();
+    const geom::Block blk = make_structure(tech, args);
+    const solver::SolveOptions sopt = solve_options(args);
+    // The grid term covers the table path (serve's warm store and
+    // --table-cache both characterise at --points samples per axis); for
+    // a direct-solver request it is a small overestimate, which only errs
+    // the admission decision toward safety.
+    return solver::estimate_extract_bytes(blk, sopt) +
+           core::estimate_grid_bytes(grid_from_args(args));
+  } catch (...) {
+    // Malformed requests cost nothing to refuse properly later.
+    return 0;
+  }
+}
+
 Args parse_args(const std::vector<std::string>& argv) {
   Args args;
   if (argv.empty()) {
@@ -726,6 +761,16 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (args.has("threads"))
       rt::Pool::set_global_threads(
           static_cast<int>(args.get_num("threads", 0)));
+    // --mem-budget MiB outranks RLCX_MEM_BUDGET the same way: resize the
+    // process budget before any command reserves against it (0 =
+    // unlimited, docs/robustness.md "Resource governance").
+    if (args.has("mem-budget")) {
+      const double mib = args.get_num("mem-budget", 0.0);
+      if (mib < 0.0)
+        throw diag::UsageError("cli", "--mem-budget must be >= 0 MiB");
+      res::Budget::global().set_limit(
+          static_cast<std::uint64_t>(mib * 1024.0 * 1024.0));
+    }
     // Every command runs under an ambient run control: --deadline-s bounds
     // the whole invocation, and the `cancel` fault-injection site plus the
     // batch command's SIGINT handler act on its token.  A triggered
@@ -766,6 +811,15 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
       return diag::exit_code(worst_warning);
     }
     return code;
+  } catch (const std::bad_alloc&) {
+    // A real allocation failure the budget's estimators did not predict.
+    // Contained here so the serve daemon converts it into a typed status-7
+    // response instead of dying and taking every other client with it.
+    res::Budget::global().record_contained_bad_alloc();
+    err << "error: [resource-exhausted] cli: allocation failed "
+           "(std::bad_alloc); the request exceeds available memory — "
+           "shrink it or raise --mem-budget\n";
+    return 7;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     if (dynamic_cast<const diag::Fault*>(&e) != nullptr)

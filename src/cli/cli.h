@@ -36,6 +36,17 @@ struct Args {
 /// shape).
 Args parse_args(const std::vector<std::string>& argv);
 
+/// Estimated resident bytes of executing `argv`: for extract/delay, the
+/// impedance-solver estimate of the request's block
+/// (solver::estimate_extract_bytes) plus the characterisation grid the
+/// table path would build (core::estimate_grid_bytes); 0 for other
+/// commands and for argv that fails to parse (the request is admitted and
+/// run() reports the error through the normal typed path).  Feeds the
+/// serve daemon's cost-based admission (docs/robustness.md "Resource
+/// governance"): a request whose estimate exceeds the memory budget gets
+/// a typed status-7 refusal before a slot is granted.
+std::size_t estimate_request_bytes(const std::vector<std::string>& argv);
+
 /// Everything that determines which inductance tables a command needs —
 /// the same tuple that content-addresses a table-cache entry
 /// (core::TableCache::key_text).

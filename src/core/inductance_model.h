@@ -50,6 +50,13 @@ struct InductanceTables {
   NdTable series_r;        ///< axes: width, length — AC resistance at the
                            ///< table frequency (loop R over planes)
 
+  /// Approximate resident bytes of the bundle — the currency of the warm
+  /// store's byte-budgeted LRU and its memory-budget accounting.
+  std::size_t resident_bytes() const {
+    return self.resident_bytes() + mutual.resident_bytes() +
+           series_r.resident_bytes();
+  }
+
   /// Bundle (de)serialisation: header + the three tables.
   void save(std::ostream& os) const;
   static InductanceTables load(std::istream& is);

@@ -91,6 +91,16 @@ class NdTable {
   /// Grid value by multi-index (mostly for tests).
   double at(const std::vector<std::size_t>& idx) const;
 
+  /// Approximate resident bytes of this table: the axis grids, the value
+  /// array and the spline's coefficient planes (about one more
+  /// values-sized array).  The warm store's byte-budgeted LRU and the
+  /// memory budget's accounting use this as the entry cost.
+  std::size_t resident_bytes() const {
+    std::size_t axis_points = 0;
+    for (const auto& a : axes_) axis_points += a.size();
+    return (axis_points + 2 * values_.size()) * sizeof(double);
+  }
+
   /// Plain-text round-trippable serialisation.
   void save(std::ostream& os) const;
   static NdTable load(std::istream& is);

@@ -57,6 +57,14 @@ PairSolve solve_pair(const geom::Technology& tech, int layer,
 
 }  // namespace
 
+std::size_t estimate_grid_bytes(const TableGrid& grid) {
+  const std::size_t nw = grid.widths.size();
+  const std::size_t ns = grid.spacings.size();
+  const std::size_t nl = grid.lengths.size();
+  const std::size_t values = nw * nw * ns * nl + 2 * nw * nl;
+  return std::max<std::size_t>(2 * values * sizeof(double), 1024);
+}
+
 std::size_t table_build_solve_count() {
   return g_solve_count.load(std::memory_order_relaxed);
 }
@@ -77,6 +85,10 @@ GridSolvePlan::GridSolvePlan(const geom::Technology& tech, int layer,
   const std::size_t ns = grid_.spacings.size();
   const std::size_t nl = grid_.lengths.size();
   n_points_ = nw * nw * ns * nl;
+  // An over-budget grid fails here, before the first field solve, with a
+  // typed ResourceExhaustedError (docs/robustness.md "Resource
+  // governance").
+  grid_reservation_ = res::Reservation("table-grid", estimate_grid_bytes(grid_));
   // Mutual table, last axis fastest: (w1, w2, s, l).
   mutual_vals_.resize(n_points_);
   // The self values (and the AC series resistance) fall out of the same
@@ -143,6 +155,7 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
   const peec::FillStats fills0 = peec::fill_stats_total();
   const peec::BatchStats batches0 = peec::batch_stats_total();
   const hmat::SolveStats solves0 = hmat::solve_stats_total();
+  const res::Stats res0 = res::Budget::global().stats();
   const auto t0 = std::chrono::steady_clock::now();
 
   int threads_used = 1;
@@ -201,6 +214,11 @@ InductanceTables build_tables(const geom::Technology& tech, int layer,
     stats->hmat_stored_entries =
         solves1.stored_entries - solves0.stored_entries;
     stats->hmat_full_entries = solves1.full_entries - solves0.full_entries;
+    const res::Stats res1 = res::Budget::global().stats();
+    stats->mem_limit_bytes = res1.limit_bytes;
+    stats->mem_peak_bytes = res1.peak_bytes;
+    stats->mem_degradations = res1.degradations - res0.degradations;
+    stats->mem_refusals = res1.refusals - res0.refusals;
   }
   return plan.finish();
 }

@@ -20,6 +20,7 @@
 
 #include "core/inductance_model.h"
 #include "geom/technology.h"
+#include "res/budget.h"
 #include "solver/options.h"
 
 namespace rlcx::core {
@@ -34,6 +35,13 @@ struct TableGrid {
 /// 0.5-10 um, lengths 100-6000 um (geometric spacing, since L is closer to
 /// log-linear in geometry).
 TableGrid default_clock_grid();
+
+/// Resident bytes of one characterisation over `grid`: the three value
+/// arrays the plan accumulates, doubled for the transient copies finish()
+/// makes while assembling the NdTables.  Feeds the memory budget's cost
+/// model (docs/robustness.md "Resource governance"); the per-point solve
+/// cost is priced separately by solver::estimate_*_solve_bytes.
+std::size_t estimate_grid_bytes(const TableGrid& grid);
 
 /// What one build actually did — the per-build counters that stay
 /// meaningful when several characterisations run concurrently (the
@@ -65,6 +73,12 @@ struct BuildStats {
   std::size_t batch_volume_terms = 0;    ///< Hoer-Love SoA entries evaluated
   std::size_t batch_filament_terms = 0;  ///< filament fast-path SoA entries
   std::uint64_t batch_eval_nanos = 0;    ///< wall time inside the SoA kernels
+  // Resource-governance counters (res::Budget::global(), sampled/delta'd
+  // around the solve phase; docs/robustness.md "Resource governance").
+  std::uint64_t mem_limit_bytes = 0;   ///< budget in force (0 = unlimited)
+  std::uint64_t mem_peak_bytes = 0;    ///< tracked+reserved high-water seen
+  std::uint64_t mem_degradations = 0;  ///< dense->hmat budget downgrades
+  std::uint64_t mem_refusals = 0;      ///< reservations refused outright
   /// Fraction of pair values served without a kernel evaluation.
   double memo_hit_rate() const {
     return pair_lookups == 0
@@ -119,6 +133,10 @@ class GridSolvePlan {
   TableGrid grid_;
   solver::SolveOptions opt_;
   std::size_t n_points_ = 0;
+  /// Charges the grid arrays against the memory budget for the plan's
+  /// lifetime; acquiring it in the constructor makes an over-budget
+  /// characterisation fail before the first field solve.
+  res::Reservation grid_reservation_;
   std::vector<double> mutual_vals_;
   std::vector<double> self_vals_;
   std::vector<double> r_vals_;

@@ -12,6 +12,7 @@ const char* to_string(Category c) {
     case Category::kCancelled: return "cancelled";
     case Category::kDeadline: return "deadline";
     case Category::kOverloaded: return "overloaded";
+    case Category::kResourceExhausted: return "resource-exhausted";
   }
   return "?";
 }
@@ -26,6 +27,7 @@ int exit_code(Category c) {
     case Category::kCancelled:
     case Category::kDeadline: return 5;
     case Category::kOverloaded: return 6;
+    case Category::kResourceExhausted: return 7;
   }
   return 1;
 }

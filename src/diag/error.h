@@ -23,7 +23,8 @@ namespace rlcx::diag {
 
 /// What kind of failure this is.  The CLI exit-code contract keys off the
 /// category (docs/robustness.md): usage -> 2, geometry/io/cache -> 3,
-/// numeric -> 4, cancelled/deadline -> 5, overloaded -> 6.
+/// numeric -> 4, cancelled/deadline -> 5, overloaded -> 6,
+/// resource-exhausted -> 7.
 enum class Category {
   kGeometry,    ///< invalid physical/structural input (geometry, netlist)
   kNumeric,     ///< numerical breakdown: singular/near-singular systems,
@@ -35,6 +36,9 @@ enum class Category {
   kDeadline,    ///< the run exceeded its wall-clock deadline
   kOverloaded,  ///< an admission-controlled service rejected the request
                 ///< because its queue was full (back off and retry)
+  kResourceExhausted,  ///< the work would exceed the process memory budget
+                       ///< (res::Budget) and no cheaper path remained; the
+                       ///< request will not fit on retry either
 };
 
 const char* to_string(Category c);
@@ -156,6 +160,18 @@ class OverloadedError : public Error {
  public:
   OverloadedError(std::string stage, std::string message)
       : Error(Category::kOverloaded, std::move(stage), std::move(message)) {}
+};
+
+/// The work would not fit the process memory budget (res::Budget): every
+/// rung of the degradation ladder (docs/robustness.md "Resource
+/// governance") was refused.  Unlike kOverloaded this is not transient —
+/// an oversized request stays oversized on retry; shrink the request or
+/// raise --mem-budget.
+class ResourceExhaustedError : public Error {
+ public:
+  ResourceExhaustedError(std::string stage, std::string message)
+      : Error(Category::kResourceExhausted, std::move(stage),
+              std::move(message)) {}
 };
 
 /// A linear system the factorisation could not (or barely could) solve.

@@ -1,7 +1,10 @@
 #include "hmat/hmatrix.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "hmat/stats.h"
+#include "res/budget.h"
 #include "rt/parallel.h"
 #include "run/control.h"
 
@@ -65,6 +68,12 @@ HMatrix::HMatrix(const KernelMatrix& kernel, const ClusterTree& tree,
     : kernel_(&kernel), tree_(&tree), opt_(opt) {
   const std::size_t n = kernel.size();
   if (n == 0) return;
+  // Standalone assembly reserves its expected compressed storage against
+  // the memory budget; under a solver-path reservation (which priced the
+  // whole hmat solve) the ambient coverage skips the charge.
+  std::optional<res::ScopedReservation> reservation;
+  if (!res::ScopedReservation::covered())
+    reservation.emplace("hmat-assembly", estimate_assembly_bytes(n));
   partition(tree.root(), tree.root());
 
   const std::vector<std::size_t>& perm = tree.permutation();

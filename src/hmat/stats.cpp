@@ -1,5 +1,6 @@
 #include "hmat/stats.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
@@ -27,6 +28,18 @@ void fetch_max(std::atomic<std::size_t>& a, std::size_t v) {
 }
 
 }  // namespace
+
+std::size_t estimate_assembly_bytes(std::size_t n) {
+  double ratio = solve_stats_total().compression();
+  // Pre-telemetry default: deliberately well above the measured few
+  // percent, so a budget decision made before any hmat solve has reported
+  // errs toward refusing rather than overcommitting.
+  if (ratio <= 0.0) ratio = 0.25;
+  if (ratio > 1.0) ratio = 1.0;
+  const double bytes =
+      ratio * static_cast<double>(n) * static_cast<double>(n) * sizeof(double);
+  return std::max<std::size_t>(static_cast<std::size_t>(bytes), 1024);
+}
 
 SolveStats solve_stats_total() {
   SolveStats s;

@@ -30,6 +30,13 @@ struct SolveStats {
 SolveStats solve_stats_total();
 void reset_solve_stats_total();
 
+/// Expected resident bytes of an assembled H-matrix over n filaments: the
+/// measured process-wide compression ratio applied to the dense entry
+/// count, with a conservative default before any hmat solve has reported
+/// (real compression lands at a few percent; see BENCH_hmat.json).  Feeds
+/// the memory budget's hmat-path cost estimate.
+std::size_t estimate_assembly_bytes(std::size_t n);
+
 /// Recorded by solver::conductor_impedance per solve.
 void record_dense_solve();
 void record_hmat_solve(std::size_t stored_entries, std::size_t full_entries,

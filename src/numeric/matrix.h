@@ -4,6 +4,12 @@
 // few thousand unknowns), where a cache-friendly dense store plus an O(n^3)
 // LU beats any sparse machinery.  Bounds are checked with assert in debug
 // builds only.
+//
+// The element store goes through res::TrackedAllocator: matrices are the
+// dominant resident allocation of every solve (n^2 entries), so their bytes
+// feed the process memory budget's accounting (docs/robustness.md "Resource
+// governance").  Accounting is advisory — allocation never fails here;
+// enforcement lives at the solver's reservation points.
 #pragma once
 
 #include <cassert>
@@ -12,6 +18,8 @@
 #include <initializer_list>
 #include <stdexcept>
 #include <vector>
+
+#include "res/budget.h"
 
 namespace rlcx {
 
@@ -115,7 +123,7 @@ class Matrix {
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<T> data_;
+  std::vector<T, res::TrackedAllocator<T>> data_;
 };
 
 using RealMatrix = Matrix<double>;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "peec/kernel_batch.h"
+#include "res/budget.h"
 #include "rt/parallel.h"
 
 namespace rlcx::peec {
@@ -71,10 +73,20 @@ void reset_fill_stats_total() {
   g_memo_hits.store(0, std::memory_order_relaxed);
 }
 
+std::size_t estimate_fill_bytes(std::size_t filaments) {
+  return std::max<std::size_t>(filaments * filaments * sizeof(double), 1024);
+}
+
 RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
                                      const PartialOptions& opt,
                                      rt::Pool* pool, FillStats* stats) {
   const std::size_t n = filaments.size();
+  // Standalone fills reserve their result against the memory budget; under
+  // a solver-path reservation (which already priced this fill in) the
+  // ambient coverage makes this a no-op.
+  std::optional<res::ScopedReservation> reservation;
+  if (!res::ScopedReservation::covered())
+    reservation.emplace("peec-fill", estimate_fill_bytes(n));
   RealMatrix lp(n, n);
   FillStats local;
 

@@ -63,4 +63,10 @@ RealMatrix partial_inductance_matrix(const std::vector<Filament>& filaments,
                                      rt::Pool* pool = nullptr,
                                      FillStats* stats = nullptr);
 
+/// Resident bytes of the dense fill's result for n filaments (the n x n
+/// RealMatrix above).  Feeds the memory budget's cost model
+/// (docs/robustness.md "Resource governance"); the memo and chunk lists
+/// are lower-order and not counted.
+std::size_t estimate_fill_bytes(std::size_t filaments);
+
 }  // namespace rlcx::peec

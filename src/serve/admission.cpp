@@ -4,6 +4,7 @@
 #include <string>
 
 #include "diag/error.h"
+#include "res/budget.h"
 
 namespace rlcx::serve {
 
@@ -20,7 +21,15 @@ AdmissionQueue::AdmissionQueue(int max_active, int max_queued)
 }
 
 AdmissionQueue::Admission AdmissionQueue::enter(
-    const run::CancelToken& shutdown) {
+    const run::CancelToken& shutdown, std::size_t cost_bytes) {
+  // Cost gate before the slot machinery: a request that cannot fit the
+  // memory budget even with the daemon otherwise idle is refused without
+  // occupying a slot or queue position.
+  if (cost_bytes > 0 && res::admission_exhausted(cost_bytes)) {
+    std::lock_guard<std::mutex> refusal_lock(m_);
+    ++refused_;
+    return Admission::kRefused;
+  }
   std::unique_lock<std::mutex> lock(m_);
   if (active_ < max_active_) {
     ++active_;
@@ -67,6 +76,7 @@ AdmissionQueue::Stats AdmissionQueue::stats() const {
   s.queued = queued_;
   s.admitted = admitted_;
   s.rejected = rejected_;
+  s.refused = refused_;
   return s;
 }
 

@@ -9,6 +9,14 @@
 // the protocol reports as a status-6 error frame: the client learns in
 // microseconds that it should back off, instead of timing out minutes
 // later.
+//
+// Admission is also *cost-based*: the caller passes the request's
+// estimated resident bytes (cli::estimate_request_bytes), and a request
+// that could not fit the process memory budget even running alone is
+// refused up front with the `resource-exhausted` fault (exit code 7)
+// instead of being admitted only to fail mid-solve.  Unlike overload,
+// refusal is permanent for that request: retrying the same request
+// against the same budget fails the same way.
 #pragma once
 
 #include <condition_variable>
@@ -28,12 +36,19 @@ class AdmissionQueue {
     kAdmitted,    ///< a slot is held; the caller must leave() when done
     kOverloaded,  ///< both bounds full — reject with exit code 6
     kCancelled,   ///< shutdown requested while waiting for a slot
+    kRefused,     ///< cost exceeds the memory budget — exit code 7,
+                  ///< not retryable against the same budget
   };
 
   /// Claims an execution slot, waiting in the bounded queue when all
   /// slots are busy.  Returns kOverloaded without blocking when the queue
   /// is full, kCancelled when `shutdown` is requested while waiting.
-  Admission enter(const run::CancelToken& shutdown);
+  /// A non-zero `cost_bytes` (the request's estimated resident footprint)
+  /// is checked against the process memory budget first: an estimate the
+  /// budget can never satisfy returns kRefused without claiming anything
+  /// (res::admission_exhausted — also the `alloc_fail` injection site).
+  Admission enter(const run::CancelToken& shutdown,
+                  std::size_t cost_bytes = 0);
 
   /// Releases the slot claimed by a successful enter().
   void leave() noexcept;
@@ -42,7 +57,8 @@ class AdmissionQueue {
     int active = 0;
     int queued = 0;
     std::size_t admitted = 0;
-    std::size_t rejected = 0;
+    std::size_t rejected = 0;  ///< overloaded (queue full, status 6)
+    std::size_t refused = 0;   ///< over-budget cost (status 7)
   };
   Stats stats() const;
 
@@ -58,6 +74,7 @@ class AdmissionQueue {
   int queued_ = 0;
   std::size_t admitted_ = 0;
   std::size_t rejected_ = 0;
+  std::size_t refused_ = 0;
 };
 
 }  // namespace rlcx::serve

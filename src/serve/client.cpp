@@ -206,7 +206,11 @@ int query_main(const std::vector<std::string>& argv, std::ostream& out,
         const Response resp = client.request(request);
         // Status 6 (`overloaded`) is the daemon's explicit "back off and
         // retry" — the one *executed-request* status worth the backoff
-        // loop.  Everything else is final.
+        // loop.  Everything else is final — deliberately including
+        // status 7 (`resource-exhausted`): the refusal is about the
+        // request's size versus the daemon's memory budget, neither of
+        // which a retry changes, so retrying would only burn admission
+        // bandwidth (docs/serve-protocol.md "retry semantics").
         if (resp.status != 6 || attempt >= budget) {
           out << resp.out;
           err << resp.err;

@@ -227,6 +227,7 @@ const char* status_label(int exit_code) {
     case 4: return "numeric";
     case 5: return "cancelled";
     case 6: return "overloaded";
+    case 7: return "resource-exhausted";
     default: return "unknown";
   }
 }

@@ -168,15 +168,15 @@ void write_frame(ByteStream& stream, FrameKind kind,
 
 /// One response (or error) payload, parsed.
 struct Response {
-  int status = 0;     ///< CLI exit code, 0..6 (docs/robustness.md)
+  int status = 0;     ///< CLI exit code, 0..7 (docs/robustness.md)
   std::string label;  ///< stable name for status (status_label())
   std::string out;    ///< the command's stdout bytes
   std::string err;    ///< the command's stderr bytes
 };
 
 /// The stable label for a CLI exit code: 0 "ok", 1 "internal", 2 "usage",
-/// 3 "invalid-input", 4 "numeric", 5 "cancelled", 6 "overloaded";
-/// anything else "unknown".
+/// 3 "invalid-input", 4 "numeric", 5 "cancelled", 6 "overloaded",
+/// 7 "resource-exhausted"; anything else "unknown".
 const char* status_label(int exit_code);
 
 std::string encode_response(const Response& response);

@@ -17,6 +17,7 @@
 #include "diag/error.h"
 #include "hmat/stats.h"
 #include "peec/kernel_batch.h"
+#include "res/budget.h"
 #include "run/fault_injection.h"
 #include "run/signal.h"
 
@@ -84,7 +85,7 @@ std::string sanitize_command(const std::string& command) {
 Server::Server(ServeConfig config, std::ostream& diag)
     : config_(std::move(config)),
       diag_(diag),
-      warm_(config_.cache_dir, config_.max_tables,
+      warm_(config_.cache_dir, config_.max_tables, config_.max_table_bytes,
             config_.strict ? core::CacheRecoveryPolicy::kStrict
                            : core::CacheRecoveryPolicy::kRecover),
       admission_(config_.max_active, config_.queue_depth) {
@@ -368,7 +369,35 @@ Response Server::execute(const std::vector<std::string>& tokens,
                      "delay, help)\n";
     return resp;
   }
-  switch (admission_.enter(shutdown_)) {
+  // The memory budget is daemon-wide operator policy; a client must not
+  // resize it per request.
+  for (const std::string& t : tokens) {
+    if (t == "--mem-budget") {
+      *kind = FrameKind::kError;
+      resp.status = 2;
+      resp.err = "[usage] serve: --mem-budget is daemon-wide; set it when "
+                 "starting rlcx serve, not per request\n";
+      return resp;
+    }
+  }
+  // Cost-based admission: estimate the request's resident footprint and
+  // let the queue refuse what the budget can never satisfy (status 7).
+  const std::size_t cost = cli::estimate_request_bytes(tokens);
+  switch (admission_.enter(shutdown_, cost)) {
+    case AdmissionQueue::Admission::kRefused: {
+      *kind = FrameKind::kError;
+      const diag::ResourceExhaustedError e(
+          "serve",
+          "request estimate " + std::to_string(cost) +
+              " bytes exceeds the memory budget (" +
+              std::to_string(res::Budget::global().limit()) +
+              " bytes); refusing at admission — shrink the request or "
+              "restart the daemon with a larger --mem-budget (retrying "
+              "unchanged will not help)");
+      resp.status = diag::exit_code(e.category());
+      resp.err = std::string(e.what()) + "\n";
+      return resp;
+    }
     case AdmissionQueue::Admission::kOverloaded: {
       *kind = FrameKind::kError;
       const diag::OverloadedError e(
@@ -402,7 +431,21 @@ Response Server::execute(const std::vector<std::string>& tokens,
     rc.deadline = run::Deadline::after(config_.request_deadline_s);
   const run::ScopedRunControl control(rc);
   std::ostringstream out, err;
-  resp.status = cli::run(tokens, out, err, &warm_);
+  try {
+    resp.status = cli::run(tokens, out, err, &warm_);
+  } catch (const std::bad_alloc&) {
+    // cli::run() contains bad_alloc itself (exit code 7); this guard
+    // covers the residue outside it — stream buffer growth, the response
+    // copy.  An allocation failure costs one request, never the daemon.
+    res::Budget::global().record_contained_bad_alloc();
+    *kind = FrameKind::kError;
+    resp.status = 7;
+    resp.out.clear();
+    resp.err = "error: [resource-exhausted] serve: allocation failed "
+               "(std::bad_alloc) while executing the request; the daemon "
+               "remains healthy — shrink the request\n";
+    return resp;
+  }
   resp.out = out.str();
   resp.err = err.str();
   return resp;
@@ -413,13 +456,24 @@ std::string Server::stats_text() {
   const AdmissionQueue::Stats as = admission_.stats();
   const core::CacheStats cs = warm_.cache().stats();
   std::ostringstream os;
+  const res::Stats rs = res::Budget::global().stats();
   os << "rlcx serve stats\n"
      << "requests: " << served_.load(std::memory_order_relaxed)
-     << " served, " << as.rejected << " overloaded, "
+     << " served, " << as.rejected << " overloaded, " << as.refused
+     << " refused over budget, "
      << cancelled_.load(std::memory_order_relaxed) << " cancelled\n"
      << "warm store: " << ws.hits << " hits, " << ws.misses
      << " misses, " << ws.evictions << " evictions, " << ws.resident
-     << " resident (max " << warm_.max_tables() << ")\n"
+     << " resident (max " << warm_.max_tables() << "), "
+     << ws.resident_bytes << " resident bytes";
+  if (warm_.max_bytes() > 0) os << " (byte cap " << warm_.max_bytes() << ")";
+  os << "\n";
+  for (const WarmTableStore::EntryInfo& e : warm_.entries())
+    os << "warm entry " << e.id << ": " << e.bytes << " bytes\n";
+  os << "memory budget: " << rs.limit_bytes << " limit, " << rs.in_use()
+     << " in use, " << rs.peak_bytes << " peak, " << rs.degradations
+     << " degradations, " << rs.refusals << " refusals, "
+     << rs.contained_bad_allocs << " contained bad_allocs\n"
      << "admission: " << as.active << " active, " << as.queued
      << " queued (max-active " << admission_.max_active()
      << ", queue-depth " << admission_.max_queued() << ")\n"
@@ -458,6 +512,8 @@ std::string Server::stats_text() {
 std::string Server::health_text() {
   const AdmissionQueue::Stats as = admission_.stats();
   const hmat::SolveStats hs2 = hmat::solve_stats_total();
+  const res::Stats rs = res::Budget::global().stats();
+  const WarmTableStore::Stats ws = warm_.stats();
   const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
                           std::chrono::steady_clock::now() - start_)
                           .count();
@@ -475,7 +531,13 @@ std::string Server::health_text() {
      << accept_retries_.load(std::memory_order_relaxed) << "\n"
      << "dense-solves " << hs2.dense_solves << "\n"
      << "hmat-solves " << hs2.hmat_solves << "\n"
-     << "gmres-fallbacks " << hs2.gmres_fallbacks << "\n";
+     << "gmres-fallbacks " << hs2.gmres_fallbacks << "\n"
+     << "mem-limit-bytes " << rs.limit_bytes << "\n"
+     << "mem-peak-bytes " << rs.peak_bytes << "\n"
+     << "mem-degradations " << rs.degradations << "\n"
+     << "mem-refusals " << rs.refusals << "\n"
+     << "contained-bad-allocs " << rs.contained_bad_allocs << "\n"
+     << "warm-bytes " << ws.resident_bytes << "\n";
   return os.str();
 }
 
@@ -508,6 +570,19 @@ int serve_main(const std::vector<std::string>& argv, std::ostream& out,
                    "--stdio");
     cfg.max_tables =
         static_cast<std::size_t>(args.get_num("max-tables", 16));
+    const double table_mib = args.get_num("max-table-mib", 0.0);
+    if (table_mib < 0.0)
+      throw diag::UsageError("serve",
+                             "--max-table-mib must be >= 0 MiB");
+    cfg.max_table_bytes =
+        static_cast<std::size_t>(table_mib * 1024.0 * 1024.0);
+    if (args.has("mem-budget")) {
+      const double budget_mib = args.get_num("mem-budget", 0.0);
+      if (budget_mib < 0.0)
+        throw diag::UsageError("serve", "--mem-budget must be >= 0 MiB");
+      res::Budget::global().set_limit(
+          static_cast<std::uint64_t>(budget_mib * 1024.0 * 1024.0));
+    }
     cfg.max_active = static_cast<int>(args.get_num("max-active", 4));
     cfg.queue_depth = static_cast<int>(args.get_num("queue-depth", 64));
     cfg.request_deadline_s = args.get_num("request-deadline-s", 0.0);

@@ -12,7 +12,12 @@
 // deadline), and the extraction inside fans its field solves onto the
 // shared rt pool.  Admission control (serve/admission.h) bounds how many
 // requests execute or wait; beyond that clients get an immediate typed
-// `overloaded` rejection (exit code 6).
+// `overloaded` rejection (exit code 6).  Admission is also cost-based:
+// a request whose estimated footprint (cli::estimate_request_bytes)
+// exceeds the process memory budget gets a typed `resource-exhausted`
+// refusal (exit code 7) before any slot is granted, and a std::bad_alloc
+// escaping a request is contained as a status-7 response — never a dead
+// daemon (docs/robustness.md "Resource governance").
 //
 // Lifecycle: SIGINT/SIGTERM (or a `shutdown` request) request the
 // shutdown token; the accept loop stops, in-flight requests unwind at
@@ -46,6 +51,8 @@ struct ServeConfig {
   std::string socket_path;  ///< --socket; empty with stdio=true
   bool stdio = false;       ///< --stdio: speak the protocol on stdin/stdout
   std::size_t max_tables = 16;     ///< --max-tables: warm-store LRU bound
+  std::size_t max_table_bytes = 0; ///< --max-table-mib: warm-store byte
+                                   ///< bound (0 = count-bounded only)
   int max_active = 4;              ///< --max-active: executing requests
   int queue_depth = 64;            ///< --queue-depth: waiting requests
   double request_deadline_s = 0.0; ///< --request-deadline-s (0 = none)

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "diag/error.h"
+#include "res/budget.h"
 
 namespace rlcx::serve {
 
@@ -20,10 +21,33 @@ std::string store_key(const std::string& key_text,
 
 WarmTableStore::WarmTableStore(const std::string& cache_dir,
                                std::size_t max_tables,
+                               std::size_t max_bytes,
                                core::CacheRecoveryPolicy policy)
-    : max_tables_(max_tables), cache_(cache_dir, policy) {
+    : max_tables_(max_tables), max_bytes_(max_bytes),
+      cache_(cache_dir, policy) {
   if (max_tables < 1)
     throw diag::UsageError("serve", "--max-tables must be >= 1");
+}
+
+WarmTableStore::~WarmTableStore() {
+  // Return the resident charge so a budget outliving the store (tests,
+  // embedding processes) does not leak phantom usage.
+  res::Budget::global().unaccount(resident_bytes_);
+}
+
+void WarmTableStore::evict_over_bounds_locked() {
+  // The byte bound keeps >= 1 entry: one model larger than the cap must
+  // still serve (evicting it would just rebuild it on the next request).
+  while (lru_.size() > max_tables_ ||
+         (max_bytes_ > 0 && resident_bytes_ > max_bytes_ &&
+          lru_.size() > 1)) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    res::Budget::global().unaccount(victim.bytes);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
 }
 
 std::shared_ptr<const core::InductanceProvider> WarmTableStore::provider(
@@ -67,13 +91,12 @@ std::shared_ptr<const core::InductanceProvider> WarmTableStore::provider(
         << bstats.solves << " field solves\n";
     return it->second->model;
   }
-  lru_.push_front(Entry{key, model});
+  const std::size_t bytes = model->tables().resident_bytes();
+  lru_.push_front(Entry{key, id, bytes, model});
   index_[key] = lru_.begin();
-  while (lru_.size() > max_tables_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
-  }
+  resident_bytes_ += bytes;
+  res::Budget::global().account(bytes);
+  evict_over_bounds_locked();
   out << "table store: warm miss, key " << id << ", " << bstats.solves
       << " field solves\n";
   return model;
@@ -86,7 +109,16 @@ WarmTableStore::Stats WarmTableStore::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.resident = lru_.size();
+  s.resident_bytes = resident_bytes_;
   return s;
+}
+
+std::vector<WarmTableStore::EntryInfo> WarmTableStore::entries() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<EntryInfo> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(EntryInfo{e.id, e.bytes});
+  return out;
 }
 
 }  // namespace rlcx::serve

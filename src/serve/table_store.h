@@ -13,6 +13,15 @@
 // daemon response is produced by exactly the code that produces the CLI's
 // — warm and cold results are bit-identical by construction, which
 // test_serve asserts.
+//
+// Residency is bounded two ways: by entry count (--max-tables) and,
+// when --max-table-mib is set, by total resident bytes
+// (InductanceTables::resident_bytes per entry).  Either bound evicts from
+// the LRU tail; the byte bound always keeps at least one entry, so a
+// single model larger than the cap still serves (it just evicts everything
+// else).  Resident bytes are charged to the process memory budget
+// (res::Budget) so the daemon's `stats`/`health` reports and the budget's
+// in-use figure include warm tables.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +30,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cli/cli.h"
 #include "core/table_cache.h"
@@ -31,10 +41,12 @@ class WarmTableStore : public cli::ProviderSource {
  public:
   /// Opens the on-disk cache at `cache_dir` once for the store's
   /// lifetime; at most `max_tables` (>= 1, else a `usage` fault) models
-  /// stay resident.
+  /// stay resident, holding at most `max_bytes` total (0 = no byte bound).
   WarmTableStore(const std::string& cache_dir, std::size_t max_tables,
+                 std::size_t max_bytes = 0,
                  core::CacheRecoveryPolicy policy =
                      core::CacheRecoveryPolicy::kRecover);
+  ~WarmTableStore() override;
 
   /// The ProviderSource hook cli::run() calls for extract/delay.  A warm
   /// hit returns the resident model and writes
@@ -54,10 +66,20 @@ class WarmTableStore : public cli::ProviderSource {
     std::size_t misses = 0;
     std::size_t evictions = 0;
     std::size_t resident = 0;
+    std::size_t resident_bytes = 0;  ///< sum of per-entry table bytes
   };
   Stats stats() const;
 
+  /// One resident model, MRU first: its short cache id and its
+  /// approximate table bytes (the eviction currency).
+  struct EntryInfo {
+    std::string id;
+    std::size_t bytes = 0;
+  };
+  std::vector<EntryInfo> entries() const;
+
   std::size_t max_tables() const noexcept { return max_tables_; }
+  std::size_t max_bytes() const noexcept { return max_bytes_; }
 
   /// The underlying on-disk cache (for the daemon's stats report).
   const core::TableCache& cache() const noexcept { return cache_; }
@@ -65,10 +87,16 @@ class WarmTableStore : public cli::ProviderSource {
  private:
   struct Entry {
     std::string key;
+    std::string id;           ///< short cache id (stats display)
+    std::size_t bytes = 0;    ///< resident_bytes() of the model's tables
     std::shared_ptr<const core::TableInductanceModel> model;
   };
 
+  /// Drops LRU-tail entries until both bounds hold (caller holds m_).
+  void evict_over_bounds_locked();
+
   const std::size_t max_tables_;
+  const std::size_t max_bytes_;
   core::TableCache cache_;
   mutable std::mutex m_;
   std::list<Entry> lru_;  // front = most recently used
@@ -76,6 +104,7 @@ class WarmTableStore : public cli::ProviderSource {
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t resident_bytes_ = 0;
 };
 
 }  // namespace rlcx::serve

@@ -8,10 +8,12 @@
 #include <cstdint>
 #include <memory>
 #include <numbers>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "diag/warnings.h"
+#include "res/budget.h"
 #include "hmat/cluster_tree.h"
 #include "hmat/gmres.h"
 #include "hmat/hmatrix.h"
@@ -405,10 +407,36 @@ ComplexMatrix conductor_impedance(const std::vector<Conductor>& conductors,
     }
   }
   const std::size_t nc = conductors.size();
-  const bool use_hmat =
+  const std::size_t nf = all.size();
+  bool use_hmat =
       opt.solver == SolverKind::kHmat ||
-      (opt.solver == SolverKind::kAuto &&
-       all.size() >= opt.hmat.auto_crossover);
+      (opt.solver == SolverKind::kAuto && nf >= opt.hmat.auto_crossover);
+  // Degradation ladder (docs/robustness.md "Resource governance"): the
+  // path decision and its budget reservation happen here on the serial
+  // spine, before any pool fan-out, so the outcome is identical at every
+  // pool width.  A dense reservation the budget declines degrades to the
+  // hierarchical path with a typed warning; if even that reservation is
+  // refused, ResourceExhaustedError unwinds (exit code 7).
+  std::optional<res::ScopedReservation> reservation;
+  if (!use_hmat) {
+    const std::size_t dense_bytes = estimate_dense_solve_bytes(nf, nc);
+    reservation.emplace("solver-dense", dense_bytes,
+                        res::OnExhausted::kDecline);
+    if (!reservation->held()) {
+      reservation.reset();
+      res::Budget::global().record_degradation();
+      diag::emit_warning(
+          diag::Category::kResourceExhausted, "solver",
+          "memory budget cannot fit the dense path for n=" +
+              std::to_string(nf) + " filaments (estimate " +
+              std::to_string(dense_bytes) +
+              " bytes); degrading to the hierarchical (hmat) solver");
+      use_hmat = true;
+    }
+  }
+  if (use_hmat && !reservation)
+    reservation.emplace("solver-hmat",
+                        estimate_hmat_solve_bytes(nf, nc, opt.hmat));
   return use_hmat ? conductor_impedance_hmat(all, owner, nc, opt)
                   : conductor_impedance_dense(all, owner, nc, opt);
 }
@@ -442,6 +470,48 @@ std::vector<Conductor> block_conductors(const geom::Block& block,
 }
 
 }  // namespace
+
+std::size_t estimate_dense_solve_bytes(std::size_t filaments,
+                                       std::size_t conductors) {
+  const std::size_t nf = filaments;
+  const std::size_t nc = conductors;
+  // Coexisting peaks: the real fill (lp, kept for the Z build), the
+  // complex Z moved in place into its LU factors, and the multi-RHS
+  // substitution blocks (zinv_p plus per-chunk rhs and solution).
+  return std::max<std::size_t>(peec::estimate_fill_bytes(nf) +
+                                   nf * nf * sizeof(Complex) +
+                                   3 * nf * nc * sizeof(Complex),
+                               1024);
+}
+
+std::size_t estimate_hmat_solve_bytes(std::size_t filaments,
+                                      std::size_t conductors,
+                                      const HmatSolveOptions& opt) {
+  const std::size_t nf = filaments;
+  std::size_t bytes = hmat::estimate_assembly_bytes(nf);
+  // Schwarz preconditioner: every filament sits in one block of complex LU
+  // factors, widened by a quarter-block overlap on both sides (~1.5x).
+  bytes += static_cast<std::size_t>(1.5 * static_cast<double>(nf) *
+                                    static_cast<double>(opt.precond_block)) *
+           sizeof(Complex);
+  // Krylov basis at the restart length, plus the solution columns.
+  bytes += (opt.gmres_restart + 2) * nf * sizeof(Complex);
+  bytes += nf * conductors * sizeof(Complex);
+  return std::max<std::size_t>(bytes, 1024);
+}
+
+std::size_t estimate_extract_bytes(const geom::Block& block,
+                                   const SolveOptions& opt) {
+  const std::vector<Conductor> conductors = block_conductors(block, opt);
+  std::size_t nf = 0;
+  for (const Conductor& c : conductors) nf += c.filaments.size();
+  const std::size_t nc = conductors.size();
+  const bool use_hmat =
+      opt.solver == SolverKind::kHmat ||
+      (opt.solver == SolverKind::kAuto && nf >= opt.hmat.auto_crossover);
+  return use_hmat ? estimate_hmat_solve_bytes(nf, nc, opt.hmat)
+                  : estimate_dense_solve_bytes(nf, nc);
+}
 
 std::vector<peec::Bar> plane_strips(const geom::Block& block, int plane_layer,
                                     const PlaneOptions& opt) {

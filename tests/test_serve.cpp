@@ -151,6 +151,7 @@ TEST(Protocol, StatusLabelsFollowTheExitCodeContract) {
   EXPECT_STREQ(status_label(4), "numeric");
   EXPECT_STREQ(status_label(5), "cancelled");
   EXPECT_STREQ(status_label(6), "overloaded");
+  EXPECT_STREQ(status_label(7), "resource-exhausted");
   EXPECT_STREQ(status_label(99), "unknown");
 }
 
@@ -190,7 +191,7 @@ TEST(Protocol, SpecQuotesTheImplementationConstants) {
   EXPECT_NE(doc.find("status <code> <label>"), std::string::npos);
   EXPECT_NE(doc.find("out <n>"), std::string::npos);
   EXPECT_NE(doc.find("err <m>"), std::string::npos);
-  for (int code = 0; code <= 6; ++code)
+  for (int code = 0; code <= 7; ++code)
     EXPECT_NE(doc.find(std::string("`") + status_label(code) + "`"),
               std::string::npos)
         << "label missing from spec: " << status_label(code);
